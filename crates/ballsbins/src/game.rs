@@ -1,0 +1,417 @@
+//! The dynamic balls-and-bins game state.
+
+use crate::rule::Rule;
+use crate::stats::GameStats;
+use atp_hash::{FxHashMap, PageHasher};
+use atp_types::VirtPage;
+
+/// Which tier of a bin a ball occupies (only Iceberg distinguishes tiers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Placed via `h₁` into the front of its bin.
+    Front,
+    /// Placed via Greedy\[2\] (`h₂`/`h₃`) into the back of a bin.
+    Back,
+}
+
+/// Where a ball landed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// Bin index in `[0, n)`.
+    pub bin: u64,
+    /// Front or back tier.
+    pub tier: Tier,
+    /// Which hash function produced the bin (0-based).
+    pub hash_index: u32,
+}
+
+/// A dynamic balls-and-bins game: `n` bins, one placement rule, seeded hashes.
+///
+/// Balls are arbitrary `u64` ids. The game is *stable*: a present ball's slot
+/// never changes. Re-inserting an id after deletion re-hashes to the same
+/// choices (the hash family is a pure function of the id), but the chosen bin
+/// may differ because loads have changed — exactly as in the paper's model.
+///
+/// ```
+/// use atp_ballsbins::{Game, Rule};
+///
+/// let mut game = Game::new(7, 1024, Rule::Iceberg { front_cap: 6 });
+/// for ball in 0..4096 {
+///     game.insert(ball);
+/// }
+/// // λ = 4: Theorem 2 keeps the max load near λ + log log n.
+/// assert!(game.max_load() <= 6 + 4);
+/// game.remove(0);
+/// assert_eq!(game.len(), 4095);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Game {
+    rule: Rule,
+    hasher: PageHasher,
+    front_load: Vec<u32>,
+    back_load: Vec<u32>,
+    balls: FxHashMap<u64, Slot>,
+    stats: GameStats,
+}
+
+impl Game {
+    /// Creates a game with `bins` bins under `rule`, seeding the hash family.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`, or if the rule is `Greedy{d}` with `d < 2`.
+    pub fn new(seed: u64, bins: u64, rule: Rule) -> Self {
+        assert!(bins > 0, "bins must be nonzero");
+        if let Rule::Greedy { d } = rule {
+            assert!(d >= 2, "Greedy[d] requires d >= 2");
+        }
+        Self {
+            rule,
+            hasher: PageHasher::new(seed, bins, rule.hash_count()),
+            front_load: vec![0; bins as usize],
+            back_load: vec![0; bins as usize],
+            balls: FxHashMap::default(),
+            stats: GameStats::default(),
+        }
+    }
+
+    /// Number of bins `n`.
+    #[inline]
+    pub fn bins(&self) -> u64 {
+        self.front_load.len() as u64
+    }
+
+    /// Number of balls currently present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.balls.len()
+    }
+
+    /// Whether no balls are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.balls.is_empty()
+    }
+
+    /// The placement rule in use.
+    #[inline]
+    pub fn rule(&self) -> Rule {
+        self.rule
+    }
+
+    /// Total load (front + back) of bin `b`.
+    #[inline]
+    pub fn load(&self, b: u64) -> u32 {
+        self.front_load[b as usize] + self.back_load[b as usize]
+    }
+
+    /// Front-tier load of bin `b`.
+    #[inline]
+    pub fn front_load(&self, b: u64) -> u32 {
+        self.front_load[b as usize]
+    }
+
+    /// Back-tier load of bin `b`.
+    #[inline]
+    pub fn back_load(&self, b: u64) -> u32 {
+        self.back_load[b as usize]
+    }
+
+    /// Current maximum total load across bins.
+    pub fn max_load(&self) -> u32 {
+        (0..self.bins()).map(|b| self.load(b)).max().unwrap_or(0)
+    }
+
+    /// Current maximum back-tier load (the Greedy\[2\] contribution in
+    /// Iceberg; equals `max_load` for non-Iceberg rules... except OneChoice
+    /// and Greedy store everything in the back tier).
+    pub fn max_back_load(&self) -> u32 {
+        self.back_load.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The slot of a present ball.
+    #[inline]
+    pub fn slot_of(&self, ball: u64) -> Option<Slot> {
+        self.balls.get(&ball).copied()
+    }
+
+    /// Whether `ball` is present.
+    #[inline]
+    pub fn contains(&self, ball: u64) -> bool {
+        self.balls.contains_key(&ball)
+    }
+
+    /// Cumulative statistics.
+    #[inline]
+    pub fn stats(&self) -> &GameStats {
+        &self.stats
+    }
+
+    /// Where `ball` *would* be placed right now, without inserting it.
+    ///
+    /// This is the entire placement rule; [`Game::insert`] applies it.
+    pub fn placement(&self, ball: u64) -> Slot {
+        let v = VirtPage(ball);
+        match self.rule {
+            Rule::OneChoice => Slot {
+                bin: self.hasher.bin(v, 0),
+                tier: Tier::Back,
+                hash_index: 0,
+            },
+            Rule::Greedy { d } => {
+                let mut best_bin = self.hasher.bin(v, 0);
+                let mut best_idx = 0u32;
+                let mut best_load = self.load(best_bin);
+                for i in 1..d {
+                    let b = self.hasher.bin(v, i);
+                    let l = self.load(b);
+                    if l < best_load {
+                        best_bin = b;
+                        best_idx = i;
+                        best_load = l;
+                    }
+                }
+                Slot {
+                    bin: best_bin,
+                    tier: Tier::Back,
+                    hash_index: best_idx,
+                }
+            }
+            Rule::Iceberg { front_cap } => {
+                let b1 = self.hasher.bin(v, 0);
+                if self.front_load[b1 as usize] < front_cap {
+                    return Slot {
+                        bin: b1,
+                        tier: Tier::Front,
+                        hash_index: 0,
+                    };
+                }
+                // Overflow: Greedy[2] on h2, h3, comparing back loads only
+                // (footnote 4: the two tiers ignore each other).
+                let b2 = self.hasher.bin(v, 1);
+                let b3 = self.hasher.bin(v, 2);
+                if self.back_load[b2 as usize] <= self.back_load[b3 as usize] {
+                    Slot {
+                        bin: b2,
+                        tier: Tier::Back,
+                        hash_index: 1,
+                    }
+                } else {
+                    Slot {
+                        bin: b3,
+                        tier: Tier::Back,
+                        hash_index: 2,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts `ball`, returning its slot.
+    ///
+    /// # Panics
+    /// Panics if `ball` is already present (the adversary may delete and
+    /// re-insert, but never double-insert).
+    pub fn insert(&mut self, ball: u64) -> Slot {
+        assert!(
+            !self.balls.contains_key(&ball),
+            "ball {ball} double-inserted"
+        );
+        let slot = self.placement(ball);
+        match slot.tier {
+            Tier::Front => self.front_load[slot.bin as usize] += 1,
+            Tier::Back => self.back_load[slot.bin as usize] += 1,
+        }
+        self.balls.insert(ball, slot);
+        self.stats.inserts += 1;
+        let load = self.load(slot.bin);
+        if load > self.stats.max_load_ever {
+            self.stats.max_load_ever = load;
+        }
+        slot
+    }
+
+    /// Removes `ball` if present, returning the slot it occupied.
+    pub fn remove(&mut self, ball: u64) -> Option<Slot> {
+        let slot = self.balls.remove(&ball)?;
+        match slot.tier {
+            Tier::Front => self.front_load[slot.bin as usize] -= 1,
+            Tier::Back => self.back_load[slot.bin as usize] -= 1,
+        }
+        self.stats.deletes += 1;
+        Some(slot)
+    }
+
+    /// Load histogram: `hist[l]` = number of bins with total load `l`.
+    pub fn load_histogram(&self) -> Vec<u64> {
+        let max = self.max_load() as usize;
+        let mut hist = vec![0u64; max + 1];
+        for b in 0..self.bins() {
+            hist[self.load(b) as usize] += 1;
+        }
+        hist
+    }
+
+    /// Average load `λ = balls / bins`.
+    pub fn average_load(&self) -> f64 {
+        self.len() as f64 / self.bins() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = Game::new(1, 16, Rule::OneChoice);
+        let s = g.insert(42);
+        assert!(g.contains(42));
+        assert_eq!(g.slot_of(42), Some(s));
+        assert_eq!(g.load(s.bin), 1);
+        assert_eq!(g.remove(42), Some(s));
+        assert!(!g.contains(42));
+        assert_eq!(g.load(s.bin), 0);
+        assert_eq!(g.remove(42), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-inserted")]
+    fn double_insert_panics() {
+        let mut g = Game::new(1, 16, Rule::OneChoice);
+        g.insert(1);
+        g.insert(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2")]
+    fn greedy_one_rejected() {
+        Game::new(1, 16, Rule::Greedy { d: 1 });
+    }
+
+    #[test]
+    fn one_choice_is_deterministic_per_id() {
+        let mut g = Game::new(7, 64, Rule::OneChoice);
+        let s1 = g.insert(99);
+        g.remove(99);
+        let s2 = g.insert(99);
+        assert_eq!(s1.bin, s2.bin, "one-choice must re-hash identically");
+    }
+
+    #[test]
+    fn greedy_picks_less_loaded() {
+        let mut g = Game::new(3, 8, Rule::Greedy { d: 2 });
+        // Insert many balls; on every placement the chosen bin must not be
+        // more loaded than the alternative at decision time. We verify via
+        // the invariant: chosen load (pre-insert) <= other choice's load.
+        for ball in 0..200u64 {
+            let pre = g.placement(ball);
+            let choices: Vec<u64> = (0..2).map(|i| g.hasher.bin(VirtPage(ball), i)).collect();
+            let chosen_load = g.load(pre.bin);
+            for &c in &choices {
+                assert!(chosen_load <= g.load(c));
+            }
+            g.insert(ball);
+        }
+    }
+
+    #[test]
+    fn iceberg_respects_front_cap() {
+        let cap = 3;
+        let mut g = Game::new(5, 4, Rule::Iceberg { front_cap: cap });
+        for ball in 0..400u64 {
+            g.insert(ball);
+        }
+        for b in 0..g.bins() {
+            assert!(g.front_load(b) <= cap, "front load exceeded cap");
+        }
+        // With 400 balls in 4 bins and cap 3, most balls must be in back tiers.
+        let back_total: u32 = (0..g.bins()).map(|b| g.back_load(b)).sum();
+        assert!(back_total >= 400 - 4 * cap);
+    }
+
+    #[test]
+    fn iceberg_prefers_front_until_cap() {
+        let mut g = Game::new(5, 1024, Rule::Iceberg { front_cap: 8 });
+        // With many bins and few balls, everything lands in the front tier.
+        for ball in 0..100u64 {
+            let s = g.insert(ball);
+            assert_eq!(s.tier, Tier::Front);
+            assert_eq!(s.hash_index, 0);
+        }
+    }
+
+    #[test]
+    fn loads_are_conserved() {
+        let mut g = Game::new(11, 32, Rule::Iceberg { front_cap: 4 });
+        for ball in 0..500u64 {
+            g.insert(ball);
+        }
+        for ball in (0..500u64).step_by(2) {
+            g.remove(ball);
+        }
+        let total: u32 = (0..g.bins()).map(|b| g.load(b)).sum();
+        assert_eq!(total as usize, g.len());
+        assert_eq!(g.len(), 250);
+    }
+
+    #[test]
+    fn histogram_sums_to_bins() {
+        let mut g = Game::new(2, 50, Rule::Greedy { d: 2 });
+        for ball in 0..300u64 {
+            g.insert(ball);
+        }
+        let hist = g.load_histogram();
+        assert_eq!(hist.iter().sum::<u64>(), 50);
+        // Weighted sum equals ball count.
+        let weighted: u64 = hist.iter().enumerate().map(|(l, &c)| l as u64 * c).sum();
+        assert_eq!(weighted, 300);
+    }
+
+    #[test]
+    fn stability_under_churn() {
+        // A present ball's slot must never change while other balls come and go.
+        let mut g = Game::new(13, 16, Rule::Iceberg { front_cap: 4 });
+        g.insert(1000);
+        let pinned = g.slot_of(1000).unwrap();
+        for ball in 0..200u64 {
+            g.insert(ball);
+            if ball % 3 == 0 {
+                g.remove(ball / 3);
+            }
+            assert_eq!(g.slot_of(1000), Some(pinned));
+        }
+    }
+
+    #[test]
+    fn max_load_tracks_peak() {
+        let mut g = Game::new(1, 4, Rule::OneChoice);
+        for ball in 0..64u64 {
+            g.insert(ball);
+        }
+        let peak = g.stats().max_load_ever;
+        assert_eq!(peak, g.max_load(), "peak equals current before any delete");
+        for ball in 0..64u64 {
+            g.remove(ball);
+        }
+        assert_eq!(g.stats().max_load_ever, peak, "peak survives deletions");
+        assert_eq!(g.max_load(), 0);
+    }
+
+    #[test]
+    fn greedy_beats_one_choice_on_max_load() {
+        // Classic power-of-two-choices separation, m = n balls.
+        let n = 4096u64;
+        let mut one = Game::new(42, n, Rule::OneChoice);
+        let mut two = Game::new(42, n, Rule::Greedy { d: 2 });
+        for ball in 0..n {
+            one.insert(ball);
+            two.insert(ball);
+        }
+        assert!(
+            two.max_load() < one.max_load(),
+            "greedy {} !< one-choice {}",
+            two.max_load(),
+            one.max_load()
+        );
+    }
+}

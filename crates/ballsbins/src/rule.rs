@@ -1,0 +1,62 @@
+//! Placement rules.
+
+use serde::{Deserialize, Serialize};
+
+/// A balls-and-bins placement rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rule {
+    /// `k = 1`: the ball goes to its single hashed bin.
+    OneChoice,
+    /// Greedy\[d\]: `d ≥ 2` hashed choices, the least-loaded bin wins
+    /// (ties broken toward the first choice).
+    Greedy {
+        /// Number of choices `d ≥ 2`.
+        d: u32,
+    },
+    /// Iceberg\[2\]: `h₁` front bin with a load cap, overflow via Greedy\[2\]
+    /// on `h₂, h₃` over back loads only.
+    Iceberg {
+        /// Front-bin load cap, the `(1+o(1))λ` threshold of Theorem 2.
+        front_cap: u32,
+    },
+}
+
+impl Rule {
+    /// Number of hash functions the rule consumes.
+    pub const fn hash_count(self) -> u32 {
+        match self {
+            Rule::OneChoice => 1,
+            Rule::Greedy { d } => d,
+            Rule::Iceberg { .. } => 3,
+        }
+    }
+
+    /// Short human-readable name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Rule::OneChoice => "one-choice",
+            Rule::Greedy { .. } => "greedy",
+            Rule::Iceberg { .. } => "iceberg",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_counts() {
+        assert_eq!(Rule::OneChoice.hash_count(), 1);
+        assert_eq!(Rule::Greedy { d: 2 }.hash_count(), 2);
+        assert_eq!(Rule::Greedy { d: 5 }.hash_count(), 5);
+        assert_eq!(Rule::Iceberg { front_cap: 10 }.hash_count(), 3);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Rule::OneChoice.name(), "one-choice");
+        assert_eq!(Rule::Greedy { d: 2 }.name(), "greedy");
+        assert_eq!(Rule::Iceberg { front_cap: 1 }.name(), "iceberg");
+    }
+}

@@ -1,0 +1,108 @@
+//! Game statistics and load snapshots.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative statistics for a game.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GameStats {
+    /// Number of insertions performed.
+    pub inserts: u64,
+    /// Number of deletions performed.
+    pub deletes: u64,
+    /// Highest total bin load ever observed (at any insertion).
+    pub max_load_ever: u32,
+}
+
+/// A point-in-time summary of bin loads, for reporting max-load experiments.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadSnapshot {
+    /// Number of balls present.
+    pub balls: u64,
+    /// Number of bins.
+    pub bins: u64,
+    /// Average load λ = balls / bins.
+    pub average: f64,
+    /// Maximum total bin load.
+    pub max: u32,
+    /// 99th-percentile bin load.
+    pub p99: u32,
+    /// `max − λ`: the overhead above average that the theory bounds.
+    pub overhead: f64,
+}
+
+impl LoadSnapshot {
+    /// Builds a snapshot from a game.
+    pub fn of(game: &crate::game::Game) -> Self {
+        let hist = game.load_histogram();
+        let bins = game.bins();
+        let balls = game.len() as u64;
+        let average = game.average_load();
+        let max = (hist.len() - 1) as u32;
+
+        // p99 from the histogram: smallest load l such that at least 99% of
+        // bins have load <= l.
+        let threshold = (bins as f64 * 0.99).ceil() as u64;
+        let mut cum = 0u64;
+        let mut p99 = 0u32;
+        for (l, &c) in hist.iter().enumerate() {
+            cum += c;
+            if cum >= threshold {
+                p99 = l as u32;
+                break;
+            }
+        }
+
+        Self {
+            balls,
+            bins,
+            average,
+            max,
+            p99,
+            overhead: max as f64 - average,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::Game;
+    use crate::rule::Rule;
+
+    #[test]
+    fn snapshot_of_empty_game() {
+        let g = Game::new(0, 10, Rule::OneChoice);
+        let s = LoadSnapshot::of(&g);
+        assert_eq!(s.balls, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.average, 0.0);
+    }
+
+    #[test]
+    fn snapshot_counts_match() {
+        let mut g = Game::new(3, 8, Rule::Greedy { d: 2 });
+        for b in 0..80u64 {
+            g.insert(b);
+        }
+        let s = LoadSnapshot::of(&g);
+        assert_eq!(s.balls, 80);
+        assert_eq!(s.bins, 8);
+        assert_eq!(s.average, 10.0);
+        assert!(s.max >= 10); // max >= average always
+        assert!(s.p99 <= s.max);
+        assert!((s.overhead - (s.max as f64 - 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p99_is_max_for_uniform_loads() {
+        // A perfectly balanced game: p99 == max.
+        let mut g = Game::new(1, 1, Rule::OneChoice);
+        for b in 0..5u64 {
+            g.insert(b);
+        }
+        let s = LoadSnapshot::of(&g);
+        assert_eq!(s.p99, 5);
+        assert_eq!(s.max, 5);
+    }
+}

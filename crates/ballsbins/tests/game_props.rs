@@ -1,0 +1,92 @@
+//! Property tests for the dynamic balls-and-bins game.
+
+use atp_ballsbins::{Game, Rule, Tier};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    prop_oneof![
+        Just(Rule::OneChoice),
+        (2u32..5).prop_map(|d| Rule::Greedy { d }),
+        (1u32..8).prop_map(|front_cap| Rule::Iceberg { front_cap }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Load conservation: sum of bin loads == live ball count, front caps
+    /// are never exceeded, and slots are stable while balls live.
+    #[test]
+    fn invariants_under_arbitrary_ops(
+        rule in arb_rule(),
+        bins in 1u64..64,
+        seed in any::<u64>(),
+        ops in prop::collection::vec((0u64..128, prop::bool::ANY), 1..400),
+    ) {
+        let mut game = Game::new(seed, bins, rule);
+        let mut live: HashMap<u64, atp_ballsbins::Slot> = HashMap::new();
+        for (ball, insert) in ops {
+            if insert && !live.contains_key(&ball) {
+                let slot = game.insert(ball);
+                prop_assert!(slot.bin < bins);
+                if let Rule::Iceberg { front_cap } = rule {
+                    if slot.tier == Tier::Front {
+                        prop_assert!(game.front_load(slot.bin) <= front_cap);
+                    }
+                }
+                live.insert(ball, slot);
+            } else if !insert && live.contains_key(&ball) {
+                let expected = live.remove(&ball).unwrap();
+                prop_assert_eq!(game.remove(ball), Some(expected));
+            }
+            // Conservation.
+            let total: u32 = (0..bins).map(|b| game.load(b)).sum();
+            prop_assert_eq!(total as usize, live.len());
+            // Stability of every live ball.
+            for (&b, &s) in &live {
+                prop_assert_eq!(game.slot_of(b), Some(s));
+            }
+        }
+    }
+
+    /// The histogram always sums to the bin count and weights to the ball
+    /// count.
+    #[test]
+    fn histogram_consistency(
+        rule in arb_rule(),
+        bins in 1u64..32,
+        seed in any::<u64>(),
+        balls in 0u64..200,
+    ) {
+        let mut game = Game::new(seed, bins, rule);
+        for b in 0..balls {
+            game.insert(b);
+        }
+        let hist = game.load_histogram();
+        prop_assert_eq!(hist.iter().sum::<u64>(), bins);
+        let weighted: u64 = hist.iter().enumerate().map(|(l, &c)| l as u64 * c).sum();
+        prop_assert_eq!(weighted, balls);
+    }
+
+    /// placement() is a pure prediction of insert(): calling it twice, then
+    /// inserting, yields the same slot.
+    #[test]
+    fn placement_predicts_insert(
+        rule in arb_rule(),
+        bins in 1u64..32,
+        seed in any::<u64>(),
+        balls in prop::collection::vec(0u64..1000, 1..100),
+    ) {
+        let mut game = Game::new(seed, bins, rule);
+        for b in balls {
+            if game.contains(b) {
+                continue;
+            }
+            let p1 = game.placement(b);
+            let p2 = game.placement(b);
+            prop_assert_eq!(p1, p2);
+            prop_assert_eq!(game.insert(b), p1);
+        }
+    }
+}

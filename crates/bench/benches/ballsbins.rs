@@ -1,0 +1,36 @@
+//! Criterion benches for the balls-and-bins substrate: placement-rule
+//! throughput under churn (T-load1/T-load2's engine).
+
+use atp_ballsbins::adversary::{drive, ChurnAdversary};
+use atp_ballsbins::{Game, Rule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const N_BINS: u64 = 1 << 12;
+const LAMBDA: u64 = 16;
+const OPS: u64 = 200_000;
+
+fn bench_rules(c: &mut Criterion) {
+    let rules = [
+        ("one_choice", Rule::OneChoice),
+        ("greedy2", Rule::Greedy { d: 2 }),
+        ("greedy4", Rule::Greedy { d: 4 }),
+        ("iceberg2", Rule::Iceberg { front_cap: 18 }),
+    ];
+    let mut group = c.benchmark_group("ballsbins_churn");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS));
+    for (name, rule) in rules {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rule, |b, &rule| {
+            b.iter(|| {
+                let mut game = Game::new(1, N_BINS, rule);
+                let mut adv = ChurnAdversary::new(2, (N_BINS * LAMBDA) as usize);
+                drive(&mut game, OPS, || adv.next_op());
+                game.max_load()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules);
+criterion_main!(benches);

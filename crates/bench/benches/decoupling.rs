@@ -1,0 +1,99 @@
+//! Criterion benches for the core contribution: allocator placement
+//! throughput, TLB-value encode/decode, and the full decoupled manager's
+//! per-access cost (the "constant-time scheme" claim, measured).
+
+use atp_core::{
+    FullyAssociativeAlloc, IcebergAlloc, OneChoiceAlloc, RamAllocator, SlotCode, TlbValue,
+};
+use atp_memmgmt::decoupled::DecoupledConfig;
+use atp_memmgmt::{DecoupledMm, MemoryManager};
+use atp_replacement::PolicyKind;
+use atp_types::VirtPage;
+use atp_workloads::Zipfian;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const OPS: u64 = 100_000;
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator_churn");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS));
+
+    fn churn<A: RamAllocator>(mut alloc: A, m: u64) -> u64 {
+        let mut placed = std::collections::VecDeque::new();
+        let mut failures = 0;
+        for v in 0..OPS {
+            if placed.len() as u64 >= m {
+                let old: u64 = placed.pop_front().expect("nonempty");
+                alloc.free(VirtPage(old));
+            }
+            if alloc.place(VirtPage(v)).is_err() {
+                failures += 1;
+            }
+            placed.push_back(v);
+        }
+        failures
+    }
+
+    group.bench_function("fully_associative", |b| {
+        b.iter(|| churn(FullyAssociativeAlloc::new(1 << 14), 1 << 13))
+    });
+    group.bench_function("one_choice", |b| {
+        b.iter(|| churn(OneChoiceAlloc::with_geometry(1 << 9, 64, 1), 1 << 13))
+    });
+    group.bench_function("iceberg", |b| {
+        b.iter(|| churn(IcebergAlloc::with_geometry(1 << 10, 12, 6, 1), 1 << 13))
+    });
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_value");
+    group.throughput(Throughput::Elements(1024));
+    for bits in [5u32, 7, 12] {
+        group.bench_with_input(BenchmarkId::new("set_get", bits), &bits, |b, &bits| {
+            let count = (64 / bits).max(1);
+            b.iter(|| {
+                let mut v = TlbValue::new(count, bits);
+                let mut acc = 0u32;
+                for round in 0..1024u32 {
+                    let i = round % count;
+                    v.set(i, SlotCode(round % (1u32 << bits.min(31))));
+                    acc ^= v.get(i).0;
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decoupled_access(c: &mut Criterion) {
+    let trace: Vec<VirtPage> = Zipfian::new(3, 1 << 16, 1.0).take(OPS as usize).collect();
+    let mut group = c.benchmark_group("decoupled_manager");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("zipf_access", |b| {
+        b.iter(|| {
+            let mut z = DecoupledMm::new(
+                IcebergAlloc::with_geometry(1 << 10, 12, 6, 7),
+                DecoupledConfig {
+                    tlb_value_bits: 64,
+                    tlb_entries: 256,
+                    tlb_policy: PolicyKind::Lru,
+                    resident_pages: 12 * (1 << 10),
+                    ram_policy: PolicyKind::Lru,
+                    seed: 7,
+                },
+            );
+            for &p in &trace {
+                z.access(p);
+            }
+            z.costs()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators, bench_encoding, bench_decoupled_access);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches over the Figure-1 pipeline (scaled): simulator
+//! throughput for each workload × manager combination. The *tables* the
+//! paper plots come from the `bin/figure1*` reproducers; these benches
+//! track the library's own performance so regressions in the simulator
+//! show up in `cargo bench`.
+
+use atp_bench::classic_run;
+use atp_core::{IcebergAlloc, IcebergParams};
+use atp_memmgmt::decoupled::DecoupledConfig;
+use atp_memmgmt::{DecoupledMm, MemoryManager};
+use atp_replacement::PolicyKind;
+use atp_types::VirtPage;
+use atp_workloads::{Bimodal, Graph500Config, Graph500Trace, ParetoWalk};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const PHYS: u64 = 1 << 15;
+const N: usize = 200_000;
+
+fn traces() -> Vec<(&'static str, Vec<VirtPage>)> {
+    vec![
+        ("bimodal", Bimodal::scaled(1, PHYS * 4).take(N).collect()),
+        (
+            "pareto_walk",
+            ParetoWalk::new(2, PHYS * 2, 0.01).take(N).collect(),
+        ),
+        ("graph500", {
+            Graph500Trace::generate(&Graph500Config {
+                scale: 14,
+                edge_factor: 16,
+                seed: 3,
+                max_accesses: N,
+            })
+            .iter()
+            .collect()
+        }),
+    ]
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let traces = traces();
+    let mut group = c.benchmark_group("figure1");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    for (name, trace) in &traces {
+        for h in [1u64, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("classic_h{h}"), name),
+                trace,
+                |b, t| {
+                    b.iter(|| classic_run(t, h, PHYS, 256, 0, N as u64));
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("decoupled", name), trace, |b, t| {
+            b.iter(|| {
+                let params = IcebergParams::derive(PHYS);
+                let mut z = DecoupledMm::new(
+                    IcebergAlloc::new(&params, 5),
+                    DecoupledConfig {
+                        tlb_value_bits: 64,
+                        tlb_entries: 256,
+                        tlb_policy: PolicyKind::Lru,
+                        resident_pages: params.max_resident,
+                        ram_policy: PolicyKind::Lru,
+                        seed: 5,
+                    },
+                );
+                for &p in t {
+                    z.access(p);
+                }
+                z.costs()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

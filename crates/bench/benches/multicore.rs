@@ -1,0 +1,37 @@
+//! Criterion benches for the multicore extension (A-shoot ablation):
+//! aggregate throughput and shootdown overhead as core count grows over a
+//! fixed total workload.
+
+use atp_replacement::PolicyKind;
+use atp_sim::{run_multicore, MulticoreConfig};
+use atp_types::VirtPage;
+use atp_workloads::Zipfian;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const TOTAL: usize = 120_000;
+
+fn bench_scaling(c: &mut Criterion) {
+    let whole: Vec<VirtPage> = Zipfian::new(1, 1 << 13, 1.0).take(TOTAL).collect();
+    let mut group = c.benchmark_group("multicore_shootdowns");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TOTAL as u64));
+    for cores in [1usize, 2, 4, 8] {
+        let per = TOTAL / cores;
+        let traces: Vec<Vec<VirtPage>> = whole.chunks(per).take(cores).map(|c| c.to_vec()).collect();
+        let cfg = MulticoreConfig {
+            cores,
+            huge_pages: 4,
+            phys_pages: 1 << 11,
+            tlb_entries: 64,
+            policy: PolicyKind::Lru,
+            seed: 7,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cfg, |b, cfg| {
+            b.iter(|| run_multicore(cfg, &traces).shootdown_invalidations);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

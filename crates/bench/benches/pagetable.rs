@@ -1,0 +1,75 @@
+//! Criterion benches for the page-table substrate (A-ptw ablation): radix
+//! vs hash translation throughput, and the huge-leaf walk shortening.
+
+use atp_pagetable::{HashPageTable, PageTable, RadixPageTable};
+use atp_types::{PhysPage, VirtPage};
+use atp_workloads::Zipfian;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const N: usize = 200_000;
+const SPAN: u64 = 1 << 16;
+
+fn bench_tables(c: &mut Criterion) {
+    let trace: Vec<VirtPage> = Zipfian::new(1, SPAN, 1.0).take(N).collect();
+
+    let mut radix = RadixPageTable::new();
+    let mut hash = HashPageTable::new(2, SPAN);
+    for v in 0..SPAN {
+        radix.map(VirtPage(v), PhysPage(v));
+        hash.map(VirtPage(v), PhysPage(v));
+    }
+    let mut radix_huge = RadixPageTable::new();
+    for i in 0..SPAN / 512 {
+        radix_huge.map_huge(VirtPage(i * 512), 1, PhysPage(i * 512));
+    }
+
+    let mut group = c.benchmark_group("pagetable_translate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("radix_4level", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &trace {
+                acc += radix.translate(v).1.touches;
+            }
+            acc
+        })
+    });
+    group.bench_function("radix_huge_leaves", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &trace {
+                acc += radix_huge.translate(v).1.touches;
+            }
+            acc
+        })
+    });
+    group.bench_function("hash_open_addressing", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &trace {
+                acc += hash.translate(v).1.touches;
+            }
+            acc
+        })
+    });
+    group.bench_function("radix_with_pwc", |b| {
+        use atp_pagetable::CachedWalker;
+        b.iter(|| {
+            let mut table = RadixPageTable::new();
+            for v in 0..SPAN {
+                table.map(VirtPage(v), PhysPage(v));
+            }
+            let mut walker = CachedWalker::new(table, 16);
+            let mut acc = 0u64;
+            for &v in &trace {
+                acc += walker.translate(v).1.touches;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches for the replacement-policy substrate: per-access cost
+//! of each policy on a skewed trace, plus offline OPT.
+
+use atp_replacement::{make_policy, opt::opt_misses, CacheSim, PolicyKind};
+use atp_workloads::Zipfian;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const N: usize = 200_000;
+const CAP: usize = 1 << 10;
+
+fn bench_policies(c: &mut Criterion) {
+    let trace: Vec<u64> = Zipfian::new(1, 1 << 14, 1.0).take(N).map(|p| p.0).collect();
+    let mut group = c.benchmark_group("policy_access");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for kind in PolicyKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut sim = CacheSim::new(CAP, make_policy(kind, CAP, 3));
+                let mut misses = 0u64;
+                for &k in &trace {
+                    misses += u64::from(!sim.access(k).is_hit());
+                }
+                misses
+            });
+        });
+    }
+    group.bench_function("opt_offline", |b| {
+        b.iter(|| opt_misses(&trace, CAP).misses);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

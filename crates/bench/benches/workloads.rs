@@ -1,0 +1,33 @@
+//! Criterion benches for workload generation throughput — trace generation
+//! must never be the bottleneck of a 100 M-access paper-scale run.
+
+use atp_types::VirtPage;
+use atp_workloads::{Bimodal, Gups, ParetoWalk, Sequential, Stencil2d, Zipfian};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const N: usize = 500_000;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_gen");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    fn drain(it: impl Iterator<Item = VirtPage>) -> u64 {
+        it.take(N).map(|p| p.0).fold(0, u64::wrapping_add)
+    }
+
+    group.bench_function("bimodal", |b| b.iter(|| drain(Bimodal::scaled(1, 1 << 20))));
+    group.bench_function("pareto_walk", |b| {
+        b.iter(|| drain(ParetoWalk::new(2, 1 << 20, 0.01)))
+    });
+    group.bench_function("zipf", |b| b.iter(|| drain(Zipfian::new(3, 1 << 20, 1.0))));
+    group.bench_function("gups", |b| b.iter(|| drain(Gups::new(4, 1 << 18, 1 << 8))));
+    group.bench_function("stencil2d", |b| {
+        b.iter(|| drain(Stencil2d::new(1024, 1024, 32)))
+    });
+    group.bench_function("sequential", |b| b.iter(|| drain(Sequential::new(1 << 20))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

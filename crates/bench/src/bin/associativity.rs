@@ -1,0 +1,43 @@
+//! Reproduces **T-assoc1** — Section 4's "difficulty of reducing
+//! associativity" claim: with bin size B = 1 and k = 1 hash function,
+//! inserting P distinct pages into P unit bins leaves ≈ P/e slots unused,
+//! so any no-evict policy incurs ≥ (1/e − δ)P paging failures whp.
+//!
+//! ```sh
+//! cargo run --release -p atp-bench --bin associativity [-- --paper]
+//! ```
+
+use atp_bench::{tsv_header, tsv_row, Scale};
+use atp_core::{OneChoiceAlloc, RamAllocator};
+use atp_sim::sweep;
+use atp_types::VirtPage;
+
+fn main() {
+    let scale = Scale::from_args();
+    let shifts: Vec<u32> = match scale {
+        Scale::Paper => vec![14, 16, 18, 20, 22, 24],
+        Scale::Laptop => vec![12, 14, 16, 18, 20],
+    };
+    println!("# T-assoc1: B=1, k=1; P distinct insertions; failure fraction → 1/e ≈ 0.3679");
+    tsv_header(&["P", "failures", "fraction", "abs_err_vs_1_over_e"]);
+    let rows = sweep(&shifts, 0, |&shift| {
+        let p = 1u64 << shift;
+        let mut alloc = OneChoiceAlloc::with_geometry(p, 1, shift as u64);
+        let mut failures = 0u64;
+        for v in 0..p {
+            if alloc.place(VirtPage(v)).is_err() {
+                failures += 1;
+            }
+        }
+        (p, failures)
+    });
+    for (p, failures) in rows {
+        let frac = failures as f64 / p as f64;
+        tsv_row(&[
+            p.to_string(),
+            failures.to_string(),
+            format!("{frac:.4}"),
+            format!("{:.4}", (frac - (-1.0f64).exp()).abs()),
+        ]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Reproduces **T-cross** — the Section 6 narrative quantified: "there is
+//! no good choice for the huge page size that simultaneously attains low IO
+//! cost and low TLB miss count". For several values of ε we report the
+//! best classic huge-page size against the decoupled family:
+//!
+//! * `Z` — plain decoupling (chunk = 1): page-granular IOs, `hmax` coverage;
+//! * `hybrid(c)` — the Section 8 extension: decoupled entries over
+//!   physically contiguous chunks of `c` pages, coverage `hmax·c` at
+//!   amplification `c` (≪ the `hmax·c` a classic huge page of equal
+//!   coverage would pay).
+//!
+//! The decoupled family needs no per-workload tuning of `h`; the best
+//! chunk is reported alongside the best classic size.
+//!
+//! ```sh
+//! cargo run --release -p atp-bench --bin crossover [-- --paper]
+//! ```
+
+use atp_bench::{classic_run, figure1_sizes, tsv_header, tsv_row, Scale};
+use atp_core::{IcebergAlloc, IcebergParams};
+use atp_memmgmt::decoupled::DecoupledConfig;
+use atp_memmgmt::{DecoupledMm, HybridMm};
+use atp_replacement::PolicyKind;
+use atp_sim::sweep;
+use atp_types::{CostModel, Costs, VirtPage};
+use atp_workloads::{Bimodal, Graph500Config, Graph500Trace, ParetoWalk};
+
+fn decoupled_run(
+    trace: &[VirtPage],
+    phys: u64,
+    chunk: u64,
+    tlb_entries: u64,
+    warmup: u64,
+    measure: u64,
+) -> (String, Costs) {
+    let params = IcebergParams::derive(phys / chunk);
+    let cfg = DecoupledConfig {
+        tlb_value_bits: 64,
+        tlb_entries,
+        tlb_policy: PolicyKind::Lru,
+        resident_pages: params.max_resident,
+        ram_policy: PolicyKind::Lru,
+        seed: 7,
+    };
+    if chunk == 1 {
+        let mut z = DecoupledMm::new(IcebergAlloc::new(&params, 7), cfg);
+        let label = format!("Z(cov={})", z.coverage());
+        (label, atp_sim::run(&mut z, trace.iter().copied(), warmup, measure).costs)
+    } else {
+        let mut z = HybridMm::new(IcebergAlloc::new(&params, 7), cfg, chunk);
+        let label = format!("hybrid(c={chunk},cov={})", z.coverage());
+        (label, atp_sim::run(&mut z, trace.iter().copied(), warmup, measure).costs)
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (phys, n, tlb_entries) = match scale {
+        Scale::Paper => (1u64 << 22, 100_000_000usize, 1536u64),
+        Scale::Laptop => (1u64 << 16, 1_500_000usize, 256u64),
+    };
+    let half = (n / 2) as u64;
+
+    let g = Graph500Trace::generate(&Graph500Config {
+        scale: if scale == Scale::Paper { 22 } else { 16 },
+        edge_factor: 16,
+        seed: 3,
+        max_accesses: n,
+    });
+    let g_phys = (g.touched_pages() * 99 / 100).max(2048);
+    let traces: Vec<(&str, Vec<VirtPage>, u64)> = vec![
+        ("bimodal", Bimodal::scaled(1, phys * 4).take(n).collect(), phys),
+        (
+            "pareto-walk",
+            ParetoWalk::new(2, phys * 2, 0.01).take(n).collect(),
+            phys,
+        ),
+        ("graph500", g.iter().collect(), g_phys),
+    ];
+
+    tsv_header(&[
+        "workload",
+        "epsilon",
+        "best_classic",
+        "classic_cost",
+        "best_decoupled",
+        "decoupled_cost",
+        "ratio",
+    ]);
+
+    for (name, trace, p) in &traces {
+        let measure = n as u64 - half;
+        let sizes = figure1_sizes();
+        let classic_costs: Vec<(u64, Costs)> = sweep(&sizes, 0, |&h| {
+            (h, classic_run(trace, h, *p, tlb_entries, half, measure))
+        });
+        let chunks = [1u64, 2, 4, 8];
+        let decoupled_costs: Vec<(String, Costs)> = sweep(&chunks, 0, |&c| {
+            decoupled_run(trace, *p, c, tlb_entries, half, measure)
+        });
+
+        for &eps in &[0.001f64, 0.01, 0.1] {
+            let model = CostModel::new(eps);
+            let (best_h, classic_cost) = classic_costs
+                .iter()
+                .map(|(h, c)| (*h, c.total(model)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("nonempty");
+            let (best_d, dec_cost) = decoupled_costs
+                .iter()
+                .map(|(l, c)| (l.clone(), c.total(model)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("nonempty");
+            tsv_row(&[
+                name.to_string(),
+                eps.to_string(),
+                format!("h={best_h}"),
+                format!("{classic_cost:.1}"),
+                best_d,
+                format!("{dec_cost:.1}"),
+                format!("{:.2}", dec_cost / classic_cost),
+            ]);
+        }
+    }
+    println!("# ratio < 1: the untuned decoupled family beats the best-tuned classic h.");
+    println!("# note Z runs with (1−δ)P resident pages (δ_eff ≈ 0.6 at laptop scale) while");
+    println!("# classic enjoys all of P — the asymptotic δ = o(1) closes this gap as P grows.");
+}

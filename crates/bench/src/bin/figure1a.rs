@@ -1,0 +1,28 @@
+//! Reproduces **Figure 1a**: the bimodal uniform workload.
+//!
+//! Paper configuration: 99.99% of accesses uniform in a 1 GB hot region of
+//! a 64 GB virtual address space; 16 GB cache; 1536-entry TLB; 100 M warmup
+//! accesses + 100 M measured; huge-page size swept over 2^0..2^10.
+//!
+//! ```sh
+//! cargo run --release -p atp-bench --bin figure1a          # laptop scale
+//! cargo run --release -p atp-bench --bin figure1a -- --paper
+//! ```
+
+use atp_bench::{figure1_table, Scale};
+use atp_types::VirtPage;
+use atp_workloads::Bimodal;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (total_pages, hot_pages, phys, tlb, warmup, measure) = match scale {
+        // 64 GB VA / 1 GB hot / 16 GB cache, 100M + 100M.
+        Scale::Paper => (1u64 << 24, 1u64 << 18, 1u64 << 22, 1536, 100_000_000, 100_000_000),
+        // Same ratios (64:1 VA:hot, 4:1 VA:cache), 1M + 1M accesses.
+        Scale::Laptop => (1u64 << 19, 1u64 << 13, 1u64 << 17, 1536, 1_000_000, 1_000_000),
+    };
+    let trace: Vec<VirtPage> = Bimodal::new(1, total_pages, hot_pages, 0.9999)
+        .take((warmup + measure) as usize)
+        .collect();
+    figure1_table("Figure 1a (bimodal uniform)", &trace, phys, tlb, warmup, measure);
+}

@@ -1,0 +1,28 @@
+//! Reproduces **Figure 1b**: the Pareto random graph walk.
+//!
+//! Paper configuration: 64 GB virtual address space, 32 GB cache, nodes
+//! with logarithmic out-degree, edge destinations Pareto(α = 0.01);
+//! 1536-entry TLB; 100 M + 100 M accesses.
+//!
+//! ```sh
+//! cargo run --release -p atp-bench --bin figure1b          # laptop scale
+//! cargo run --release -p atp-bench --bin figure1b -- --paper
+//! ```
+
+use atp_bench::{figure1_table, Scale};
+use atp_types::VirtPage;
+use atp_workloads::ParetoWalk;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (total_pages, phys, tlb, warmup, measure) = match scale {
+        // 64 GB VA / 32 GB cache.
+        Scale::Paper => (1u64 << 24, 1u64 << 23, 1536, 100_000_000, 100_000_000),
+        // Same 2:1 ratio.
+        Scale::Laptop => (1u64 << 18, 1u64 << 17, 1536, 1_000_000, 1_000_000),
+    };
+    let trace: Vec<VirtPage> = ParetoWalk::new(2, total_pages, 0.01)
+        .take((warmup + measure) as usize)
+        .collect();
+    figure1_table("Figure 1b (Pareto random walk)", &trace, phys, tlb, warmup, measure);
+}

@@ -1,0 +1,49 @@
+//! Reproduces **Figure 1c**: the graph500 BFS trace.
+//!
+//! The paper replays ~5 M recorded accesses from a real graph500 run
+//! (60 GB footprint, ~525 MB touched, 520 MB cache). We generate the trace
+//! from an R-MAT graph + instrumented BFS (DESIGN.md "Substitutions") and
+//! set the cache to 99% of the touched set, preserving the paper's
+//! just-below-working-set pressure.
+//!
+//! ```sh
+//! cargo run --release -p atp-bench --bin figure1c          # laptop scale
+//! cargo run --release -p atp-bench --bin figure1c -- --paper
+//! ```
+
+use atp_bench::{figure1_table, Scale};
+use atp_types::VirtPage;
+use atp_workloads::{Graph500Config, Graph500Trace};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (g500_scale, max_accesses) = match scale {
+        // Scale 22 ≈ 4M vertices, 5M-access trace like the paper's.
+        Scale::Paper => (22u32, 5_000_000usize),
+        Scale::Laptop => (16u32, 2_000_000usize),
+    };
+    let g = Graph500Trace::generate(&Graph500Config {
+        scale: g500_scale,
+        edge_factor: 16,
+        seed: 3,
+        max_accesses,
+    });
+    eprintln!(
+        "# graph500: {} vertices, {} edges, {} accesses, {} touched pages",
+        g.vertices(),
+        g.edges(),
+        g.pages().len(),
+        g.touched_pages()
+    );
+    let trace: Vec<VirtPage> = g.iter().collect();
+    let phys = (g.touched_pages() * 99 / 100).max(2048);
+    let half = trace.len() as u64 / 2;
+    figure1_table(
+        "Figure 1c (graph500 BFS)",
+        &trace,
+        phys,
+        1536,
+        half,
+        trace.len() as u64 - half,
+    );
+}

@@ -1,0 +1,95 @@
+//! Reproduces **T-thm4** — the Simulation Theorem (eq. 7) on all three
+//! Figure-1 workloads: `C(Z) ≤ C_TLB(X) + C_IO(Y) + n/poly(P)`, with the
+//! failure term measured.
+//!
+//! ```sh
+//! cargo run --release -p atp-bench --bin simulation_theorem [-- --paper]
+//! ```
+
+use atp_bench::{tsv_header, tsv_row, Scale};
+use atp_core::{IcebergAlloc, IcebergParams};
+use atp_memmgmt::decoupled::DecoupledConfig;
+use atp_memmgmt::{DecoupledMm, MemoryManager, PagingOnlyMm, VirtualOnlyMm};
+use atp_replacement::PolicyKind;
+use atp_types::{CostModel, VirtPage};
+use atp_workloads::{Bimodal, Graph500Config, Graph500Trace, ParetoWalk};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (phys, n, tlb_entries) = match scale {
+        Scale::Paper => (1u64 << 22, 100_000_000usize, 1536u64),
+        Scale::Laptop => (1u64 << 16, 2_000_000usize, 256u64),
+    };
+    let model = CostModel::new(0.01);
+    let params = IcebergParams::derive(phys);
+
+    let traces: Vec<(&str, Vec<VirtPage>)> = vec![
+        (
+            "bimodal",
+            Bimodal::scaled(1, phys * 4).take(n).collect(),
+        ),
+        (
+            "pareto-walk",
+            ParetoWalk::new(2, phys * 2, 0.01).take(n).collect(),
+        ),
+        ("graph500", {
+            let g = Graph500Trace::generate(&Graph500Config {
+                scale: if scale == Scale::Paper { 22 } else { 16 },
+                edge_factor: 16,
+                seed: 3,
+                max_accesses: n,
+            });
+            g.iter().collect()
+        }),
+    ];
+
+    println!(
+        "# T-thm4: ε = {}, P = {phys}, m = {} (δ_eff = {:.3}), ℓ = {tlb_entries}",
+        model.epsilon, params.max_resident, params.delta_eff
+    );
+    tsv_header(&[
+        "workload",
+        "C(Z)",
+        "C_TLB(X)",
+        "C_IO(Y)",
+        "X+Y",
+        "slack_used",
+        "failures",
+        "holds",
+    ]);
+
+    for (name, trace) in &traces {
+        let mut z = DecoupledMm::new(
+            IcebergAlloc::new(&params, 11),
+            DecoupledConfig {
+                tlb_value_bits: 64,
+                tlb_entries,
+                tlb_policy: PolicyKind::Lru,
+                resident_pages: params.max_resident,
+                ram_policy: PolicyKind::Lru,
+                seed: 11,
+            },
+        );
+        let hmax = z.coverage();
+        let mut x = VirtualOnlyMm::new(hmax, tlb_entries, PolicyKind::Lru, 11);
+        let mut y = PagingOnlyMm::new(params.max_resident, PolicyKind::Lru, 11);
+        for &p in trace {
+            z.access(p);
+            x.access(p);
+            y.access(p);
+        }
+        let (cz, cx, cy) = (z.costs(), x.costs(), y.costs());
+        let lhs = cz.total(model);
+        let rhs = cx.tlb_cost(model) + cy.io_cost();
+        tsv_row(&[
+            name.to_string(),
+            format!("{lhs:.1}"),
+            format!("{:.1}", cx.tlb_cost(model)),
+            format!("{:.1}", cy.io_cost()),
+            format!("{rhs:.1}"),
+            format!("{:.1}", (lhs - rhs).max(0.0)),
+            cz.paging_failures.to_string(),
+            (lhs <= rhs + trace.len() as f64 / phys as f64).to_string(),
+        ]);
+    }
+}

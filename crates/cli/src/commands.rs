@@ -1,0 +1,436 @@
+//! Subcommand implementations.
+
+use crate::args::{parse_u64, ArgError, Args};
+use atp_core::{IcebergAlloc, IcebergParams};
+use atp_memmgmt::classic::{ClassicConfig, ClassicMm};
+use atp_memmgmt::decoupled::DecoupledConfig;
+use atp_memmgmt::sparse::{SparseConfig, SparseDecoupledMm};
+use atp_memmgmt::thp::{ThpConfig, ThpMm};
+use atp_memmgmt::{DecoupledMm, MemoryManager, PagingOnlyMm, VirtualOnlyMm};
+use atp_replacement::PolicyKind;
+use atp_sim::LatencyModel;
+use atp_trace::{read_trace, write_trace, ReuseProfile, TraceStats};
+use atp_types::{CostModel, VirtPage};
+use atp_workloads::{
+    Bimodal, Graph500Config, Graph500Trace, Gups, ParetoWalk, Sequential, Stencil2d,
+    UniformRandom, Zipfian,
+};
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+atp — Paging and the Address-Translation Problem (SPAA 2021) simulator
+
+USAGE:
+  atp simulate  --workload W --manager M [options]   run one simulation
+  atp sweep     --workload W [options]               Figure-1 h-sweep
+  atp trace     record|stats|mrc …                   trace tools
+  atp calibrate [--device nvme|disk] [--virtualized] derive ε
+  atp help                                           this text
+
+WORKLOADS (--workload):
+  bimodal | walk | graph500 | zipf | uniform | seq | gups | stencil
+MANAGERS (--manager):
+  classic | decoupled | sparse | thp | x | y
+  (sparse: decoupled Z with sparse TLB values; --h sets the coverage in pages/entry)
+
+COMMON OPTIONS (sizes accept k/m/g suffixes and 2^n):
+  --phys N        physical pages            [2^16]
+  --virt N        virtual pages             [4×phys]
+  --tlb N         TLB entries               [1536]
+  --h N           huge-page size (classic/thp) [64]
+  --accesses N    measured accesses         [1m]
+  --warmup N      warmup accesses           [accesses]
+  --epsilon F     TLB-miss cost ε           [0.01]
+  --policy P      lru|fifo|clock|…          [lru]
+  --seed N        RNG seed                  [42]
+
+TRACE TOOLS:
+  atp trace record --workload W --out FILE --accesses N [--phys N …]
+  atp trace stats FILE
+  atp trace mrc FILE [--capacities 1k,4k,16k,…]
+";
+
+fn policy_of(name: &str) -> Result<PolicyKind, ArgError> {
+    PolicyKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| ArgError(format!("unknown policy {name:?}")))
+}
+
+/// Builds a workload iterator from args.
+fn workload(args: &Args, virt: u64, seed: u64) -> Result<Box<dyn Iterator<Item = VirtPage>>, ArgError> {
+    Ok(match args.get_or("workload", "bimodal") {
+        "bimodal" => Box::new(Bimodal::scaled(seed, virt)),
+        "walk" => Box::new(ParetoWalk::new(seed, virt, 0.01)),
+        "zipf" => Box::new(Zipfian::new(seed, virt, args.f64_or("zipf-s", 1.0)?)),
+        "uniform" => Box::new(UniformRandom::new(seed, virt)),
+        "seq" => Box::new(Sequential::new(virt)),
+        "gups" => Box::new(Gups::new(seed, virt * 3 / 4, (virt / 64).max(1))),
+        "stencil" => {
+            // Square grid sized so both arrays fill the virtual space.
+            let cells = virt * (4096 / 8) / 2;
+            let side = ((cells as f64).sqrt() as u64).max(8);
+            Box::new(Stencil2d::new(side, side, 32))
+        }
+        "graph500" => {
+            let scale = args.u64_or("graph-scale", 15)? as u32;
+            let g = Graph500Trace::generate(&Graph500Config {
+                scale,
+                edge_factor: args.u64_or("edge-factor", 16)?,
+                seed,
+                max_accesses: usize::MAX >> 1,
+            });
+            let v: Vec<VirtPage> = g.iter().collect();
+            Box::new(v.into_iter())
+        }
+        other => return Err(ArgError(format!("unknown workload {other:?}"))),
+    })
+}
+
+struct Common {
+    phys: u64,
+    virt: u64,
+    tlb: u64,
+    h: u64,
+    accesses: u64,
+    warmup: u64,
+    model: CostModel,
+    policy: PolicyKind,
+    seed: u64,
+}
+
+fn common(args: &Args) -> Result<Common, ArgError> {
+    let phys = args.u64_or("phys", 1 << 16)?;
+    let virt = args.u64_or("virt", phys * 4)?;
+    let accesses = args.u64_or("accesses", 1 << 20)?;
+    let eps = args.f64_or("epsilon", 0.01)?;
+    if !(eps > 0.0 && eps < 1.0) {
+        return Err(ArgError(format!("--epsilon must be in (0,1), got {eps}")));
+    }
+    Ok(Common {
+        phys,
+        virt,
+        tlb: args.u64_or("tlb", 1536)?,
+        h: args.u64_or("h", 64)?,
+        accesses,
+        warmup: args.u64_or("warmup", accesses)?,
+        model: CostModel::new(eps),
+        policy: policy_of(args.get_or("policy", "lru"))?,
+        seed: args.u64_or("seed", 42)?,
+    })
+}
+
+fn build_manager(name: &str, c: &Common) -> Result<Box<dyn MemoryManager>, ArgError> {
+    Ok(match name {
+        "classic" => Box::new(ClassicMm::new(ClassicConfig {
+            huge_pages: c.h,
+            phys_pages: c.phys,
+            tlb_entries: c.tlb,
+            tlb_policy: c.policy,
+            ram_policy: c.policy,
+            seed: c.seed,
+        })),
+        "decoupled" => {
+            let params = IcebergParams::derive(c.phys);
+            Box::new(DecoupledMm::new(
+                IcebergAlloc::new(&params, c.seed),
+                DecoupledConfig {
+                    tlb_value_bits: 64,
+                    tlb_entries: c.tlb,
+                    tlb_policy: c.policy,
+                    resident_pages: params.max_resident,
+                    ram_policy: c.policy,
+                    seed: c.seed,
+                },
+            ))
+        }
+        "sparse" => {
+            let params = IcebergParams::derive(c.phys);
+            Box::new(SparseDecoupledMm::new(
+                IcebergAlloc::new(&params, c.seed),
+                SparseConfig {
+                    tlb_value_bits: 64,
+                    coverage: c.h.max(2).next_power_of_two(),
+                    tlb_entries: c.tlb,
+                    tlb_policy: c.policy,
+                    resident_pages: params.max_resident,
+                    ram_policy: c.policy,
+                    seed: c.seed,
+                },
+            ))
+        }
+        "thp" => Box::new(ThpMm::new(ThpConfig {
+            huge_pages: c.h,
+            phys_pages: c.phys - c.phys % c.h,
+            tlb_entries: c.tlb,
+            policy: c.policy,
+            seed: c.seed,
+        })),
+        "x" => Box::new(VirtualOnlyMm::new(c.h, c.tlb, c.policy, c.seed)),
+        "y" => Box::new(PagingOnlyMm::new(c.phys, c.policy, c.seed)),
+        other => return Err(ArgError(format!("unknown manager {other:?}"))),
+    })
+}
+
+/// `atp simulate`.
+pub fn simulate(raw: &[String]) -> Result<(), ArgError> {
+    let args = Args::parse(raw, &[])?;
+    let c = common(&args)?;
+    let mut mgr = build_manager(args.get_or("manager", "classic"), &c)?;
+    let trace = workload(&args, c.virt, c.seed)?;
+    let stats = atp_sim::run(mgr.as_mut(), trace, c.warmup, c.accesses);
+    let costs = stats.costs;
+    println!("manager:        {}", stats.name);
+    println!("accesses:       {}", costs.accesses);
+    println!("ios:            {}", costs.ios);
+    println!("tlb misses:     {} ({:.4} per access)", costs.tlb_misses, costs.tlb_miss_rate());
+    println!("decode misses:  {}", costs.decode_misses);
+    println!("paging failures:{}", costs.paging_failures);
+    println!(
+        "total cost:     {:.2}  (ε = {}; C_IO {:.1} + C_TLB {:.2} + C_D {:.2})",
+        costs.total(c.model),
+        c.model.epsilon,
+        costs.io_cost(),
+        costs.tlb_cost(c.model),
+        costs.decode_cost(c.model)
+    );
+    println!("wall time:      {:.2?}", stats.elapsed);
+    Ok(())
+}
+
+/// `atp sweep`.
+pub fn sweep_cmd(raw: &[String]) -> Result<(), ArgError> {
+    let args = Args::parse(raw, &[])?;
+    let c = common(&args)?;
+    let trace: Vec<VirtPage> = workload(&args, c.virt, c.seed)?
+        .take((c.warmup + c.accesses) as usize)
+        .collect();
+    println!("h\tios\ttlb_misses\ttotal(ε={})", c.model.epsilon);
+    for shift in 0..=10u32 {
+        let h = 1u64 << shift;
+        if h > c.phys {
+            break;
+        }
+        let mut m = ClassicMm::new(ClassicConfig {
+            huge_pages: h,
+            phys_pages: c.phys,
+            tlb_entries: c.tlb,
+            tlb_policy: c.policy,
+            ram_policy: c.policy,
+            seed: c.seed,
+        });
+        let s = atp_sim::run(&mut m, trace.iter().copied(), c.warmup, c.accesses);
+        println!(
+            "{h}\t{}\t{}\t{:.1}",
+            s.costs.ios,
+            s.costs.tlb_misses,
+            s.costs.total(c.model)
+        );
+    }
+    let mut z = build_manager("decoupled", &c)?;
+    let s = atp_sim::run(z.as_mut(), trace.iter().copied(), c.warmup, c.accesses);
+    println!(
+        "Z\t{}\t{}\t{:.1}",
+        s.costs.ios,
+        s.costs.tlb_misses,
+        s.costs.total(c.model)
+    );
+    Ok(())
+}
+
+/// `atp trace record|stats|mrc`.
+pub fn trace_cmd(raw: &[String]) -> Result<(), ArgError> {
+    let sub = raw
+        .first()
+        .ok_or_else(|| ArgError("trace expects record|stats|mrc".into()))?
+        .clone();
+    let rest = &raw[1..];
+    match sub.as_str() {
+        "record" => {
+            let args = Args::parse(rest, &[])?;
+            let c = common(&args)?;
+            let out = args
+                .get("out")
+                .ok_or_else(|| ArgError("trace record requires --out FILE".into()))?;
+            let pages: Vec<VirtPage> = workload(&args, c.virt, c.seed)?
+                .take(c.accesses as usize)
+                .collect();
+            write_trace(Path::new(out), &pages)
+                .map_err(|e| ArgError(format!("write failed: {e}")))?;
+            println!("wrote {} accesses to {out}", pages.len());
+            Ok(())
+        }
+        "stats" => {
+            let args = Args::parse(rest, &[])?;
+            let file = args
+                .positional(0)
+                .ok_or_else(|| ArgError("trace stats requires a FILE".into()))?;
+            let pages =
+                read_trace(Path::new(file)).map_err(|e| ArgError(format!("read failed: {e}")))?;
+            let s = TraceStats::compute(&pages);
+            println!("accesses:      {}", s.length);
+            println!("unique pages:  {}", s.unique_pages);
+            println!("page range:    {}..={}", s.min_page, s.max_page);
+            println!("same-page rate:{:.4}", s.same_page_rate);
+            println!("adjacent rate: {:.4}", s.adjacent_rate);
+            println!("mean reuse:    {:.2}", s.mean_reuse);
+            Ok(())
+        }
+        "mrc" => {
+            let args = Args::parse(rest, &[])?;
+            let file = args
+                .positional(0)
+                .ok_or_else(|| ArgError("trace mrc requires a FILE".into()))?;
+            let pages =
+                read_trace(Path::new(file)).map_err(|e| ArgError(format!("read failed: {e}")))?;
+            let caps: Vec<usize> = match args.get("capacities") {
+                Some(spec) => spec
+                    .split(',')
+                    .map(|s| parse_u64(s).map(|v| v as usize))
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| ArgError("bad --capacities list".into()))?,
+                None => (4..=20).map(|s| 1usize << s).collect(),
+            };
+            let max_cap = caps.iter().copied().max().unwrap_or(1024);
+            let prof = ReuseProfile::compute(&pages, max_cap);
+            println!("capacity\tlru_misses\tmiss_ratio");
+            for (c, ratio) in prof.curve(&caps) {
+                println!("{c}\t{}\t{ratio:.4}", prof.lru_misses(c));
+            }
+            println!("# cold misses: {}", prof.cold_misses);
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown trace subcommand {other:?}"))),
+    }
+}
+
+/// `atp calibrate`.
+pub fn calibrate(raw: &[String]) -> Result<(), ArgError> {
+    let args = Args::parse(raw, &["virtualized"])?;
+    let device = args.get_or("device", "nvme");
+    let mut m = match device {
+        "nvme" => LatencyModel::nvme_native(),
+        "disk" => LatencyModel::disk_native(),
+        other => return Err(ArgError(format!("unknown device {other:?} (nvme|disk)"))),
+    };
+    if args.flag("virtualized") {
+        m.walk_touches = 24.0;
+    }
+    m.walk_touch_ns = args.f64_or("walk-ns", m.walk_touch_ns)?;
+    m.io_ns = args.f64_or("io-ns", m.io_ns)?;
+    println!(
+        "walk: {} touches × {} ns; io: {} ns",
+        m.walk_touches, m.walk_touch_ns, m.io_ns
+    );
+    println!("ε = {:.6}", m.epsilon());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn simulate_runs_every_manager() {
+        for mgr in ["classic", "decoupled", "sparse", "thp", "x", "y"] {
+            simulate(&argv(&[
+                "--manager", mgr, "--workload", "zipf", "--phys", "2^12", "--accesses", "10k",
+                "--warmup", "10k", "--h", "8",
+            ]))
+            .unwrap_or_else(|e| panic!("{mgr}: {e}"));
+        }
+    }
+
+    #[test]
+    fn simulate_runs_every_workload() {
+        for w in ["bimodal", "walk", "zipf", "uniform", "seq", "gups", "stencil"] {
+            simulate(&argv(&[
+                "--manager", "classic", "--workload", w, "--phys", "2^12", "--accesses", "5k",
+                "--warmup", "0", "--h", "4",
+            ]))
+            .unwrap_or_else(|e| panic!("{w}: {e}"));
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_bad_input() {
+        assert!(simulate(&argv(&["--manager", "nope"])).is_err());
+        assert!(simulate(&argv(&["--workload", "nope"])).is_err());
+        assert!(simulate(&argv(&["--epsilon", "2.0"])).is_err());
+        assert!(simulate(&argv(&["--policy", "nope"])).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_small() {
+        sweep_cmd(&argv(&[
+            "--workload", "uniform", "--phys", "2^10", "--accesses", "5k", "--warmup", "5k",
+            "--tlb", "64",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn trace_roundtrip_via_cli() {
+        let dir = std::env::temp_dir().join("atp_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("t.atpt");
+        let file_s = file.to_str().unwrap();
+        trace_cmd(&argv(&[
+            "record", "--workload", "zipf", "--out", file_s, "--accesses", "5k", "--phys",
+            "2^12",
+        ]))
+        .unwrap();
+        trace_cmd(&argv(&["stats", file_s])).unwrap();
+        trace_cmd(&argv(&["mrc", file_s, "--capacities", "16,256,1k"])).unwrap();
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn trace_requires_subcommand_and_file() {
+        assert!(trace_cmd(&[]).is_err());
+        assert!(trace_cmd(&argv(&["stats"])).is_err());
+        assert!(trace_cmd(&argv(&["record", "--workload", "zipf"])).is_err());
+        assert!(trace_cmd(&argv(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn calibrate_devices() {
+        calibrate(&argv(&[])).unwrap();
+        calibrate(&argv(&["--device", "disk"])).unwrap();
+        calibrate(&argv(&["--device", "nvme", "--virtualized"])).unwrap();
+        assert!(calibrate(&argv(&["--device", "floppy"])).is_err());
+    }
+
+    #[test]
+    fn run_dispatches() {
+        assert_eq!(crate::run(&argv(&["help"])), 0);
+        assert_eq!(crate::run(&argv(&["bogus"])), 2);
+        assert_eq!(crate::run(&[]), 2);
+    }
+
+    #[test]
+    fn graph500_workload_via_cli() {
+        simulate(&argv(&[
+            "--manager",
+            "classic",
+            "--workload",
+            "graph500",
+            "--graph-scale",
+            "10",
+            "--phys",
+            "2^12",
+            "--accesses",
+            "20k",
+            "--warmup",
+            "0",
+            "--h",
+            "4",
+        ]))
+        .unwrap();
+    }
+}

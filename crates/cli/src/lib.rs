@@ -1,0 +1,51 @@
+//! The `atp` command-line tool.
+//!
+//! Subcommands (see `atp help`):
+//!
+//! * `simulate` — run one workload against one memory manager and print the
+//!   address-translation cost breakdown;
+//! * `sweep` — the Figure-1 huge-page-size sweep on any workload;
+//! * `trace record|stats|mrc` — capture workloads to the binary trace
+//!   format, summarize them, and compute LRU miss-ratio curves;
+//! * `calibrate` — derive ε from device/walk latency assumptions.
+//!
+//! All logic lives in this library crate so it is unit-testable; `main` is
+//! a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, ArgError};
+
+/// Entry point: dispatches `argv[1]` as a subcommand. Returns the process
+/// exit code.
+pub fn run(argv: &[String]) -> i32 {
+    let Some(cmd) = argv.first().map(String::as_str) else {
+        eprintln!("{}", commands::USAGE);
+        return 2;
+    };
+    let rest = &argv[1..];
+    let result = match cmd {
+        "simulate" => commands::simulate(rest),
+        "sweep" => commands::sweep_cmd(rest),
+        "trace" => commands::trace_cmd(rest),
+        "calibrate" => commands::calibrate(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(ArgError(format!(
+            "unknown subcommand {other:?}; try `atp help`"
+        ))),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The fully associative baseline allocator.
+//!
+//! Any page can occupy any frame, so codes must name the frame outright:
+//! `⌈log₂(P+1)⌉` bits. This is what a conventional TLB entry stores, and it
+//! caps `hmax` at `Θ(w / log P)` — the baseline the paper improves on.
+
+use super::{PagingFailure, Placement, RamAllocator};
+use crate::encoding::SlotCode;
+use crate::params::bits_for;
+use atp_hash::FxHashMap;
+use atp_types::{PhysPage, VirtPage};
+
+/// Free-list allocator over `P` frames.
+#[derive(Clone, Debug)]
+pub struct FullyAssociativeAlloc {
+    free: Vec<u64>,
+    placed: FxHashMap<VirtPage, PhysPage>,
+    phys_pages: u64,
+    bits: u32,
+}
+
+impl FullyAssociativeAlloc {
+    /// Creates an allocator over `phys_pages` frames.
+    ///
+    /// # Panics
+    /// Panics if `phys_pages == 0` or exceeds `u32::MAX − 1` (codes are u32).
+    pub fn new(phys_pages: u64) -> Self {
+        assert!(phys_pages > 0, "phys_pages must be nonzero");
+        assert!(
+            phys_pages < u32::MAX as u64,
+            "fully associative codes are limited to u32 frames"
+        );
+        Self {
+            free: (0..phys_pages).rev().collect(),
+            placed: FxHashMap::default(),
+            phys_pages,
+            bits: bits_for(phys_pages + 1),
+        }
+    }
+}
+
+impl RamAllocator for FullyAssociativeAlloc {
+    fn place(&mut self, v: VirtPage) -> Result<Placement, PagingFailure> {
+        assert!(!self.placed.contains_key(&v), "page {v:?} double-placed");
+        match self.free.pop() {
+            Some(frame) => {
+                let frame = PhysPage(frame);
+                self.placed.insert(v, frame);
+                Ok(Placement {
+                    frame,
+                    code: SlotCode(frame.0 as u32 + 1),
+                })
+            }
+            None => Err(PagingFailure { page: v }),
+        }
+    }
+
+    fn free(&mut self, v: VirtPage) -> Option<PhysPage> {
+        let frame = self.placed.remove(&v)?;
+        self.free.push(frame.0);
+        Some(frame)
+    }
+
+    fn frame_of(&self, v: VirtPage) -> Option<PhysPage> {
+        self.placed.get(&v).copied()
+    }
+
+    fn code_of(&self, v: VirtPage) -> SlotCode {
+        self.placed
+            .get(&v)
+            .map_or(SlotCode::ABSENT, |f| SlotCode(f.0 as u32 + 1))
+    }
+
+    fn decode(&self, _v: VirtPage, code: SlotCode) -> Option<PhysPage> {
+        if code.is_absent() || code.0 as u64 > self.phys_pages {
+            None
+        } else {
+            Some(PhysPage(code.0 as u64 - 1))
+        }
+    }
+
+    fn bits_per_code(&self) -> u32 {
+        self.bits
+    }
+
+    fn phys_pages(&self) -> u64 {
+        self.phys_pages
+    }
+
+    fn resident(&self) -> u64 {
+        self.placed.len() as u64
+    }
+
+    fn associativity(&self) -> u64 {
+        self.phys_pages
+    }
+
+    fn iter_placed(&self) -> Box<dyn Iterator<Item = (VirtPage, PhysPage)> + '_> {
+        Box::new(self.placed.iter().map(|(&v, &f)| (v, f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::contract::churn_contract;
+
+    #[test]
+    fn contract_holds() {
+        churn_contract(FullyAssociativeAlloc::new(64), 1000, 48, 5000);
+    }
+
+    #[test]
+    fn fails_only_when_truly_full() {
+        let mut a = FullyAssociativeAlloc::new(4);
+        for v in 0..4u64 {
+            a.place(VirtPage(v)).expect("fits");
+        }
+        assert!(a.place(VirtPage(99)).is_err());
+        a.free(VirtPage(0));
+        assert!(a.place(VirtPage(99)).is_ok());
+    }
+
+    #[test]
+    fn bits_match_frame_count() {
+        assert_eq!(FullyAssociativeAlloc::new(255).bits_per_code(), 8);
+        assert_eq!(FullyAssociativeAlloc::new(256).bits_per_code(), 9);
+    }
+
+    #[test]
+    fn decode_is_frame_plus_one() {
+        let mut a = FullyAssociativeAlloc::new(8);
+        let p = a.place(VirtPage(5)).unwrap();
+        assert_eq!(a.decode(VirtPage(5), p.code), Some(p.frame));
+        assert_eq!(a.decode(VirtPage(5), SlotCode::ABSENT), None);
+        assert_eq!(a.decode(VirtPage(5), SlotCode(9)), None, "out of range");
+    }
+
+    #[test]
+    #[should_panic(expected = "double-placed")]
+    fn double_place_panics() {
+        let mut a = FullyAssociativeAlloc::new(8);
+        a.place(VirtPage(1)).unwrap();
+        let _ = a.place(VirtPage(1));
+    }
+}

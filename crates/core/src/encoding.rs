@@ -1,0 +1,211 @@
+//! Compact TLB-value encoding: ψ(u) as a bit-packed array of slot codes.
+//!
+//! A `w`-bit TLB value is treated as an array of `hmax` fixed-width codes
+//! (`a_1, …, a_hmax` in the proof of Theorem 1). Code 0 means "not
+//! resident" (the decoding function's `−1`); nonzero codes name a slot
+//! within the page's hashed bin(s), interpreted by the allocator.
+//!
+//! [`TlbValue`] is the packed bit vector; it is the *only* state a TLB entry
+//! carries, so its size is checked against `w` at construction.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-page slot code. `0` = not resident; the allocator defines the
+/// meaning of nonzero values (see each allocator's `decode`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SlotCode(pub u32);
+
+impl SlotCode {
+    /// The "not resident" code (eq. 4's `−1`).
+    pub const ABSENT: SlotCode = SlotCode(0);
+
+    /// Whether this code marks the page as absent.
+    #[inline]
+    pub const fn is_absent(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A `w`-bit TLB value: `hmax` codes of `bits` bits, little-endian packed
+/// into 64-bit words.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbValue {
+    words: Vec<u64>,
+    bits: u32,
+    count: u32,
+}
+
+impl TlbValue {
+    /// Creates an all-absent value holding `count` codes of `bits` bits.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or > 32, or `count` is 0.
+    pub fn new(count: u32, bits: u32) -> Self {
+        assert!((1..=32).contains(&bits), "code width must be 1..=32 bits");
+        assert!(count > 0, "value must hold at least one code");
+        let total_bits = count as usize * bits as usize;
+        Self {
+            words: vec![0; total_bits.div_ceil(64)],
+            bits,
+            count,
+        }
+    }
+
+    /// Total size in bits (must be ≤ w; checked by the scheme).
+    #[inline]
+    pub fn size_bits(&self) -> u32 {
+        self.count * self.bits
+    }
+
+    /// Number of codes.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Width of each code in bits.
+    #[inline]
+    pub fn code_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Reads code `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= count`.
+    pub fn get(&self, i: u32) -> SlotCode {
+        assert!(i < self.count, "code index {i} out of range");
+        let bit = i as usize * self.bits as usize;
+        let (word, off) = (bit / 64, (bit % 64) as u32);
+        let mask = if self.bits == 32 { u32::MAX as u64 } else { (1u64 << self.bits) - 1 };
+        let lo = self.words[word] >> off;
+        let val = if off + self.bits <= 64 {
+            lo & mask
+        } else {
+            let hi = self.words[word + 1] << (64 - off);
+            (lo | hi) & mask
+        };
+        SlotCode(val as u32)
+    }
+
+    /// Writes code `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= count` or the code does not fit in `bits` bits.
+    pub fn set(&mut self, i: u32, code: SlotCode) {
+        assert!(i < self.count, "code index {i} out of range");
+        let mask = if self.bits == 32 { u32::MAX as u64 } else { (1u64 << self.bits) - 1 };
+        assert!(
+            (code.0 as u64) <= mask,
+            "code {} does not fit in {} bits",
+            code.0,
+            self.bits
+        );
+        let bit = i as usize * self.bits as usize;
+        let (word, off) = (bit / 64, (bit % 64) as u32);
+        self.words[word] &= !(mask << off);
+        self.words[word] |= (code.0 as u64) << off;
+        if off + self.bits > 64 {
+            let spill = off + self.bits - 64;
+            let hi_mask = (1u64 << spill) - 1;
+            self.words[word + 1] &= !hi_mask;
+            self.words[word + 1] |= (code.0 as u64) >> (64 - off);
+        }
+    }
+
+    /// Whether every code is absent (the huge page has no resident pages).
+    pub fn is_all_absent(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of resident (nonzero) codes.
+    pub fn resident_count(&self) -> u32 {
+        (0..self.count).filter(|&i| !self.get(i).is_absent()).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        for bits in 1..=32u32 {
+            let count = 37;
+            let mut v = TlbValue::new(count, bits);
+            let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            for i in 0..count {
+                v.set(i, SlotCode(i.wrapping_mul(2_654_435_761u32.wrapping_mul(i + 1)) & mask));
+            }
+            for i in 0..count {
+                let expect = i.wrapping_mul(2_654_435_761u32.wrapping_mul(i + 1)) & mask;
+                assert_eq!(v.get(i).0, expect, "bits={bits} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn starts_all_absent() {
+        let v = TlbValue::new(16, 5);
+        assert!(v.is_all_absent());
+        assert_eq!(v.resident_count(), 0);
+        for i in 0..16 {
+            assert!(v.get(i).is_absent());
+        }
+    }
+
+    #[test]
+    fn set_then_clear_restores_absent() {
+        let mut v = TlbValue::new(8, 7);
+        v.set(3, SlotCode(99));
+        assert_eq!(v.resident_count(), 1);
+        assert!(!v.is_all_absent());
+        v.set(3, SlotCode::ABSENT);
+        assert!(v.is_all_absent());
+    }
+
+    #[test]
+    fn neighboring_codes_do_not_clobber() {
+        let mut v = TlbValue::new(10, 3);
+        for i in 0..10 {
+            v.set(i, SlotCode(7));
+        }
+        v.set(5, SlotCode(0));
+        for i in 0..10 {
+            assert_eq!(v.get(i).0, if i == 5 { 0 } else { 7 });
+        }
+    }
+
+    #[test]
+    fn word_boundary_straddling() {
+        // 7-bit codes: code 9 occupies bits 63..70, straddling words 0/1.
+        let mut v = TlbValue::new(20, 7);
+        v.set(9, SlotCode(0b1010101));
+        assert_eq!(v.get(9).0, 0b1010101);
+        // Neighbors unaffected.
+        assert_eq!(v.get(8).0, 0);
+        assert_eq!(v.get(10).0, 0);
+    }
+
+    #[test]
+    fn size_bits_matches() {
+        let v = TlbValue::new(9, 7);
+        assert_eq!(v.size_bits(), 63);
+        let v = TlbValue::new(64, 1);
+        assert_eq!(v.size_bits(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_code_rejected() {
+        let mut v = TlbValue::new(4, 3);
+        v.set(0, SlotCode(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_rejected() {
+        let v = TlbValue::new(4, 3);
+        v.get(4);
+    }
+}

@@ -1,0 +1,230 @@
+//! Sparse TLB-value encoding: trading decoding misses for coverage.
+//!
+//! Section 5 motivates the decoding-miss cost with exactly this design:
+//! "imagine … a memory-management algorithm chooses to encode for each
+//! virtual huge page u in the TLB only the physical addresses of u's most
+//! commonly accessed constituent pages; then the pages that do not get
+//! encoded would incur decoding misses when they were accessed."
+//!
+//! [`SparseValue`] stores up to `K` `(index, code)` pairs instead of a dense
+//! array of `hmax` codes. Budget: `K · (⌈log₂ hmax⌉ + bits) ≤ w`, so for
+//! sparsely-resident huge pages a *much* larger `hmax` fits the same `w` —
+//! at the price that a resident-but-unencoded page decodes to "unknown"
+//! (a decoding miss, cost ε), rather than breaking correctness.
+//!
+//! Compare with the dense [`crate::encoding::TlbValue`], which can always
+//! encode all `hmax` constituents but caps `hmax` at `w / bits`.
+
+use crate::encoding::SlotCode;
+use crate::params::bits_for;
+use serde::{Deserialize, Serialize};
+
+/// A sparse `w`-bit TLB value: up to `K` (constituent index, slot code)
+/// pairs over a huge page of `hmax` constituents.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseValue {
+    entries: Vec<(u32, SlotCode)>,
+    capacity: u32,
+    hmax: u32,
+    bits: u32,
+}
+
+impl SparseValue {
+    /// Creates an empty sparse value for huge pages of `hmax` constituents
+    /// with `bits`-bit slot codes, fitting a `w`-bit budget.
+    ///
+    /// # Panics
+    /// Panics if even one pair does not fit in `w` bits.
+    pub fn new(w: u32, hmax: u32, bits: u32) -> Self {
+        let pair_bits = bits_for(hmax as u64) + bits;
+        let capacity = w / pair_bits;
+        assert!(
+            capacity >= 1,
+            "w={w} cannot hold one ({} + {bits})-bit pair",
+            bits_for(hmax as u64)
+        );
+        Self {
+            entries: Vec::with_capacity(capacity as usize),
+            capacity,
+            hmax,
+            bits,
+        }
+    }
+
+    /// Number of `(index, code)` pairs that fit (`K`).
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Number of encoded constituents.
+    pub fn encoded(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// Huge-page size this value covers.
+    pub fn hmax(&self) -> u32 {
+        self.hmax
+    }
+
+    /// Bits used by the current contents (≤ w by construction).
+    pub fn size_bits(&self) -> u32 {
+        self.entries.len() as u32 * (bits_for(self.hmax as u64) + self.bits)
+    }
+
+    /// Records constituent `i`'s code. Returns `true` if the code is now
+    /// encoded, `false` if it had to be dropped (value full) — the caller
+    /// will pay a decoding miss when `i` is next accessed.
+    ///
+    /// Setting [`SlotCode::ABSENT`] removes any existing entry (eviction).
+    ///
+    /// # Panics
+    /// Panics if `i ≥ hmax` or the code exceeds `bits` bits.
+    pub fn set(&mut self, i: u32, code: SlotCode) -> bool {
+        assert!(i < self.hmax, "constituent index {i} out of range");
+        if !code.is_absent() {
+            let mask = if self.bits >= 32 { u32::MAX } else { (1u32 << self.bits) - 1 };
+            assert!(code.0 <= mask, "code {} exceeds {} bits", code.0, self.bits);
+        }
+        match self.entries.iter().position(|&(idx, _)| idx == i) {
+            Some(pos) => {
+                if code.is_absent() {
+                    self.entries.swap_remove(pos);
+                } else {
+                    self.entries[pos].1 = code;
+                }
+                true
+            }
+            None => {
+                if code.is_absent() {
+                    true // removing a non-entry is a no-op
+                } else if (self.entries.len() as u32) < self.capacity {
+                    self.entries.push((i, code));
+                    true
+                } else {
+                    false // dropped: resident but unencoded
+                }
+            }
+        }
+    }
+
+    /// Reads constituent `i`'s code: `Some(code)` if encoded, `None` if this
+    /// value has no information about `i` (absent *or* unencoded — the
+    /// decoder cannot tell, which is precisely what makes the miss a
+    /// *decoding* miss rather than an error).
+    pub fn get(&self, i: u32) -> Option<SlotCode> {
+        self.entries
+            .iter()
+            .find(|&&(idx, _)| idx == i)
+            .map(|&(_, c)| c)
+    }
+
+    /// Whether nothing is encoded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The largest `hmax` a sparse value supports for a given `w`, `bits`, and
+/// a target number of simultaneously-encodable constituents `k`.
+///
+/// Unlike the dense encoding's `hmax = w / bits`, the sparse `hmax` grows
+/// *exponentially* in the leftover budget: `hmax = 2^((w/k) − bits)`.
+pub fn sparse_hmax(w: u32, bits: u32, k: u32) -> u64 {
+    let per_pair = w / k.max(1);
+    if per_pair <= bits {
+        return 1;
+    }
+    1u64 << (per_pair - bits).min(63)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_respects_budget() {
+        // hmax = 4096 → 12-bit indices; 5-bit codes → 17 bits/pair;
+        // w = 64 → K = 3.
+        let v = SparseValue::new(64, 4096, 5);
+        assert_eq!(v.capacity(), 3);
+        assert!(v.size_bits() <= 64);
+    }
+
+    #[test]
+    fn set_get_roundtrip_and_drop() {
+        let mut v = SparseValue::new(64, 4096, 5);
+        assert!(v.set(7, SlotCode(1)));
+        assert!(v.set(100, SlotCode(2)));
+        assert!(v.set(4000, SlotCode(3)));
+        // Full: the fourth distinct constituent is dropped.
+        assert!(!v.set(9, SlotCode(4)));
+        assert_eq!(v.get(7), Some(SlotCode(1)));
+        assert_eq!(v.get(9), None, "dropped → decoding miss");
+        assert_eq!(v.encoded(), 3);
+        assert!(v.size_bits() <= 64);
+    }
+
+    #[test]
+    fn eviction_frees_a_slot() {
+        let mut v = SparseValue::new(64, 4096, 5);
+        v.set(1, SlotCode(1));
+        v.set(2, SlotCode(2));
+        v.set(3, SlotCode(3));
+        assert!(!v.set(4, SlotCode(4)));
+        v.set(2, SlotCode::ABSENT); // constituent 2 evicted from RAM
+        assert!(v.set(4, SlotCode(4)), "freed slot is reusable");
+        assert_eq!(v.get(2), None);
+        assert_eq!(v.get(4), Some(SlotCode(4)));
+    }
+
+    #[test]
+    fn update_in_place_never_drops() {
+        let mut v = SparseValue::new(64, 4096, 5);
+        v.set(1, SlotCode(1));
+        v.set(2, SlotCode(2));
+        v.set(3, SlotCode(3));
+        assert!(v.set(1, SlotCode(9)), "updating an encoded entry is free");
+        assert_eq!(v.get(1), Some(SlotCode(9)));
+    }
+
+    #[test]
+    fn absent_removal_of_unencoded_is_noop() {
+        let mut v = SparseValue::new(64, 16, 5);
+        assert!(v.set(3, SlotCode::ABSENT));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn sparse_hmax_beats_dense_for_sparse_residency() {
+        // Dense: w=64, 5-bit codes → hmax = 12 (⌊64/5⌋).
+        // Sparse with K=2 encodable: hmax = 2^(32-5) = 2^27 constituents!
+        assert_eq!(sparse_hmax(64, 5, 2), 1 << 27);
+        assert!(sparse_hmax(64, 5, 2) > (64 / 5) as u64);
+        // Degenerate: no room beyond the code → hmax 1.
+        assert_eq!(sparse_hmax(8, 8, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_bound_checked() {
+        let mut v = SparseValue::new(64, 16, 5);
+        v.set(16, SlotCode(1));
+    }
+
+    #[test]
+    fn decoding_miss_accounting_demo() {
+        // The §5 scenario end to end at the data-structure level: 8
+        // resident constituents, only 3 encodable → 5 accesses out of 8
+        // decode as misses.
+        let mut v = SparseValue::new(64, 4096, 5);
+        let mut dropped = 0;
+        for i in 0..8u32 {
+            if !v.set(i, SlotCode(i + 1)) {
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, 5);
+        let misses = (0..8u32).filter(|&i| v.get(i).is_none()).count();
+        assert_eq!(misses, 5);
+    }
+}

@@ -1,0 +1,132 @@
+//! Counter-based deterministic RNG.
+//!
+//! Workload generators need randomness that is a *pure function* of logical
+//! coordinates — e.g. "edge `j` of graph node `v`" must be the same on every
+//! visit without storing the graph. [`CounterRng`] provides an arbitrary-
+//! length stream of uniform words derived from `(seed, key)` by counter-mode
+//! application of splitmix64, plus the usual conversion helpers.
+
+use crate::mix::{mix2, reduce, splitmix64};
+
+/// A deterministic stream of pseudo-random words keyed by `(seed, key)`.
+#[derive(Clone, Copy, Debug)]
+pub struct CounterRng {
+    state: u64,
+    counter: u64,
+}
+
+impl CounterRng {
+    /// Creates the stream for `(seed, key)`.
+    #[inline]
+    pub fn new(seed: u64, key: u64) -> Self {
+        Self {
+            state: mix2(seed, key),
+            counter: 0,
+        }
+    }
+
+    /// Creates the stream for a 2-component key.
+    #[inline]
+    pub fn new2(seed: u64, k1: u64, k2: u64) -> Self {
+        Self {
+            state: mix2(mix2(seed, k1), k2),
+            counter: 0,
+        }
+    }
+
+    /// Next uniform `u64`.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = splitmix64(self.state.wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        self.counter += 1;
+        out
+    }
+
+    /// Next uniform value in `[0, n)` (unbiased multiply-shift reduction).
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        reduce(self.next_u64(), n)
+    }
+
+    /// Next uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Next Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = CounterRng::new(1, 2);
+        let mut b = CounterRng::new(1, 2);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_keys_diverge() {
+        let mut a = CounterRng::new(1, 2);
+        let mut b = CounterRng::new(1, 3);
+        let matches = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn two_component_key_orders_matter() {
+        let mut a = CounterRng::new2(0, 1, 2);
+        let mut b = CounterRng::new2(0, 2, 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = CounterRng::new(7, 7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut r = CounterRng::new(11, 0);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_uniform() {
+        let mut r = CounterRng::new(13, 1);
+        let mut counts = [0u64; 7];
+        for _ in 0..70_000 {
+            counts[r.next_below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed: {c}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_tracks_p() {
+        let mut r = CounterRng::new(17, 3);
+        let hits = (0..100_000).filter(|_| r.next_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,100 @@
+//! 64-bit mixing primitives.
+//!
+//! [`splitmix64`] is the finalizer from Steele, Lea & Flood's SplitMix
+//! generator: a bijective avalanche function on `u64` whose output bits each
+//! depend on every input bit. It is the workhorse used to derive independent
+//! hash functions from `(seed, index)` pairs.
+
+/// SplitMix64 finalizer: a bijective 64-bit avalanche mix.
+#[inline]
+pub const fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes two words into one (order-sensitive).
+#[inline]
+pub const fn mix2(a: u64, b: u64) -> u64 {
+    splitmix64(splitmix64(a).wrapping_add(b.rotate_left(32)))
+}
+
+/// Mixes three words into one (order-sensitive).
+#[inline]
+pub const fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    splitmix64(mix2(a, b).wrapping_add(c.rotate_left(17)))
+}
+
+/// Maps a 64-bit hash to a bucket in `[0, n)` without modulo bias, using
+/// Lemire's multiply-shift reduction.
+#[inline]
+pub const fn reduce(hash: u64, n: u64) -> u64 {
+    ((hash as u128 * n as u128) >> 64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_vectors() {
+        // Reference values from the SplitMix64 specification
+        // (seed 0 produces this first output).
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+
+    #[test]
+    fn splitmix_is_injective_on_sample() {
+        use std::collections::HashSet;
+        let outs: HashSet<u64> = (0..100_000u64).map(splitmix64).collect();
+        assert_eq!(outs.len(), 100_000);
+    }
+
+    #[test]
+    fn mix2_is_order_sensitive() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+    }
+
+    #[test]
+    fn mix3_differs_from_mix2() {
+        assert_ne!(mix3(1, 2, 0), mix2(1, 2));
+    }
+
+    #[test]
+    fn reduce_is_in_range() {
+        for h in [0u64, 1, u64::MAX, 0xDEADBEEF, 1 << 63] {
+            for n in [1u64, 2, 3, 7, 1000, 1 << 40] {
+                assert!(reduce(h, n) < n, "reduce({h},{n}) out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_is_roughly_uniform() {
+        let n = 10u64;
+        let mut counts = [0u64; 10];
+        for i in 0..100_000u64 {
+            counts[reduce(splitmix64(i), n) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket should get ~10k; allow ±15%.
+            assert!((8_500..=11_500).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn avalanche_flips_many_bits() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let mut total = 0u32;
+        let samples = 1000;
+        for i in 0..samples {
+            let a = splitmix64(i);
+            let b = splitmix64(i ^ 1);
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / samples as f64;
+        assert!((24.0..40.0).contains(&avg), "weak avalanche: {avg}");
+    }
+}

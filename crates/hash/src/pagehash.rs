@@ -1,0 +1,154 @@
+//! The paper's `h_1, …, h_k`: `k` page→bin hash choices.
+//!
+//! Section 4 places each page into one of `k` randomly chosen buckets
+//! ("we randomly choose k buckets by computing k hash functions of the
+//! virtual page address"). We realize the family with seeded double hashing:
+//!
+//! ```text
+//! h_i(v) = (a(v) + i · b(v)) mod n,    b(v) forced odd
+//! ```
+//!
+//! where `a` and `b` are independent splitmix64 streams of the seed. Against
+//! an *oblivious* adversary (the paper's model — the request sequence cannot
+//! depend on the scheme's random bits) this family behaves like independent
+//! uniform choices, and it is cheap: two mixes per page regardless of `k`.
+
+use crate::mix::{mix2, reduce, splitmix64};
+use atp_types::VirtPage;
+
+/// A family of `k` page→bin hash functions over `n` bins.
+#[derive(Clone, Copy, Debug)]
+pub struct PageHasher {
+    seed_a: u64,
+    seed_b: u64,
+    bins: u64,
+    k: u32,
+}
+
+impl PageHasher {
+    /// Creates a family of `k` hash functions mapping pages into `[0, bins)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `k == 0`.
+    pub fn new(seed: u64, bins: u64, k: u32) -> Self {
+        assert!(bins > 0, "bins must be nonzero");
+        assert!(k > 0, "k must be nonzero");
+        Self {
+            seed_a: splitmix64(seed ^ 0xA5A5_A5A5_A5A5_A5A5),
+            seed_b: splitmix64(seed.wrapping_add(0x0DDB_1A5E_5BAD_5EED)),
+            bins,
+            k,
+        }
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub const fn bins(&self) -> u64 {
+        self.bins
+    }
+
+    /// Number of hash functions.
+    #[inline]
+    pub const fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The `i`-th bin choice for page `v` (`i < k`).
+    #[inline]
+    pub fn bin(&self, v: VirtPage, i: u32) -> u64 {
+        debug_assert!(i < self.k, "hash index {i} out of range (k={})", self.k);
+        let a = mix2(self.seed_a, v.0);
+        if i == 0 {
+            return reduce(a, self.bins);
+        }
+        let b = mix2(self.seed_b, v.0) | 1; // odd stride
+        reduce(a.wrapping_add((i as u64).wrapping_mul(b)), self.bins)
+    }
+
+    /// All `k` bin choices for `v`, in order.
+    pub fn bins_of(&self, v: VirtPage) -> impl Iterator<Item = u64> + '_ {
+        let a = mix2(self.seed_a, v.0);
+        let b = mix2(self.seed_b, v.0) | 1;
+        (0..self.k as u64).map(move |i| reduce(a.wrapping_add(i.wrapping_mul(b)), self.bins))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choices_are_in_range() {
+        let h = PageHasher::new(1, 97, 3);
+        for v in 0..10_000u64 {
+            for i in 0..3 {
+                assert!(h.bin(VirtPage(v), i) < 97);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let h1 = PageHasher::new(9, 128, 2);
+        let h2 = PageHasher::new(9, 128, 2);
+        let h3 = PageHasher::new(10, 128, 2);
+        let mut same = 0;
+        for v in 0..1000u64 {
+            assert_eq!(h1.bin(VirtPage(v), 0), h2.bin(VirtPage(v), 0));
+            if h1.bin(VirtPage(v), 0) == h3.bin(VirtPage(v), 0) {
+                same += 1;
+            }
+        }
+        // Different seeds should agree only at the chance rate (~1/128).
+        assert!(same < 40, "seeds look correlated: {same}/1000 agree");
+    }
+
+    #[test]
+    fn bins_of_matches_bin() {
+        let h = PageHasher::new(3, 1000, 4);
+        for v in [0u64, 1, 99, 123_456] {
+            let all: Vec<u64> = h.bins_of(VirtPage(v)).collect();
+            for (i, &b) in all.iter().enumerate() {
+                assert_eq!(b, h.bin(VirtPage(v), i as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn loads_are_roughly_balanced() {
+        let n = 64u64;
+        let h = PageHasher::new(5, n, 1);
+        let mut counts = vec![0u64; n as usize];
+        let total = 64_000u64;
+        for v in 0..total {
+            counts[h.bin(VirtPage(v), 0) as usize] += 1;
+        }
+        let expect = (total / n) as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64) > expect * 0.8 && (c as f64) < expect * 1.2,
+                "bin load {c} far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_choices_usually_distinct() {
+        // With 1000 bins and k=3, all-distinct should be the overwhelming case.
+        let h = PageHasher::new(11, 1000, 3);
+        let mut all_distinct = 0;
+        for v in 0..1000u64 {
+            let c: Vec<u64> = h.bins_of(VirtPage(v)).collect();
+            if c[0] != c[1] && c[1] != c[2] && c[0] != c[2] {
+                all_distinct += 1;
+            }
+        }
+        assert!(all_distinct > 950, "too many colliding choice sets: {all_distinct}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bins must be nonzero")]
+    fn zero_bins_rejected() {
+        PageHasher::new(0, 0, 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Streaming 64-bit hashing (the xxHash64 algorithm).
+//!
+//! Used where we need a high-quality seeded hash over multi-word inputs —
+//! deriving per-experiment sub-seeds, hashing trace headers, and as the
+//! reference hash in statistical tests. Implemented from scratch from the
+//! public xxHash64 specification.
+
+const PRIME1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME5: u64 = 0x27D4_EB2F_1656_67C5;
+
+/// One-shot xxHash64 of `data` with `seed`.
+pub fn xxhash64(data: &[u8], seed: u64) -> u64 {
+    let mut h = XxHash64::with_seed(seed);
+    h.update(data);
+    h.digest()
+}
+
+/// Streaming xxHash64 state.
+#[derive(Clone, Debug)]
+pub struct XxHash64 {
+    seed: u64,
+    total_len: u64,
+    v1: u64,
+    v2: u64,
+    v3: u64,
+    v4: u64,
+    buf: [u8; 32],
+    buf_len: usize,
+}
+
+impl XxHash64 {
+    /// Creates a hasher with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            total_len: 0,
+            v1: seed.wrapping_add(PRIME1).wrapping_add(PRIME2),
+            v2: seed.wrapping_add(PRIME2),
+            v3: seed,
+            v4: seed.wrapping_sub(PRIME1),
+            buf: [0; 32],
+            buf_len: 0,
+        }
+    }
+
+    #[inline]
+    fn round(acc: u64, input: u64) -> u64 {
+        acc.wrapping_add(input.wrapping_mul(PRIME2))
+            .rotate_left(31)
+            .wrapping_mul(PRIME1)
+    }
+
+    #[inline]
+    fn merge_round(acc: u64, val: u64) -> u64 {
+        (acc ^ Self::round(0, val))
+            .wrapping_mul(PRIME1)
+            .wrapping_add(PRIME4)
+    }
+
+    fn consume_stripe(&mut self, stripe: &[u8]) {
+        debug_assert_eq!(stripe.len(), 32);
+        let w = |i: usize| u64::from_le_bytes(stripe[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        self.v1 = Self::round(self.v1, w(0));
+        self.v2 = Self::round(self.v2, w(1));
+        self.v3 = Self::round(self.v3, w(2));
+        self.v4 = Self::round(self.v4, w(3));
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len += data.len() as u64;
+
+        // Fill a partially-filled buffer first.
+        if self.buf_len > 0 {
+            let need = 32 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 32 {
+                let stripe = self.buf;
+                self.consume_stripe(&stripe);
+                self.buf_len = 0;
+            }
+        }
+
+        // Whole stripes straight from the input.
+        while data.len() >= 32 {
+            let (stripe, rest) = data.split_at(32);
+            let mut tmp = [0u8; 32];
+            tmp.copy_from_slice(stripe);
+            self.consume_stripe(&tmp);
+            data = rest;
+        }
+
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finalizes and returns the 64-bit digest.
+    pub fn digest(&self) -> u64 {
+        let mut h = if self.total_len >= 32 {
+            let mut acc = self
+                .v1
+                .rotate_left(1)
+                .wrapping_add(self.v2.rotate_left(7))
+                .wrapping_add(self.v3.rotate_left(12))
+                .wrapping_add(self.v4.rotate_left(18));
+            acc = Self::merge_round(acc, self.v1);
+            acc = Self::merge_round(acc, self.v2);
+            acc = Self::merge_round(acc, self.v3);
+            acc = Self::merge_round(acc, self.v4);
+            acc
+        } else {
+            self.seed.wrapping_add(PRIME5)
+        };
+
+        h = h.wrapping_add(self.total_len);
+
+        let mut tail = &self.buf[..self.buf_len];
+        while tail.len() >= 8 {
+            let k = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
+            h ^= Self::round(0, k);
+            h = h.rotate_left(27).wrapping_mul(PRIME1).wrapping_add(PRIME4);
+            tail = &tail[8..];
+        }
+        if tail.len() >= 4 {
+            let k = u32::from_le_bytes(tail[..4].try_into().expect("4 bytes")) as u64;
+            h ^= k.wrapping_mul(PRIME1);
+            h = h.rotate_left(23).wrapping_mul(PRIME2).wrapping_add(PRIME3);
+            tail = &tail[4..];
+        }
+        for &b in tail {
+            h ^= (b as u64).wrapping_mul(PRIME5);
+            h = h.rotate_left(11).wrapping_mul(PRIME1);
+        }
+
+        h ^= h >> 33;
+        h = h.wrapping_mul(PRIME2);
+        h ^= h >> 29;
+        h = h.wrapping_mul(PRIME3);
+        h ^= h >> 32;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors from the xxHash specification test suite.
+    #[test]
+    fn empty_input_seed0() {
+        assert_eq!(xxhash64(b"", 0), 0xEF46_DB37_51D8_E999);
+    }
+
+    #[test]
+    fn known_ascii_vectors() {
+        // Cross-checked against the reference C implementation.
+        assert_eq!(xxhash64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxhash64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+    }
+
+    #[test]
+    fn seed_changes_digest() {
+        assert_ne!(xxhash64(b"hello world", 0), xxhash64(b"hello world", 1));
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0usize, 1, 7, 31, 32, 33, 64, 500, 999, 1000] {
+            let mut h = XxHash64::with_seed(42);
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.digest(), xxhash64(&data, 42), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn multi_chunk_streaming() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|x| x.to_le_bytes()).collect();
+        let mut h = XxHash64::with_seed(7);
+        for chunk in data.chunks(13) {
+            h.update(chunk);
+        }
+        assert_eq!(h.digest(), xxhash64(&data, 7));
+    }
+
+    #[test]
+    fn short_inputs_all_lengths() {
+        // Exercise every tail path (0..32 bytes).
+        let data: Vec<u8> = (0..32).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=32 {
+            assert!(seen.insert(xxhash64(&data[..len], 0)), "collision at len {len}");
+        }
+    }
+}

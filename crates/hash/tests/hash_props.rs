@@ -1,0 +1,66 @@
+//! Property tests for the hashing substrate.
+
+use atp_hash::mix::reduce;
+use atp_hash::{splitmix64, CounterRng, PageHasher, XxHash64};
+use atp_types::VirtPage;
+use proptest::prelude::*;
+
+proptest! {
+    /// reduce maps any hash into [0, n) for any nonzero n.
+    #[test]
+    fn reduce_in_range(h in any::<u64>(), n in 1u64..u64::MAX) {
+        prop_assert!(reduce(h, n) < n);
+    }
+
+    /// splitmix64 is injective (bijective mixer): distinct inputs give
+    /// distinct outputs.
+    #[test]
+    fn splitmix_injective(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(splitmix64(a), splitmix64(b));
+    }
+
+    /// PageHasher choices are always within the bin count, for any geometry.
+    #[test]
+    fn page_hasher_in_range(seed in any::<u64>(), bins in 1u64..(1 << 40), k in 1u32..8, v in any::<u64>()) {
+        let h = PageHasher::new(seed, bins, k);
+        for i in 0..k {
+            prop_assert!(h.bin(VirtPage(v), i) < bins);
+        }
+        // bins_of agrees with bin().
+        for (i, b) in h.bins_of(VirtPage(v)).enumerate() {
+            prop_assert_eq!(b, h.bin(VirtPage(v), i as u32));
+        }
+    }
+
+    /// CounterRng streams are pure functions of (seed, key).
+    #[test]
+    fn counter_rng_reproducible(seed in any::<u64>(), key in any::<u64>()) {
+        let mut a = CounterRng::new(seed, key);
+        let mut b = CounterRng::new(seed, key);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// next_below stays below its bound.
+    #[test]
+    fn counter_rng_below(seed in any::<u64>(), key in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut r = CounterRng::new(seed, key);
+        for _ in 0..8 {
+            prop_assert!(r.next_below(n) < n);
+        }
+    }
+
+    /// Streaming xxhash equals one-shot for arbitrary data and split points.
+    #[test]
+    fn xxhash_streaming_consistent(data in prop::collection::vec(any::<u8>(), 0..300), seed in any::<u64>(), split_frac in 0.0f64..1.0) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let mut h = XxHash64::with_seed(seed);
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        let mut whole = XxHash64::with_seed(seed);
+        whole.update(&data);
+        prop_assert_eq!(h.digest(), whole.digest());
+    }
+}

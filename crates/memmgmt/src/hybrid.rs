@@ -1,0 +1,144 @@
+//! The Section 8 hybrid: decoupled huge pages over moderate physical chunks.
+//!
+//! "If an optimal virtual huge page size is `q ≫ hmax` pages, then we could
+//! implement decoupled huge pages where the physical huge pages would have
+//! size only `q/hmax`, thus achieving all the coverage of the very large
+//! huge pages while mitigating the adverse effects on I/Os."
+//!
+//! Implementation: treat each run of `chunk` base pages as one *chunk*; run
+//! the decoupled algorithm `Z` over chunk ids. A TLB entry then covers
+//! `hmax × chunk` base pages, while a fault moves `chunk` pages (amplification
+//! `chunk` instead of `hmax × chunk`).
+
+use crate::decoupled::{DecoupledConfig, DecoupledMm};
+use crate::traits::{tally, AccessReport, MemoryManager};
+use atp_core::RamAllocator;
+use atp_types::{Costs, VirtPage};
+
+/// Decoupled manager over physically contiguous chunks.
+pub struct HybridMm<A: RamAllocator> {
+    inner: DecoupledMm<A>,
+    chunk: u64,
+    costs: Costs,
+}
+
+impl<A: RamAllocator> HybridMm<A> {
+    /// Builds the hybrid. `alloc` and `cfg.resident_pages` are in **chunk**
+    /// units: the allocator's "pages" are chunks of `chunk` base pages.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is not a power of two.
+    pub fn new(alloc: A, cfg: DecoupledConfig, chunk: u64) -> Self {
+        assert!(chunk.is_power_of_two(), "chunk must be a power of two");
+        Self {
+            inner: DecoupledMm::new(alloc, cfg),
+            chunk,
+            costs: Costs::default(),
+        }
+    }
+
+    /// Base pages per physically contiguous chunk.
+    pub fn chunk(&self) -> u64 {
+        self.chunk
+    }
+
+    /// Effective TLB coverage per entry in base pages: `hmax × chunk`.
+    pub fn coverage(&self) -> u64 {
+        self.inner.coverage() * self.chunk
+    }
+}
+
+impl<A: RamAllocator> MemoryManager for HybridMm<A> {
+    fn access(&mut self, v: VirtPage) -> AccessReport {
+        let chunk_id = VirtPage(v.0 / self.chunk);
+        let inner_report = self.inner.access(chunk_id);
+        let report = AccessReport {
+            ios: inner_report.ios * self.chunk, // a chunk fault moves `chunk` pages
+            ..inner_report
+        };
+        tally(&mut self.costs, report);
+        report
+    }
+
+    fn costs(&self) -> Costs {
+        self.costs
+    }
+
+    fn reset_costs(&mut self) {
+        self.costs = Costs::default();
+        self.inner.reset_costs();
+    }
+
+    fn name(&self) -> String {
+        format!("hybrid(chunk={}, inner={})", self.chunk, self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_core::IcebergAlloc;
+    use atp_replacement::PolicyKind;
+
+    fn hybrid(chunk: u64) -> HybridMm<IcebergAlloc> {
+        HybridMm::new(
+            IcebergAlloc::with_geometry(64, 8, 4, 1),
+            DecoupledConfig {
+                tlb_value_bits: 64,
+                tlb_entries: 32,
+                tlb_policy: PolicyKind::Lru,
+                resident_pages: 256, // chunks
+                ram_policy: PolicyKind::Lru,
+                seed: 1,
+            },
+            chunk,
+        )
+    }
+
+    #[test]
+    fn coverage_multiplies() {
+        let h = hybrid(4);
+        assert_eq!(h.coverage(), h.inner.coverage() * 4);
+    }
+
+    #[test]
+    fn fault_amplification_is_chunk_not_coverage() {
+        let mut h = hybrid(4);
+        let r = h.access(VirtPage(0));
+        assert_eq!(r.ios, 4, "fault moves one chunk");
+        // Pages within the same chunk are free.
+        for p in 1..4u64 {
+            let r = h.access(VirtPage(p));
+            assert_eq!(r.ios, 0);
+        }
+    }
+
+    #[test]
+    fn chunk_one_is_plain_decoupling() {
+        let mut h = hybrid(1);
+        let r = h.access(VirtPage(123));
+        assert_eq!(r.ios, 1);
+    }
+
+    #[test]
+    fn fewer_tlb_misses_than_plain_decoupling_on_scans() {
+        let mut plain = hybrid(1);
+        let mut chunked = hybrid(8);
+        for p in 0..1024u64 {
+            plain.access(VirtPage(p));
+            chunked.access(VirtPage(p));
+        }
+        assert!(
+            chunked.costs().tlb_misses * 7 < plain.costs().tlb_misses,
+            "chunked {} vs plain {}",
+            chunked.costs().tlb_misses,
+            plain.costs().tlb_misses
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_chunk_rejected() {
+        hybrid(3);
+    }
+}

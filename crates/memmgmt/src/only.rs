@@ -1,0 +1,148 @@
+//! The single-objective algorithms `X` and `Y` of Theorem 4.
+//!
+//! Lemma 1: minimizing `C_TLB(X, σ)` is the classic paging problem on the
+//! huge-page stream `r(p_1), …, r(p_n)` with a cache of ℓ entries, and
+//! minimizing `C_IO(Y, σ)` is classic paging on `σ` with `(1−δ)P` pages.
+//! These managers compute exactly those two costs, forming the right-hand
+//! side of eq. (7): `C(Z, σ) ≤ C_TLB(X, σ) + C_IO(Y, σ) + n/poly(P)`.
+
+use crate::traits::{tally, AccessReport, MemoryManager};
+use atp_replacement::{make_policy, CacheSim, Policy, PolicyKind};
+use atp_types::{Costs, HugePageGeometry, VirtPage};
+
+/// `X`: cares only about TLB misses, using huge pages of size `hmax`
+/// (WLOG per Lemma 1's proof).
+pub struct VirtualOnlyMm {
+    geom: HugePageGeometry,
+    tlb: CacheSim<u64, Box<dyn Policy>>,
+    costs: Costs,
+}
+
+impl VirtualOnlyMm {
+    /// Builds `X` with `tlb_entries` entries over size-`hmax` huge pages.
+    pub fn new(hmax: u64, tlb_entries: u64, policy: PolicyKind, seed: u64) -> Self {
+        let cap = tlb_entries as usize;
+        Self {
+            geom: HugePageGeometry::new(hmax).expect("hmax power of two"),
+            tlb: CacheSim::new(cap, make_policy(policy, cap, seed)),
+            costs: Costs::default(),
+        }
+    }
+}
+
+impl MemoryManager for VirtualOnlyMm {
+    fn access(&mut self, v: VirtPage) -> AccessReport {
+        let u = self.geom.huge_of(v);
+        let report = AccessReport {
+            tlb_miss: !self.tlb.access(u.id()).is_hit(),
+            ..Default::default()
+        };
+        tally(&mut self.costs, report);
+        report
+    }
+
+    fn costs(&self) -> Costs {
+        self.costs
+    }
+
+    fn reset_costs(&mut self) {
+        self.costs = Costs::default();
+    }
+
+    fn name(&self) -> String {
+        format!("X(hmax={})", self.geom.pages_per_huge())
+    }
+}
+
+/// `Y`: cares only about IOs — classic paging on base pages with a cache of
+/// `(1−δ)P` pages.
+pub struct PagingOnlyMm {
+    ram: CacheSim<u64, Box<dyn Policy>>,
+    costs: Costs,
+}
+
+impl PagingOnlyMm {
+    /// Builds `Y` with `resident_pages = ⌊(1−δ)P⌋` page slots.
+    pub fn new(resident_pages: u64, policy: PolicyKind, seed: u64) -> Self {
+        let cap = resident_pages as usize;
+        Self {
+            ram: CacheSim::new(cap, make_policy(policy, cap, seed)),
+            costs: Costs::default(),
+        }
+    }
+}
+
+impl MemoryManager for PagingOnlyMm {
+    fn access(&mut self, v: VirtPage) -> AccessReport {
+        let report = AccessReport {
+            ios: u64::from(!self.ram.access(v.id()).is_hit()),
+            ..Default::default()
+        };
+        tally(&mut self.costs, report);
+        report
+    }
+
+    fn costs(&self) -> Costs {
+        self.costs
+    }
+
+    fn reset_costs(&mut self) {
+        self.costs = Costs::default();
+    }
+
+    fn name(&self) -> String {
+        format!("Y(m={})", self.ram.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_counts_only_tlb() {
+        let mut x = VirtualOnlyMm::new(4, 2, PolicyKind::Lru, 0);
+        for p in [0u64, 1, 4, 8, 0] {
+            x.access(VirtPage(p));
+        }
+        let c = x.costs();
+        assert_eq!(c.ios, 0);
+        // r-stream: 0,0,1,2,0 with 2 entries LRU → misses 0,1,2,0 = 4.
+        assert_eq!(c.tlb_misses, 4);
+        assert_eq!(c.tlb_hits, 1);
+    }
+
+    #[test]
+    fn y_counts_only_ios() {
+        let mut y = PagingOnlyMm::new(2, PolicyKind::Lru, 0);
+        for p in [0u64, 1, 2, 0] {
+            y.access(VirtPage(p));
+        }
+        let c = y.costs();
+        assert_eq!(c.tlb_misses, 0);
+        assert_eq!(c.ios, 4, "0,1,2 compulsory + 0 evicted and refetched");
+    }
+
+    #[test]
+    fn x_with_hmax_one_sees_raw_stream() {
+        let mut x = VirtualOnlyMm::new(1, 2, PolicyKind::Lru, 0);
+        x.access(VirtPage(0));
+        x.access(VirtPage(1));
+        x.access(VirtPage(0));
+        assert_eq!(x.costs().tlb_misses, 2);
+        assert_eq!(x.costs().tlb_hits, 1);
+    }
+
+    #[test]
+    fn bigger_hmax_never_hurts_on_local_streams() {
+        // Sequential scan: with hmax=8, X misses once per 8 pages.
+        let mut x1 = VirtualOnlyMm::new(1, 16, PolicyKind::Lru, 0);
+        let mut x8 = VirtualOnlyMm::new(8, 16, PolicyKind::Lru, 0);
+        for p in 0..256u64 {
+            x1.access(VirtPage(p));
+            x8.access(VirtPage(p));
+        }
+        assert_eq!(x1.costs().tlb_misses, 256);
+        assert_eq!(x8.costs().tlb_misses, 32);
+    }
+}

@@ -1,0 +1,466 @@
+//! A transparent-huge-pages (THP) style manager — the fragmentation story.
+//!
+//! Section 1 lists three costs of physical huge pages; the third is
+//! **fragmentation**: "Pages in a huge page are stored contiguously in RAM.
+//! To make room for them, any (non-huge) pages in the way must be evicted…"
+//! and §7 describes how Linux THP "attempts to reserve enough space for a
+//! huge page and, in case of failure, falls back to allocating typical 4 kB
+//! pages". This manager emulates that mechanism:
+//!
+//! * pages fault in individually (1 IO) into **arbitrary** free frames;
+//! * when every base page of an aligned virtual run becomes resident, the
+//!   manager attempts **promotion**: find `h` physically contiguous,
+//!   aligned free frames, migrate the run there, and install a huge
+//!   mapping (covered by a single TLB entry thereafter);
+//! * if no contiguous run exists — fragmentation — the promotion *fails*
+//!   and the run stays at base granularity (counted, like Ingens/HawkEye
+//!   motivate);
+//! * a promoted huge page is one replacement unit: evicting it drops all
+//!   `h` pages, and re-faulting it costs `h` IOs — page-fault amplification
+//!   returns through the back door.
+//!
+//! The `thp_fragmentation` example shows promotion failures rising as churn
+//! scatters free frames.
+
+use crate::traits::{tally, AccessReport, MemoryManager};
+use atp_hash::{CounterRng, FxHashMap};
+use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_tlb::Tlb;
+use atp_types::{Costs, HugePageGeometry, PhysPage, VirtHugePage, VirtPage};
+
+/// Configuration for [`ThpMm`].
+#[derive(Clone, Copy, Debug)]
+pub struct ThpConfig {
+    /// Huge-page size `h` in base pages (power of two).
+    pub huge_pages: u64,
+    /// Physical memory in base pages (multiple of `h` for clean alignment).
+    pub phys_pages: u64,
+    /// TLB entries.
+    pub tlb_entries: u64,
+    /// Replacement policy for the unified unit cache and the TLB.
+    pub policy: PolicyKind,
+    /// Seed (drives the fragmentation-inducing random frame choice).
+    pub seed: u64,
+}
+
+/// THP bookkeeping counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThpStats {
+    /// Successful promotions to huge mappings.
+    pub promotions: u64,
+    /// Promotions abandoned for lack of a contiguous run (fragmentation).
+    pub promotion_failures: u64,
+    /// Pages copied during promotion migrations.
+    pub migrated_pages: u64,
+    /// Huge units demoted by eviction.
+    pub huge_evictions: u64,
+}
+
+/// Physical frame pool with contiguity queries.
+#[derive(Clone, Debug)]
+struct FramePool {
+    free: Vec<bool>,
+    free_count: u64,
+    rng: CounterRng,
+}
+
+impl FramePool {
+    fn new(frames: u64, seed: u64) -> Self {
+        Self {
+            free: vec![true; frames as usize],
+            free_count: frames,
+            rng: CounterRng::new(seed, 0x7F9A),
+        }
+    }
+
+    /// Takes an arbitrary free frame (uniformly random — models long-run
+    /// allocator scatter; first-fit would artificially stay compact).
+    fn take_any(&mut self) -> Option<PhysPage> {
+        if self.free_count == 0 {
+            return None;
+        }
+        loop {
+            let f = self.rng.next_below(self.free.len() as u64) as usize;
+            if self.free[f] {
+                self.free[f] = false;
+                self.free_count -= 1;
+                return Some(PhysPage(f as u64));
+            }
+        }
+    }
+
+    /// Takes an aligned run of `h` contiguous frames, if one exists.
+    fn take_contiguous(&mut self, h: u64) -> Option<PhysPage> {
+        let groups = self.free.len() as u64 / h;
+        'group: for g in 0..groups {
+            let base = (g * h) as usize;
+            for i in 0..h as usize {
+                if !self.free[base + i] {
+                    continue 'group;
+                }
+            }
+            for i in 0..h as usize {
+                self.free[base + i] = false;
+            }
+            self.free_count -= h;
+            return Some(PhysPage(base as u64));
+        }
+        None
+    }
+
+    fn release(&mut self, frame: PhysPage, count: u64) {
+        for i in 0..count {
+            let f = (frame.0 + i) as usize;
+            debug_assert!(!self.free[f], "double free of frame {f}");
+            self.free[f] = true;
+        }
+        self.free_count += count;
+    }
+
+    /// Largest aligned contiguous free run, in frames (for instrumentation).
+    fn max_contiguous(&self, h: u64) -> u64 {
+        let groups = self.free.len() as u64 / h;
+        let mut best = 0u64;
+        for g in 0..groups {
+            let base = (g * h) as usize;
+            let mut run = 0;
+            for i in 0..h as usize {
+                if self.free[base + i] {
+                    run += 1;
+                } else {
+                    run = 0;
+                }
+                best = best.max(run);
+            }
+        }
+        best
+    }
+}
+
+// Unit keys: a huge unit is tagged with the top bit.
+const HUGE_TAG: u64 = 1 << 63;
+
+/// The THP-style memory manager.
+pub struct ThpMm {
+    geom: HugePageGeometry,
+    pool: FramePool,
+    /// Base-page mappings (pages in non-promoted runs).
+    base_frames: FxHashMap<VirtPage, PhysPage>,
+    /// Promoted runs: huge page → base frame of its contiguous run.
+    huge_frames: FxHashMap<VirtHugePage, PhysPage>,
+    /// Resident base-page count per (non-promoted) huge page.
+    run_population: FxHashMap<VirtHugePage, u32>,
+    units: CacheSim<u64, Box<dyn Policy>>,
+    tlb: Tlb<()>,
+    costs: Costs,
+    stats: ThpStats,
+    h: u64,
+}
+
+impl ThpMm {
+    /// Builds the manager.
+    ///
+    /// # Panics
+    /// Panics if `huge_pages` is not a power of two or doesn't divide
+    /// `phys_pages`.
+    pub fn new(cfg: ThpConfig) -> Self {
+        let geom = HugePageGeometry::new(cfg.huge_pages).expect("h power of two");
+        assert!(
+            cfg.phys_pages.is_multiple_of(cfg.huge_pages),
+            "phys_pages must be a multiple of h"
+        );
+        let cap = cfg.phys_pages as usize; // unit cache bounded by frames
+        Self {
+            geom,
+            pool: FramePool::new(cfg.phys_pages, cfg.seed),
+            base_frames: FxHashMap::default(),
+            huge_frames: FxHashMap::default(),
+            run_population: FxHashMap::default(),
+            units: CacheSim::new(cap, make_policy(cfg.policy, cap, cfg.seed ^ 0x7)),
+            tlb: Tlb::new(cfg.tlb_entries, cfg.policy, cfg.seed ^ 0x9),
+            costs: Costs::default(),
+            stats: ThpStats::default(),
+            h: cfg.huge_pages,
+        }
+    }
+
+    /// THP counters.
+    pub fn thp_stats(&self) -> ThpStats {
+        self.stats
+    }
+
+    /// Free frames remaining.
+    pub fn free_frames(&self) -> u64 {
+        self.pool.free_count
+    }
+
+    /// Largest aligned contiguous free run (fragmentation gauge).
+    pub fn max_contiguous_free(&self) -> u64 {
+        self.pool.max_contiguous(self.h)
+    }
+
+    /// Physical frame of `v`, if resident.
+    pub fn frame_of(&self, v: VirtPage) -> Option<PhysPage> {
+        let u = self.geom.huge_of(v);
+        if let Some(&base) = self.huge_frames.get(&u) {
+            return Some(PhysPage(base.0 + self.geom.index_within(v)));
+        }
+        self.base_frames.get(&v).copied()
+    }
+
+    fn evict_unit(&mut self, unit: u64) {
+        if unit & HUGE_TAG != 0 {
+            let u = VirtHugePage(unit & !HUGE_TAG);
+            let base = self.huge_frames.remove(&u).expect("promoted unit mapped");
+            self.pool.release(base, self.h);
+            self.tlb.invalidate(u);
+            self.stats.huge_evictions += 1;
+        } else {
+            let v = VirtPage(unit);
+            let frame = self.base_frames.remove(&v).expect("base unit mapped");
+            self.pool.release(frame, 1);
+            let u = self.geom.huge_of(v);
+            if let Some(pop) = self.run_population.get_mut(&u) {
+                *pop -= 1;
+                if *pop == 0 {
+                    self.run_population.remove(&u);
+                }
+            }
+            // Base-page TLB entries are keyed by the page id.
+            self.tlb.invalidate(VirtHugePage(v.0));
+        }
+    }
+
+    /// Brings in base page `v` (must be absent); evicts units (via the
+    /// replacement policy) until a frame is free. The unit cache's entry
+    /// capacity equals the frame count, so frames — not entries — are the
+    /// binding constraint.
+    fn fault_base(&mut self, v: VirtPage) -> u64 {
+        let ios = 1;
+        let frame = loop {
+            if let Some(frame) = self.pool.take_any() {
+                break frame;
+            }
+            let victim = self.units.evict_one().expect("resident unit exists");
+            self.evict_unit(victim);
+        };
+        if let Some(victim) = self.units.insert_cold(v.0) {
+            // Entry capacity reached before frames ran out (possible when
+            // huge units freed many frames): honor the policy's choice.
+            self.evict_unit(victim);
+        }
+        self.base_frames.insert(v, frame);
+        *self.run_population.entry(self.geom.huge_of(v)).or_insert(0) += 1;
+
+        // Promotion check: full run resident?
+        let u = self.geom.huge_of(v);
+        if self.run_population.get(&u).copied().unwrap_or(0) as u64 == self.h {
+            self.try_promote(u);
+        }
+        ios
+    }
+
+    /// Attempts to promote run `u`. Migration copies are in-RAM and free in
+    /// the cost model; they are tracked in [`ThpStats`].
+    fn try_promote(&mut self, u: VirtHugePage) {
+        match self.pool.take_contiguous(self.h) {
+            None => {
+                self.stats.promotion_failures += 1;
+            }
+            Some(base) => {
+                self.stats.promotions += 1;
+                // Migrate: free old scattered frames, drop base units.
+                for v in self.geom.constituents(u) {
+                    let old = self.base_frames.remove(&v).expect("run resident");
+                    self.pool.release(old, 1);
+                    self.units.remove(&v.0);
+                    self.tlb.invalidate(VirtHugePage(v.0));
+                    self.stats.migrated_pages += 1;
+                }
+                self.run_population.remove(&u);
+                self.huge_frames.insert(u, base);
+                if let Some(victim) = self.units.insert_cold(HUGE_TAG | u.0) {
+                    self.evict_unit(victim);
+                }
+            }
+        }
+    }
+}
+
+impl MemoryManager for ThpMm {
+    fn access(&mut self, v: VirtPage) -> AccessReport {
+        let u = self.geom.huge_of(v);
+        let mut report = AccessReport::default();
+
+        if self.huge_frames.contains_key(&u) {
+            // Promoted: one unit, one TLB entry for the whole run.
+            let hit = matches!(self.units.access(HUGE_TAG | u.0), AccessResult::Hit);
+            debug_assert!(hit, "promoted unit must be resident");
+            report.tlb_miss = !self.tlb.access_or_fill(u, || ());
+        } else {
+            if self.base_frames.contains_key(&v) {
+                let r = self.units.access(v.0);
+                debug_assert!(r.is_hit());
+            } else {
+                report.ios = self.fault_base(v);
+            }
+            // After a fault the run may have been promoted.
+            if self.huge_frames.contains_key(&u) {
+                report.tlb_miss = !self.tlb.access_or_fill(u, || ());
+            } else {
+                report.tlb_miss = !self.tlb.access_or_fill(VirtHugePage(v.0), || ());
+            }
+        }
+
+        tally(&mut self.costs, report);
+        report
+    }
+
+    fn costs(&self) -> Costs {
+        self.costs
+    }
+
+    fn reset_costs(&mut self) {
+        self.costs = Costs::default();
+    }
+
+    fn name(&self) -> String {
+        format!("thp(h={})", self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm(h: u64, phys: u64) -> ThpMm {
+        ThpMm::new(ThpConfig {
+            huge_pages: h,
+            phys_pages: phys,
+            tlb_entries: 16,
+            policy: PolicyKind::Lru,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn full_run_promotes_in_empty_memory() {
+        let mut m = mm(8, 64);
+        for v in 0..8u64 {
+            m.access(VirtPage(v));
+        }
+        let s = m.thp_stats();
+        assert_eq!(s.promotions, 1);
+        assert_eq!(s.migrated_pages, 8);
+        assert_eq!(s.promotion_failures, 0);
+        // Frames are physically contiguous and aligned now.
+        let base = m.frame_of(VirtPage(0)).unwrap();
+        assert_eq!(base.0 % 8, 0);
+        for v in 0..8u64 {
+            assert_eq!(m.frame_of(VirtPage(v)), Some(PhysPage(base.0 + v)));
+        }
+    }
+
+    #[test]
+    fn promoted_run_uses_one_tlb_entry() {
+        let mut m = mm(8, 64);
+        for v in 0..8u64 {
+            m.access(VirtPage(v));
+        }
+        m.reset_costs();
+        for v in 0..8u64 {
+            m.access(VirtPage(v));
+        }
+        // After promotion the whole run costs at most one TLB miss.
+        assert!(m.costs().tlb_misses <= 1);
+        assert_eq!(m.costs().ios, 0);
+    }
+
+    #[test]
+    fn fragmentation_blocks_promotion() {
+        // Tiny memory: 2 huge groups of 8. Scatter single residents across
+        // both groups so no aligned run of 8 is ever free, then complete a
+        // run and watch promotion fail.
+        let mut m = mm(8, 16);
+        // Touch one page from many different runs to scatter frames.
+        for r in 0..8u64 {
+            m.access(VirtPage(100 * 8 + r * 8)); // distinct runs, 1 page each
+        }
+        // Now complete one full run.
+        for v in 0..8u64 {
+            m.access(VirtPage(v));
+        }
+        let s = m.thp_stats();
+        assert!(
+            s.promotion_failures > 0,
+            "scattered free space must defeat promotion: {s:?}"
+        );
+    }
+
+    #[test]
+    fn huge_eviction_frees_all_frames_and_amplifies_refault() {
+        // 16 groups of 8: the first run's 8 random frames cannot block all
+        // groups, so promotion is certain.
+        let mut m = mm(8, 128);
+        for v in 0..8u64 {
+            m.access(VirtPage(v)); // promote run 0
+        }
+        assert_eq!(m.thp_stats().promotions, 1);
+        // Flood with base pages from distinct runs (never completing one):
+        // LRU pressure must eventually evict the stale huge unit whole.
+        for r in 0..200u64 {
+            m.access(VirtPage(1000 * 8 + r * 8));
+        }
+        let s = m.thp_stats();
+        assert!(s.huge_evictions >= 1, "huge unit should be evicted whole: {s:?}");
+        // Re-access the promoted run: it is gone; pages fault individually.
+        m.reset_costs();
+        m.access(VirtPage(0));
+        assert!(m.costs().ios >= 1);
+    }
+
+    #[test]
+    fn frame_accounting_is_conserved() {
+        let mut m = mm(4, 32);
+        use atp_hash::CounterRng;
+        let mut rng = CounterRng::new(5, 0);
+        for _ in 0..2000 {
+            m.access(VirtPage(rng.next_below(256)));
+            let resident_base = m.base_frames.len() as u64;
+            let resident_huge = m.huge_frames.len() as u64 * 4;
+            assert_eq!(
+                resident_base + resident_huge + m.free_frames(),
+                32,
+                "frames leaked or double-counted"
+            );
+        }
+    }
+
+    #[test]
+    fn injective_frames_under_churn() {
+        let mut m = mm(4, 32);
+        use atp_hash::CounterRng;
+        use std::collections::HashSet;
+        let mut rng = CounterRng::new(7, 0);
+        for _ in 0..1500 {
+            m.access(VirtPage(rng.next_below(64)));
+            let mut seen = HashSet::new();
+            for (&v, &f) in m.base_frames.iter() {
+                assert!(seen.insert(f.0), "frame shared at {v:?}");
+            }
+            for (&u, &base) in m.huge_frames.iter() {
+                for i in 0..4u64 {
+                    assert!(seen.insert(base.0 + i), "huge frame shared at {u:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_contiguous_gauge_moves() {
+        let mut m = mm(8, 32);
+        assert_eq!(m.max_contiguous_free(), 8);
+        m.access(VirtPage(0)); // one random frame now taken
+        assert!(m.max_contiguous_free() <= 8);
+    }
+}

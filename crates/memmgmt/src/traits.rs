@@ -1,0 +1,85 @@
+//! The memory-manager interface.
+
+use atp_types::{Costs, VirtPage};
+
+/// What servicing one page request cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessReport {
+    /// The TLB missed (cost ε).
+    pub tlb_miss: bool,
+    /// Number of IOs performed (cost 1 each; `h` for physical huge pages).
+    pub ios: u64,
+    /// A decoding miss occurred (cost ε).
+    pub decode_miss: bool,
+    /// The request hit a page in the failure set `F`.
+    pub paging_failure: bool,
+}
+
+/// A memory-management algorithm servicing a stream of virtual-page requests.
+pub trait MemoryManager {
+    /// Services a request for `v`, returning its cost breakdown.
+    fn access(&mut self, v: VirtPage) -> AccessReport;
+
+    /// Cumulative event counts.
+    fn costs(&self) -> Costs;
+
+    /// Resets the cumulative counters (e.g. after cache warmup) without
+    /// touching TLB/RAM state — exactly how the paper measures ("100 million
+    /// accesses to warm up the cache, then measured ... for another 100
+    /// million accesses").
+    fn reset_costs(&mut self);
+
+    /// Human-readable description for reports.
+    fn name(&self) -> String;
+}
+
+/// Folds an [`AccessReport`] into a [`Costs`] tally.
+pub fn tally(costs: &mut Costs, r: AccessReport) {
+    costs.accesses += 1;
+    costs.ios += r.ios;
+    if r.tlb_miss {
+        costs.tlb_misses += 1;
+    } else {
+        costs.tlb_hits += 1;
+    }
+    if r.decode_miss {
+        costs.decode_misses += 1;
+    }
+    if r.paging_failure {
+        costs.paging_failures += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_accumulates() {
+        let mut c = Costs::default();
+        tally(
+            &mut c,
+            AccessReport {
+                tlb_miss: true,
+                ios: 4,
+                decode_miss: false,
+                paging_failure: false,
+            },
+        );
+        tally(
+            &mut c,
+            AccessReport {
+                tlb_miss: false,
+                ios: 0,
+                decode_miss: true,
+                paging_failure: true,
+            },
+        );
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.ios, 4);
+        assert_eq!(c.tlb_misses, 1);
+        assert_eq!(c.tlb_hits, 1);
+        assert_eq!(c.decode_misses, 1);
+        assert_eq!(c.paging_failures, 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! An open-addressing hash page table.
+//!
+//! Models inverted/hashed page tables (as in POWER and in software-managed
+//! designs): a flat array of (virtual, physical) pairs probed linearly from
+//! the hashed home slot. The walk cost is the probe length, so it degrades
+//! gracefully with load factor instead of paying four dependent accesses
+//! like the radix walk. Tombstone deletion with automatic rehash keeps
+//! probe lengths bounded.
+
+use crate::{PageTable, WalkStats};
+use atp_hash::mix::{mix2, reduce};
+use atp_types::{PhysPage, VirtPage};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    Empty,
+    Tombstone,
+    Full(u64, PhysPage),
+}
+
+/// Entries per 4 kB table page (16-byte slots).
+const SLOTS_PER_PAGE: u64 = 256;
+
+/// An open-addressing (linear probing) page table.
+#[derive(Clone, Debug)]
+pub struct HashPageTable {
+    slots: Vec<Slot>,
+    mask: u64,
+    seed: u64,
+    mapped: u64,
+    /// Full + tombstone slots, to trigger rehash.
+    occupied: u64,
+}
+
+impl HashPageTable {
+    /// Creates a table with capacity for roughly `expected` mappings at a
+    /// healthy load factor.
+    pub fn new(seed: u64, expected: u64) -> Self {
+        let cap = (expected.max(8) * 2).next_power_of_two();
+        Self {
+            slots: vec![Slot::Empty; cap as usize],
+            mask: cap - 1,
+            seed,
+            mapped: 0,
+            occupied: 0,
+        }
+    }
+
+    #[inline]
+    fn home(&self, v: u64) -> u64 {
+        reduce(mix2(self.seed, v), self.mask + 1)
+    }
+
+    fn maybe_rehash(&mut self) {
+        let cap = self.slots.len() as u64;
+        if self.occupied * 10 <= cap * 7 {
+            return;
+        }
+        // Grow if genuinely full; otherwise same-size rehash clears tombstones.
+        let new_cap = if self.mapped * 10 > cap * 5 { cap * 2 } else { cap };
+        let old = core::mem::replace(&mut self.slots, vec![Slot::Empty; new_cap as usize]);
+        self.mask = new_cap - 1;
+        self.occupied = 0;
+        self.mapped = 0;
+        for s in old {
+            if let Slot::Full(v, p) = s {
+                self.insert_raw(v, p);
+            }
+        }
+    }
+
+    fn insert_raw(&mut self, v: u64, p: PhysPage) {
+        let mut i = self.home(v);
+        loop {
+            match self.slots[i as usize] {
+                Slot::Empty | Slot::Tombstone => {
+                    if self.slots[i as usize] == Slot::Empty {
+                        self.occupied += 1;
+                    }
+                    self.slots[i as usize] = Slot::Full(v, p);
+                    self.mapped += 1;
+                    return;
+                }
+                Slot::Full(existing, _) if existing == v => {
+                    self.slots[i as usize] = Slot::Full(v, p);
+                    return;
+                }
+                Slot::Full(..) => i = (i + 1) & self.mask,
+            }
+        }
+    }
+}
+
+impl PageTable for HashPageTable {
+    fn map(&mut self, v: VirtPage, p: PhysPage) -> WalkStats {
+        self.maybe_rehash();
+        let mut touches = 0;
+        let mut i = self.home(v.0);
+        // A tombstone may be reused only after confirming the key is not
+        // further along the probe chain (otherwise we'd duplicate it).
+        let mut first_tombstone: Option<u64> = None;
+        loop {
+            touches += 1;
+            match self.slots[i as usize] {
+                Slot::Empty => {
+                    let target = first_tombstone.unwrap_or(i);
+                    if target == i {
+                        self.occupied += 1;
+                    }
+                    self.slots[target as usize] = Slot::Full(v.0, p);
+                    self.mapped += 1;
+                    return WalkStats { touches };
+                }
+                Slot::Tombstone => {
+                    first_tombstone.get_or_insert(i);
+                    i = (i + 1) & self.mask;
+                }
+                Slot::Full(existing, _) if existing == v.0 => {
+                    self.slots[i as usize] = Slot::Full(v.0, p);
+                    return WalkStats { touches };
+                }
+                Slot::Full(..) => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    fn unmap(&mut self, v: VirtPage) -> (Option<PhysPage>, WalkStats) {
+        let mut touches = 0;
+        let mut i = self.home(v.0);
+        loop {
+            touches += 1;
+            match self.slots[i as usize] {
+                Slot::Empty => return (None, WalkStats { touches }),
+                Slot::Full(existing, p) if existing == v.0 => {
+                    self.slots[i as usize] = Slot::Tombstone;
+                    self.mapped -= 1;
+                    return (Some(p), WalkStats { touches });
+                }
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    fn translate(&self, v: VirtPage) -> (Option<PhysPage>, WalkStats) {
+        let mut touches = 0;
+        let mut i = self.home(v.0);
+        loop {
+            touches += 1;
+            match self.slots[i as usize] {
+                Slot::Empty => return (None, WalkStats { touches }),
+                Slot::Full(existing, p) if existing == v.0 => {
+                    return (Some(p), WalkStats { touches })
+                }
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    fn mapped(&self) -> u64 {
+        self.mapped
+    }
+
+    fn table_pages(&self) -> u64 {
+        (self.slots.len() as u64).div_ceil(SLOTS_PER_PAGE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut pt = HashPageTable::new(1, 100);
+        pt.map(VirtPage(10), PhysPage(20));
+        assert_eq!(pt.translate(VirtPage(10)).0, Some(PhysPage(20)));
+        assert_eq!(pt.unmap(VirtPage(10)).0, Some(PhysPage(20)));
+        assert_eq!(pt.translate(VirtPage(10)).0, None);
+        assert_eq!(pt.mapped(), 0);
+    }
+
+    #[test]
+    fn overwrite_does_not_duplicate() {
+        let mut pt = HashPageTable::new(1, 10);
+        pt.map(VirtPage(1), PhysPage(1));
+        pt.map(VirtPage(1), PhysPage(2));
+        assert_eq!(pt.mapped(), 1);
+        assert_eq!(pt.translate(VirtPage(1)).0, Some(PhysPage(2)));
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut pt = HashPageTable::new(2, 8);
+        for v in 0..1000u64 {
+            pt.map(VirtPage(v), PhysPage(v + 5));
+        }
+        assert_eq!(pt.mapped(), 1000);
+        for v in 0..1000u64 {
+            assert_eq!(pt.translate(VirtPage(v)).0, Some(PhysPage(v + 5)), "v={v}");
+        }
+    }
+
+    #[test]
+    fn tombstones_do_not_break_probe_chains() {
+        let mut pt = HashPageTable::new(3, 64);
+        for v in 0..100u64 {
+            pt.map(VirtPage(v), PhysPage(v));
+        }
+        for v in (0..100u64).step_by(2) {
+            pt.unmap(VirtPage(v));
+        }
+        for v in (1..100u64).step_by(2) {
+            assert_eq!(pt.translate(VirtPage(v)).0, Some(PhysPage(v)), "v={v}");
+        }
+    }
+
+    #[test]
+    fn probe_length_stays_bounded_under_churn() {
+        let mut pt = HashPageTable::new(4, 256);
+        // Heavy map/unmap churn would fill the table with tombstones
+        // without the rehash.
+        for round in 0..50u64 {
+            for v in 0..256u64 {
+                pt.map(VirtPage(round * 1000 + v), PhysPage(v));
+            }
+            for v in 0..256u64 {
+                pt.unmap(VirtPage(round * 1000 + v));
+            }
+        }
+        let (_, stats) = pt.translate(VirtPage(999_999));
+        assert!(stats.touches < 64, "probe chain too long: {}", stats.touches);
+    }
+
+    #[test]
+    fn average_probe_length_is_small_at_half_load() {
+        let mut pt = HashPageTable::new(5, 4096);
+        for v in 0..4096u64 {
+            pt.map(VirtPage(v * 7 + 1), PhysPage(v));
+        }
+        let total: u64 = (0..4096u64)
+            .map(|v| pt.translate(VirtPage(v * 7 + 1)).1.touches)
+            .sum();
+        let avg = total as f64 / 4096.0;
+        assert!(avg < 3.0, "average probes {avg}");
+    }
+
+    #[test]
+    fn table_pages_reflect_capacity() {
+        let pt = HashPageTable::new(6, 1000);
+        // capacity = 2048 slots -> 8 table pages.
+        assert_eq!(pt.table_pages(), 8);
+    }
+
+    #[test]
+    fn matches_reference_map_under_random_ops() {
+        use atp_hash::CounterRng;
+        use std::collections::HashMap;
+        let mut pt = HashPageTable::new(7, 32);
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut rng = CounterRng::new(77, 0);
+        for _ in 0..20_000 {
+            let v = rng.next_below(500);
+            match rng.next_below(3) {
+                0 => {
+                    let p = rng.next_below(1 << 20);
+                    pt.map(VirtPage(v), PhysPage(p));
+                    reference.insert(v, p);
+                }
+                1 => {
+                    let got = pt.unmap(VirtPage(v)).0.map(|p| p.0);
+                    assert_eq!(got, reference.remove(&v));
+                }
+                _ => {
+                    let got = pt.translate(VirtPage(v)).0.map(|p| p.0);
+                    assert_eq!(got, reference.get(&v).copied());
+                }
+            }
+            assert_eq!(pt.mapped() as usize, reference.len());
+        }
+    }
+}

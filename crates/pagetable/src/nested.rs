@@ -1,0 +1,163 @@
+//! Nested (virtualized) address translation.
+//!
+//! Section 1: "in cloud environments … each memory reference undergoes two
+//! translations — once in the guest and once in the host — which actually
+//! squares the cost of a TLB miss in the worst case." This module models
+//! two-dimensional page walks: the guest's page-table pages live in *guest
+//! physical* memory, so every node the guest walk touches must itself be
+//! translated by the host table.
+//!
+//! With `d`-level radix tables on both sides, a full 2D walk touches up to
+//! `(d+1)² − 1 = 24` memory locations (the textbook x86 EPT figure for
+//! d = 4) versus `d = 4` for a native walk — the quadratic blow-up the
+//! paper cites, measured structurally here.
+
+use crate::{PageTable, WalkStats};
+use atp_types::{PhysPage, VirtPage};
+
+/// A two-level (guest-over-host) translation system.
+///
+/// `G` translates guest-virtual → guest-physical; `H` translates
+/// guest-physical → host-physical. Guest table nodes are addressed in
+/// guest-physical space, so each guest walk step costs one host walk plus
+/// the node touch itself.
+pub struct NestedTranslation<G, H> {
+    guest: G,
+    host: H,
+}
+
+impl<G: PageTable, H: PageTable> NestedTranslation<G, H> {
+    /// Wraps a guest and a host table.
+    pub fn new(guest: G, host: H) -> Self {
+        Self { guest, host }
+    }
+
+    /// Guest table (gVA → gPA).
+    pub fn guest(&self) -> &G {
+        &self.guest
+    }
+
+    /// Host table (gPA → hPA).
+    pub fn host(&self) -> &H {
+        &self.host
+    }
+
+    /// Mutable guest table, for mapping.
+    pub fn guest_mut(&mut self) -> &mut G {
+        &mut self.guest
+    }
+
+    /// Mutable host table, for mapping.
+    pub fn host_mut(&mut self) -> &mut H {
+        &mut self.host
+    }
+
+    /// Performs the full two-dimensional walk for guest-virtual page `v`:
+    /// returns the host-physical page and the total touches, where each
+    /// guest-walk touch is preceded by a host walk of the node's
+    /// guest-physical address, and the final guest-physical result is
+    /// itself host-translated.
+    ///
+    /// Returns `None` (with the touches spent) if either dimension lacks a
+    /// mapping.
+    pub fn translate(&self, v: VirtPage) -> (Option<PhysPage>, WalkStats) {
+        // The guest walk reports how many nodes it touched; each node
+        // access in a hardware 2D walk requires a host translation of that
+        // node's gPA. Our PageTable trait doesn't expose per-node
+        // addresses, so we charge the *structural* 2D cost: every guest
+        // touch costs (1 + host walk of a representative node address),
+        // using the host table's walk depth for resident mappings.
+        let (gpa, guest_stats) = self.guest.translate(v);
+        let mut touches = 0;
+        for _ in 0..guest_stats.touches {
+            // Host walk for the table node itself. Representative cost: a
+            // resident host walk (nodes must be resident for the guest
+            // table to function); we use the host's own reported depth by
+            // translating the guest-physical root-adjacent address 0.
+            let (_, h) = self.host.translate(VirtPage(0));
+            touches += 1 + h.touches;
+        }
+        match gpa {
+            None => (None, WalkStats { touches }),
+            Some(gp) => {
+                // Finally translate the data page's gPA.
+                let (hpa, h) = self.host.translate(VirtPage(gp.0));
+                touches += h.touches;
+                (hpa, WalkStats { touches })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radix::RadixPageTable;
+
+    fn nested_identity(span: u64) -> NestedTranslation<RadixPageTable, RadixPageTable> {
+        let mut guest = RadixPageTable::new();
+        let mut host = RadixPageTable::new();
+        for v in 0..span {
+            guest.map(VirtPage(v), PhysPage(v + 1000));
+            host.map(VirtPage(v + 1000), PhysPage(v + 2000));
+        }
+        // Host must also map the low gPAs used for node-representative
+        // translations.
+        host.map(VirtPage(0), PhysPage(0));
+        NestedTranslation::new(guest, host)
+    }
+
+    #[test]
+    fn resolves_through_both_dimensions() {
+        let n = nested_identity(64);
+        let (hpa, _) = n.translate(VirtPage(7));
+        assert_eq!(hpa, Some(PhysPage(2007)));
+    }
+
+    #[test]
+    fn two_dimensional_walk_costs_square() {
+        let n = nested_identity(64);
+        let (_, native) = n.guest().translate(VirtPage(7));
+        let (_, nested) = n.translate(VirtPage(7));
+        // Native: 4 touches. Nested: 4 guest nodes × (1 + 4 host) + 4 for
+        // the final data translation = 24 — the (d+1)²−1 figure.
+        assert_eq!(native.touches, 4);
+        assert_eq!(nested.touches, 24);
+    }
+
+    #[test]
+    fn unmapped_guest_fails_cheaply() {
+        let n = nested_identity(8);
+        let (hpa, stats) = n.translate(VirtPage(9999));
+        assert_eq!(hpa, None);
+        assert!(stats.touches < 24, "short-circuit on guest miss");
+    }
+
+    #[test]
+    fn unmapped_host_fails() {
+        let mut guest = RadixPageTable::new();
+        guest.map(VirtPage(1), PhysPage(555));
+        let mut host = RadixPageTable::new();
+        host.map(VirtPage(0), PhysPage(0));
+        let n = NestedTranslation::new(guest, host);
+        let (hpa, _) = n.translate(VirtPage(1));
+        assert_eq!(hpa, None, "gPA 555 unmapped in host");
+    }
+
+    #[test]
+    fn host_huge_leaves_shorten_nested_walks() {
+        // 1 GB-equivalent host leaves cut each per-node host walk from 4 to
+        // 2, shrinking the 2D walk from 24 to 4×(1+2)+2 = 14 — the EPT
+        // huge-page optimization hypervisors actually use.
+        let mut guest = RadixPageTable::new();
+        for v in 0..64u64 {
+            guest.map(VirtPage(v), PhysPage(v + 1000));
+        }
+        let mut host = RadixPageTable::new();
+        host.map_huge(VirtPage(0), 2, PhysPage(0)); // covers gPA 0..2^18
+        let n = NestedTranslation::new(guest, host);
+        let (hpa, stats) = n.translate(VirtPage(7));
+        assert_eq!(hpa, Some(PhysPage(1007)));
+        assert_eq!(stats.touches, 14);
+    }
+}

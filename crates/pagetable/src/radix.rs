@@ -1,0 +1,353 @@
+//! The x86-64-style 4-level radix page table.
+//!
+//! Virtual page ids are split into four 9-bit indices (supporting a 36-bit
+//! page-id space = 48-bit byte addresses at 4 kB pages). Each node is a
+//! 512-entry table occupying one 4 kB page; a translation walk touches one
+//! node per level. Huge leaf entries may be installed at the L2 boundary
+//! (2^9 pages ≈ 2 MB) or L3 boundary (2^18 pages ≈ 1 GB), shortening walks —
+//! exactly the hardware mechanism that motivates huge pages in the paper.
+
+use crate::{PageTable, WalkStats};
+use atp_types::{PhysPage, VirtPage};
+
+const BITS_PER_LEVEL: u32 = 9;
+const FANOUT: usize = 1 << BITS_PER_LEVEL;
+const LEVELS: u32 = 4;
+
+/// Maximum page id representable: 4 levels × 9 bits.
+pub const MAX_PAGE_ID: u64 = (1 << (BITS_PER_LEVEL * LEVELS)) - 1;
+
+#[derive(Clone, Debug)]
+enum Entry {
+    Empty,
+    /// Interior pointer to a child node.
+    Node(Box<Node>),
+    /// Leaf translation. At the bottom level this maps one base page; at an
+    /// interior level it is a huge leaf mapping a contiguous physical run
+    /// starting at the stored frame.
+    Leaf(PhysPage),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    entries: Vec<Entry>,
+    /// Number of non-empty entries, for reclamation.
+    used: u32,
+}
+
+impl Node {
+    fn new() -> Self {
+        Self {
+            entries: (0..FANOUT).map(|_| Entry::Empty).collect(),
+            used: 0,
+        }
+    }
+}
+
+/// A 4-level radix page table with walk-touch accounting.
+#[derive(Clone, Debug)]
+pub struct RadixPageTable {
+    root: Box<Node>,
+    mapped: u64,
+    nodes: u64,
+}
+
+impl RadixPageTable {
+    /// Creates an empty table (root node preallocated, as on real hardware).
+    pub fn new() -> Self {
+        Self {
+            root: Box::new(Node::new()),
+            mapped: 0,
+            nodes: 1,
+        }
+    }
+
+    #[inline]
+    fn index(v: u64, level: u32) -> usize {
+        // level 0 = root. Root consumes the top 9 bits.
+        ((v >> (BITS_PER_LEVEL * (LEVELS - 1 - level))) & (FANOUT as u64 - 1)) as usize
+    }
+
+    /// Installs a huge leaf covering `2^(9*k)` base pages, `k ∈ {1, 2}`,
+    /// mapping the aligned virtual run starting at `base` to the contiguous
+    /// physical run starting at `frame`.
+    ///
+    /// # Panics
+    /// Panics if `base` is not aligned to the huge size, if `k` is not 1 or
+    /// 2, or if the covered range already contains mappings.
+    pub fn map_huge(&mut self, base: VirtPage, k: u32, frame: PhysPage) -> WalkStats {
+        assert!(k == 1 || k == 2, "huge leaves only at L2/L3 boundaries");
+        let span = 1u64 << (BITS_PER_LEVEL * k);
+        assert_eq!(base.0 % span, 0, "huge mapping base must be aligned");
+        assert!(base.0 <= MAX_PAGE_ID, "page id out of range");
+
+        let leaf_level = LEVELS - 1 - k;
+        let mut touches = 1;
+        let mut node = &mut self.root;
+        for level in 0..leaf_level {
+            let idx = Self::index(base.0, level);
+            let entry = &mut node.entries[idx];
+            if matches!(entry, Entry::Empty) {
+                *entry = Entry::Node(Box::new(Node::new()));
+                node.used += 1;
+                self.nodes += 1;
+            }
+            match entry {
+                Entry::Node(child) => {
+                    node = child;
+                    touches += 1;
+                }
+                Entry::Leaf(_) => panic!("huge mapping overlaps an existing huge leaf"),
+                Entry::Empty => unreachable!(),
+            }
+        }
+        let idx = Self::index(base.0, leaf_level);
+        match &node.entries[idx] {
+            Entry::Empty => {
+                node.entries[idx] = Entry::Leaf(frame);
+                node.used += 1;
+                self.mapped += span;
+            }
+            _ => panic!("huge mapping overlaps existing mappings"),
+        }
+        WalkStats { touches }
+    }
+}
+
+impl Default for RadixPageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable for RadixPageTable {
+    fn map(&mut self, v: VirtPage, p: PhysPage) -> WalkStats {
+        assert!(v.0 <= MAX_PAGE_ID, "page id out of range");
+        let mut touches = 1;
+        let mut node = &mut self.root;
+        for level in 0..LEVELS - 1 {
+            let idx = Self::index(v.0, level);
+            let entry = &mut node.entries[idx];
+            if matches!(entry, Entry::Empty) {
+                *entry = Entry::Node(Box::new(Node::new()));
+                node.used += 1;
+                self.nodes += 1;
+            }
+            match entry {
+                Entry::Node(child) => {
+                    node = child;
+                    touches += 1;
+                }
+                Entry::Leaf(_) => panic!("mapping under an existing huge leaf"),
+                Entry::Empty => unreachable!(),
+            }
+        }
+        let idx = Self::index(v.0, LEVELS - 1);
+        match &mut node.entries[idx] {
+            e @ Entry::Empty => {
+                *e = Entry::Leaf(p);
+                node.used += 1;
+                self.mapped += 1;
+            }
+            Entry::Leaf(frame) => *frame = p,
+            Entry::Node(_) => unreachable!("interior node at leaf level"),
+        }
+        WalkStats { touches }
+    }
+
+    fn unmap(&mut self, v: VirtPage) -> (Option<PhysPage>, WalkStats) {
+        // Walk down, recording the path; reclaim emptied nodes on the way up.
+        // (Recursion keeps borrowck happy; depth is bounded by LEVELS.)
+        fn go(
+            node: &mut Node,
+            v: u64,
+            level: u32,
+            mapped: &mut u64,
+            nodes: &mut u64,
+            touches: &mut u64,
+        ) -> Option<PhysPage> {
+            *touches += 1;
+            let idx = RadixPageTable::index(v, level);
+            match &mut node.entries[idx] {
+                Entry::Empty => None,
+                Entry::Leaf(frame) => {
+                    // Only base-page leaves are unmappable one page at a time;
+                    // a huge leaf above the bottom level spans many pages.
+                    if level == LEVELS - 1 {
+                        let f = *frame;
+                        node.entries[idx] = Entry::Empty;
+                        node.used -= 1;
+                        *mapped -= 1;
+                        Some(f)
+                    } else {
+                        let span = 1u64 << (BITS_PER_LEVEL * (LEVELS - 1 - level));
+                        let f = *frame;
+                        node.entries[idx] = Entry::Empty;
+                        node.used -= 1;
+                        *mapped -= span;
+                        Some(f)
+                    }
+                }
+                Entry::Node(child) => {
+                    let out = go(child, v, level + 1, mapped, nodes, touches);
+                    if child.used == 0 {
+                        node.entries[idx] = Entry::Empty;
+                        node.used -= 1;
+                        *nodes -= 1;
+                    }
+                    out
+                }
+            }
+        }
+
+        let mut touches = 0;
+        let out = go(
+            &mut self.root,
+            v.0,
+            0,
+            &mut self.mapped,
+            &mut self.nodes,
+            &mut touches,
+        );
+        (out, WalkStats { touches })
+    }
+
+    fn translate(&self, v: VirtPage) -> (Option<PhysPage>, WalkStats) {
+        let mut touches = 0;
+        let mut node = &self.root;
+        #[allow(clippy::explicit_counter_loop)] // touches is costing, not indexing
+        for level in 0..LEVELS {
+            touches += 1;
+            let idx = Self::index(v.0, level);
+            match &node.entries[idx] {
+                Entry::Empty => return (None, WalkStats { touches }),
+                Entry::Leaf(frame) => {
+                    // Huge leaf: offset within the covered run.
+                    let covered_bits = BITS_PER_LEVEL * (LEVELS - 1 - level);
+                    let offset = v.0 & ((1u64 << covered_bits) - 1);
+                    return (Some(PhysPage(frame.0 + offset)), WalkStats { touches });
+                }
+                Entry::Node(child) => node = child,
+            }
+        }
+        unreachable!("bottom level always resolves to Leaf or Empty");
+    }
+
+    fn mapped(&self) -> u64 {
+        self.mapped
+    }
+
+    fn table_pages(&self) -> u64 {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_unmap_roundtrip() {
+        let mut pt = RadixPageTable::new();
+        pt.map(VirtPage(0x12345), PhysPage(7));
+        assert_eq!(pt.translate(VirtPage(0x12345)).0, Some(PhysPage(7)));
+        assert_eq!(pt.mapped(), 1);
+        let (old, _) = pt.unmap(VirtPage(0x12345));
+        assert_eq!(old, Some(PhysPage(7)));
+        assert_eq!(pt.translate(VirtPage(0x12345)).0, None);
+        assert_eq!(pt.mapped(), 0);
+    }
+
+    #[test]
+    fn full_walk_touches_four_levels() {
+        let mut pt = RadixPageTable::new();
+        pt.map(VirtPage(42), PhysPage(1));
+        let (hit, stats) = pt.translate(VirtPage(42));
+        assert!(hit.is_some());
+        assert_eq!(stats.touches, 4);
+    }
+
+    #[test]
+    fn miss_can_short_circuit() {
+        let pt = RadixPageTable::new();
+        let (hit, stats) = pt.translate(VirtPage(42));
+        assert!(hit.is_none());
+        assert_eq!(stats.touches, 1, "empty root entry ends the walk");
+    }
+
+    #[test]
+    fn remap_overwrites() {
+        let mut pt = RadixPageTable::new();
+        pt.map(VirtPage(5), PhysPage(1));
+        pt.map(VirtPage(5), PhysPage(2));
+        assert_eq!(pt.translate(VirtPage(5)).0, Some(PhysPage(2)));
+        assert_eq!(pt.mapped(), 1);
+    }
+
+    #[test]
+    fn huge_leaf_shortens_walk_and_offsets() {
+        let mut pt = RadixPageTable::new();
+        // 2MB-equivalent huge leaf at L2 boundary: covers 512 pages.
+        pt.map_huge(VirtPage(512 * 3), 1, PhysPage(10_000));
+        let (hit, stats) = pt.translate(VirtPage(512 * 3 + 17));
+        assert_eq!(hit, Some(PhysPage(10_017)));
+        assert_eq!(stats.touches, 3, "huge leaf resolves one level early");
+        assert_eq!(pt.mapped(), 512);
+    }
+
+    #[test]
+    fn gigantic_leaf_two_levels_early() {
+        let mut pt = RadixPageTable::new();
+        pt.map_huge(VirtPage(0), 2, PhysPage(0));
+        let (hit, stats) = pt.translate(VirtPage(1234));
+        assert_eq!(hit, Some(PhysPage(1234)));
+        assert_eq!(stats.touches, 2);
+        assert_eq!(pt.mapped(), 1 << 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn huge_mapping_must_align() {
+        let mut pt = RadixPageTable::new();
+        pt.map_huge(VirtPage(100), 1, PhysPage(0));
+    }
+
+    #[test]
+    fn node_reclamation_on_unmap() {
+        let mut pt = RadixPageTable::new();
+        let before = pt.table_pages();
+        pt.map(VirtPage(1), PhysPage(1));
+        assert!(pt.table_pages() > before);
+        pt.unmap(VirtPage(1));
+        assert_eq!(pt.table_pages(), before, "interior nodes reclaimed");
+    }
+
+    #[test]
+    fn table_pages_grow_with_spread_mappings() {
+        let mut pt = RadixPageTable::new();
+        // Mappings far apart force distinct subtrees.
+        for i in 0..8u64 {
+            pt.map(VirtPage(i << 27), PhysPage(i));
+        }
+        // Root + 8 × (three interior levels) = 1 + 24 nodes.
+        assert_eq!(pt.table_pages(), 25);
+    }
+
+    #[test]
+    fn dense_mappings_share_nodes() {
+        let mut pt = RadixPageTable::new();
+        for i in 0..512u64 {
+            pt.map(VirtPage(i), PhysPage(i));
+        }
+        // All 512 leaves share one path: root + 3 nodes.
+        assert_eq!(pt.table_pages(), 4);
+        assert_eq!(pt.mapped(), 512);
+    }
+
+    #[test]
+    fn unmap_absent_is_none() {
+        let mut pt = RadixPageTable::new();
+        let (old, _) = pt.unmap(VirtPage(9));
+        assert_eq!(old, None);
+    }
+}

@@ -1,0 +1,291 @@
+//! The generic cache simulator driving a replacement policy.
+
+use crate::policy::{Policy, SlotId};
+use atp_hash::FxHashMap;
+use core::hash::Hash;
+
+/// Outcome of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessResult<K> {
+    /// The key was resident.
+    Hit,
+    /// The key was not resident and has been inserted; if the cache was
+    /// full, `evicted` names the victim that made room.
+    Miss {
+        /// Victim evicted to make room, if the cache was at capacity.
+        evicted: Option<K>,
+    },
+}
+
+impl<K> AccessResult<K> {
+    /// Whether this was a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+}
+
+/// A capacity-bounded cache over keys `K`, with replacement delegated to a
+/// [`Policy`].
+///
+/// Used throughout the workspace as the content-tracker for both RAM (keys =
+/// pages or huge pages) and TLBs (keys = huge-page ids). Explicit removal is
+/// supported for TLB shootdowns and decoupling-driven invalidations.
+///
+/// ```
+/// use atp_replacement::{AccessResult, CacheSim, Lru};
+///
+/// let mut cache = CacheSim::new(2, Lru::new(2));
+/// cache.access(1u64);
+/// cache.access(2);
+/// cache.access(1); // refresh 1
+/// match cache.access(3) {
+///     AccessResult::Miss { evicted } => assert_eq!(evicted, Some(2)),
+///     _ => unreachable!(),
+/// }
+/// ```
+pub struct CacheSim<K, P: Policy> {
+    capacity: usize,
+    map: FxHashMap<K, SlotId>,
+    keys: Vec<Option<K>>,
+    free: Vec<SlotId>,
+    policy: P,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Copy, P: Policy> CacheSim<K, P> {
+    /// Creates a cache of `capacity` entries driven by `policy`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, policy: P) -> Self {
+        assert!(capacity > 0, "cache capacity must be nonzero");
+        Self {
+            capacity,
+            map: FxHashMap::default(),
+            keys: (0..capacity).map(|_| None).collect(),
+            free: (0..capacity).rev().collect(),
+            policy,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `k` is resident (does not touch the policy).
+    #[inline]
+    pub fn contains(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+
+    /// Hit count so far.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Accesses `k`: on a miss, inserts it (possibly evicting).
+    pub fn access(&mut self, k: K) -> AccessResult<K> {
+        if let Some(&slot) = self.map.get(&k) {
+            self.policy.on_hit(slot);
+            self.hits += 1;
+            return AccessResult::Hit;
+        }
+        self.misses += 1;
+        let evicted = self.insert_cold(k);
+        AccessResult::Miss { evicted }
+    }
+
+    /// Inserts a key known to be absent, returning the evicted victim if the
+    /// cache was full.
+    ///
+    /// # Panics
+    /// Panics if `k` is already resident.
+    pub fn insert_cold(&mut self, k: K) -> Option<K> {
+        assert!(!self.map.contains_key(&k), "insert_cold on resident key");
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let victim_slot = self.policy.choose_victim();
+            let victim = self.keys[victim_slot].take().expect("victim slot occupied");
+            self.policy.on_remove(victim_slot);
+            self.map.remove(&victim);
+            self.free.push(victim_slot);
+            evicted = Some(victim);
+        }
+        let slot = self.free.pop().expect("free slot available");
+        self.keys[slot] = Some(k);
+        self.map.insert(k, slot);
+        self.policy.on_insert(slot);
+        evicted
+    }
+
+    /// Forces eviction of the policy's preferred victim, returning it
+    /// (`None` if the cache is empty). Used by managers whose real capacity
+    /// constraint is external (e.g. physical frames rather than entries).
+    pub fn evict_one(&mut self) -> Option<K> {
+        if self.map.is_empty() {
+            return None;
+        }
+        let victim_slot = self.policy.choose_victim();
+        let victim = self.keys[victim_slot].take().expect("victim slot occupied");
+        self.policy.on_remove(victim_slot);
+        self.map.remove(&victim);
+        self.free.push(victim_slot);
+        Some(victim)
+    }
+
+    /// Explicitly removes `k` (invalidation), returning whether it was
+    /// resident.
+    pub fn remove(&mut self, k: &K) -> bool {
+        if let Some(slot) = self.map.remove(k) {
+            self.keys[slot] = None;
+            self.policy.on_remove(slot);
+            self.free.push(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over resident keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
+    /// Access to the policy (for tests / instrumentation).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::Lru;
+
+    fn lru_cache(cap: usize) -> CacheSim<u64, Lru> {
+        CacheSim::new(cap, Lru::new(cap))
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = lru_cache(2);
+        assert!(!c.access(1).is_hit());
+        assert!(c.access(1).is_hit());
+        assert!(!c.access(2).is_hit());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_reports_victim() {
+        let mut c = lru_cache(2);
+        c.access(1);
+        c.access(2);
+        match c.access(3) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, Some(1)),
+            _ => panic!("expected miss"),
+        }
+        assert!(!c.contains(&1));
+        assert!(c.contains(&2));
+        assert!(c.contains(&3));
+    }
+
+    #[test]
+    fn explicit_remove_frees_capacity() {
+        let mut c = lru_cache(2);
+        c.access(1);
+        c.access(2);
+        assert!(c.remove(&1));
+        assert!(!c.remove(&1));
+        // Next miss should not evict.
+        match c.access(3) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, None),
+            _ => panic!("expected miss"),
+        }
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        lru_cache(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_cold on resident key")]
+    fn insert_cold_rejects_resident() {
+        let mut c = lru_cache(2);
+        c.access(5);
+        c.insert_cold(5);
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut c = lru_cache(4);
+        for k in 0..100u64 {
+            c.access(k % 13);
+            assert!(c.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn evict_one_honors_policy_order() {
+        let mut c = lru_cache(3);
+        c.access(1);
+        c.access(2);
+        c.access(3);
+        c.access(1); // refresh
+        assert_eq!(c.evict_one(), Some(2));
+        assert_eq!(c.evict_one(), Some(3));
+        assert_eq!(c.evict_one(), Some(1));
+        assert_eq!(c.evict_one(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn evict_one_frees_capacity() {
+        let mut c = lru_cache(2);
+        c.access(1);
+        c.access(2);
+        c.evict_one();
+        match c.access(3) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, None),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn keys_iterates_residents() {
+        let mut c = lru_cache(3);
+        c.access(10);
+        c.access(20);
+        let mut ks: Vec<u64> = c.keys().copied().collect();
+        ks.sort_unstable();
+        assert_eq!(ks, vec![10, 20]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Least-frequently-used replacement.
+//!
+//! Evicts the resident item with the fewest accesses, breaking ties toward
+//! the least recently inserted/bumped. Implemented with an ordered map keyed
+//! by `(frequency, tick)` — O(log n) per operation, which is plenty for a
+//! simulator and keeps the code obviously correct.
+
+use crate::policy::{Policy, PolicyKind, SlotId};
+use std::collections::BTreeMap;
+
+/// LFU policy state.
+#[derive(Clone, Debug, Default)]
+pub struct Lfu {
+    // (freq, tick) -> slot; the first entry is the victim.
+    order: BTreeMap<(u64, u64), SlotId>,
+    // per-slot (freq, tick) back-pointers; None when slot is free.
+    key_of: Vec<Option<(u64, u64)>>,
+    tick: u64,
+}
+
+impl Lfu {
+    /// Creates LFU state for a cache of `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            order: BTreeMap::new(),
+            key_of: vec![None; capacity],
+            tick: 0,
+        }
+    }
+
+    fn bump(&mut self, s: SlotId, new_freq: u64) {
+        if let Some(old) = self.key_of[s].take() {
+            self.order.remove(&old);
+        }
+        let key = (new_freq, self.tick);
+        self.tick += 1;
+        self.order.insert(key, s);
+        self.key_of[s] = Some(key);
+    }
+}
+
+impl Policy for Lfu {
+    fn on_insert(&mut self, s: SlotId) {
+        self.bump(s, 1);
+    }
+
+    fn on_hit(&mut self, s: SlotId) {
+        let freq = self.key_of[s].expect("hit on untracked slot").0;
+        self.bump(s, freq + 1);
+    }
+
+    fn choose_victim(&mut self) -> SlotId {
+        *self
+            .order
+            .values()
+            .next()
+            .expect("choose_victim on empty cache")
+    }
+
+    fn on_remove(&mut self, s: SlotId) {
+        if let Some(key) = self.key_of[s].take() {
+            self.order.remove(&key);
+        }
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lfu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{AccessResult, CacheSim};
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut c = CacheSim::new(2, Lfu::new(2));
+        c.access(1);
+        c.access(1);
+        c.access(1);
+        c.access(2);
+        match c.access(3) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, Some(2)),
+            _ => panic!(),
+        }
+        assert!(c.contains(&1));
+    }
+
+    #[test]
+    fn ties_break_toward_older() {
+        let mut c = CacheSim::new(2, Lfu::new(2));
+        c.access(1);
+        c.access(2); // both freq 1; 1 is older
+        match c.access(3) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, Some(1)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn protects_hot_items_against_scans() {
+        let mut c = CacheSim::new(4, Lfu::new(4));
+        // Heat up 0 and 1.
+        for _ in 0..10 {
+            c.access(0);
+            c.access(1);
+        }
+        // Long cold scan.
+        for k in 100..200u64 {
+            c.access(k);
+        }
+        assert!(c.contains(&0));
+        assert!(c.contains(&1));
+    }
+
+    #[test]
+    fn remove_then_reuse_slot() {
+        let mut c = CacheSim::new(2, Lfu::new(2));
+        c.access(1);
+        c.access(2);
+        c.remove(&1);
+        c.access(3);
+        c.access(3);
+        // Evict 2 (freq 1), not 3 (freq 2).
+        match c.access(4) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, Some(2)),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! An index-based intrusive doubly-linked list.
+//!
+//! Replacement policies need O(1) "move to front", "pop back", and "unlink
+//! arbitrary element". A pointer-based list would fight the borrow checker;
+//! instead we link *slot indices* through a flat `Vec` — the standard
+//! arena-backed pattern for cache simulators. Slots are allocated by the
+//! caller ([`crate::cache::CacheSim`]) and must be `< capacity`.
+
+/// Sentinel meaning "no link".
+const NIL: usize = usize::MAX;
+
+/// A doubly-linked list over externally-allocated slot indices.
+#[derive(Clone, Debug)]
+pub struct IndexList {
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl IndexList {
+    /// Creates an empty list able to link slots `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            prev: vec![NIL; capacity],
+            next: vec![NIL; capacity],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of linked slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First slot, if any.
+    #[inline]
+    pub fn front(&self) -> Option<usize> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    /// Last slot, if any.
+    #[inline]
+    pub fn back(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    /// Slot after `s`, if any.
+    #[inline]
+    pub fn next_of(&self, s: usize) -> Option<usize> {
+        let n = self.next[s];
+        (n != NIL).then_some(n)
+    }
+
+    /// Slot before `s`, if any.
+    #[inline]
+    pub fn prev_of(&self, s: usize) -> Option<usize> {
+        let p = self.prev[s];
+        (p != NIL).then_some(p)
+    }
+
+    /// Links `s` at the front.
+    ///
+    /// # Panics
+    /// Debug-panics if `s` is already linked.
+    pub fn push_front(&mut self, s: usize) {
+        debug_assert!(!self.contains(s), "slot {s} already linked");
+        self.prev[s] = NIL;
+        self.next[s] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = s;
+        } else {
+            self.tail = s;
+        }
+        self.head = s;
+        self.len += 1;
+    }
+
+    /// Links `s` at the back.
+    pub fn push_back(&mut self, s: usize) {
+        debug_assert!(!self.contains(s), "slot {s} already linked");
+        self.next[s] = NIL;
+        self.prev[s] = self.tail;
+        if self.tail != NIL {
+            self.next[self.tail] = s;
+        } else {
+            self.head = s;
+        }
+        self.tail = s;
+        self.len += 1;
+    }
+
+    /// Unlinks `s` (which must be linked).
+    pub fn remove(&mut self, s: usize) {
+        let (p, n) = (self.prev[s], self.next[s]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            debug_assert_eq!(self.head, s, "removing unlinked slot {s}");
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            debug_assert_eq!(self.tail, s, "removing unlinked slot {s}");
+            self.tail = p;
+        }
+        self.prev[s] = NIL;
+        self.next[s] = NIL;
+        self.len -= 1;
+    }
+
+    /// Unlinks the last slot and returns it.
+    pub fn pop_back(&mut self) -> Option<usize> {
+        let t = self.back()?;
+        self.remove(t);
+        Some(t)
+    }
+
+    /// Unlinks the first slot and returns it.
+    pub fn pop_front(&mut self) -> Option<usize> {
+        let h = self.front()?;
+        self.remove(h);
+        Some(h)
+    }
+
+    /// Moves `s` to the front (must be linked).
+    pub fn move_to_front(&mut self, s: usize) {
+        if self.head != s {
+            self.remove(s);
+            self.push_front(s);
+        }
+    }
+
+    /// Moves `s` to the back (must be linked).
+    pub fn move_to_back(&mut self, s: usize) {
+        if self.tail != s {
+            self.remove(s);
+            self.push_back(s);
+        }
+    }
+
+    /// Whether `s` is currently linked. O(1) except for the head special
+    /// case, which is disambiguated via the stored links.
+    pub fn contains(&self, s: usize) -> bool {
+        self.head == s || self.prev[s] != NIL || self.next[s] != NIL
+    }
+
+    /// Iterates front-to-back.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut cur = self.head;
+        core::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let out = cur;
+                cur = self.next[cur];
+                Some(out)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_front_back() {
+        let mut l = IndexList::new(8);
+        l.push_front(0);
+        l.push_front(1);
+        l.push_back(2);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![1, 0, 2]);
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_front(), Some(1));
+        assert_eq!(l.pop_front(), Some(0));
+        assert_eq!(l.pop_front(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remove_middle() {
+        let mut l = IndexList::new(8);
+        for s in 0..5 {
+            l.push_back(s);
+        }
+        l.remove(2);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+        assert_eq!(l.len(), 4);
+        assert!(!l.contains(2));
+    }
+
+    #[test]
+    fn move_to_front_and_back() {
+        let mut l = IndexList::new(8);
+        for s in 0..4 {
+            l.push_back(s);
+        }
+        l.move_to_front(2);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![2, 0, 1, 3]);
+        l.move_to_back(2);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![0, 1, 3, 2]);
+        // Moving head to front / tail to back is a no-op.
+        l.move_to_front(0);
+        l.move_to_back(2);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn contains_is_accurate() {
+        let mut l = IndexList::new(4);
+        assert!(!l.contains(0));
+        l.push_back(0);
+        assert!(l.contains(0));
+        l.push_back(1);
+        assert!(l.contains(1));
+        l.remove(0);
+        assert!(!l.contains(0));
+        assert!(l.contains(1));
+    }
+
+    #[test]
+    fn singleton_list_edges() {
+        let mut l = IndexList::new(2);
+        l.push_back(1);
+        assert_eq!(l.front(), Some(1));
+        assert_eq!(l.back(), Some(1));
+        l.move_to_front(1);
+        l.move_to_back(1);
+        assert_eq!(l.len(), 1);
+        l.remove(1);
+        assert_eq!(l.front(), None);
+        assert_eq!(l.back(), None);
+    }
+
+    #[test]
+    fn relink_after_remove() {
+        let mut l = IndexList::new(4);
+        l.push_back(0);
+        l.push_back(1);
+        l.remove(0);
+        l.push_back(0); // reuse the slot
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![1, 0]);
+    }
+}

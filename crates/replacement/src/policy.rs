@@ -1,0 +1,136 @@
+//! The replacement-policy callback interface.
+
+use serde::{Deserialize, Serialize};
+
+/// A cache slot index, allocated by [`crate::cache::CacheSim`];
+/// always `< capacity`.
+pub type SlotId = usize;
+
+/// Callback interface implemented by every online replacement policy.
+///
+/// The driving [`crate::cache::CacheSim`] owns the key→slot map; the policy
+/// only sees opaque slot ids and maintains whatever recency/frequency
+/// structure it needs. Contract:
+///
+/// * `on_insert(s)` — a new item was placed in previously-free slot `s`;
+/// * `on_hit(s)` — the item in slot `s` was accessed;
+/// * `choose_victim()` — the cache is full; return an occupied slot to evict
+///   (the simulator will follow up with `on_remove` for that slot);
+/// * `on_remove(s)` — the item in slot `s` is gone (eviction *or* explicit
+///   invalidation); the policy must forget it.
+pub trait Policy: Send {
+    /// Records the insertion of a new item into free slot `s`.
+    fn on_insert(&mut self, s: SlotId);
+    /// Records a hit on the item in slot `s`.
+    fn on_hit(&mut self, s: SlotId);
+    /// Selects an occupied slot to evict.
+    fn choose_victim(&mut self) -> SlotId;
+    /// Records removal of the item in slot `s`.
+    fn on_remove(&mut self, s: SlotId);
+    /// The policy's kind, for reporting.
+    fn kind(&self) -> PolicyKind;
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn on_insert(&mut self, s: SlotId) {
+        (**self).on_insert(s)
+    }
+    fn on_hit(&mut self, s: SlotId) {
+        (**self).on_hit(s)
+    }
+    fn choose_victim(&mut self) -> SlotId {
+        (**self).choose_victim()
+    }
+    fn on_remove(&mut self, s: SlotId) {
+        (**self).on_remove(s)
+    }
+    fn kind(&self) -> PolicyKind {
+        (**self).kind()
+    }
+}
+
+/// Enumeration of the online policies, for runtime configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Least-recently used.
+    Lru,
+    /// First-in first-out.
+    Fifo,
+    /// CLOCK / second chance.
+    Clock,
+    /// Most-recently used (anti-LRU; pathological on locality, useful as a
+    /// worst-case comparator).
+    Mru,
+    /// Least-frequently used (O(1) frequency buckets).
+    Lfu,
+    /// Segmented LRU (probationary + protected segments).
+    Slru,
+    /// Simplified 2Q (A1in FIFO + Am LRU).
+    TwoQ,
+    /// Uniform random eviction.
+    Random,
+    /// LRU-2 (O'Neil et al.): evict by oldest second-most-recent reference.
+    LruK,
+    /// SIEVE (Zhang et al.): FIFO + visited bit with a persistent hand.
+    Sieve,
+    /// Randomized marking (Fiat et al.): O(log k)-competitive.
+    Marking,
+}
+
+impl PolicyKind {
+    /// All kinds, for sweep experiments.
+    pub const ALL: [PolicyKind; 11] = [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Clock,
+        PolicyKind::Mru,
+        PolicyKind::Lfu,
+        PolicyKind::Slru,
+        PolicyKind::TwoQ,
+        PolicyKind::Random,
+        PolicyKind::LruK,
+        PolicyKind::Sieve,
+        PolicyKind::Marking,
+    ];
+
+    /// Short lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Clock => "clock",
+            PolicyKind::Mru => "mru",
+            PolicyKind::Lfu => "lfu",
+            PolicyKind::Slru => "slru",
+            PolicyKind::TwoQ => "2q",
+            PolicyKind::Random => "random",
+            PolicyKind::LruK => "lru-2",
+            PolicyKind::Sieve => "sieve",
+            PolicyKind::Marking => "marking",
+        }
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_unique_names() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(PolicyKind::Lru.to_string(), "lru");
+        assert_eq!(PolicyKind::TwoQ.to_string(), "2q");
+    }
+}

@@ -1,0 +1,167 @@
+//! Segmented LRU.
+//!
+//! Two LRU segments: new items enter a *probationary* segment; a hit
+//! promotes to the *protected* segment (bounded to a fraction of capacity,
+//! demoting its LRU item back to probationary when full). Victims come from
+//! the probationary tail. SLRU resists one-touch scan pollution while
+//! keeping LRU's recency behaviour for the hot set.
+
+use crate::list::IndexList;
+use crate::policy::{Policy, PolicyKind, SlotId};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Segment {
+    Probation,
+    Protected,
+}
+
+/// SLRU policy state.
+#[derive(Clone, Debug)]
+pub struct Slru {
+    probation: IndexList,
+    protected: IndexList,
+    seg_of: Vec<Option<Segment>>,
+    protected_cap: usize,
+}
+
+impl Slru {
+    /// Creates SLRU state with the default 80% protected fraction.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_protected_fraction(capacity, 0.8)
+    }
+
+    /// Creates SLRU state with a custom protected fraction in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn with_protected_fraction(capacity: usize, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        Self {
+            probation: IndexList::new(capacity),
+            protected: IndexList::new(capacity),
+            seg_of: vec![None; capacity],
+            protected_cap: ((capacity as f64) * fraction).floor() as usize,
+        }
+    }
+}
+
+impl Policy for Slru {
+    fn on_insert(&mut self, s: SlotId) {
+        self.probation.push_front(s);
+        self.seg_of[s] = Some(Segment::Probation);
+    }
+
+    fn on_hit(&mut self, s: SlotId) {
+        match self.seg_of[s].expect("hit on untracked slot") {
+            Segment::Protected => self.protected.move_to_front(s),
+            Segment::Probation => {
+                // Promote; demote the protected LRU if the segment is full.
+                self.probation.remove(s);
+                if self.protected.len() >= self.protected_cap.max(1) {
+                    if let Some(demoted) = self.protected.pop_back() {
+                        self.probation.push_front(demoted);
+                        self.seg_of[demoted] = Some(Segment::Probation);
+                    }
+                }
+                self.protected.push_front(s);
+                self.seg_of[s] = Some(Segment::Protected);
+            }
+        }
+    }
+
+    fn choose_victim(&mut self) -> SlotId {
+        self.probation
+            .back()
+            .or_else(|| self.protected.back())
+            .expect("choose_victim on empty cache")
+    }
+
+    fn on_remove(&mut self, s: SlotId) {
+        match self.seg_of[s].take().expect("remove on untracked slot") {
+            Segment::Probation => self.probation.remove(s),
+            Segment::Protected => self.protected.remove(s),
+        }
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Slru
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{AccessResult, CacheSim};
+
+    #[test]
+    fn one_touch_scan_does_not_evict_hot_set() {
+        let mut c = CacheSim::new(10, Slru::new(10));
+        // Build a hot set (touched twice → protected).
+        for k in 0..5u64 {
+            c.access(k);
+            c.access(k);
+        }
+        // Cold scan of one-touch keys.
+        for k in 100..160u64 {
+            c.access(k);
+        }
+        for k in 0..5u64 {
+            assert!(c.contains(&k), "hot key {k} was evicted by scan");
+        }
+    }
+
+    #[test]
+    fn victim_comes_from_probation_first() {
+        let mut c = CacheSim::new(3, Slru::new(3));
+        c.access(1);
+        c.access(1); // 1 → protected
+        c.access(2); // probation
+        c.access(3); // probation
+        match c.access(4) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, Some(2)),
+            _ => panic!(),
+        }
+        assert!(c.contains(&1));
+    }
+
+    #[test]
+    fn protected_overflow_demotes() {
+        // protected_cap = floor(4*0.5) = 2.
+        let mut c = CacheSim::new(4, Slru::with_protected_fraction(4, 0.5));
+        for k in 0..4u64 {
+            c.access(k);
+        }
+        // Promote 0,1,2: promoting 2 must demote 0 (protected LRU).
+        c.access(0);
+        c.access(1);
+        c.access(2);
+        // Evictions should now take probation members (3, then demoted 0).
+        match c.access(10) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, Some(3)),
+            _ => panic!(),
+        }
+        match c.access(11) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, Some(0)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0,1]")]
+    fn bad_fraction_rejected() {
+        Slru::with_protected_fraction(4, 1.5);
+    }
+
+    #[test]
+    fn falls_back_to_protected_when_probation_empty() {
+        let mut c = CacheSim::new(2, Slru::new(2));
+        c.access(1);
+        c.access(2);
+        c.access(1); // protect
+        c.access(2); // protect (probation now empty)
+        match c.access(3) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, Some(1)),
+            _ => panic!(),
+        }
+    }
+}

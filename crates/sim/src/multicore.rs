@@ -1,0 +1,237 @@
+//! Multi-core TLBs with shootdown accounting.
+//!
+//! Section 1 motivates the model with hardware trends: per-core TLBs whose
+//! effective size shrinks as threads share them, and whose entries must be
+//! *shot down* (invalidated via inter-processor interrupts) whenever a page
+//! they translate is evicted from RAM. This extension quantifies that cost:
+//! `N` cores each run their own request stream against a private TLB and a
+//! shared page cache; every RAM eviction broadcasts an invalidation of the
+//! victim's translation to all cores.
+//!
+//! Lock discipline: a core never holds its TLB lock while acquiring the RAM
+//! lock, and the RAM lock may be held while briefly taking any TLB lock —
+//! a strict two-level hierarchy, so the system is deadlock-free.
+
+use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_tlb::Tlb;
+use atp_types::{Costs, HugePageGeometry, VirtHugePage, VirtPage};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration for a multicore run.
+#[derive(Clone, Copy, Debug)]
+pub struct MulticoreConfig {
+    /// Number of cores (one worker thread each).
+    pub cores: usize,
+    /// Huge-page size `h` (classic physically contiguous semantics).
+    pub huge_pages: u64,
+    /// Shared physical memory in base pages.
+    pub phys_pages: u64,
+    /// Private TLB entries per core.
+    pub tlb_entries: u64,
+    /// Replacement policy for RAM and TLBs.
+    pub policy: PolicyKind,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Per-core result.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreStats {
+    /// Cost tally of this core's stream.
+    pub costs: Costs,
+}
+
+/// Aggregate result of a multicore run.
+#[derive(Clone, Debug)]
+pub struct MulticoreResult {
+    /// Per-core tallies, in core order.
+    pub per_core: Vec<CoreStats>,
+    /// RAM evictions that triggered shootdown broadcasts.
+    pub shootdown_events: u64,
+    /// TLB entries actually invalidated across all cores.
+    pub shootdown_invalidations: u64,
+}
+
+impl MulticoreResult {
+    /// Sum of all cores' costs.
+    pub fn total_costs(&self) -> Costs {
+        let mut out = Costs::default();
+        for c in &self.per_core {
+            out.merge(&c.costs);
+        }
+        out
+    }
+}
+
+/// Runs `traces[i]` on core `i` (threads run concurrently; per-core results
+/// are deterministic only for `cores = 1` since RAM interleaving is
+/// scheduling-dependent).
+///
+/// # Panics
+/// Panics if `traces.len() != cfg.cores` or any parameter is degenerate.
+pub fn run_multicore(cfg: &MulticoreConfig, traces: &[Vec<VirtPage>]) -> MulticoreResult {
+    assert_eq!(traces.len(), cfg.cores, "one trace per core required");
+    assert!(cfg.cores > 0, "at least one core");
+    let geom = HugePageGeometry::new(cfg.huge_pages).expect("h power of two");
+    let ram_units = (cfg.phys_pages / cfg.huge_pages).max(1) as usize;
+
+    let ram: Mutex<CacheSim<u64, Box<dyn Policy>>> = Mutex::new(CacheSim::new(
+        ram_units,
+        make_policy(cfg.policy, ram_units, cfg.seed),
+    ));
+    let tlbs: Vec<Mutex<Tlb<()>>> = (0..cfg.cores)
+        .map(|i| Mutex::new(Tlb::new(cfg.tlb_entries, cfg.policy, cfg.seed + i as u64)))
+        .collect();
+    let shootdown_events = AtomicU64::new(0);
+    let shootdown_invalidations = AtomicU64::new(0);
+
+    let mut per_core = vec![CoreStats::default(); cfg.cores];
+
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (core, trace) in traces.iter().enumerate() {
+            let ram = &ram;
+            let tlbs = &tlbs;
+            let shootdown_events = &shootdown_events;
+            let shootdown_invalidations = &shootdown_invalidations;
+            handles.push(s.spawn(move |_| {
+                let mut costs = Costs::default();
+                for &p in trace {
+                    let u = geom.huge_of(p);
+                    costs.accesses += 1;
+
+                    // 1. Private TLB lookup (lock released before RAM).
+                    let tlb_hit = { tlbs[core].lock().lookup(u).is_some() };
+
+                    // 2. Shared RAM access; evictions broadcast shootdowns.
+                    let evicted = {
+                        let mut ram = ram.lock();
+                        match ram.access(u.id()) {
+                            AccessResult::Hit => None,
+                            AccessResult::Miss { evicted } => {
+                                costs.ios += cfg.huge_pages;
+                                evicted
+                            }
+                        }
+                    };
+                    if let Some(victim) = evicted {
+                        shootdown_events.fetch_add(1, Ordering::Relaxed);
+                        for t in tlbs.iter() {
+                            if t.lock().invalidate(VirtHugePage(victim)).is_some() {
+                                shootdown_invalidations.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+
+                    // 3. Fill own TLB on miss.
+                    if tlb_hit {
+                        costs.tlb_hits += 1;
+                    } else {
+                        costs.tlb_misses += 1;
+                        let mut t = tlbs[core].lock();
+                        if !t.contains(u) {
+                            t.insert(u, ());
+                        }
+                    }
+                }
+                (core, costs)
+            }));
+        }
+        for h in handles {
+            let (core, costs) = h.join().expect("core thread panicked");
+            per_core[core] = CoreStats { costs };
+        }
+    })
+    .expect("multicore scope");
+
+    MulticoreResult {
+        per_core,
+        shootdown_events: shootdown_events.into_inner(),
+        shootdown_invalidations: shootdown_invalidations.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_workloads::{Sequential, UniformRandom};
+
+    fn cfg(cores: usize, h: u64, phys: u64, tlb: u64) -> MulticoreConfig {
+        MulticoreConfig {
+            cores,
+            huge_pages: h,
+            phys_pages: phys,
+            tlb_entries: tlb,
+            policy: PolicyKind::Lru,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn single_core_matches_classic() {
+        use atp_memmgmt::classic::{ClassicConfig, ClassicMm};
+        use atp_memmgmt::MemoryManager;
+        let trace: Vec<VirtPage> = UniformRandom::new(3, 512).take(20_000).collect();
+        let mc = run_multicore(&cfg(1, 4, 256, 16), std::slice::from_ref(&trace));
+        let mut classic = ClassicMm::new(ClassicConfig {
+            huge_pages: 4,
+            phys_pages: 256,
+            tlb_entries: 16,
+            tlb_policy: PolicyKind::Lru,
+            ram_policy: PolicyKind::Lru,
+            seed: 1,
+        });
+        for &p in &trace {
+            classic.access(p);
+        }
+        let mc_costs = mc.total_costs();
+        assert_eq!(mc_costs.ios, classic.costs().ios);
+        assert_eq!(mc_costs.tlb_misses, classic.costs().tlb_misses);
+    }
+
+    #[test]
+    fn shootdowns_happen_under_contention() {
+        // Working set ≫ RAM: constant evictions; entries resident in other
+        // cores' TLBs get invalidated.
+        let traces: Vec<Vec<VirtPage>> = (0..4)
+            .map(|i| UniformRandom::new(i, 2048).take(5_000).collect())
+            .collect();
+        let r = run_multicore(&cfg(4, 4, 512, 64), &traces);
+        assert!(r.shootdown_events > 0);
+        assert!(
+            r.shootdown_invalidations > 0,
+            "shared hot pages must get shot down"
+        );
+        assert!(r.shootdown_invalidations <= r.shootdown_events * 4);
+    }
+
+    #[test]
+    fn disjoint_streams_have_no_invalidations() {
+        // Cores touch disjoint address regions that FIT in RAM: no
+        // evictions, hence no shootdowns at all.
+        let traces: Vec<Vec<VirtPage>> = (0..2)
+            .map(|i| {
+                Sequential::new(64)
+                    .map(|p| VirtPage(p.0 + i * 64))
+                    .take(4000)
+                    .collect()
+            })
+            .collect();
+        let r = run_multicore(&cfg(2, 1, 256, 32), &traces);
+        assert_eq!(r.shootdown_events, 0);
+        assert_eq!(r.shootdown_invalidations, 0);
+    }
+
+    #[test]
+    fn per_core_accesses_accounted() {
+        let traces: Vec<Vec<VirtPage>> = (0..3)
+            .map(|i| UniformRandom::new(i + 9, 128).take(1000 + i as usize).collect())
+            .collect();
+        let r = run_multicore(&cfg(3, 2, 128, 8), &traces);
+        for (i, c) in r.per_core.iter().enumerate() {
+            assert_eq!(c.costs.accesses, 1000 + i as u64);
+            assert_eq!(c.costs.tlb_hits + c.costs.tlb_misses, c.costs.accesses);
+        }
+    }
+}

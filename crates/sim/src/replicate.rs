@@ -1,0 +1,122 @@
+//! Parallel multi-seed replication with summary statistics.
+//!
+//! Randomized experiments (paging-failure counts, max loads, shootdowns)
+//! need several independent seeds; replications are embarrassingly parallel
+//! and summarized as mean ± std. Built on [`crate::sweep`].
+
+use crate::sweep::sweep;
+
+/// Summary statistics over replicated measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of replications.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `xs`.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "summary of empty sample");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:.2} ± {:.2} (n={}, range {:.2}..{:.2})",
+            self.mean, self.std, self.n, self.min, self.max
+        )
+    }
+}
+
+/// Runs `f(seed)` for `seeds` in parallel and summarizes the results.
+pub fn replicate(seeds: &[u64], threads: usize, f: impl Fn(u64) -> f64 + Sync) -> Summary {
+    let xs = sweep(seeds, threads, |&s| f(s));
+    Summary::of(&xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constants() {
+        let s = Summary::of(&[3.0, 3.0, 3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn summary_textbook() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std with n-1: sqrt(32/7).
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn replicate_runs_all_seeds() {
+        let seeds: Vec<u64> = (0..32).collect();
+        let s = replicate(&seeds, 4, |seed| seed as f64);
+        assert_eq!(s.n, 32);
+        assert!((s.mean - 15.5).abs() < 1e-12);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 31.0);
+    }
+
+    #[test]
+    fn single_replication() {
+        let s = replicate(&[7], 1, |x| x as f64);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Summary::of(&[1.0, 2.0]);
+        let txt = s.to_string();
+        assert!(txt.contains("n=2"));
+        assert!(txt.contains('±'));
+    }
+}

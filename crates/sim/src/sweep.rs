@@ -1,0 +1,94 @@
+//! Parallel parameter sweeps.
+//!
+//! Figure 1 sweeps the huge-page size over eleven values per workload; the
+//! theorem experiments sweep `P` and seeds. Runs are independent, so we fan
+//! them out over a scoped thread pool with a shared atomic work index
+//! (work-stealing by index; no unsafe, no channels on the hot path).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` on every config, in parallel over `threads` workers, returning
+/// results in input order.
+///
+/// `threads = 0` means "number of available CPUs".
+pub fn sweep<C: Sync, R: Send>(
+    configs: &[C],
+    threads: usize,
+    f: impl Fn(&C) -> R + Sync,
+) -> Vec<R> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(configs.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = configs.iter().map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let r = f(&configs[i]);
+                *results[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let configs: Vec<u64> = (0..100).collect();
+        let out = sweep(&configs, 8, |&c| c * 2);
+        assert_eq!(out, (0..100).map(|c| c * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_single_threaded() {
+        let out = sweep(&[1, 2, 3], 1, |&c| c + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_threads_uses_default() {
+        let out = sweep(&[5u64; 16], 0, |&c| c);
+        assert_eq!(out, vec![5u64; 16]);
+    }
+
+    #[test]
+    fn empty_configs() {
+        let out: Vec<u64> = sweep(&[], 4, |c: &u64| *c);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_parallel() {
+        // All workers must participate: record thread ids.
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let seen = StdMutex::new(HashSet::new());
+        let configs = vec![(); 64];
+        sweep(&configs, 4, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(seen.lock().unwrap().len() > 1, "sweep never parallelized");
+    }
+}

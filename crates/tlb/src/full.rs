@@ -1,0 +1,259 @@
+//! A fully associative TLB with a pluggable replacement policy.
+
+use atp_hash::FxHashMap;
+use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_types::VirtHugePage;
+
+/// TLB event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that found the huge page.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries installed.
+    pub inserts: u64,
+    /// Entries explicitly invalidated (shootdowns etc.).
+    pub invalidations: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+}
+
+/// A fully associative TLB of ℓ entries mapping virtual huge pages to a
+/// value payload `V`.
+pub struct Tlb<V> {
+    sim: CacheSim<VirtHugePage, Box<dyn Policy>>,
+    values: FxHashMap<VirtHugePage, V>,
+    stats: TlbStats,
+}
+
+impl<V> Tlb<V> {
+    /// Creates a TLB with `entries` slots and the given replacement policy.
+    pub fn new(entries: u64, policy: PolicyKind, seed: u64) -> Self {
+        let cap = entries as usize;
+        Self {
+            sim: CacheSim::new(cap, make_policy(policy, cap, seed)),
+            values: FxHashMap::default(),
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Creates an LRU TLB (the paper's default).
+    pub fn lru(entries: u64) -> Self {
+        Self::new(entries, PolicyKind::Lru, 0)
+    }
+
+    /// Capacity ℓ.
+    pub fn capacity(&self) -> usize {
+        self.sim.capacity()
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_empty()
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Whether `u` is cached, without touching recency or counters.
+    pub fn contains(&self, u: VirtHugePage) -> bool {
+        self.sim.contains(&u)
+    }
+
+    /// Looks up `u`, updating recency and hit/miss counters.
+    pub fn lookup(&mut self, u: VirtHugePage) -> Option<&V> {
+        if self.sim.contains(&u) {
+            // Touch recency via access (guaranteed hit).
+            let r = self.sim.access(u);
+            debug_assert!(r.is_hit());
+            self.stats.hits += 1;
+            self.values.get(&u)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts `u → value`, returning the evicted entry if the TLB was full.
+    ///
+    /// # Panics
+    /// Panics if `u` is already resident (use [`Tlb::update`] to change a
+    /// resident value).
+    pub fn insert(&mut self, u: VirtHugePage, value: V) -> Option<(VirtHugePage, V)> {
+        assert!(!self.sim.contains(&u), "insert of resident TLB entry");
+        self.stats.inserts += 1;
+        let evicted = self.sim.insert_cold(u);
+        self.values.insert(u, value);
+        evicted.map(|victim| {
+            self.stats.evictions += 1;
+            let val = self.values.remove(&victim).expect("victim has a value");
+            (victim, val)
+        })
+    }
+
+    /// Updates the value of a resident entry in place (free in the cost
+    /// model — ψ updates do not count as TLB traffic). Returns whether the
+    /// entry was resident.
+    pub fn update(&mut self, u: VirtHugePage, f: impl FnOnce(&mut V)) -> bool {
+        match self.values.get_mut(&u) {
+            Some(v) => {
+                f(v);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads a resident value without touching recency or counters.
+    pub fn peek(&self, u: VirtHugePage) -> Option<&V> {
+        self.values.get(&u)
+    }
+
+    /// Invalidates `u`, returning its value if it was resident.
+    pub fn invalidate(&mut self, u: VirtHugePage) -> Option<V> {
+        if self.sim.remove(&u) {
+            self.stats.invalidations += 1;
+            self.values.remove(&u)
+        } else {
+            None
+        }
+    }
+
+    /// Accesses `u` like a hardware lookup-and-fill driven by `fill`:
+    /// on a miss, `fill(u)` supplies the new value. Returns whether it hit.
+    pub fn access_or_fill(&mut self, u: VirtHugePage, fill: impl FnOnce() -> V) -> bool {
+        if self.lookup(u).is_some() {
+            return true;
+        }
+        self.insert(u, fill());
+        false
+    }
+
+    /// Iterates resident (huge page, value) pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VirtHugePage, &V)> {
+        self.values.iter()
+    }
+}
+
+// Suppress unused-import warning for AccessResult used in debug_assert only.
+#[allow(unused)]
+fn _assert_types(r: AccessResult<VirtHugePage>) -> bool {
+    r.is_hit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_fill() {
+        let mut tlb: Tlb<u64> = Tlb::lru(2);
+        assert!(tlb.lookup(VirtHugePage(1)).is_none());
+        tlb.insert(VirtHugePage(1), 100);
+        assert_eq!(tlb.lookup(VirtHugePage(1)), Some(&100));
+        let s = tlb.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_returns_victim_value() {
+        let mut tlb: Tlb<u64> = Tlb::lru(2);
+        tlb.insert(VirtHugePage(1), 10);
+        tlb.insert(VirtHugePage(2), 20);
+        let evicted = tlb.insert(VirtHugePage(3), 30);
+        assert_eq!(evicted, Some((VirtHugePage(1), 10)));
+        assert_eq!(tlb.stats().evictions, 1);
+        assert_eq!(tlb.len(), 2);
+    }
+
+    #[test]
+    fn lru_order_respected() {
+        let mut tlb: Tlb<u64> = Tlb::lru(2);
+        tlb.insert(VirtHugePage(1), 10);
+        tlb.insert(VirtHugePage(2), 20);
+        tlb.lookup(VirtHugePage(1)); // refresh 1
+        let evicted = tlb.insert(VirtHugePage(3), 30);
+        assert_eq!(evicted, Some((VirtHugePage(2), 20)));
+    }
+
+    #[test]
+    fn update_in_place_is_free() {
+        let mut tlb: Tlb<Vec<u32>> = Tlb::lru(2);
+        tlb.insert(VirtHugePage(5), vec![1]);
+        let before = tlb.stats();
+        assert!(tlb.update(VirtHugePage(5), |v| v.push(2)));
+        assert!(!tlb.update(VirtHugePage(6), |v| v.push(9)));
+        assert_eq!(tlb.peek(VirtHugePage(5)), Some(&vec![1, 2]));
+        let after = tlb.stats();
+        assert_eq!(before, after, "update must not move counters");
+    }
+
+    #[test]
+    fn invalidate_removes_and_counts() {
+        let mut tlb: Tlb<u64> = Tlb::lru(4);
+        tlb.insert(VirtHugePage(7), 70);
+        assert_eq!(tlb.invalidate(VirtHugePage(7)), Some(70));
+        assert_eq!(tlb.invalidate(VirtHugePage(7)), None);
+        assert_eq!(tlb.stats().invalidations, 1);
+        assert!(!tlb.contains(VirtHugePage(7)));
+    }
+
+    #[test]
+    fn access_or_fill_fills_once() {
+        let mut tlb: Tlb<u64> = Tlb::lru(4);
+        let mut fills = 0;
+        assert!(!tlb.access_or_fill(VirtHugePage(1), || {
+            fills += 1;
+            11
+        }));
+        assert!(tlb.access_or_fill(VirtHugePage(1), || {
+            fills += 1;
+            22
+        }));
+        assert_eq!(fills, 1);
+        assert_eq!(tlb.peek(VirtHugePage(1)), Some(&11));
+    }
+
+    #[test]
+    fn fifo_policy_differs_from_lru() {
+        let mut lru: Tlb<()> = Tlb::lru(2);
+        let mut fifo: Tlb<()> = Tlb::new(2, PolicyKind::Fifo, 0);
+        for t in [&mut lru, &mut fifo] {
+            t.insert(VirtHugePage(1), ());
+            t.insert(VirtHugePage(2), ());
+            t.lookup(VirtHugePage(1));
+            t.insert(VirtHugePage(3), ());
+        }
+        assert!(lru.contains(VirtHugePage(1)));
+        assert!(!fifo.contains(VirtHugePage(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "insert of resident TLB entry")]
+    fn double_insert_panics() {
+        let mut tlb: Tlb<u64> = Tlb::lru(2);
+        tlb.insert(VirtHugePage(1), 1);
+        tlb.insert(VirtHugePage(1), 2);
+    }
+
+    #[test]
+    fn values_follow_entries_exactly() {
+        // values map and cache sim must stay in lockstep under churn.
+        let mut tlb: Tlb<u64> = Tlb::lru(8);
+        for i in 0..1000u64 {
+            let u = VirtHugePage(i % 23);
+            if tlb.lookup(u).is_none() {
+                tlb.insert(u, i);
+            }
+            assert_eq!(tlb.len(), tlb.iter().count());
+        }
+    }
+}

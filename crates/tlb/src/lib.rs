@@ -1,0 +1,32 @@
+//! TLB models.
+//!
+//! A TLB is a small key-value cache: keys are virtual huge-page addresses,
+//! values are whatever the encoding scheme stores — a physical huge-page
+//! base for classic physically-contiguous huge pages, or a `w`-bit decoupled
+//! encoding ψ(u) for the paper's scheme. This crate provides:
+//!
+//! * [`Tlb`] — fully associative, ℓ entries, pluggable replacement policy
+//!   (the paper's experiments model "the TLB as a fully associative cache
+//!   and use LRU as the replacement policy", Section 6);
+//! * [`SetAssocTlb`] — s sets × a ways with per-set LRU, modeling real
+//!   hardware organizations;
+//! * [`SplitTlb`] — separate structures per page-size class, as real CPUs
+//!   provide ("most systems that implement huge pages use different TLBs for
+//!   each size", footnote 1; e.g. Cascade Lake's 1536-entry 4k/2M L2 dTLB
+//!   plus a 16-entry 1G TLB).
+//!
+//! All models support explicit invalidation, needed for TLB shootdowns in
+//! the multicore extension and for decoupling-driven value updates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod full;
+pub mod set_assoc;
+pub mod split;
+pub mod twolevel;
+
+pub use full::{Tlb, TlbStats};
+pub use set_assoc::SetAssocTlb;
+pub use split::SplitTlb;
+pub use twolevel::{Level, TwoLevelStats, TwoLevelTlb};

@@ -1,0 +1,201 @@
+//! Split per-page-size TLBs.
+//!
+//! Real CPUs dedicate separate TLBs to each page size (footnote 1 of the
+//! paper; §7 cites Cascade Lake: a 1536-entry L2 dTLB for 4 kB/2 MB pages
+//! and a 16-entry TLB for 1 GB pages). The paper notes that "the actual
+//! coverage gains are limited by the dedicated TLB size" — this model lets
+//! experiments quantify that: a huge-page size routed to a tiny dedicated
+//! TLB can lose more to capacity misses than it gains in coverage.
+
+use crate::full::{Tlb, TlbStats};
+use atp_replacement::PolicyKind;
+use atp_types::VirtHugePage;
+
+/// One size class of a split TLB.
+struct SizeClass<V> {
+    /// Huge-page sizes (in base pages) routed to this structure.
+    sizes: Vec<u64>,
+    tlb: Tlb<V>,
+}
+
+/// A TLB composed of per-page-size structures.
+pub struct SplitTlb<V> {
+    classes: Vec<SizeClass<V>>,
+}
+
+impl<V> SplitTlb<V> {
+    /// Creates a split TLB from `(sizes, entries)` class descriptions.
+    ///
+    /// # Panics
+    /// Panics if classes are empty, a class has no sizes, or a size appears
+    /// in two classes.
+    pub fn new(classes: &[(&[u64], u64)], policy: PolicyKind, seed: u64) -> Self {
+        assert!(!classes.is_empty(), "at least one size class required");
+        let mut seen = std::collections::HashSet::new();
+        let built = classes
+            .iter()
+            .enumerate()
+            .map(|(i, (sizes, entries))| {
+                assert!(!sizes.is_empty(), "size class must route some sizes");
+                for &s in *sizes {
+                    assert!(seen.insert(s), "size {s} routed to two classes");
+                }
+                SizeClass {
+                    sizes: sizes.to_vec(),
+                    tlb: Tlb::new(*entries, policy, seed.wrapping_add(i as u64)),
+                }
+            })
+            .collect();
+        Self { classes: built }
+    }
+
+    /// The Cascade Lake-like default: 1536 entries for sizes ≤ 512 pages
+    /// (4 kB & 2 MB), 16 entries for larger (1 GB-class) sizes.
+    pub fn cascade_lake(seed: u64) -> Self {
+        Self::new(
+            &[
+                (&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512], 1536),
+                (&[1024, 2048, 4096, 8192, 1 << 18], 16),
+            ],
+            PolicyKind::Lru,
+            seed,
+        )
+    }
+
+    /// Resolves `size` to its class and a size-tagged key. Entries of
+    /// different page sizes sharing one physical structure are distinguished
+    /// by their size tag (hardware keys entries by (tag, page size)).
+    fn resolve(&mut self, u: VirtHugePage, size: u64) -> (&mut Tlb<V>, VirtHugePage) {
+        let idx = self
+            .classes
+            .iter()
+            .position(|c| c.sizes.contains(&size))
+            .unwrap_or_else(|| panic!("no TLB class routes huge-page size {size}"));
+        let class = &mut self.classes[idx];
+        let size_idx = class
+            .sizes
+            .iter()
+            .position(|&s| s == size)
+            .expect("size present") as u64;
+        debug_assert!(u.0 < 1 << 58, "huge-page id too large for size tagging");
+        let key = VirtHugePage((size_idx << 58) | u.0);
+        (&mut class.tlb, key)
+    }
+
+    /// Looks up huge page `u` of the given size class.
+    pub fn lookup(&mut self, u: VirtHugePage, size: u64) -> Option<&V> {
+        let (tlb, key) = self.resolve(u, size);
+        tlb.lookup(key)
+    }
+
+    /// Inserts into the TLB class for `size`.
+    pub fn insert(
+        &mut self,
+        u: VirtHugePage,
+        size: u64,
+        value: V,
+    ) -> Option<(VirtHugePage, V)> {
+        let (tlb, key) = self.resolve(u, size);
+        tlb.insert(key, value)
+            .map(|(k, v)| (VirtHugePage(k.0 & ((1 << 58) - 1)), v))
+    }
+
+    /// Invalidates `u` in the class for `size`.
+    pub fn invalidate(&mut self, u: VirtHugePage, size: u64) -> Option<V> {
+        let (tlb, key) = self.resolve(u, size);
+        tlb.invalidate(key)
+    }
+
+    /// Aggregated stats across classes.
+    pub fn stats(&self) -> TlbStats {
+        let mut out = TlbStats::default();
+        for c in &self.classes {
+            let s = c.tlb.stats();
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.inserts += s.inserts;
+            out.invalidations += s.invalidations;
+            out.evictions += s.evictions;
+        }
+        out
+    }
+
+    /// Per-class (sizes, stats) view.
+    pub fn class_stats(&self) -> Vec<(Vec<u64>, TlbStats)> {
+        self.classes
+            .iter()
+            .map(|c| (c.sizes.clone(), c.tlb.stats()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_size() {
+        let mut t: SplitTlb<u64> = SplitTlb::new(&[(&[1], 4), (&[512], 2)], PolicyKind::Lru, 0);
+        t.insert(VirtHugePage(1), 1, 10);
+        t.insert(VirtHugePage(1), 512, 20); // same id, different class
+        assert_eq!(t.lookup(VirtHugePage(1), 1), Some(&10));
+        assert_eq!(t.lookup(VirtHugePage(1), 512), Some(&20));
+    }
+
+    #[test]
+    #[should_panic(expected = "no TLB class routes")]
+    fn unrouted_size_panics() {
+        let mut t: SplitTlb<()> = SplitTlb::new(&[(&[1], 4)], PolicyKind::Lru, 0);
+        t.lookup(VirtHugePage(0), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "routed to two classes")]
+    fn duplicate_size_rejected() {
+        let _: SplitTlb<()> = SplitTlb::new(&[(&[1], 4), (&[1], 2)], PolicyKind::Lru, 0);
+    }
+
+    #[test]
+    fn small_dedicated_tlb_limits_coverage() {
+        // 16-entry class thrashes on a 32-huge-page working set even though
+        // the other class is idle — the paper's "coverage gains are limited
+        // by the dedicated TLB size".
+        let mut t: SplitTlb<()> = SplitTlb::new(&[(&[1], 1536), (&[1024], 16)], PolicyKind::Lru, 0);
+        let mut misses = 0u64;
+        for round in 0..10u64 {
+            for u in 0..32u64 {
+                if t.lookup(VirtHugePage(u), 1024).is_none() {
+                    misses += 1;
+                    t.insert(VirtHugePage(u), 1024, ());
+                }
+                let _ = round;
+            }
+        }
+        assert_eq!(misses, 320, "16-entry LRU TLB must thrash on 32-entry cycle");
+    }
+
+    #[test]
+    fn cascade_lake_shape() {
+        let mut t: SplitTlb<u64> = SplitTlb::cascade_lake(0);
+        t.insert(VirtHugePage(0), 1, 1);
+        t.insert(VirtHugePage(0), 512, 2);
+        t.insert(VirtHugePage(0), 1024, 3);
+        assert_eq!(t.lookup(VirtHugePage(0), 1), Some(&1));
+        assert_eq!(t.lookup(VirtHugePage(0), 512), Some(&2));
+        assert_eq!(t.lookup(VirtHugePage(0), 1024), Some(&3));
+        assert_eq!(t.stats().hits, 3);
+    }
+
+    #[test]
+    fn aggregate_stats_sum_classes() {
+        let mut t: SplitTlb<()> = SplitTlb::new(&[(&[1], 2), (&[2], 2)], PolicyKind::Lru, 0);
+        t.lookup(VirtHugePage(0), 1); // miss
+        t.lookup(VirtHugePage(0), 2); // miss
+        t.insert(VirtHugePage(0), 1, ());
+        t.lookup(VirtHugePage(0), 1); // hit
+        let s = t.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.inserts, 1);
+    }
+}

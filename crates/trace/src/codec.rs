@@ -1,0 +1,205 @@
+//! Trace encoding/decoding.
+
+use atp_types::VirtPage;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"ATPT";
+const VERSION: u8 = 1;
+
+/// Errors from trace IO.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The input is not an ATPT trace.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The payload ended before `count` entries were decoded.
+    Truncated,
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::BadMagic => write!(f, "not an ATPT trace (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "trace payload truncated"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    while v >= 0x80 {
+        buf.put_u8((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    buf.put_u8(v as u8);
+}
+
+fn get_varint(buf: &mut Bytes) -> Option<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let b = buf.get_u8();
+        out |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(out);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a page trace to bytes.
+pub fn encode_trace(pages: &[VirtPage]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + pages.len() * 2);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(pages.len() as u64);
+    let mut prev = 0i64;
+    for p in pages {
+        let cur = p.0 as i64;
+        put_varint(&mut buf, zigzag(cur.wrapping_sub(prev)));
+        prev = cur;
+    }
+    buf.freeze()
+}
+
+/// Decodes a page trace from bytes.
+pub fn decode_trace(data: &[u8]) -> Result<Vec<VirtPage>, TraceError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 13 {
+        return Err(TraceError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    let count = buf.get_u64_le();
+    let mut out = Vec::with_capacity(count as usize);
+    let mut prev = 0i64;
+    for _ in 0..count {
+        let delta = unzigzag(get_varint(&mut buf).ok_or(TraceError::Truncated)?);
+        prev = prev.wrapping_add(delta);
+        out.push(VirtPage(prev as u64));
+    }
+    Ok(out)
+}
+
+/// Writes a trace to a file.
+pub fn write_trace(path: &Path, pages: &[VirtPage]) -> Result<(), TraceError> {
+    let bytes = encode_trace(pages);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads a trace from a file.
+pub fn read_trace(path: &Path) -> Result<Vec<VirtPage>, TraceError> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    decode_trace(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages(ids: &[u64]) -> Vec<VirtPage> {
+        ids.iter().map(|&i| VirtPage(i)).collect()
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = pages(&[1, 2, 3, 100, 3, 0, u64::MAX / 4]);
+        let enc = encode_trace(&t);
+        assert_eq!(decode_trace(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let t = pages(&[]);
+        assert_eq!(decode_trace(&encode_trace(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn sequential_traces_compress_well() {
+        let t: Vec<VirtPage> = (0..10_000u64).map(VirtPage).collect();
+        let enc = encode_trace(&t);
+        // Header 13 bytes + ~1 byte per delta.
+        assert!(enc.len() < 13 + 10_000 + 100, "size {}", enc.len());
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        use atp_hash::CounterRng;
+        let mut rng = CounterRng::new(5, 0);
+        let t: Vec<VirtPage> = (0..50_000)
+            .map(|_| VirtPage(rng.next_below(1 << 40)))
+            .collect();
+        assert_eq!(decode_trace(&encode_trace(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(decode_trace(b"nope"), Err(TraceError::BadMagic)));
+        assert!(matches!(
+            decode_trace(b"XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00"),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut enc = encode_trace(&pages(&[1])).to_vec();
+        enc[4] = 99;
+        assert!(matches!(decode_trace(&enc), Err(TraceError::BadVersion(99))));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let enc = encode_trace(&pages(&[1, 2, 3, 4, 5]));
+        let cut = &enc[..enc.len() - 2];
+        assert!(matches!(decode_trace(cut), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("atp_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.atpt");
+        let t = pages(&[9, 8, 7, 1 << 50]);
+        write_trace(&path, &t).unwrap();
+        assert_eq!(read_trace(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,25 @@
+//! Compact binary page traces.
+//!
+//! Traces drive the simulator; the paper's graph500 experiment replays a
+//! recorded trace, and our generators can be captured to disk for exact
+//! replays across machines. The format is built for page streams:
+//!
+//! ```text
+//! magic "ATPT" | version u8 | count u64 LE | payload
+//! ```
+//!
+//! The payload is a zig-zag varint **delta** stream: consecutive page ids
+//! are close for the sequential bursts real traces exhibit, so deltas are
+//! mostly 1–2 bytes. Encoding and decoding are exact for the full `u64`
+//! page-id range.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod reuse;
+pub mod stats;
+
+pub use codec::{decode_trace, encode_trace, read_trace, write_trace, TraceError};
+pub use reuse::ReuseProfile;
+pub use stats::{HugeUtilization, TraceStats};

@@ -1,0 +1,204 @@
+//! Trace statistics: footprint, reuse, and locality summaries.
+
+use atp_types::VirtPage;
+use std::collections::HashMap;
+
+/// Summary statistics of a page trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Number of accesses.
+    pub length: u64,
+    /// Number of distinct pages (the touched set).
+    pub unique_pages: u64,
+    /// Smallest page id.
+    pub min_page: u64,
+    /// Largest page id.
+    pub max_page: u64,
+    /// Fraction of accesses whose page equals the previous access's page.
+    pub same_page_rate: f64,
+    /// Fraction of accesses within ±1 page of the previous access
+    /// (spatial locality at the finest grain).
+    pub adjacent_rate: f64,
+    /// Mean accesses per touched page (temporal reuse).
+    pub mean_reuse: f64,
+}
+
+/// Huge-page utilization: how much of each size-`h` run a trace actually
+/// touches — the paper's "reduced RAM utilization" cost (§1, drawback 2)
+/// made measurable. A physical huge page pins all `h` pages resident; the
+/// utilization says how many of those ever earn their keep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HugeUtilization {
+    /// Huge-page size `h` used for the analysis.
+    pub huge_pages: u64,
+    /// Number of distinct huge pages touched.
+    pub huge_touched: u64,
+    /// Mean fraction of each touched huge page's constituents that were
+    /// themselves touched (1.0 = perfectly dense).
+    pub mean_fraction: f64,
+    /// Fraction of touched huge pages with exactly one touched constituent
+    /// (the pathological single-hot-page case of Figure 1a's cold region).
+    pub singleton_fraction: f64,
+}
+
+impl HugeUtilization {
+    /// Computes utilization of size-`h` huge pages over `trace`.
+    ///
+    /// # Panics
+    /// Panics if `h` is not a power of two.
+    pub fn compute(trace: &[VirtPage], h: u64) -> Self {
+        assert!(h.is_power_of_two(), "h must be a power of two");
+        let mut per_huge: HashMap<u64, std::collections::HashSet<u64>> = HashMap::new();
+        for p in trace {
+            per_huge.entry(p.0 / h).or_default().insert(p.0 % h);
+        }
+        let huge_touched = per_huge.len() as u64;
+        if huge_touched == 0 {
+            return Self {
+                huge_pages: h,
+                huge_touched: 0,
+                mean_fraction: 0.0,
+                singleton_fraction: 0.0,
+            };
+        }
+        let mut frac_sum = 0.0;
+        let mut singletons = 0u64;
+        for set in per_huge.values() {
+            frac_sum += set.len() as f64 / h as f64;
+            if set.len() == 1 {
+                singletons += 1;
+            }
+        }
+        Self {
+            huge_pages: h,
+            huge_touched,
+            mean_fraction: frac_sum / huge_touched as f64,
+            singleton_fraction: singletons as f64 / huge_touched as f64,
+        }
+    }
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace.
+    pub fn compute(trace: &[VirtPage]) -> Self {
+        if trace.is_empty() {
+            return Self {
+                length: 0,
+                unique_pages: 0,
+                min_page: 0,
+                max_page: 0,
+                same_page_rate: 0.0,
+                adjacent_rate: 0.0,
+                mean_reuse: 0.0,
+            };
+        }
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let mut min_page = u64::MAX;
+        let mut max_page = 0u64;
+        let mut same = 0u64;
+        let mut adjacent = 0u64;
+        let mut prev: Option<u64> = None;
+        for p in trace {
+            *counts.entry(p.0).or_insert(0) += 1;
+            min_page = min_page.min(p.0);
+            max_page = max_page.max(p.0);
+            if let Some(q) = prev {
+                if p.0 == q {
+                    same += 1;
+                }
+                if p.0.abs_diff(q) <= 1 {
+                    adjacent += 1;
+                }
+            }
+            prev = Some(p.0);
+        }
+        let length = trace.len() as u64;
+        let unique = counts.len() as u64;
+        Self {
+            length,
+            unique_pages: unique,
+            min_page,
+            max_page,
+            same_page_rate: same as f64 / (length - 1).max(1) as f64,
+            adjacent_rate: adjacent as f64 / (length - 1).max(1) as f64,
+            mean_reuse: length as f64 / unique as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages(ids: &[u64]) -> Vec<VirtPage> {
+        ids.iter().map(|&i| VirtPage(i)).collect()
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s.length, 0);
+        assert_eq!(s.unique_pages, 0);
+    }
+
+    #[test]
+    fn counts_and_bounds() {
+        let s = TraceStats::compute(&pages(&[5, 5, 6, 100, 5]));
+        assert_eq!(s.length, 5);
+        assert_eq!(s.unique_pages, 3);
+        assert_eq!(s.min_page, 5);
+        assert_eq!(s.max_page, 100);
+        assert!((s.mean_reuse - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn locality_rates() {
+        // Transitions: 5→5 same+adj; 5→6 adj; 6→100 neither; 100→5 neither.
+        let s = TraceStats::compute(&pages(&[5, 5, 6, 100, 5]));
+        assert!((s.same_page_rate - 0.25).abs() < 1e-9);
+        assert!((s.adjacent_rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_trace_is_fully_adjacent() {
+        let t: Vec<VirtPage> = (0..100u64).map(VirtPage).collect();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.adjacent_rate, 1.0);
+        assert_eq!(s.same_page_rate, 0.0);
+        assert_eq!(s.unique_pages, 100);
+    }
+
+    #[test]
+    fn sequential_trace_has_full_huge_utilization() {
+        let t: Vec<VirtPage> = (0..128u64).map(VirtPage).collect();
+        let u = HugeUtilization::compute(&t, 8);
+        assert_eq!(u.huge_touched, 16);
+        assert_eq!(u.mean_fraction, 1.0);
+        assert_eq!(u.singleton_fraction, 0.0);
+    }
+
+    #[test]
+    fn strided_trace_wastes_huge_pages() {
+        // Stride 8 with h=8: one page per huge page.
+        let t: Vec<VirtPage> = (0..64u64).map(|i| VirtPage(i * 8)).collect();
+        let u = HugeUtilization::compute(&t, 8);
+        assert_eq!(u.huge_touched, 64);
+        assert!((u.mean_fraction - 0.125).abs() < 1e-12);
+        assert_eq!(u.singleton_fraction, 1.0);
+    }
+
+    #[test]
+    fn huge_utilization_of_empty_trace() {
+        let u = HugeUtilization::compute(&[], 8);
+        assert_eq!(u.huge_touched, 0);
+        assert_eq!(u.mean_fraction, 0.0);
+    }
+
+    #[test]
+    fn h_one_is_always_dense() {
+        let t = pages(&[3, 9, 3, 100]);
+        let u = HugeUtilization::compute(&t, 1);
+        assert_eq!(u.mean_fraction, 1.0);
+        assert_eq!(u.singleton_fraction, 1.0);
+    }
+}

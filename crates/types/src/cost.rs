@@ -1,0 +1,198 @@
+//! The address-translation cost model (Section 5).
+//!
+//! The running time of a memory-management algorithm is evaluated as:
+//!
+//! * fetching a page into RAM (an **IO**) costs `1`,
+//! * adding an entry to the TLB (equivalently, a **TLB miss**) costs
+//!   `ε ∈ (0,1)`,
+//! * a **decoding miss** — the TLB holds a covering huge page and the page is
+//!   resident, but the decoding function wrongly returns `−1` — also costs `ε`
+//!   (it forces a page-table walk just like a TLB miss),
+//! * TLB hits, evictions, and ψ-value updates are free.
+//!
+//! Total cost: `C = C_TLB + C_IO + C_D` (the paper's decomposition).
+
+use serde::{Deserialize, Serialize};
+
+/// The cost model parameter: the relative cost `ε` of a TLB miss.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of a TLB miss (and of a decoding miss), relative to an IO cost
+    /// of 1. The paper requires `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model; `epsilon` must lie in `(0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is outside `(0, 1)` or not finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0,1), got {epsilon}"
+        );
+        Self { epsilon }
+    }
+}
+
+impl Default for CostModel {
+    /// `ε = 0.01`: a TLB miss (hundreds of cycles) is ~1% of a fast-NVMe IO.
+    fn default() -> Self {
+        Self { epsilon: 0.01 }
+    }
+}
+
+/// Cumulative event counts for a run, convertible to model cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Costs {
+    /// Number of page fetches from storage (each costs 1).
+    pub ios: u64,
+    /// Number of TLB misses (each costs ε).
+    pub tlb_misses: u64,
+    /// Number of decoding misses (each costs ε).
+    pub decode_misses: u64,
+    /// Number of requests serviced while the requested page was in the
+    /// failure set `F` (informational; their 1 + ε cost is already included
+    /// in `ios` / `decode_misses`).
+    pub paging_failures: u64,
+    /// Number of requests serviced (informational).
+    pub accesses: u64,
+    /// Number of TLB hits (informational; free in the model).
+    pub tlb_hits: u64,
+}
+
+impl Costs {
+    /// `C_IO`: total IO cost.
+    #[inline]
+    pub fn io_cost(&self) -> f64 {
+        self.ios as f64
+    }
+
+    /// `C_TLB`: total TLB-miss cost under `model`.
+    #[inline]
+    pub fn tlb_cost(&self, model: CostModel) -> f64 {
+        self.tlb_misses as f64 * model.epsilon
+    }
+
+    /// `C_D`: total decoding-miss cost under `model`.
+    #[inline]
+    pub fn decode_cost(&self, model: CostModel) -> f64 {
+        self.decode_misses as f64 * model.epsilon
+    }
+
+    /// `C = C_TLB + C_IO + C_D`.
+    #[inline]
+    pub fn total(&self, model: CostModel) -> f64 {
+        self.io_cost() + self.tlb_cost(model) + self.decode_cost(model)
+    }
+
+    /// TLB miss rate over all accesses (0 if no accesses).
+    pub fn tlb_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.tlb_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merges another tally into this one (e.g. from a parallel shard).
+    pub fn merge(&mut self, other: &Costs) {
+        self.ios += other.ios;
+        self.tlb_misses += other.tlb_misses;
+        self.decode_misses += other.decode_misses;
+        self.paging_failures += other.paging_failures;
+        self.accesses += other.accesses;
+        self.tlb_hits += other.tlb_hits;
+    }
+}
+
+impl core::ops::Add for Costs {
+    type Output = Costs;
+    fn add(mut self, rhs: Costs) -> Costs {
+        self.merge(&rhs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_epsilon_is_small() {
+        let m = CostModel::default();
+        assert!(m.epsilon > 0.0 && m.epsilon < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0,1)")]
+    fn rejects_epsilon_one() {
+        CostModel::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0,1)")]
+    fn rejects_epsilon_zero() {
+        CostModel::new(0.0);
+    }
+
+    #[test]
+    fn total_is_decomposition() {
+        let m = CostModel::new(0.5);
+        let c = Costs {
+            ios: 10,
+            tlb_misses: 4,
+            decode_misses: 2,
+            paging_failures: 0,
+            accesses: 100,
+            tlb_hits: 96,
+        };
+        assert_eq!(c.io_cost(), 10.0);
+        assert_eq!(c.tlb_cost(m), 2.0);
+        assert_eq!(c.decode_cost(m), 1.0);
+        assert_eq!(c.total(m), 13.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Costs {
+            ios: 1,
+            tlb_misses: 2,
+            decode_misses: 3,
+            paging_failures: 4,
+            accesses: 5,
+            tlb_hits: 6,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.ios, 2);
+        assert_eq!(a.tlb_misses, 4);
+        assert_eq!(a.decode_misses, 6);
+        assert_eq!(a.paging_failures, 8);
+        assert_eq!(a.accesses, 10);
+        assert_eq!(a.tlb_hits, 12);
+    }
+
+    #[test]
+    fn add_operator_matches_merge() {
+        let a = Costs {
+            ios: 1,
+            accesses: 1,
+            ..Default::default()
+        };
+        let b = Costs {
+            ios: 2,
+            accesses: 3,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.ios, 3);
+        assert_eq!(c.accesses, 4);
+    }
+
+    #[test]
+    fn miss_rate_handles_zero_accesses() {
+        assert_eq!(Costs::default().tlb_miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Huge-page geometry: splitting the virtual address space into aligned runs.
+//!
+//! A huge page of size `h` (a power of two, in base pages) covers the `h`
+//! virtually contiguous base pages whose ids share the same high-order bits.
+//! Following Section 5, a size-`2^r` huge page is associated with an address
+//! that is an integer multiple of `2^r`; the map `r(v) = v − (v mod h)` sends
+//! a virtual page to the base of its enclosing huge page, and we use
+//! `v / h` as the huge page *id*.
+
+use crate::error::{ParamError, Result};
+use crate::page::{VirtHugePage, VirtPage};
+use serde::{Deserialize, Serialize};
+
+/// Aligned huge-page geometry over the virtual address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HugePageGeometry {
+    /// Huge-page size in base pages; always a power of two, `>= 1`.
+    h: u64,
+    /// `log2(h)`.
+    shift: u32,
+}
+
+impl HugePageGeometry {
+    /// Creates a geometry with huge pages of `h` base pages.
+    ///
+    /// # Errors
+    /// Returns [`ParamError::NotPowerOfTwo`] unless `h` is a power of two.
+    pub fn new(h: u64) -> Result<Self> {
+        if h == 0 || !h.is_power_of_two() {
+            return Err(ParamError::NotPowerOfTwo { name: "h", value: h });
+        }
+        Ok(Self {
+            h,
+            shift: h.trailing_zeros(),
+        })
+    }
+
+    /// The trivial geometry `h = 1` (no huge pages).
+    #[inline]
+    pub const fn base() -> Self {
+        Self { h: 1, shift: 0 }
+    }
+
+    /// Huge-page size in base pages.
+    #[inline]
+    pub const fn pages_per_huge(self) -> u64 {
+        self.h
+    }
+
+    /// `log2` of the huge-page size.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        self.shift
+    }
+
+    /// The huge page containing virtual page `v`: the paper's `r(v)` as an id.
+    #[inline]
+    pub const fn huge_of(self, v: VirtPage) -> VirtHugePage {
+        VirtHugePage(v.0 >> self.shift)
+    }
+
+    /// The first base page of huge page `u` (the aligned base address).
+    #[inline]
+    pub const fn base_of(self, u: VirtHugePage) -> VirtPage {
+        VirtPage(u.0 << self.shift)
+    }
+
+    /// The index of `v` within its huge page, in `[0, h)`.
+    #[inline]
+    pub const fn index_within(self, v: VirtPage) -> u64 {
+        v.0 & (self.h - 1)
+    }
+
+    /// The `i`-th constituent base page of huge page `u`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i >= h`.
+    #[inline]
+    pub fn constituent(self, u: VirtHugePage, i: u64) -> VirtPage {
+        debug_assert!(i < self.h, "constituent index {i} out of range for h={}", self.h);
+        VirtPage((u.0 << self.shift) | i)
+    }
+
+    /// Iterates over all `h` constituent base pages of `u`.
+    pub fn constituents(self, u: VirtHugePage) -> impl Iterator<Item = VirtPage> {
+        let base = u.0 << self.shift;
+        (0..self.h).map(move |i| VirtPage(base | i))
+    }
+
+    /// Whether `v` is covered by huge page `u` (the paper's "covered by").
+    #[inline]
+    pub const fn covers(self, u: VirtHugePage, v: VirtPage) -> bool {
+        (v.0 >> self.shift) == u.0
+    }
+
+    /// Number of huge pages needed to cover `v_pages` base pages
+    /// (rounding up for a ragged final huge page).
+    #[inline]
+    pub const fn huge_count(self, v_pages: u64) -> u64 {
+        v_pages.div_ceil(self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_powers_of_two() {
+        assert!(HugePageGeometry::new(0).is_err());
+        assert!(HugePageGeometry::new(3).is_err());
+        assert!(HugePageGeometry::new(6).is_err());
+        assert!(HugePageGeometry::new(1023).is_err());
+    }
+
+    #[test]
+    fn accepts_powers_of_two() {
+        for shift in 0..20 {
+            let g = HugePageGeometry::new(1 << shift).unwrap();
+            assert_eq!(g.pages_per_huge(), 1 << shift);
+            assert_eq!(g.shift(), shift);
+        }
+    }
+
+    #[test]
+    fn base_geometry_is_identity() {
+        let g = HugePageGeometry::base();
+        assert_eq!(g.huge_of(VirtPage(12345)).id(), 12345);
+        assert_eq!(g.index_within(VirtPage(12345)), 0);
+    }
+
+    #[test]
+    fn huge_of_and_index_decompose() {
+        let g = HugePageGeometry::new(8).unwrap();
+        let v = VirtPage(8 * 5 + 3);
+        assert_eq!(g.huge_of(v), VirtHugePage(5));
+        assert_eq!(g.index_within(v), 3);
+        assert_eq!(g.constituent(VirtHugePage(5), 3), v);
+    }
+
+    #[test]
+    fn constituents_enumerate_the_run() {
+        let g = HugePageGeometry::new(4).unwrap();
+        let pages: Vec<u64> = g.constituents(VirtHugePage(2)).map(|p| p.id()).collect();
+        assert_eq!(pages, vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn covers_matches_huge_of() {
+        let g = HugePageGeometry::new(16).unwrap();
+        for raw in 0..256u64 {
+            let v = VirtPage(raw);
+            assert!(g.covers(g.huge_of(v), v));
+            assert!(!g.covers(VirtHugePage(g.huge_of(v).id() + 1), v));
+        }
+    }
+
+    #[test]
+    fn huge_count_rounds_up() {
+        let g = HugePageGeometry::new(8).unwrap();
+        assert_eq!(g.huge_count(0), 0);
+        assert_eq!(g.huge_count(1), 1);
+        assert_eq!(g.huge_count(8), 1);
+        assert_eq!(g.huge_count(9), 2);
+    }
+
+    #[test]
+    fn base_of_is_aligned() {
+        let g = HugePageGeometry::new(32).unwrap();
+        assert_eq!(g.base_of(VirtHugePage(3)).id(), 96);
+        assert_eq!(g.base_of(VirtHugePage(3)).id() % 32, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Common types for the Address-Translation Problem.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * newtyped page identifiers ([`VirtPage`], [`PhysPage`], [`VirtHugePage`]),
+//! * page-geometry arithmetic ([`HugePageGeometry`]),
+//! * the system parameters of the paper's model ([`SystemParams`]):
+//!   `V` virtual pages, `P` physical pages, `ℓ` TLB entries, `w` bits per TLB
+//!   value, resource augmentation `δ`, and the TLB-miss cost `ε`,
+//! * the **address-translation cost model** of Section 5 ([`CostModel`],
+//!   [`Costs`]): each IO costs 1, each TLB miss costs `ε ∈ (0,1)`, each TLB
+//!   hit costs 0, and decoding misses also cost `ε`.
+//!
+//! Everything here is plain data with no behaviour beyond arithmetic, so the
+//! crate has no dependencies other than `serde` for reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod error;
+pub mod geometry;
+pub mod page;
+pub mod params;
+pub mod scale;
+
+pub use cost::{CostModel, Costs};
+pub use error::{ParamError, Result};
+pub use geometry::HugePageGeometry;
+pub use page::{PhysPage, VirtHugePage, VirtPage, NULL_PHYS};
+pub use params::{SystemParams, SystemParamsBuilder};
+pub use scale::{pages_for_bytes, GIB, KIB, MIB, PAGE_SIZE};

@@ -1,0 +1,158 @@
+//! Newtyped page identifiers.
+//!
+//! The paper works with three address spaces:
+//!
+//! * **virtual page addresses** in `[V] = {0, …, V-1}` ([`VirtPage`]),
+//! * **physical page addresses** in `[P] = {0, …, P-1}` ([`PhysPage`]),
+//! * **virtual huge-page addresses** in `[V / hmax]` ([`VirtHugePage`]).
+//!
+//! We use 0-based ids throughout (the paper uses 1-based; the translation is
+//! immaterial). The decoding function of eq. (4) returns `-1` for unmapped
+//! pages; we model that with [`NULL_PHYS`] / `Option<PhysPage>` at API
+//! boundaries.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A virtual page address `v ∈ [V]`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct VirtPage(pub u64);
+
+/// A physical page address (frame number) `p ∈ [P]`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct PhysPage(pub u64);
+
+/// A virtual huge-page address `u ∈ [V / h]` for some huge-page size `h`.
+///
+/// The huge-page size is *not* part of the value; calling code must track the
+/// geometry (see [`crate::geometry::HugePageGeometry`]). Two `VirtHugePage`s
+/// are only comparable under the same geometry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct VirtHugePage(pub u64);
+
+/// The "null" physical address used by the paper's decoding function
+/// (eq. 4) to signal that a page is not resident: `f(v, ψ(u)) = −1`.
+///
+/// Public APIs in this workspace use `Option<PhysPage>` instead; this
+/// sentinel exists for compact in-memory encodings.
+pub const NULL_PHYS: u64 = u64::MAX;
+
+impl VirtPage {
+    /// Returns the raw id.
+    #[inline]
+    pub const fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl PhysPage {
+    /// Returns the raw frame number.
+    #[inline]
+    pub const fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl VirtHugePage {
+    /// Returns the raw huge-page id.
+    #[inline]
+    pub const fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for VirtPage {
+    #[inline]
+    fn from(v: u64) -> Self {
+        VirtPage(v)
+    }
+}
+
+impl From<u64> for PhysPage {
+    #[inline]
+    fn from(v: u64) -> Self {
+        PhysPage(v)
+    }
+}
+
+impl From<u64> for VirtHugePage {
+    #[inline]
+    fn from(v: u64) -> Self {
+        VirtHugePage(v)
+    }
+}
+
+impl fmt::Debug for VirtPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for VirtPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for PhysPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for VirtHugePage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for VirtHugePage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        assert_eq!(VirtPage::from(42).id(), 42);
+        assert_eq!(PhysPage::from(7).id(), 7);
+        assert_eq!(VirtHugePage::from(3).id(), 3);
+    }
+
+    #[test]
+    fn ordering_follows_ids() {
+        assert!(VirtPage(1) < VirtPage(2));
+        assert!(PhysPage(0) < PhysPage(u64::MAX));
+    }
+
+    #[test]
+    fn debug_formats_are_distinct() {
+        assert_eq!(format!("{:?}", VirtPage(255)), "v0xff");
+        assert_eq!(format!("{:?}", PhysPage(255)), "p0xff");
+        assert_eq!(format!("{:?}", VirtHugePage(255)), "h0xff");
+    }
+
+    #[test]
+    fn null_phys_is_distinguished() {
+        // NULL_PHYS must never collide with a real frame in any realistic P.
+        assert_eq!(NULL_PHYS, u64::MAX);
+        assert_ne!(PhysPage(0).id(), NULL_PHYS);
+    }
+
+    #[test]
+    fn display_is_plain_decimal() {
+        assert_eq!(VirtPage(123).to_string(), "123");
+        assert_eq!(PhysPage(9).to_string(), "9");
+        assert_eq!(VirtHugePage(10).to_string(), "10");
+    }
+}

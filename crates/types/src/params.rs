@@ -1,0 +1,263 @@
+//! System parameters of the address-translation model (Sections 3 and 5).
+//!
+//! * `V` — pages in the virtual address space,
+//! * `P` — pages in physical memory,
+//! * `ℓ` (`tlb_entries`) — entries in the TLB,
+//! * `w` (`tlb_value_bits`) — bits per TLB value (set by hardware),
+//! * `δ` (`delta`) — resource-augmentation: replacement policies may keep at
+//!   most `(1−δ)P` pages resident,
+//! * `hmax` — maximum huge-page size in base pages (a power of two dividing
+//!   `V`),
+//! * `ε` — TLB-miss cost (see [`crate::cost::CostModel`]).
+
+use crate::cost::CostModel;
+use crate::error::{ParamError, Result};
+use crate::geometry::HugePageGeometry;
+use serde::{Deserialize, Serialize};
+
+/// Validated model parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    /// `V`: number of virtual pages.
+    pub virt_pages: u64,
+    /// `P`: number of physical pages.
+    pub phys_pages: u64,
+    /// `ℓ`: number of TLB entries.
+    pub tlb_entries: u64,
+    /// `w`: bits per TLB value.
+    pub tlb_value_bits: u32,
+    /// `δ ∈ [0, 1)`: resource augmentation.
+    pub delta: f64,
+    /// `hmax`: maximum huge-page size (power of two, divides `V`).
+    pub hmax: u64,
+    /// Cost model (`ε`).
+    pub cost: CostModel,
+}
+
+impl SystemParams {
+    /// Starts building parameters.
+    pub fn builder() -> SystemParamsBuilder {
+        SystemParamsBuilder::default()
+    }
+
+    /// `m = ⌊(1−δ)·P⌋`: the maximum resident-set size available to a
+    /// RAM-replacement policy under resource augmentation δ.
+    #[inline]
+    pub fn effective_phys_pages(&self) -> u64 {
+        ((1.0 - self.delta) * self.phys_pages as f64).floor() as u64
+    }
+
+    /// Geometry for huge pages of the maximum size.
+    pub fn hmax_geometry(&self) -> HugePageGeometry {
+        HugePageGeometry::new(self.hmax).expect("hmax validated at build time")
+    }
+
+    /// Number of size-`hmax` virtual huge pages (`V / hmax`).
+    #[inline]
+    pub fn virt_huge_pages(&self) -> u64 {
+        self.virt_pages / self.hmax
+    }
+}
+
+/// Builder for [`SystemParams`], with validation on `build`.
+#[derive(Clone, Debug)]
+pub struct SystemParamsBuilder {
+    virt_pages: u64,
+    phys_pages: u64,
+    tlb_entries: u64,
+    tlb_value_bits: u32,
+    delta: f64,
+    hmax: u64,
+    cost: CostModel,
+}
+
+impl Default for SystemParamsBuilder {
+    fn default() -> Self {
+        Self {
+            // Defaults mirror a scaled-down version of the paper's setup:
+            // 256 Mi of VA (65536 pages), 64 Mi resident (16384 pages),
+            // a 1536-entry TLB (Cascade Lake L2 dTLB), 64-bit TLB values.
+            virt_pages: 1 << 16,
+            phys_pages: 1 << 14,
+            tlb_entries: 1536,
+            tlb_value_bits: 64,
+            delta: 0.0,
+            hmax: 1,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl SystemParamsBuilder {
+    /// Sets `V` (number of virtual pages).
+    pub fn virt_pages(mut self, v: u64) -> Self {
+        self.virt_pages = v;
+        self
+    }
+
+    /// Sets `P` (number of physical pages).
+    pub fn phys_pages(mut self, p: u64) -> Self {
+        self.phys_pages = p;
+        self
+    }
+
+    /// Sets `ℓ` (number of TLB entries).
+    pub fn tlb_entries(mut self, l: u64) -> Self {
+        self.tlb_entries = l;
+        self
+    }
+
+    /// Sets `w` (bits per TLB value).
+    pub fn tlb_value_bits(mut self, w: u32) -> Self {
+        self.tlb_value_bits = w;
+        self
+    }
+
+    /// Sets `δ` (resource augmentation).
+    pub fn delta(mut self, d: f64) -> Self {
+        self.delta = d;
+        self
+    }
+
+    /// Sets `hmax` (maximum huge-page size in base pages).
+    pub fn hmax(mut self, h: u64) -> Self {
+        self.hmax = h;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn cost(mut self, c: CostModel) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// Sets `ε` directly.
+    pub fn epsilon(mut self, e: f64) -> Self {
+        self.cost = CostModel::new(e);
+        self
+    }
+
+    /// Validates and builds.
+    pub fn build(self) -> Result<SystemParams> {
+        if self.virt_pages == 0 {
+            return Err(ParamError::Zero { name: "virt_pages" });
+        }
+        if self.phys_pages == 0 {
+            return Err(ParamError::Zero { name: "phys_pages" });
+        }
+        if self.tlb_entries == 0 {
+            return Err(ParamError::Zero { name: "tlb_entries" });
+        }
+        if self.tlb_value_bits == 0 {
+            return Err(ParamError::Zero {
+                name: "tlb_value_bits",
+            });
+        }
+        if self.hmax == 0 || !self.hmax.is_power_of_two() {
+            return Err(ParamError::NotPowerOfTwo {
+                name: "hmax",
+                value: self.hmax,
+            });
+        }
+        if !self.virt_pages.is_multiple_of(self.hmax) {
+            return Err(ParamError::NotDivisible {
+                dividend: "virt_pages",
+                divisor: "hmax",
+            });
+        }
+        if !(0.0..1.0).contains(&self.delta) || !self.delta.is_finite() {
+            return Err(ParamError::BadFraction {
+                name: "delta",
+                value: self.delta,
+                constraint: "must be in [0,1)",
+            });
+        }
+        if self.phys_pages > self.virt_pages {
+            return Err(ParamError::OutOfRange {
+                name: "phys_pages",
+                value: self.phys_pages,
+                constraint: "must be <= virt_pages (paging is trivial otherwise)",
+            });
+        }
+        Ok(SystemParams {
+            virt_pages: self.virt_pages,
+            phys_pages: self.phys_pages,
+            tlb_entries: self.tlb_entries,
+            tlb_value_bits: self.tlb_value_bits,
+            delta: self.delta,
+            hmax: self.hmax,
+            cost: self.cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_succeeds() {
+        let p = SystemParams::builder().build().unwrap();
+        assert_eq!(p.virt_pages, 1 << 16);
+        assert_eq!(p.effective_phys_pages(), p.phys_pages);
+    }
+
+    #[test]
+    fn effective_pages_respects_delta() {
+        let p = SystemParams::builder()
+            .phys_pages(1000)
+            .virt_pages(1 << 16)
+            .delta(0.1)
+            .build()
+            .unwrap();
+        assert_eq!(p.effective_phys_pages(), 900);
+    }
+
+    #[test]
+    fn rejects_zero_params() {
+        assert!(SystemParams::builder().virt_pages(0).build().is_err());
+        assert!(SystemParams::builder().phys_pages(0).build().is_err());
+        assert!(SystemParams::builder().tlb_entries(0).build().is_err());
+        assert!(SystemParams::builder().tlb_value_bits(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_hmax() {
+        assert!(SystemParams::builder().hmax(3).build().is_err());
+        // hmax must divide V.
+        assert!(SystemParams::builder()
+            .virt_pages(100)
+            .phys_pages(10)
+            .hmax(8)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_delta() {
+        assert!(SystemParams::builder().delta(1.0).build().is_err());
+        assert!(SystemParams::builder().delta(-0.1).build().is_err());
+        assert!(SystemParams::builder().delta(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn rejects_phys_bigger_than_virt() {
+        assert!(SystemParams::builder()
+            .virt_pages(16)
+            .phys_pages(32)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn huge_page_counts() {
+        let p = SystemParams::builder()
+            .virt_pages(1 << 16)
+            .phys_pages(1 << 10)
+            .hmax(16)
+            .build()
+            .unwrap();
+        assert_eq!(p.virt_huge_pages(), (1 << 16) / 16);
+        assert_eq!(p.hmax_geometry().pages_per_huge(), 16);
+    }
+}

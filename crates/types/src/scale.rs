@@ -1,0 +1,55 @@
+//! Size and scale helpers.
+//!
+//! The paper's experiments are expressed in bytes (64 GB virtual address
+//! space, 16 GB cache, 4 kB base pages); the model is expressed in pages.
+//! These helpers convert between the two.
+
+/// Base page size in bytes (the paper uses 4 kB pages throughout).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Number of base pages needed to hold `bytes` bytes (rounding up).
+#[inline]
+pub const fn pages_for_bytes(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+/// Number of bytes spanned by `pages` base pages.
+#[inline]
+pub const fn bytes_for_pages(pages: u64) -> u64 {
+    pages * PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_constants() {
+        // 64 GB virtual address space = 2^24 4kB pages.
+        assert_eq!(pages_for_bytes(64 * GIB), 1 << 24);
+        // 16 GB cache = 2^22 pages.
+        assert_eq!(pages_for_bytes(16 * GIB), 1 << 22);
+        // 1 GB hot region = 2^18 pages.
+        assert_eq!(pages_for_bytes(GIB), 1 << 18);
+    }
+
+    #[test]
+    fn rounding_up() {
+        assert_eq!(pages_for_bytes(0), 0);
+        assert_eq!(pages_for_bytes(1), 1);
+        assert_eq!(pages_for_bytes(PAGE_SIZE), 1);
+        assert_eq!(pages_for_bytes(PAGE_SIZE + 1), 2);
+    }
+
+    #[test]
+    fn bytes_for_pages_inverts() {
+        assert_eq!(bytes_for_pages(pages_for_bytes(8 * GIB)), 8 * GIB);
+    }
+}

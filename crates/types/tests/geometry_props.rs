@@ -1,0 +1,53 @@
+//! Property tests for huge-page geometry laws.
+
+use atp_types::{HugePageGeometry, VirtPage};
+use proptest::prelude::*;
+
+proptest! {
+    /// Decomposition law: v == constituent(huge_of(v), index_within(v)).
+    #[test]
+    fn decompose_recompose(shift in 0u32..20, v in 0u64..(1 << 40)) {
+        let g = HugePageGeometry::new(1 << shift).unwrap();
+        let u = g.huge_of(VirtPage(v));
+        let i = g.index_within(VirtPage(v));
+        prop_assert!(i < g.pages_per_huge());
+        prop_assert_eq!(g.constituent(u, i), VirtPage(v));
+        prop_assert!(g.covers(u, VirtPage(v)));
+    }
+
+    /// base_of is the first constituent and is aligned.
+    #[test]
+    fn base_alignment(shift in 0u32..20, u in 0u64..(1 << 30)) {
+        let g = HugePageGeometry::new(1 << shift).unwrap();
+        let base = g.base_of(atp_types::VirtHugePage(u));
+        prop_assert_eq!(base.0 % g.pages_per_huge(), 0);
+        prop_assert_eq!(g.huge_of(base).0, u);
+        prop_assert_eq!(g.index_within(base), 0);
+    }
+
+    /// Every constituent of u maps back to u, and constituents are
+    /// consecutive.
+    #[test]
+    fn constituents_are_exactly_the_run(shift in 0u32..10, u in 0u64..(1 << 20)) {
+        let g = HugePageGeometry::new(1 << shift).unwrap();
+        let hp = atp_types::VirtHugePage(u);
+        let mut expected = g.base_of(hp).0;
+        let mut count = 0u64;
+        #[allow(clippy::explicit_counter_loop)] // expected/count checked as values
+        for v in g.constituents(hp) {
+            prop_assert_eq!(v.0, expected);
+            prop_assert_eq!(g.huge_of(v), hp);
+            expected += 1;
+            count += 1;
+        }
+        prop_assert_eq!(count, g.pages_per_huge());
+    }
+
+    /// huge_count is the exact ceiling division.
+    #[test]
+    fn huge_count_is_ceil(shift in 0u32..12, pages in 0u64..(1 << 30)) {
+        let g = HugePageGeometry::new(1 << shift).unwrap();
+        let h = g.pages_per_huge();
+        prop_assert_eq!(g.huge_count(pages), pages.div_ceil(h));
+    }
+}

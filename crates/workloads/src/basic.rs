@@ -1,0 +1,209 @@
+//! Elementary generators for tests, warmups, and ablations.
+
+use crate::zipf::Zipf;
+use atp_hash::CounterRng;
+use atp_types::VirtPage;
+
+/// Uniformly random pages over `[0, pages)`.
+#[derive(Clone, Debug)]
+pub struct UniformRandom {
+    rng: CounterRng,
+    pages: u64,
+}
+
+impl UniformRandom {
+    /// Creates the generator.
+    pub fn new(seed: u64, pages: u64) -> Self {
+        assert!(pages > 0);
+        Self {
+            rng: CounterRng::new(seed, 0x0F1),
+            pages,
+        }
+    }
+}
+
+impl Iterator for UniformRandom {
+    type Item = VirtPage;
+    fn next(&mut self) -> Option<VirtPage> {
+        Some(VirtPage(self.rng.next_below(self.pages)))
+    }
+}
+
+/// A wrapping sequential scan `0, 1, 2, …` — the huge-page best case.
+#[derive(Clone, Debug)]
+pub struct Sequential {
+    next: u64,
+    pages: u64,
+}
+
+impl Sequential {
+    /// Creates the generator.
+    pub fn new(pages: u64) -> Self {
+        assert!(pages > 0);
+        Self { next: 0, pages }
+    }
+}
+
+impl Iterator for Sequential {
+    type Item = VirtPage;
+    fn next(&mut self) -> Option<VirtPage> {
+        let out = self.next;
+        self.next = (self.next + 1) % self.pages;
+        Some(VirtPage(out))
+    }
+}
+
+/// A strided scan — defeats huge-page coverage when the stride exceeds the
+/// huge-page size.
+#[derive(Clone, Debug)]
+pub struct Strided {
+    next: u64,
+    stride: u64,
+    pages: u64,
+}
+
+impl Strided {
+    /// Creates the generator.
+    pub fn new(stride: u64, pages: u64) -> Self {
+        assert!(pages > 0 && stride > 0);
+        Self {
+            next: 0,
+            stride,
+            pages,
+        }
+    }
+}
+
+impl Iterator for Strided {
+    type Item = VirtPage;
+    fn next(&mut self) -> Option<VirtPage> {
+        let out = self.next;
+        self.next = (self.next + self.stride) % self.pages;
+        Some(VirtPage(out))
+    }
+}
+
+/// Zipf-distributed independent accesses (rank 1 = page 0).
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    rng: CounterRng,
+    zipf: Zipf,
+}
+
+impl Zipfian {
+    /// Creates the generator with exponent `s`.
+    pub fn new(seed: u64, pages: u64, s: f64) -> Self {
+        Self {
+            rng: CounterRng::new(seed, 0x21F),
+            zipf: Zipf::new(pages, s),
+        }
+    }
+}
+
+impl Iterator for Zipfian {
+    type Item = VirtPage;
+    fn next(&mut self) -> Option<VirtPage> {
+        Some(VirtPage(self.zipf.sample(&mut self.rng) - 1))
+    }
+}
+
+/// Phased working sets: uniform accesses within a working set whose base
+/// jumps to a fresh random location every `phase_len` accesses — the
+/// classic model of program phase behaviour (Denning's working sets).
+#[derive(Clone, Debug)]
+pub struct PhasedWorkingSet {
+    rng: CounterRng,
+    pages: u64,
+    set_size: u64,
+    phase_len: u64,
+    base: u64,
+    remaining: u64,
+}
+
+impl PhasedWorkingSet {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    /// Panics if `set_size` is 0 or exceeds `pages`, or `phase_len == 0`.
+    pub fn new(seed: u64, pages: u64, set_size: u64, phase_len: u64) -> Self {
+        assert!(set_size > 0 && set_size <= pages && phase_len > 0);
+        let mut rng = CounterRng::new(seed, 0x9A5E);
+        let base = rng.next_below(pages - set_size + 1);
+        Self {
+            rng,
+            pages,
+            set_size,
+            phase_len,
+            base,
+            remaining: phase_len,
+        }
+    }
+}
+
+impl Iterator for PhasedWorkingSet {
+    type Item = VirtPage;
+    fn next(&mut self) -> Option<VirtPage> {
+        if self.remaining == 0 {
+            self.base = self.rng.next_below(self.pages - self.set_size + 1);
+            self.remaining = self.phase_len;
+        }
+        self.remaining -= 1;
+        Some(VirtPage(self.base + self.rng.next_below(self.set_size)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_wraps() {
+        let s: Vec<u64> = Sequential::new(3).take(7).map(|p| p.0).collect();
+        assert_eq!(s, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn strided_pattern() {
+        let s: Vec<u64> = Strided::new(4, 10).take(5).map(|p| p.0).collect();
+        assert_eq!(s, vec![0, 4, 8, 2, 6]);
+    }
+
+    #[test]
+    fn uniform_in_bounds_and_spread() {
+        let mut seen = std::collections::HashSet::new();
+        for p in UniformRandom::new(1, 100).take(5000) {
+            assert!(p.0 < 100);
+            seen.insert(p.0);
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn zipfian_head_is_hot() {
+        let head = Zipfian::new(2, 1000, 1.5)
+            .take(10_000)
+            .filter(|p| p.0 < 10)
+            .count();
+        assert!(head > 6_000, "zipf(1.5) head hits: {head}");
+    }
+
+    #[test]
+    fn phases_shift_base() {
+        let mut w = PhasedWorkingSet::new(3, 1 << 20, 64, 100);
+        let first: Vec<u64> = (&mut w).take(100).map(|p| p.0).collect();
+        let second: Vec<u64> = (&mut w).take(100).map(|p| p.0).collect();
+        let min1 = *first.iter().min().unwrap();
+        let min2 = *second.iter().min().unwrap();
+        assert_ne!(min1 / 64, min2 / 64, "phase base should move");
+        // All accesses within a 64-page window per phase.
+        assert!(first.iter().max().unwrap() - min1 < 64);
+        assert!(second.iter().max().unwrap() - min2 < 64);
+    }
+
+    #[test]
+    fn phased_stays_in_bounds() {
+        for p in PhasedWorkingSet::new(9, 128, 128, 10).take(1000) {
+            assert!(p.0 < 128);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The Figure 1a workload: bimodal uniform accesses.
+//!
+//! "A synthetic stress test that frequently accesses one 'hot' page and
+//! infrequently accesses another 'cold' page. The 'hot' page is selected at
+//! random from a 1 GB region of memory, within a 64 GB virtual address
+//! space; the 'cold' page is selected at random from the entire virtual
+//! address space." 99.99% of accesses are hot.
+//!
+//! The hot region is a contiguous run of pages placed at a random
+//! hot-region-aligned offset inside the address space, as in the paper.
+
+use atp_hash::CounterRng;
+use atp_types::VirtPage;
+
+/// Bimodal uniform workload.
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    rng: CounterRng,
+    total_pages: u64,
+    hot_base: u64,
+    hot_pages: u64,
+    hot_fraction: f64,
+}
+
+impl Bimodal {
+    /// Creates the workload: `hot_pages` contiguous hot pages inside
+    /// `total_pages`, hit with probability `hot_fraction`.
+    ///
+    /// # Panics
+    /// Panics if `hot_pages == 0`, `hot_pages > total_pages`, or
+    /// `hot_fraction ∉ [0, 1]`.
+    pub fn new(seed: u64, total_pages: u64, hot_pages: u64, hot_fraction: f64) -> Self {
+        assert!(hot_pages > 0 && hot_pages <= total_pages);
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        let mut rng = CounterRng::new(seed, 0xB1B0);
+        // Random placement of the hot region, aligned to its own size when
+        // possible so huge pages of any size ≤ hot_pages tile it cleanly.
+        let slots = total_pages / hot_pages;
+        let hot_base = if slots > 1 {
+            rng.next_below(slots) * hot_pages
+        } else {
+            0
+        };
+        Self {
+            rng,
+            total_pages,
+            hot_base,
+            hot_pages,
+            hot_fraction,
+        }
+    }
+
+    /// The paper's exact configuration: 64 GB VA, 1 GB hot region, 99.99%
+    /// hot — expressed in 4 kB pages.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(seed, 1 << 24, 1 << 18, 0.9999)
+    }
+
+    /// A scaled-down configuration preserving the 64:1 space ratio.
+    pub fn scaled(seed: u64, total_pages: u64) -> Self {
+        Self::new(seed, total_pages, (total_pages / 64).max(1), 0.9999)
+    }
+
+    /// First page of the hot region.
+    pub fn hot_base(&self) -> u64 {
+        self.hot_base
+    }
+
+    /// Total pages in the address space.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+}
+
+impl Iterator for Bimodal {
+    type Item = VirtPage;
+
+    fn next(&mut self) -> Option<VirtPage> {
+        let page = if self.rng.next_bool(self.hot_fraction) {
+            self.hot_base + self.rng.next_below(self.hot_pages)
+        } else {
+            self.rng.next_below(self.total_pages)
+        };
+        Some(VirtPage(page))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_hot_fraction() {
+        let mut w = Bimodal::new(1, 1 << 16, 1 << 10, 0.99);
+        let (base, hot) = (w.hot_base(), 1 << 10);
+        let n = 100_000;
+        let in_hot = (0..n)
+            .filter(|_| {
+                let p = w.next().unwrap().0;
+                p >= base && p < base + hot
+            })
+            .count();
+        let frac = in_hot as f64 / n as f64;
+        // Cold accesses also land in the hot region ~1/64 of the time.
+        assert!(frac > 0.985 && frac <= 1.0, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn pages_stay_in_bounds() {
+        let mut w = Bimodal::new(2, 4096, 64, 0.5);
+        for _ in 0..10_000 {
+            assert!(w.next().unwrap().0 < 4096);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = Bimodal::new(3, 1 << 16, 1 << 10, 0.9999)
+            .take(1000)
+            .map(|p| p.0)
+            .collect();
+        let b: Vec<u64> = Bimodal::new(3, 1 << 16, 1 << 10, 0.9999)
+            .take(1000)
+            .map(|p| p.0)
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = Bimodal::new(4, 1 << 16, 1 << 10, 0.9999)
+            .take(1000)
+            .map(|p| p.0)
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hot_region_is_aligned() {
+        for seed in 0..20 {
+            let w = Bimodal::new(seed, 1 << 16, 1 << 10, 0.9999);
+            assert_eq!(w.hot_base() % (1 << 10), 0);
+            assert!(w.hot_base() + (1 << 10) <= 1 << 16);
+        }
+    }
+
+    #[test]
+    fn paper_scale_dimensions() {
+        let w = Bimodal::paper(0);
+        assert_eq!(w.total_pages(), 1 << 24); // 64 GB of 4 kB pages
+    }
+
+    #[test]
+    fn cold_accesses_cover_address_space() {
+        // With fraction 0, accesses are uniform over everything.
+        let mut w = Bimodal::new(5, 1024, 16, 0.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            seen.insert(w.next().unwrap().0);
+        }
+        assert!(seen.len() > 1000 - 50, "coverage {}", seen.len());
+    }
+}

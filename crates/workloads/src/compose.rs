@@ -1,0 +1,191 @@
+//! Workload combinators: replay, mixing, and region remapping.
+//!
+//! Real experiments compose primitives: replay a recorded trace, interleave
+//! a foreground workload with background scans (the multi-tenant pressure
+//! Ingens [30] targets), or shift a generator into a region of a larger
+//! address space. These adapters keep every composition deterministic.
+
+use atp_hash::CounterRng;
+use atp_types::VirtPage;
+
+/// Replays a recorded trace (optionally cycling).
+#[derive(Clone, Debug)]
+pub struct Replay {
+    pages: Vec<VirtPage>,
+    pos: usize,
+    cycle: bool,
+}
+
+impl Replay {
+    /// Replays `pages` once.
+    pub fn once(pages: Vec<VirtPage>) -> Self {
+        Self {
+            pages,
+            pos: 0,
+            cycle: false,
+        }
+    }
+
+    /// Replays `pages` forever (wrapping).
+    ///
+    /// # Panics
+    /// Panics if `pages` is empty.
+    pub fn cycling(pages: Vec<VirtPage>) -> Self {
+        assert!(!pages.is_empty(), "cannot cycle an empty trace");
+        Self {
+            pages,
+            pos: 0,
+            cycle: true,
+        }
+    }
+}
+
+impl Iterator for Replay {
+    type Item = VirtPage;
+    fn next(&mut self) -> Option<VirtPage> {
+        if self.pos >= self.pages.len() {
+            if !self.cycle {
+                return None;
+            }
+            self.pos = 0;
+        }
+        let out = self.pages[self.pos];
+        self.pos += 1;
+        Some(out)
+    }
+}
+
+/// Randomly interleaves two workloads: each access comes from `a` with
+/// probability `p_a`, else from `b`.
+#[derive(Clone, Debug)]
+pub struct Mix<A, B> {
+    a: A,
+    b: B,
+    p_a: f64,
+    rng: CounterRng,
+}
+
+impl<A, B> Mix<A, B> {
+    /// Creates the mix.
+    ///
+    /// # Panics
+    /// Panics if `p_a ∉ [0, 1]`.
+    pub fn new(seed: u64, a: A, b: B, p_a: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_a), "p_a must be in [0,1]");
+        Self {
+            a,
+            b,
+            p_a,
+            rng: CounterRng::new(seed, 0x313C),
+        }
+    }
+}
+
+impl<A, B> Iterator for Mix<A, B>
+where
+    A: Iterator<Item = VirtPage>,
+    B: Iterator<Item = VirtPage>,
+{
+    type Item = VirtPage;
+    fn next(&mut self) -> Option<VirtPage> {
+        if self.rng.next_bool(self.p_a) {
+            self.a.next().or_else(|| self.b.next())
+        } else {
+            self.b.next().or_else(|| self.a.next())
+        }
+    }
+}
+
+/// Shifts a workload's pages by a fixed base (placing it in a region of a
+/// larger address space).
+#[derive(Clone, Debug)]
+pub struct Offset<W> {
+    inner: W,
+    base: u64,
+}
+
+impl<W> Offset<W> {
+    /// Adds `base` to every page id.
+    pub fn new(inner: W, base: u64) -> Self {
+        Self { inner, base }
+    }
+}
+
+impl<W: Iterator<Item = VirtPage>> Iterator for Offset<W> {
+    type Item = VirtPage;
+    fn next(&mut self) -> Option<VirtPage> {
+        self.inner.next().map(|p| VirtPage(p.0 + self.base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::Sequential;
+
+    #[test]
+    fn replay_once_ends() {
+        let t: Vec<VirtPage> = vec![VirtPage(1), VirtPage(2)];
+        let out: Vec<VirtPage> = Replay::once(t.clone()).collect();
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn replay_cycles() {
+        let t = vec![VirtPage(1), VirtPage(2)];
+        let out: Vec<u64> = Replay::cycling(t).take(5).map(|p| p.0).collect();
+        assert_eq!(out, vec![1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_cycle_rejected() {
+        Replay::cycling(vec![]);
+    }
+
+    #[test]
+    fn mix_ratio_is_respected() {
+        // a = always page 0, b = always page 1.
+        let a = std::iter::repeat(VirtPage(0));
+        let b = std::iter::repeat(VirtPage(1));
+        let mut m = Mix::new(1, a, b, 0.75);
+        let n = 20_000;
+        let zeros = (0..n).filter(|_| m.next().unwrap().0 == 0).count();
+        let frac = zeros as f64 / n as f64;
+        assert!((0.73..0.77).contains(&frac), "mix fraction {frac}");
+    }
+
+    #[test]
+    fn mix_falls_back_when_one_side_ends() {
+        let a = Replay::once(vec![VirtPage(7)]);
+        let b = std::iter::repeat(VirtPage(9));
+        let m = Mix::new(2, a, b, 0.5);
+        let out: Vec<u64> = m.take(100).map(|p| p.0).collect();
+        assert_eq!(out.iter().filter(|&&x| x == 7).count(), 1);
+        assert_eq!(out.iter().filter(|&&x| x == 9).count(), 99);
+    }
+
+    #[test]
+    fn offset_shifts_pages() {
+        let out: Vec<u64> = Offset::new(Sequential::new(3), 100)
+            .take(4)
+            .map(|p| p.0)
+            .collect();
+        assert_eq!(out, vec![100, 101, 102, 100]);
+    }
+
+    #[test]
+    fn mix_is_deterministic() {
+        let make = || {
+            Mix::new(
+                7,
+                Sequential::new(10),
+                Offset::new(Sequential::new(10), 1000),
+                0.5,
+            )
+        };
+        let a: Vec<u64> = make().take(200).map(|p| p.0).collect();
+        let b: Vec<u64> = make().take(200).map(|p| p.0).collect();
+        assert_eq!(a, b);
+    }
+}

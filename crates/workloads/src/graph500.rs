@@ -1,0 +1,347 @@
+//! The Figure 1c workload: a graph500-style BFS memory trace.
+//!
+//! The paper replays a recorded trace of ~5 M memory accesses from a real
+//! graph500 run. We do not have the authors' trace, so we *generate* the
+//! equivalent (see DESIGN.md "Substitutions"): an R-MAT/Kronecker graph per
+//! the graph500 specification (quadrant probabilities A = 0.57, B = 0.19,
+//! C = 0.19, D = 0.05, edge factor 16), laid out as CSR arrays in a
+//! simulated virtual address space, traversed by level-synchronous BFS with
+//! **every** data-structure access — `xadj`, `adj`, `parent`, and the
+//! frontier queue — recorded at 4 kB-page granularity.
+//!
+//! The resulting trace has graph500's signature behaviour: sequential bursts
+//! over the queue and `xadj`/`adj` arrays interleaved with random-looking
+//! `parent[]` probes across the whole footprint — friendly to huge-page TLB
+//! coverage, hostile to huge-page RAM residency.
+
+use atp_hash::CounterRng;
+use atp_types::{VirtPage, PAGE_SIZE};
+
+/// R-MAT quadrant probabilities from the graph500 spec.
+const A: f64 = 0.57;
+const B: f64 = 0.19;
+const C: f64 = 0.19;
+
+/// Configuration for trace generation.
+#[derive(Clone, Copy, Debug)]
+pub struct Graph500Config {
+    /// log₂ of the vertex count (graph500 "scale").
+    pub scale: u32,
+    /// Edges per vertex (graph500 default 16).
+    pub edge_factor: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Maximum number of page accesses to record.
+    pub max_accesses: usize,
+}
+
+impl Graph500Config {
+    /// A laptop-scale default: scale 14 (16 k vertices, 256 k edges).
+    pub fn small(seed: u64) -> Self {
+        Self {
+            scale: 14,
+            edge_factor: 16,
+            seed,
+            max_accesses: 5_000_000,
+        }
+    }
+}
+
+/// Compressed-sparse-row adjacency (symmetrized).
+struct Csr {
+    xadj: Vec<u64>,
+    adj: Vec<u32>,
+}
+
+fn rmat_edges(cfg: &Graph500Config) -> Vec<(u32, u32)> {
+    let n_edges = (1u64 << cfg.scale) * cfg.edge_factor;
+    let mut rng = CounterRng::new(cfg.seed, 0x6500);
+    let mut edges = Vec::with_capacity(n_edges as usize);
+    for _ in 0..n_edges {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..cfg.scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.next_f64();
+            if r < A {
+                // top-left quadrant
+            } else if r < A + B {
+                v |= 1;
+            } else if r < A + B + C {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    edges
+}
+
+fn build_csr(n: u64, edges: &[(u32, u32)]) -> Csr {
+    // Symmetrize: every edge contributes both directions (self-loops once).
+    let mut degree = vec![0u64; n as usize];
+    for &(u, v) in edges {
+        degree[u as usize] += 1;
+        if u != v {
+            degree[v as usize] += 1;
+        }
+    }
+    let mut xadj = vec![0u64; n as usize + 1];
+    for i in 0..n as usize {
+        xadj[i + 1] = xadj[i] + degree[i];
+    }
+    let mut cursor = xadj.clone();
+    let mut adj = vec![0u32; xadj[n as usize] as usize];
+    for &(u, v) in edges {
+        adj[cursor[u as usize] as usize] = v;
+        cursor[u as usize] += 1;
+        if u != v {
+            adj[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+    }
+    Csr { xadj, adj }
+}
+
+/// A generated graph500 BFS page trace.
+pub struct Graph500Trace {
+    trace: Vec<u64>,
+    touched_pages: u64,
+    vertices: u64,
+    edges: u64,
+    footprint_pages: u64,
+}
+
+impl Graph500Trace {
+    /// Generates the graph, runs BFS from random roots, and records the
+    /// page-granular trace (up to `cfg.max_accesses` accesses).
+    pub fn generate(cfg: &Graph500Config) -> Self {
+        let n = 1u64 << cfg.scale;
+        let edges = rmat_edges(cfg);
+        let csr = build_csr(n, &edges);
+        let m = csr.adj.len() as u64;
+
+        // Virtual layout (byte offsets, page-aligned regions):
+        //   xadj:   (n+1) × 8 bytes
+        //   adj:    m × 4 bytes
+        //   parent: n × 8 bytes
+        //   queue:  n × 8 bytes
+        let xadj_base = 0u64;
+        let adj_base = page_align(xadj_base + (n + 1) * 8);
+        let parent_base = page_align(adj_base + m * 4);
+        let queue_base = page_align(parent_base + n * 8);
+        let footprint_pages = (queue_base + n * 8).div_ceil(PAGE_SIZE);
+
+        let mut trace = Vec::with_capacity(cfg.max_accesses.min(1 << 24));
+        let touch = |byte: u64, trace: &mut Vec<u64>| {
+            trace.push(byte / PAGE_SIZE);
+        };
+
+        let mut parent = vec![u32::MAX; n as usize];
+        let mut queue: Vec<u32> = Vec::with_capacity(n as usize);
+        let mut rng = CounterRng::new(cfg.seed, 0xBF5);
+
+        'outer: while trace.len() < cfg.max_accesses {
+            // Pick an unvisited root (give up after a few tries — the
+            // remaining unvisited vertices are likely isolated).
+            let mut root = None;
+            for _ in 0..64 {
+                let r = rng.next_below(n) as u32;
+                if parent[r as usize] == u32::MAX {
+                    root = Some(r);
+                    break;
+                }
+            }
+            let Some(root) = root else { break 'outer };
+
+            parent[root as usize] = root;
+            touch(parent_base + root as u64 * 8, &mut trace);
+            queue.clear();
+            queue.push(root);
+            touch(queue_base, &mut trace);
+
+            let mut head = 0usize;
+            while head < queue.len() {
+                if trace.len() >= cfg.max_accesses {
+                    break 'outer;
+                }
+                let v = queue[head];
+                touch(queue_base + (head as u64 % n) * 8, &mut trace);
+                head += 1;
+
+                // xadj[v], xadj[v+1] (usually the same page).
+                touch(xadj_base + v as u64 * 8, &mut trace);
+                touch(xadj_base + (v as u64 + 1) * 8, &mut trace);
+                let (lo, hi) = (csr.xadj[v as usize], csr.xadj[v as usize + 1]);
+                for e in lo..hi {
+                    touch(adj_base + e * 4, &mut trace);
+                    let w = csr.adj[e as usize];
+                    touch(parent_base + w as u64 * 8, &mut trace);
+                    if parent[w as usize] == u32::MAX {
+                        parent[w as usize] = v;
+                        // write parent[w] — same page as the read just made;
+                        // still recorded (a store is an access).
+                        touch(parent_base + w as u64 * 8, &mut trace);
+                        queue.push(w);
+                        touch(queue_base + ((queue.len() as u64 - 1) % n) * 8, &mut trace);
+                    }
+                    if trace.len() >= cfg.max_accesses {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        let touched_pages = {
+            let mut s: Vec<u64> = trace.clone();
+            s.sort_unstable();
+            s.dedup();
+            s.len() as u64
+        };
+
+        Self {
+            trace,
+            touched_pages,
+            vertices: n,
+            edges: m,
+            footprint_pages,
+        }
+    }
+
+    /// The recorded page accesses.
+    pub fn pages(&self) -> &[u64] {
+        &self.trace
+    }
+
+    /// Iterator over the trace as `VirtPage`s.
+    pub fn iter(&self) -> impl Iterator<Item = VirtPage> + '_ {
+        self.trace.iter().map(|&p| VirtPage(p))
+    }
+
+    /// Number of distinct pages touched (the paper sets the cache slightly
+    /// below this: 520 MB vs 525 MB touched).
+    pub fn touched_pages(&self) -> u64 {
+        self.touched_pages
+    }
+
+    /// Total virtual footprint in pages (all four regions).
+    pub fn footprint_pages(&self) -> u64 {
+        self.footprint_pages
+    }
+
+    /// Vertex count.
+    pub fn vertices(&self) -> u64 {
+        self.vertices
+    }
+
+    /// Directed edge count after symmetrization.
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+}
+
+#[inline]
+fn page_align(x: u64) -> u64 {
+    x.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph500Trace {
+        Graph500Trace::generate(&Graph500Config {
+            scale: 10,
+            edge_factor: 16,
+            seed: 1,
+            max_accesses: 200_000,
+        })
+    }
+
+    #[test]
+    fn trace_is_nonempty_and_bounded() {
+        let t = tiny();
+        assert!(!t.pages().is_empty());
+        assert!(t.pages().len() <= 200_000);
+        for &p in t.pages() {
+            assert!(p < t.footprint_pages(), "page {p} beyond footprint");
+        }
+    }
+
+    #[test]
+    fn touched_is_at_most_footprint() {
+        let t = tiny();
+        assert!(t.touched_pages() <= t.footprint_pages());
+        assert!(t.touched_pages() > 10, "BFS must touch many pages");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Graph500Trace::generate(&Graph500Config {
+            scale: 9,
+            edge_factor: 8,
+            seed: 5,
+            max_accesses: 50_000,
+        });
+        let b = Graph500Trace::generate(&Graph500Config {
+            scale: 9,
+            edge_factor: 8,
+            seed: 5,
+            max_accesses: 50_000,
+        });
+        assert_eq!(a.pages(), b.pages());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // R-MAT with A=0.57 concentrates edges on low vertex ids.
+        let cfg = Graph500Config {
+            scale: 12,
+            edge_factor: 16,
+            seed: 2,
+            max_accesses: 1,
+        };
+        let edges = rmat_edges(&cfg);
+        let n = 1u64 << cfg.scale;
+        let low_half = edges
+            .iter()
+            .filter(|&&(u, _)| (u as u64) < n / 2)
+            .count() as f64
+            / edges.len() as f64;
+        // P(source in low half) = A + B = 0.76.
+        assert!((0.72..0.80).contains(&low_half), "skew {low_half}");
+    }
+
+    #[test]
+    fn csr_is_consistent() {
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 0), (3, 3)];
+        let csr = build_csr(4, &edges);
+        // Symmetrized degrees: 0:2, 1:2, 2:2, 3:1 (self-loop once).
+        assert_eq!(csr.xadj, vec![0, 2, 4, 6, 7]);
+        assert_eq!(csr.adj.len(), 7);
+        let mut n0: Vec<u32> = csr.adj[0..2].to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    fn bfs_visits_reached_component() {
+        // The trace length grows with max_accesses until the graph is
+        // exhausted.
+        let small = Graph500Trace::generate(&Graph500Config {
+            scale: 9,
+            edge_factor: 8,
+            seed: 3,
+            max_accesses: 10_000,
+        });
+        let big = Graph500Trace::generate(&Graph500Config {
+            scale: 9,
+            edge_factor: 8,
+            seed: 3,
+            max_accesses: 1_000_000,
+        });
+        assert!(big.pages().len() > small.pages().len());
+    }
+}

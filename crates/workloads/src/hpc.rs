@@ -1,0 +1,227 @@
+//! HPC kernel access patterns.
+//!
+//! Two canonical patterns from the HPC benchmarking canon, at page
+//! granularity (the §1 motivation names "machine learning and graph
+//! analytics" as irregular and hard to prefetch — GUPS is the standard
+//! stress test for exactly that, and stencils are its regular opposite):
+//!
+//! * [`Gups`] — HPC Challenge RandomAccess: read-modify-write of uniformly
+//!   random table entries, interleaved with sequential touches of a small
+//!   substitution stream. Zero locality in the table: the TLB's worst case.
+//! * [`Stencil2d`] — a blocked 5-point stencil sweep over a 2D grid stored
+//!   row-major: each output row touches three input rows, so page reuse is
+//!   high and strictly structured. Huge pages shine; decoupling matches.
+
+use atp_hash::CounterRng;
+use atp_types::{VirtPage, PAGE_SIZE};
+
+/// GUPS / RandomAccess-style workload.
+#[derive(Clone, Debug)]
+pub struct Gups {
+    rng: CounterRng,
+    table_pages: u64,
+    stream_pages: u64,
+    stream_pos: u64,
+    /// Table updates between stream touches.
+    updates_per_stream: u64,
+    phase: u64,
+}
+
+impl Gups {
+    /// Creates a GUPS workload over a `table_pages`-page table with a
+    /// `stream_pages`-page sequential substitution stream.
+    pub fn new(seed: u64, table_pages: u64, stream_pages: u64) -> Self {
+        assert!(table_pages > 0 && stream_pages > 0);
+        Self {
+            rng: CounterRng::new(seed, 0x6095),
+            table_pages,
+            stream_pages,
+            stream_pos: 0,
+            updates_per_stream: 8,
+            phase: 0,
+        }
+    }
+}
+
+impl Iterator for Gups {
+    type Item = VirtPage;
+    fn next(&mut self) -> Option<VirtPage> {
+        self.phase += 1;
+        if self.phase.is_multiple_of(self.updates_per_stream + 1) {
+            // Sequential stream touch (laid out after the table).
+            let p = self.table_pages + self.stream_pos;
+            self.stream_pos = (self.stream_pos + 1) % self.stream_pages;
+            Some(VirtPage(p))
+        } else {
+            Some(VirtPage(self.rng.next_below(self.table_pages)))
+        }
+    }
+}
+
+/// Blocked 5-point stencil over a row-major 2D grid of `f64`s.
+///
+/// Emits the page of every logical load/store: for output cell `(i, j)`,
+/// reads `(i±1, j)`, `(i, j±1)`, `(i, j)` from the input array and writes
+/// `(i, j)` to the output array (allocated after the input).
+#[derive(Clone, Debug)]
+pub struct Stencil2d {
+    rows: u64,
+    cols: u64,
+    block: u64,
+    /// Iteration state: current block origin and offset within block.
+    bi: u64,
+    bj: u64,
+    ii: u64,
+    jj: u64,
+    pending: Vec<VirtPage>,
+}
+
+impl Stencil2d {
+    /// Creates a stencil sweep over a `rows × cols` grid with `block`-sized
+    /// tiles (cache blocking).
+    pub fn new(rows: u64, cols: u64, block: u64) -> Self {
+        assert!(rows >= 3 && cols >= 3 && block > 0);
+        Self {
+            rows,
+            cols,
+            block,
+            bi: 1,
+            bj: 1,
+            ii: 0,
+            jj: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    const ELEM: u64 = 8; // f64
+
+    fn elems_per_page() -> u64 {
+        PAGE_SIZE / Self::ELEM
+    }
+
+    fn page_of(&self, array: u64, i: u64, j: u64) -> VirtPage {
+        let index = i * self.cols + j;
+        let array_pages = (self.rows * self.cols).div_ceil(Self::elems_per_page());
+        VirtPage(array * array_pages + index / Self::elems_per_page())
+    }
+
+    fn emit_cell(&mut self, i: u64, j: u64) {
+        let reads = [
+            (i, j),
+            (i - 1, j),
+            (i + 1, j),
+            (i, j - 1),
+            (i, j + 1),
+        ];
+        for (ri, rj) in reads {
+            let p = self.page_of(0, ri, rj);
+            self.pending.push(p);
+        }
+        let out = self.page_of(1, i, j);
+        self.pending.push(out);
+    }
+
+    fn advance(&mut self) -> bool {
+        // Interior sweep over blocks; wraps around forever.
+        let i = self.bi + self.ii;
+        let j = self.bj + self.jj;
+        if i < self.rows - 1 && j < self.cols - 1 {
+            self.emit_cell(i, j);
+        }
+        // Advance within block, then across blocks.
+        self.jj += 1;
+        if self.jj >= self.block || self.bj + self.jj >= self.cols - 1 {
+            self.jj = 0;
+            self.ii += 1;
+            if self.ii >= self.block || self.bi + self.ii >= self.rows - 1 {
+                self.ii = 0;
+                self.bj += self.block;
+                if self.bj >= self.cols - 1 {
+                    self.bj = 1;
+                    self.bi += self.block;
+                    if self.bi >= self.rows - 1 {
+                        self.bi = 1; // next sweep
+                    }
+                }
+            }
+        }
+        !self.pending.is_empty()
+    }
+}
+
+impl Iterator for Stencil2d {
+    type Item = VirtPage;
+    fn next(&mut self) -> Option<VirtPage> {
+        while self.pending.is_empty() {
+            self.advance();
+        }
+        Some(self.pending.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gups_covers_table_uniformly() {
+        let mut g = Gups::new(1, 1000, 10);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50_000 {
+            let p = g.next().unwrap().0;
+            assert!(p < 1010);
+            seen.insert(p);
+        }
+        assert!(seen.len() > 990, "coverage {}", seen.len());
+    }
+
+    #[test]
+    fn gups_interleaves_stream() {
+        let mut g = Gups::new(2, 100, 5);
+        let stream_hits = (0..900).filter(|_| g.next().unwrap().0 >= 100).count();
+        // One stream touch per 9 accesses.
+        assert_eq!(stream_hits, 100);
+    }
+
+    #[test]
+    fn stencil_pages_stay_in_two_arrays() {
+        let s = Stencil2d::new(64, 64, 8);
+        let array_pages = (64u64 * 64).div_ceil(512);
+        for p in s.take(10_000) {
+            assert!(p.0 < 2 * array_pages, "page {p:?} out of bounds");
+        }
+    }
+
+    #[test]
+    fn stencil_has_strong_page_locality() {
+        use atp_trace::TraceStats;
+        let trace: Vec<VirtPage> = Stencil2d::new(256, 256, 16).take(30_000).collect();
+        let stats = TraceStats::compute(&trace);
+        // 512 f64s per page: within a cell the (i,j±1) reads share the
+        // (i,j) page while the i±1 rows usually live one page away —
+        // so roughly a third of transitions stay on-page and reuse is deep.
+        assert!(stats.same_page_rate > 0.25, "rate {}", stats.same_page_rate);
+        assert!(stats.mean_reuse > 50.0, "reuse {}", stats.mean_reuse);
+    }
+
+    #[test]
+    fn stencil_emits_six_accesses_per_cell() {
+        let mut s = Stencil2d::new(16, 16, 4);
+        // First cell (1,1): 5 reads + 1 write.
+        let first_six: Vec<u64> = (0..6).map(|_| s.next().unwrap().0).collect();
+        assert_eq!(first_six.len(), 6);
+        // The write goes to the second array.
+        let array_pages = (16u64 * 16).div_ceil(512);
+        assert!(first_six[5] >= array_pages);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<u64> = Gups::new(7, 500, 5).take(1000).map(|p| p.0).collect();
+        let b: Vec<u64> = Gups::new(7, 500, 5).take(1000).map(|p| p.0).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = Stencil2d::new(32, 32, 8).take(1000).map(|p| p.0).collect();
+        let d: Vec<u64> = Stencil2d::new(32, 32, 8).take(1000).map(|p| p.0).collect();
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,177 @@
+//! Zipf sampling by rejection inversion (Hörmann & Derflinger).
+//!
+//! Samples ranks `k ∈ {1, …, n}` with `P(k) ∝ k^{−s}`, in O(1) expected time
+//! and O(1) memory, for any `s > 0` and any `n` — no precomputed tables, so
+//! it works for the paper's 16-million-page address spaces and the
+//! near-critical exponent `s = 1.01` of the Pareto walk.
+
+use atp_hash::CounterRng;
+
+/// A Zipf(n, s) sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over ranks `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "n must be nonzero");
+        assert!(s > 0.0 && s.is_finite(), "exponent must be positive");
+        let nf = n as f64;
+        let h_x1 = Self::h_integral(1.5, s) - 1.0;
+        let h_n = Self::h_integral(nf + 0.5, s);
+        let threshold = 2.0 - Self::h_integral_inv(Self::h_integral(2.5, s) - Self::h(2.5, s), s);
+        Self {
+            n: nf,
+            s,
+            h_x1,
+            h_n,
+            threshold,
+        }
+    }
+
+    /// `H(x) = ∫ t^{−s} dt`, the integral of the frequency function.
+    fn h_integral(x: f64, s: f64) -> f64 {
+        let log_x = x.ln();
+        Self::helper2((1.0 - s) * log_x) * log_x
+    }
+
+    /// `h(x) = x^{−s}`.
+    fn h(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+
+    /// Inverse of `h_integral`.
+    fn h_integral_inv(x: f64, s: f64) -> f64 {
+        let mut t = x * (1.0 - s);
+        if t < -1.0 {
+            // Guard against numerical round-off (as in the reference impl).
+            t = -1.0;
+        }
+        (Self::helper1(t) * x).exp()
+    }
+
+    /// `ln(1+x)/x`, stable near 0.
+    fn helper1(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.ln_1p() / x
+        } else {
+            1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+        }
+    }
+
+    /// `(e^x − 1)/x`, stable near 0.
+    fn helper2(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.exp_m1() / x
+        } else {
+            1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+        }
+    }
+
+    /// Draws a rank in `1..=n` using `rng`.
+    pub fn sample(&self, rng: &mut CounterRng) -> u64 {
+        loop {
+            let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inv(u, self.s);
+            let k64 = x.clamp(1.0, self.n);
+            let k = (k64 + 0.5).floor().clamp(1.0, self.n);
+            if k64 - x <= self.threshold
+                || u >= Self::h_integral(k + 0.5, self.s) - Self::h(k, self.s)
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact Zipf pmf for validation.
+    fn pmf(n: u64, s: f64) -> Vec<f64> {
+        let z: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        (1..=n).map(|k| (k as f64).powf(-s) / z).collect()
+    }
+
+    fn histogram(n: u64, s: f64, samples: u64, seed: u64) -> Vec<f64> {
+        let d = Zipf::new(n, s);
+        let mut rng = CounterRng::new(seed, 0);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            let k = d.sample(&mut rng);
+            assert!((1..=n).contains(&k), "rank {k} out of range");
+            counts[(k - 1) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / samples as f64).collect()
+    }
+
+    #[test]
+    fn matches_exact_pmf_small_n() {
+        for &s in &[0.5, 1.0, 1.01, 2.0] {
+            let n = 10;
+            let emp = histogram(n, s, 200_000, 42);
+            let exact = pmf(n, s);
+            for k in 0..n as usize {
+                let err = (emp[k] - exact[k]).abs();
+                assert!(
+                    err < 0.01,
+                    "s={s} k={} emp={} exact={}",
+                    k + 1,
+                    emp[k],
+                    exact[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn head_mass_for_near_critical_exponent() {
+        // s = 1.01 over a large universe: rank 1 gets p ≈ 1/H where H ≈
+        // (1 - n^{-0.01})/0.01 — heavy tail, small but nontrivial head.
+        let n = 1 << 20;
+        let emp = histogram(n, 1.01, 300_000, 7);
+        let exact = pmf(n, 1.01);
+        assert!((emp[0] - exact[0]).abs() < 0.005, "head mass off: {} vs {}", emp[0], exact[0]);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d = Zipf::new(1000, 1.2);
+        let mut r1 = CounterRng::new(5, 5);
+        let mut r2 = CounterRng::new(5, 5);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r1), d.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn n_one_always_returns_one() {
+        let d = Zipf::new(1, 1.5);
+        let mut rng = CounterRng::new(0, 0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn high_exponent_concentrates_on_head() {
+        let emp = histogram(100, 4.0, 50_000, 9);
+        assert!(emp[0] > 0.9, "rank 1 should dominate at s=4: {}", emp[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn rejects_nonpositive_exponent() {
+        Zipf::new(10, 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! The Figure-1 trade-off, scaled to a laptop.
+//!
+//! Sweeps the physical huge-page size h ∈ {1, 2, …, 1024} on all three of
+//! the paper's workloads (at reduced scale; ratios preserved) and prints
+//! the IO and TLB-miss series of Figure 1a/1b/1c, plus the decoupled
+//! scheme's single point for comparison — demonstrating the paper's claim
+//! that "there is no good choice for the huge page size", while decoupling
+//! gets both.
+//!
+//! ```sh
+//! cargo run --release --example huge_page_tradeoff
+//! ```
+
+use atp::core::{IcebergAlloc, IcebergParams};
+use atp::memmgmt::classic::{ClassicConfig, ClassicMm};
+use atp::memmgmt::decoupled::DecoupledConfig;
+use atp::memmgmt::DecoupledMm;
+use atp::replacement::PolicyKind;
+use atp::sim::{run, sweep};
+use atp::types::VirtPage;
+use atp::workloads::{Bimodal, Graph500Config, Graph500Trace, ParetoWalk};
+
+const TLB_ENTRIES: u64 = 256;
+const WARMUP: u64 = 400_000;
+const MEASURE: u64 = 400_000;
+
+struct Setup {
+    name: &'static str,
+    trace: Vec<VirtPage>,
+    phys_pages: u64,
+}
+
+fn setups() -> Vec<Setup> {
+    // Figure 1a: bimodal, VA:cache = 4:1 (paper: 64 GB : 16 GB).
+    let bimodal = Setup {
+        name: "bimodal (Fig 1a)",
+        trace: Bimodal::scaled(1, 1 << 18)
+            .take((WARMUP + MEASURE) as usize)
+            .collect(),
+        phys_pages: 1 << 16,
+    };
+    // Figure 1b: Pareto walk, VA:cache = 2:1 (paper: 64 GB : 32 GB).
+    let walk = Setup {
+        name: "pareto walk (Fig 1b)",
+        trace: ParetoWalk::new(2, 1 << 17, 0.01)
+            .take((WARMUP + MEASURE) as usize)
+            .collect(),
+        phys_pages: 1 << 16,
+    };
+    // Figure 1c: graph500 BFS, cache slightly below the touched set.
+    let g = Graph500Trace::generate(&Graph500Config {
+        scale: 15,
+        edge_factor: 16,
+        seed: 3,
+        max_accesses: (WARMUP + MEASURE) as usize,
+    });
+    let phys = (g.touched_pages() * 99 / 100).max(1024);
+    let walk3 = Setup {
+        name: "graph500 BFS (Fig 1c)",
+        trace: g.iter().collect(),
+        phys_pages: phys,
+    };
+    vec![bimodal, walk, walk3]
+}
+
+fn main() {
+    for setup in setups() {
+        println!("\n== {} ==  (P = {} pages)", setup.name, setup.phys_pages);
+        println!("{:>8} {:>12} {:>12}", "h", "IOs", "TLB misses");
+
+        let hs: Vec<u64> = (0..=10).map(|i| 1u64 << i).collect();
+        let rows = sweep(&hs, 0, |&h| {
+            let mut m = ClassicMm::new(ClassicConfig {
+                huge_pages: h,
+                phys_pages: setup.phys_pages,
+                tlb_entries: TLB_ENTRIES,
+                tlb_policy: PolicyKind::Lru,
+                ram_policy: PolicyKind::Lru,
+                seed: 9,
+            });
+            let s = run(&mut m, setup.trace.iter().copied(), WARMUP, MEASURE);
+            (h, s.costs.ios, s.costs.tlb_misses)
+        });
+        for (h, ios, tlb) in rows {
+            println!("{h:>8} {ios:>12} {tlb:>12}");
+        }
+
+        // The decoupled point: huge-page TLB coverage, page-granular IO.
+        let params = IcebergParams::derive(setup.phys_pages);
+        let mut z = DecoupledMm::new(
+            IcebergAlloc::new(&params, 11),
+            DecoupledConfig {
+                tlb_value_bits: 64,
+                tlb_entries: TLB_ENTRIES,
+                tlb_policy: PolicyKind::Lru,
+                resident_pages: params.max_resident,
+                ram_policy: PolicyKind::Lru,
+                seed: 11,
+            },
+        );
+        let hmax = z.coverage();
+        let s = run(&mut z, setup.trace.iter().copied(), WARMUP, MEASURE);
+        println!(
+            "{:>8} {:>12} {:>12}   <- decoupled (hmax={hmax}, δ_eff={:.2}, failures={})",
+            "Z", s.costs.ios, s.costs.tlb_misses, params.delta_eff, s.costs.paging_failures
+        );
+    }
+}

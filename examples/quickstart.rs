@@ -1,0 +1,110 @@
+//! Quickstart: the address-translation cost model in five minutes.
+//!
+//! Runs one skewed workload against four memory managers and prints their
+//! cost decomposition `C = C_IO + ε·(TLB misses + decoding misses)`:
+//!
+//! * classic paging (no huge pages): few IOs, many TLB misses;
+//! * classic huge pages (h = 64): few TLB misses, amplified IOs;
+//! * X / Y: the single-objective optima of Theorem 4;
+//! * Z: huge-page decoupling — the best of both.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use atp::core::{IcebergAlloc, IcebergParams};
+use atp::memmgmt::classic::ClassicConfig;
+use atp::memmgmt::decoupled::DecoupledConfig;
+use atp::memmgmt::{ClassicMm, DecoupledMm, PagingOnlyMm, VirtualOnlyMm};
+use atp::replacement::PolicyKind;
+use atp::sim::run;
+use atp::types::{CostModel, Costs};
+use atp::workloads::Zipfian;
+
+const PHYS_PAGES: u64 = 1 << 16; // 256 MB of 4 kB pages
+const VIRT_PAGES: u64 = 1 << 18; // 1 GB of 4 kB pages
+const TLB_ENTRIES: u64 = 256;
+const WARMUP: u64 = 300_000;
+const MEASURE: u64 = 300_000;
+
+fn row(name: &str, c: Costs, model: CostModel) {
+    println!(
+        "{name:<28} {:>10} {:>12} {:>10} {:>12.1}",
+        c.ios,
+        c.tlb_misses,
+        c.paging_failures,
+        c.total(model)
+    );
+}
+
+fn main() {
+    let model = CostModel::new(0.01);
+    let trace = || Zipfian::new(7, VIRT_PAGES, 0.9);
+
+    println!("workload: zipf(0.9) over {VIRT_PAGES} pages, {PHYS_PAGES} physical, ℓ={TLB_ENTRIES}");
+    println!(
+        "{:<28} {:>10} {:>12} {:>10} {:>12}",
+        "manager", "IOs", "TLB misses", "failures", "total cost"
+    );
+
+    // Classic, no huge pages.
+    let mut m = ClassicMm::new(ClassicConfig {
+        huge_pages: 1,
+        phys_pages: PHYS_PAGES,
+        tlb_entries: TLB_ENTRIES,
+        tlb_policy: PolicyKind::Lru,
+        ram_policy: PolicyKind::Lru,
+        seed: 1,
+    });
+    let s = run(&mut m, trace(), WARMUP, MEASURE);
+    row("classic h=1", s.costs, model);
+
+    // Classic physical huge pages.
+    let mut m = ClassicMm::new(ClassicConfig {
+        huge_pages: 64,
+        phys_pages: PHYS_PAGES,
+        tlb_entries: TLB_ENTRIES,
+        tlb_policy: PolicyKind::Lru,
+        ram_policy: PolicyKind::Lru,
+        seed: 1,
+    });
+    let s = run(&mut m, trace(), WARMUP, MEASURE);
+    row("classic h=64", s.costs, model);
+
+    // Theorem 4 ingredients and the combined Z.
+    let params = IcebergParams::derive(PHYS_PAGES);
+    let alloc = IcebergAlloc::new(&params, 42);
+    let mut z = DecoupledMm::new(
+        alloc,
+        DecoupledConfig {
+            tlb_value_bits: 64,
+            tlb_entries: TLB_ENTRIES,
+            tlb_policy: PolicyKind::Lru,
+            resident_pages: params.max_resident,
+            ram_policy: PolicyKind::Lru,
+            seed: 42,
+        },
+    );
+    let hmax = z.coverage();
+    let mut x = VirtualOnlyMm::new(hmax, TLB_ENTRIES, PolicyKind::Lru, 42);
+    let mut y = PagingOnlyMm::new(params.max_resident, PolicyKind::Lru, 42);
+
+    let sx = run(&mut x, trace(), WARMUP, MEASURE);
+    let sy = run(&mut y, trace(), WARMUP, MEASURE);
+    let sz = run(&mut z, trace(), WARMUP, MEASURE);
+    row(&format!("X (TLB-only, hmax={hmax})"), sx.costs, model);
+    row("Y (IO-only)", sy.costs, model);
+    row(&format!("Z (decoupled, hmax={hmax})"), sz.costs, model);
+
+    let bound = sx.costs.tlb_cost(model) + sy.costs.io_cost();
+    println!(
+        "\nTheorem 4 check: C(Z) = {:.1}  ≤  C_TLB(X) + C_IO(Y) = {:.1}   ({} paging failures)",
+        sz.costs.total(model),
+        bound,
+        sz.costs.paging_failures
+    );
+    println!(
+        "Z matches huge-page TLB coverage ({}x) at page-granular IO cost.",
+        hmax
+    );
+}

@@ -1,0 +1,61 @@
+//! Grounding ε: page-walk structure and virtualization (§1 trends).
+//!
+//! The paper's cost model takes ε as given. This example derives it: a
+//! native 4-level radix walk touches 4 table pages; a virtualized
+//! (guest-over-host) walk touches up to 24 — "which actually squares the
+//! cost of a TLB miss in the worst case". Combined with device latencies,
+//! that fixes the ε band the other experiments sweep, and shows how much
+//! decoupled huge-page coverage is worth in each regime.
+//!
+//! ```sh
+//! cargo run --release --example virtualized_translation
+//! ```
+
+use atp::pagetable::{NestedTranslation, PageTable, RadixPageTable};
+use atp::sim::LatencyModel;
+use atp::types::{PhysPage, VirtPage};
+
+fn main() {
+    // Build a guest identity mapping and a host mapping behind it.
+    let mut guest = RadixPageTable::new();
+    let mut host = RadixPageTable::new();
+    for v in 0..512u64 {
+        guest.map(VirtPage(v), PhysPage(v + 10_000));
+        host.map(VirtPage(v + 10_000), PhysPage(v + 20_000));
+    }
+    host.map(VirtPage(0), PhysPage(0));
+
+    let (_, native) = guest.translate(VirtPage(100));
+    let nested = NestedTranslation::new(guest, host);
+    let (hpa, twod) = nested.translate(VirtPage(100));
+    println!("native radix walk:      {} touches", native.touches);
+    println!(
+        "virtualized (2D) walk:  {} touches  → host frame {:?}",
+        twod.touches,
+        hpa.expect("mapped")
+    );
+
+    // With host huge leaves (the EPT huge-page optimization):
+    let mut guest2 = RadixPageTable::new();
+    for v in 0..512u64 {
+        guest2.map(VirtPage(v), PhysPage(v + 10_000));
+    }
+    let mut host2 = RadixPageTable::new();
+    host2.map_huge(VirtPage(0), 2, PhysPage(0));
+    let nested2 = NestedTranslation::new(guest2, host2);
+    let (_, opt) = nested2.translate(VirtPage(100));
+    println!("2D walk, 1G host leaves: {} touches", opt.touches);
+
+    println!("\nDerived ε = walk latency / IO latency:");
+    for (name, m) in [
+        ("NVMe, native walk", LatencyModel::nvme_native()),
+        ("NVMe, virtualized walk", LatencyModel::nvme_virtualized()),
+        ("disk, native walk", LatencyModel::disk_native()),
+    ] {
+        println!("  {name:<24} ε = {:.5}", m.epsilon());
+    }
+    println!(
+        "\nFast storage + virtualization pushes ε toward 10⁻¹ — the regime where the\n\
+         paper's decoupled huge pages matter most (see the crossover bench at ε = 0.1)."
+    );
+}

@@ -1,0 +1,91 @@
+//! Cross-crate properties: Belady dominance over every online policy, and
+//! trace-codec round-trips over real workload output.
+
+use atp::replacement::{make_policy, opt::opt_misses, CacheSim, PolicyKind};
+use atp::trace::{decode_trace, encode_trace, TraceStats};
+use atp::types::VirtPage;
+use atp::workloads::{Bimodal, ParetoWalk, PhasedWorkingSet, Zipfian};
+use proptest::prelude::*;
+
+fn online_misses(trace: &[u64], cap: usize, kind: PolicyKind) -> u64 {
+    let mut sim = CacheSim::new(cap, make_policy(kind, cap, 7));
+    let mut misses = 0;
+    for &k in trace {
+        misses += u64::from(!sim.access(k).is_hit());
+    }
+    misses
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// OPT is a lower bound for every online policy on every trace — the
+    /// bedrock of the paper's Lemma-1 reductions.
+    #[test]
+    fn opt_lower_bounds_all_policies(
+        trace in prop::collection::vec(0u64..64, 1..600),
+        cap in 1usize..32,
+    ) {
+        let opt = opt_misses(&trace, cap).misses;
+        for kind in PolicyKind::ALL {
+            let m = online_misses(&trace, cap, kind);
+            prop_assert!(
+                opt <= m,
+                "OPT({opt}) beat by {kind} ({m}) at cap {cap}"
+            );
+        }
+    }
+
+    /// The trace codec is lossless on arbitrary page-id sequences.
+    #[test]
+    fn codec_roundtrip(ids in prop::collection::vec(0u64..(1 << 48), 0..500)) {
+        let pages: Vec<VirtPage> = ids.iter().copied().map(VirtPage).collect();
+        let decoded = decode_trace(&encode_trace(&pages)).expect("decode");
+        prop_assert_eq!(decoded, pages);
+    }
+}
+
+#[test]
+fn codec_roundtrips_real_workloads() {
+    let traces: Vec<Vec<VirtPage>> = vec![
+        Bimodal::scaled(1, 1 << 14).take(10_000).collect(),
+        ParetoWalk::new(2, 1 << 14, 0.01).take(10_000).collect(),
+        Zipfian::new(3, 1 << 14, 1.2).take(10_000).collect(),
+        PhasedWorkingSet::new(4, 1 << 14, 128, 500).take(10_000).collect(),
+    ];
+    for t in traces {
+        let rt = decode_trace(&encode_trace(&t)).expect("decode");
+        assert_eq!(rt, t);
+        let stats = TraceStats::compute(&t);
+        assert_eq!(stats.length as usize, t.len());
+        assert!(stats.unique_pages > 0);
+    }
+}
+
+#[test]
+fn lru_inclusion_property() {
+    // The classic stack property: an LRU cache of size c+1 hits whenever an
+    // LRU cache of size c hits. (This is what makes LRU a "stack algorithm"
+    // and underlies resource-augmentation analyses à la Sleator–Tarjan.)
+    let trace: Vec<u64> = Zipfian::new(5, 512, 1.1)
+        .take(20_000)
+        .map(|p| p.0)
+        .collect();
+    let mut prev = u64::MAX;
+    for cap in [4usize, 8, 16, 32, 64] {
+        let m = online_misses(&trace, cap, PolicyKind::Lru);
+        assert!(m <= prev, "LRU misses increased with capacity");
+        prev = m;
+    }
+}
+
+#[test]
+fn fifo_is_not_a_stack_algorithm() {
+    // Belady's anomaly exists for FIFO: find a capacity pair where more
+    // cache means more misses on the canonical anomaly trace.
+    let trace: Vec<u64> = vec![1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
+    let m3 = online_misses(&trace, 3, PolicyKind::Fifo);
+    let m4 = online_misses(&trace, 4, PolicyKind::Fifo);
+    assert_eq!(m3, 9);
+    assert_eq!(m4, 10, "Belady's anomaly should reproduce");
+}

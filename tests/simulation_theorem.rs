@@ -1,0 +1,174 @@
+//! Integration test of Theorem 4 (the Simulation Theorem), eq. (7):
+//!
+//! `C(Z, σ) ≤ C_TLB(X, σ) + C_IO(Y, σ) + n/poly(P)`
+//!
+//! on all three of the paper's workloads. With theory-derived allocator
+//! parameters the failure term is empirically zero and the inequality is
+//! *equality* — Z's TLB misses match X's and its IOs match Y's exactly.
+
+use atp::core::{IcebergAlloc, IcebergParams, OneChoiceAlloc, OneChoiceParams};
+use atp::memmgmt::decoupled::DecoupledConfig;
+use atp::memmgmt::{DecoupledMm, MemoryManager, PagingOnlyMm, VirtualOnlyMm};
+use atp::replacement::PolicyKind;
+use atp::types::{CostModel, VirtPage};
+use atp::workloads::{Bimodal, Graph500Config, Graph500Trace, ParetoWalk};
+
+const PHYS: u64 = 1 << 14;
+const TLB_ENTRIES: u64 = 96;
+const N: usize = 150_000;
+
+fn check_theorem4(name: &str, trace: &[VirtPage]) {
+    let params = IcebergParams::derive(PHYS);
+    let mut z = DecoupledMm::new(
+        IcebergAlloc::new(&params, 21),
+        DecoupledConfig {
+            tlb_value_bits: 64,
+            tlb_entries: TLB_ENTRIES,
+            tlb_policy: PolicyKind::Lru,
+            resident_pages: params.max_resident,
+            ram_policy: PolicyKind::Lru,
+            seed: 21,
+        },
+    );
+    let hmax = z.coverage();
+    let mut x = VirtualOnlyMm::new(hmax, TLB_ENTRIES, PolicyKind::Lru, 21);
+    let mut y = PagingOnlyMm::new(params.max_resident, PolicyKind::Lru, 21);
+
+    for &p in trace {
+        z.access(p);
+        x.access(p);
+        y.access(p);
+    }
+
+    let model = CostModel::new(0.01);
+    let (cz, cx, cy) = (z.costs(), x.costs(), y.costs());
+
+    // The additive slack the theorem allows: n/poly(P). We grant n/P.
+    let slack = trace.len() as f64 / PHYS as f64;
+    assert!(
+        cz.total(model) <= cx.tlb_cost(model) + cy.io_cost() + slack,
+        "{name}: C(Z)={} > C_TLB(X)+C_IO(Y)+slack={}",
+        cz.total(model),
+        cx.tlb_cost(model) + cy.io_cost() + slack
+    );
+
+    // With zero failures the accounting is exact.
+    if cz.paging_failures == 0 {
+        assert_eq!(cz.tlb_misses, cx.tlb_misses, "{name}: TLB misses differ");
+        assert_eq!(cz.ios, cy.ios, "{name}: IOs differ");
+        assert_eq!(cz.decode_misses, 0);
+    }
+    // Failures must be vanishingly rare regardless.
+    assert!(
+        (cz.paging_failures as f64) <= slack,
+        "{name}: {} failures exceeds n/P={slack}",
+        cz.paging_failures
+    );
+}
+
+#[test]
+fn theorem4_bimodal() {
+    let trace: Vec<VirtPage> = Bimodal::scaled(31, 1 << 16).take(N).collect();
+    check_theorem4("bimodal", &trace);
+}
+
+#[test]
+fn theorem4_pareto_walk() {
+    let trace: Vec<VirtPage> = ParetoWalk::new(32, 1 << 16, 0.01).take(N).collect();
+    check_theorem4("pareto-walk", &trace);
+}
+
+#[test]
+fn theorem4_graph500() {
+    let g = Graph500Trace::generate(&Graph500Config {
+        scale: 13,
+        edge_factor: 16,
+        seed: 33,
+        max_accesses: N,
+    });
+    let trace: Vec<VirtPage> = g.iter().collect();
+    check_theorem4("graph500", &trace);
+}
+
+#[test]
+fn theorem4_holds_for_one_choice_allocator_too() {
+    // Theorem 1's scheme plugs into the same combinator.
+    let params = OneChoiceParams::derive(PHYS);
+    let mut z = DecoupledMm::new(
+        OneChoiceAlloc::new(&params, 5),
+        DecoupledConfig {
+            tlb_value_bits: 64,
+            tlb_entries: TLB_ENTRIES,
+            tlb_policy: PolicyKind::Lru,
+            resident_pages: params.max_resident,
+            ram_policy: PolicyKind::Lru,
+            seed: 5,
+        },
+    );
+    let hmax = z.coverage();
+    assert!(hmax >= 2, "one-choice hmax at least 2, got {hmax}");
+    let mut x = VirtualOnlyMm::new(hmax, TLB_ENTRIES, PolicyKind::Lru, 5);
+    let mut y = PagingOnlyMm::new(params.max_resident, PolicyKind::Lru, 5);
+    let trace: Vec<VirtPage> = Bimodal::scaled(55, 1 << 16).take(N).collect();
+    for &p in &trace {
+        z.access(p);
+        x.access(p);
+        y.access(p);
+    }
+    assert_eq!(z.costs().paging_failures, 0);
+    assert_eq!(z.costs().tlb_misses, x.costs().tlb_misses);
+    assert_eq!(z.costs().ios, y.costs().ios);
+}
+
+#[test]
+fn z_beats_both_pure_strategies_on_mixed_cost() {
+    // The whole point: X is terrible on IOs (it has none to count — compare
+    // against classic h=hmax instead) and plain paging (h=1) is terrible on
+    // TLB misses; Z gets both. Compare against classic managers.
+    use atp::memmgmt::classic::{ClassicConfig, ClassicMm};
+    let params = IcebergParams::derive(PHYS);
+    // 1% of accesses are cold so the huge-page manager pays visible
+    // amplification; the 512-page hot set fits in every manager's RAM and
+    // fits a 96-entry TLB at h=hmax=8 (64 entries) but not at h=1.
+    let trace: Vec<VirtPage> = Bimodal::new(77, 1 << 18, 512, 0.99).take(N).collect();
+
+    let mut z = DecoupledMm::new(
+        IcebergAlloc::new(&params, 9),
+        DecoupledConfig {
+            tlb_value_bits: 64,
+            tlb_entries: TLB_ENTRIES,
+            tlb_policy: PolicyKind::Lru,
+            resident_pages: params.max_resident,
+            ram_policy: PolicyKind::Lru,
+            seed: 9,
+        },
+    );
+    let hmax = z.coverage();
+    // Classic managers get the same number of resident pages as Z for a
+    // like-for-like comparison.
+    let mut flat = ClassicMm::new(ClassicConfig {
+        huge_pages: 1,
+        phys_pages: params.max_resident,
+        tlb_entries: TLB_ENTRIES,
+        tlb_policy: PolicyKind::Lru,
+        ram_policy: PolicyKind::Lru,
+        seed: 9,
+    });
+    let mut huge = ClassicMm::new(ClassicConfig {
+        huge_pages: hmax,
+        phys_pages: params.max_resident,
+        tlb_entries: TLB_ENTRIES,
+        tlb_policy: PolicyKind::Lru,
+        ram_policy: PolicyKind::Lru,
+        seed: 9,
+    });
+    for &p in &trace {
+        z.access(p);
+        flat.access(p);
+        huge.access(p);
+    }
+    // Z's TLB misses ≈ huge's (same coverage), far below flat's.
+    assert!(z.costs().tlb_misses * 2 < flat.costs().tlb_misses);
+    // Z's IOs ≈ flat's (page granular), far below huge's.
+    assert!(z.costs().ios * 2 < huge.costs().ios);
+}

@@ -1,0 +1,121 @@
+//! THP vs huge-page decoupling under fragmentation — the system-level
+//! payoff of the paper's contribution, end to end.
+//!
+//! Both managers chase the same goal (huge-page TLB coverage at base-page
+//! flexibility); THP needs physical contiguity and fragments, decoupling
+//! does not. We also verify the "reduced RAM utilization" diagnosis with
+//! the [`atp::trace::HugeUtilization`] metric on the Figure-1a workload.
+
+use atp::core::{IcebergAlloc, IcebergParams};
+use atp::memmgmt::decoupled::DecoupledConfig;
+use atp::memmgmt::thp::{ThpConfig, ThpMm};
+use atp::memmgmt::{DecoupledMm, MemoryManager};
+use atp::replacement::PolicyKind;
+use atp::trace::HugeUtilization;
+use atp::types::VirtPage;
+use atp::workloads::{Bimodal, PhasedWorkingSet, Sequential};
+
+#[test]
+fn decoupled_coverage_survives_fragmentation_that_defeats_thp() {
+    let h = 8u64;
+    let phys = 1u64 << 13;
+
+    // Fragmenting prelude: scattered single pages, then a sequential region
+    // that both managers would like to cover with huge pages.
+    let prelude: Vec<VirtPage> = PhasedWorkingSet::new(7, 1 << 20, 1 << 10, 16)
+        .take(6_000)
+        .collect();
+    let region: Vec<VirtPage> = Sequential::new(64 * h)
+        .map(|p| VirtPage(p.0 + (1 << 28)))
+        .take((64 * h) as usize * 4)
+        .collect();
+
+    // THP: fragmentation blocks promotions, so the region keeps paying
+    // base-granularity TLB misses.
+    let mut thp = ThpMm::new(ThpConfig {
+        huge_pages: h,
+        phys_pages: phys,
+        tlb_entries: 96,
+        policy: PolicyKind::Lru,
+        seed: 3,
+    });
+    for &p in prelude.iter().chain(region.iter()) {
+        thp.access(p);
+    }
+    let thp_stats = thp.thp_stats();
+    assert!(
+        thp_stats.promotion_failures > thp_stats.promotions,
+        "prelude should fragment memory: {thp_stats:?}"
+    );
+
+    // Decoupled: same prelude, same region; coverage needs no contiguity.
+    let params = IcebergParams::derive(phys);
+    let mut z = DecoupledMm::new(
+        IcebergAlloc::new(&params, 3),
+        DecoupledConfig {
+            tlb_value_bits: 64,
+            tlb_entries: 96,
+            tlb_policy: PolicyKind::Lru,
+            resident_pages: params.max_resident,
+            ram_policy: PolicyKind::Lru,
+            seed: 3,
+        },
+    );
+    for &p in prelude.iter().chain(region.iter()) {
+        z.access(p);
+    }
+
+    // Compare TLB misses over the region replay alone.
+    thp.reset_costs();
+    z.reset_costs();
+    for &p in &region {
+        thp.access(p);
+        z.access(p);
+    }
+    assert!(
+        z.costs().tlb_misses * 3 < thp.costs().tlb_misses,
+        "decoupled {} should beat fragmented THP {} on region TLB misses",
+        z.costs().tlb_misses,
+        thp.costs().tlb_misses
+    );
+    assert_eq!(z.costs().paging_failures, 0);
+}
+
+#[test]
+fn bimodal_cold_region_has_pathological_huge_utilization() {
+    // Figure 1a's diagnosis, measured: the cold accesses touch one page per
+    // huge page, so physical huge pages waste ~(1 - 1/h) of their RAM.
+    let trace: Vec<VirtPage> = Bimodal::new(1, 1 << 22, 1 << 10, 0.5).take(60_000).collect();
+    let hot_only: Vec<VirtPage> = trace
+        .iter()
+        .copied()
+        .filter(|p| {
+            let w = Bimodal::new(1, 1 << 22, 1 << 10, 0.5);
+            let base = w.hot_base();
+            p.0 >= base && p.0 < base + (1 << 10)
+        })
+        .collect();
+    let cold_only: Vec<VirtPage> = trace
+        .iter()
+        .copied()
+        .filter(|p| {
+            let w = Bimodal::new(1, 1 << 22, 1 << 10, 0.5);
+            let base = w.hot_base();
+            p.0 < base || p.0 >= base + (1 << 10)
+        })
+        .collect();
+
+    let hot_util = HugeUtilization::compute(&hot_only, 64);
+    let cold_util = HugeUtilization::compute(&cold_only, 64);
+    assert!(
+        hot_util.mean_fraction > 0.95,
+        "hot region is dense: {}",
+        hot_util.mean_fraction
+    );
+    assert!(
+        cold_util.mean_fraction < 0.2,
+        "cold space is sparse: {}",
+        cold_util.mean_fraction
+    );
+    assert!(cold_util.singleton_fraction > 0.5);
+}
