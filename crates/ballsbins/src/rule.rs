@@ -1,9 +1,7 @@
 //! Placement rules.
 
-use serde::{Deserialize, Serialize};
-
 /// A balls-and-bins placement rule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Rule {
     /// `k = 1`: the ball goes to its single hashed bin.
     OneChoice,

@@ -1,9 +1,7 @@
 //! Game statistics and load snapshots.
 
-use serde::{Deserialize, Serialize};
-
 /// Cumulative statistics for a game.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GameStats {
     /// Number of insertions performed.
     pub inserts: u64,
@@ -14,7 +12,7 @@ pub struct GameStats {
 }
 
 /// A point-in-time summary of bin loads, for reporting max-load experiments.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LoadSnapshot {
     /// Number of balls present.
     pub balls: u64,

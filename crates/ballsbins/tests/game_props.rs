@@ -1,92 +1,102 @@
-//! Property tests for the dynamic balls-and-bins game.
+//! Randomized property tests for the dynamic balls-and-bins game, driven
+//! by the in-tree deterministic counter RNG (no external test deps).
 
-use atp_ballsbins::{Game, Rule, Tier};
-use proptest::prelude::*;
+use atp_ballsbins::{Game, Rule, Slot, Tier};
+use atp_hash::CounterRng;
 use std::collections::HashMap;
 
-fn arb_rule() -> impl Strategy<Value = Rule> {
-    prop_oneof![
-        Just(Rule::OneChoice),
-        (2u32..5).prop_map(|d| Rule::Greedy { d }),
-        (1u32..8).prop_map(|front_cap| Rule::Iceberg { front_cap }),
-    ]
+fn rule_from(rng: &mut CounterRng) -> Rule {
+    match rng.next_below(3) {
+        0 => Rule::OneChoice,
+        1 => Rule::Greedy {
+            d: rng.next_below(3) as u32 + 2,
+        },
+        _ => Rule::Iceberg {
+            front_cap: rng.next_below(7) as u32 + 1,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Load conservation: sum of bin loads == live ball count, front caps
-    /// are never exceeded, and slots are stable while balls live.
-    #[test]
-    fn invariants_under_arbitrary_ops(
-        rule in arb_rule(),
-        bins in 1u64..64,
-        seed in any::<u64>(),
-        ops in prop::collection::vec((0u64..128, prop::bool::ANY), 1..400),
-    ) {
+#[test]
+fn invariants_under_arbitrary_ops() {
+    // Load conservation: sum of bin loads == live ball count, front caps
+    // are never exceeded, and slots are stable while balls live.
+    let mut meta = CounterRng::new(0xB1B5, 1);
+    for _ in 0..64 {
+        let rule = rule_from(&mut meta);
+        let bins = meta.next_below(63) + 1;
+        let seed = meta.next_u64();
+        let n_ops = meta.next_below(399) as usize + 1;
         let mut game = Game::new(seed, bins, rule);
-        let mut live: HashMap<u64, atp_ballsbins::Slot> = HashMap::new();
-        for (ball, insert) in ops {
+        let mut live: HashMap<u64, Slot> = HashMap::new();
+        for _ in 0..n_ops {
+            let ball = meta.next_below(128);
+            let insert = meta.next_below(2) == 0;
             if insert && !live.contains_key(&ball) {
                 let slot = game.insert(ball);
-                prop_assert!(slot.bin < bins);
+                assert!(slot.bin < bins);
                 if let Rule::Iceberg { front_cap } = rule {
                     if slot.tier == Tier::Front {
-                        prop_assert!(game.front_load(slot.bin) <= front_cap);
+                        assert!(game.front_load(slot.bin) <= front_cap);
                     }
                 }
                 live.insert(ball, slot);
             } else if !insert && live.contains_key(&ball) {
                 let expected = live.remove(&ball).unwrap();
-                prop_assert_eq!(game.remove(ball), Some(expected));
+                assert_eq!(game.remove(ball), Some(expected));
             }
             // Conservation.
             let total: u32 = (0..bins).map(|b| game.load(b)).sum();
-            prop_assert_eq!(total as usize, live.len());
+            assert_eq!(total as usize, live.len());
             // Stability of every live ball.
             for (&b, &s) in &live {
-                prop_assert_eq!(game.slot_of(b), Some(s));
+                assert_eq!(game.slot_of(b), Some(s));
             }
         }
     }
+}
 
-    /// The histogram always sums to the bin count and weights to the ball
-    /// count.
-    #[test]
-    fn histogram_consistency(
-        rule in arb_rule(),
-        bins in 1u64..32,
-        seed in any::<u64>(),
-        balls in 0u64..200,
-    ) {
+#[test]
+fn histogram_consistency() {
+    // The histogram always sums to the bin count and weights to the ball
+    // count.
+    let mut meta = CounterRng::new(0xB1B5, 2);
+    for _ in 0..64 {
+        let rule = rule_from(&mut meta);
+        let bins = meta.next_below(31) + 1;
+        let seed = meta.next_u64();
+        let balls = meta.next_below(200);
         let mut game = Game::new(seed, bins, rule);
         for b in 0..balls {
             game.insert(b);
         }
         let hist = game.load_histogram();
-        prop_assert_eq!(hist.iter().sum::<u64>(), bins);
+        assert_eq!(hist.iter().sum::<u64>(), bins);
         let weighted: u64 = hist.iter().enumerate().map(|(l, &c)| l as u64 * c).sum();
-        prop_assert_eq!(weighted, balls);
+        assert_eq!(weighted, balls);
     }
+}
 
-    /// placement() is a pure prediction of insert(): calling it twice, then
-    /// inserting, yields the same slot.
-    #[test]
-    fn placement_predicts_insert(
-        rule in arb_rule(),
-        bins in 1u64..32,
-        seed in any::<u64>(),
-        balls in prop::collection::vec(0u64..1000, 1..100),
-    ) {
+#[test]
+fn placement_predicts_insert() {
+    // placement() is a pure prediction of insert(): calling it twice, then
+    // inserting, yields the same slot.
+    let mut meta = CounterRng::new(0xB1B5, 3);
+    for _ in 0..64 {
+        let rule = rule_from(&mut meta);
+        let bins = meta.next_below(31) + 1;
+        let seed = meta.next_u64();
+        let n_balls = meta.next_below(99) as usize + 1;
         let mut game = Game::new(seed, bins, rule);
-        for b in balls {
+        for _ in 0..n_balls {
+            let b = meta.next_below(1000);
             if game.contains(b) {
                 continue;
             }
             let p1 = game.placement(b);
             let p2 = game.placement(b);
-            prop_assert_eq!(p1, p2);
-            prop_assert_eq!(game.insert(b), p1);
+            assert_eq!(p1, p2);
+            assert_eq!(game.insert(b), p1);
         }
     }
 }

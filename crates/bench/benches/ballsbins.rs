@@ -1,9 +1,10 @@
-//! Criterion benches for the balls-and-bins substrate: placement-rule
+//! Microbenches for the balls-and-bins substrate: placement-rule
 //! throughput under churn (T-load1/T-load2's engine).
 
 use atp_ballsbins::adversary::{drive, ChurnAdversary};
 use atp_ballsbins::{Game, Rule};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use atp_bench::harness::{BenchmarkId, Criterion, Throughput};
+use atp_bench::{criterion_group, criterion_main};
 
 const N_BINS: u64 = 1 << 12;
 const LAMBDA: u64 = 16;

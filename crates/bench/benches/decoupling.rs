@@ -1,7 +1,9 @@
-//! Criterion benches for the core contribution: allocator placement
+//! Microbenches for the core contribution: allocator placement
 //! throughput, TLB-value encode/decode, and the full decoupled manager's
 //! per-access cost (the "constant-time scheme" claim, measured).
 
+use atp_bench::harness::{BenchmarkId, Criterion, Throughput};
+use atp_bench::{criterion_group, criterion_main};
 use atp_core::{
     FullyAssociativeAlloc, IcebergAlloc, OneChoiceAlloc, RamAllocator, SlotCode, TlbValue,
 };
@@ -10,7 +12,6 @@ use atp_memmgmt::{DecoupledMm, MemoryManager};
 use atp_replacement::PolicyKind;
 use atp_types::VirtPage;
 use atp_workloads::Zipfian;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const OPS: u64 = 100_000;
 
@@ -95,5 +96,10 @@ fn bench_decoupled_access(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_allocators, bench_encoding, bench_decoupled_access);
+criterion_group!(
+    benches,
+    bench_allocators,
+    bench_encoding,
+    bench_decoupled_access
+);
 criterion_main!(benches);

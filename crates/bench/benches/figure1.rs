@@ -1,17 +1,18 @@
-//! Criterion benches over the Figure-1 pipeline (scaled): simulator
+//! Microbenches over the Figure-1 pipeline (scaled): simulator
 //! throughput for each workload × manager combination. The *tables* the
 //! paper plots come from the `bin/figure1*` reproducers; these benches
 //! track the library's own performance so regressions in the simulator
 //! show up in `cargo bench`.
 
 use atp_bench::classic_run;
+use atp_bench::harness::{BenchmarkId, Criterion, Throughput};
+use atp_bench::{criterion_group, criterion_main};
 use atp_core::{IcebergAlloc, IcebergParams};
 use atp_memmgmt::decoupled::DecoupledConfig;
 use atp_memmgmt::{DecoupledMm, MemoryManager};
 use atp_replacement::PolicyKind;
 use atp_types::VirtPage;
 use atp_workloads::{Bimodal, Graph500Config, Graph500Trace, ParetoWalk};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const PHYS: u64 = 1 << 15;
 const N: usize = 200_000;

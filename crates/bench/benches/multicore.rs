@@ -1,12 +1,13 @@
-//! Criterion benches for the multicore extension (A-shoot ablation):
+//! Microbenches for the multicore extension (A-shoot ablation):
 //! aggregate throughput and shootdown overhead as core count grows over a
 //! fixed total workload.
 
+use atp_bench::harness::{BenchmarkId, Criterion, Throughput};
+use atp_bench::{criterion_group, criterion_main};
 use atp_replacement::PolicyKind;
 use atp_sim::{run_multicore, MulticoreConfig};
 use atp_types::VirtPage;
 use atp_workloads::Zipfian;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const TOTAL: usize = 120_000;
 
@@ -17,7 +18,8 @@ fn bench_scaling(c: &mut Criterion) {
     group.throughput(Throughput::Elements(TOTAL as u64));
     for cores in [1usize, 2, 4, 8] {
         let per = TOTAL / cores;
-        let traces: Vec<Vec<VirtPage>> = whole.chunks(per).take(cores).map(|c| c.to_vec()).collect();
+        let traces: Vec<Vec<VirtPage>> =
+            whole.chunks(per).take(cores).map(|c| c.to_vec()).collect();
         let cfg = MulticoreConfig {
             cores,
             huge_pages: 4,

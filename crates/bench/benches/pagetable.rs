@@ -1,10 +1,11 @@
-//! Criterion benches for the page-table substrate (A-ptw ablation): radix
+//! Microbenches for the page-table substrate (A-ptw ablation): radix
 //! vs hash translation throughput, and the huge-leaf walk shortening.
 
+use atp_bench::harness::{Criterion, Throughput};
+use atp_bench::{criterion_group, criterion_main};
 use atp_pagetable::{HashPageTable, PageTable, RadixPageTable};
 use atp_types::{PhysPage, VirtPage};
 use atp_workloads::Zipfian;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const N: usize = 200_000;
 const SPAN: u64 = 1 << 16;

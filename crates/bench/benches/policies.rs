@@ -1,9 +1,10 @@
-//! Criterion benches for the replacement-policy substrate: per-access cost
+//! Microbenches for the replacement-policy substrate: per-access cost
 //! of each policy on a skewed trace, plus offline OPT.
 
+use atp_bench::harness::{BenchmarkId, Criterion, Throughput};
+use atp_bench::{criterion_group, criterion_main};
 use atp_replacement::{make_policy, opt::opt_misses, CacheSim, PolicyKind};
 use atp_workloads::Zipfian;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const N: usize = 200_000;
 const CAP: usize = 1 << 10;

@@ -1,9 +1,10 @@
-//! Criterion benches for workload generation throughput — trace generation
+//! Microbenches for workload generation throughput — trace generation
 //! must never be the bottleneck of a 100 M-access paper-scale run.
 
+use atp_bench::harness::{Criterion, Throughput};
+use atp_bench::{criterion_group, criterion_main};
 use atp_types::VirtPage;
 use atp_workloads::{Bimodal, Gups, ParetoWalk, Sequential, Stencil2d, Zipfian};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const N: usize = 500_000;
 

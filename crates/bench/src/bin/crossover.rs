@@ -45,11 +45,17 @@ fn decoupled_run(
     if chunk == 1 {
         let mut z = DecoupledMm::new(IcebergAlloc::new(&params, 7), cfg);
         let label = format!("Z(cov={})", z.coverage());
-        (label, atp_sim::run(&mut z, trace.iter().copied(), warmup, measure).costs)
+        (
+            label,
+            atp_sim::run(&mut z, trace.iter().copied(), warmup, measure).costs,
+        )
     } else {
         let mut z = HybridMm::new(IcebergAlloc::new(&params, 7), cfg, chunk);
         let label = format!("hybrid(c={chunk},cov={})", z.coverage());
-        (label, atp_sim::run(&mut z, trace.iter().copied(), warmup, measure).costs)
+        (
+            label,
+            atp_sim::run(&mut z, trace.iter().copied(), warmup, measure).costs,
+        )
     }
 }
 
@@ -69,7 +75,11 @@ fn main() {
     });
     let g_phys = (g.touched_pages() * 99 / 100).max(2048);
     let traces: Vec<(&str, Vec<VirtPage>, u64)> = vec![
-        ("bimodal", Bimodal::scaled(1, phys * 4).take(n).collect(), phys),
+        (
+            "bimodal",
+            Bimodal::scaled(1, phys * 4).take(n).collect(),
+            phys,
+        ),
         (
             "pareto-walk",
             ParetoWalk::new(2, phys * 2, 0.01).take(n).collect(),

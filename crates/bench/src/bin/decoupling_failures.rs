@@ -54,7 +54,16 @@ fn main() {
     const SEEDS: u64 = 8;
 
     println!("# T-thm1: one-choice allocator at derived params (B = λ + 2.5√(λ ln n)); {SEEDS} seeds each");
-    tsv_header(&["P", "bins", "B", "bits", "hmax(w=64)", "delta_eff", "m", "failures(all seeds)"]);
+    tsv_header(&[
+        "P",
+        "bins",
+        "B",
+        "bits",
+        "hmax(w=64)",
+        "delta_eff",
+        "m",
+        "failures(all seeds)",
+    ]);
     let configs: Vec<(u32, u64)> = shifts
         .iter()
         .flat_map(|&s| (0..SEEDS).map(move |seed| (s, seed)))
@@ -68,7 +77,9 @@ fn main() {
     for (i, &shift) in shifts.iter().enumerate() {
         let p = 1u64 << shift;
         let params = OneChoiceParams::derive(p);
-        let failures: u64 = rows[i * SEEDS as usize..(i + 1) * SEEDS as usize].iter().sum();
+        let failures: u64 = rows[i * SEEDS as usize..(i + 1) * SEEDS as usize]
+            .iter()
+            .sum();
         tsv_row(&[
             p.to_string(),
             params.bins.to_string(),
@@ -83,7 +94,15 @@ fn main() {
 
     println!("\n# T-thm3: Iceberg[2] allocator at derived params (front (1+o(1))λ, back loglog n + O(1)); {SEEDS} seeds each");
     tsv_header(&[
-        "P", "bins", "front", "back", "bits", "hmax(w=64)", "delta_eff", "m", "failures(all seeds)",
+        "P",
+        "bins",
+        "front",
+        "back",
+        "bits",
+        "hmax(w=64)",
+        "delta_eff",
+        "m",
+        "failures(all seeds)",
     ]);
     let rows = sweep(&configs, 0, |&(shift, seed)| {
         let p = 1u64 << shift;
@@ -94,7 +113,9 @@ fn main() {
     for (i, &shift) in shifts.iter().enumerate() {
         let p = 1u64 << shift;
         let params = IcebergParams::derive(p);
-        let failures: u64 = rows[i * SEEDS as usize..(i + 1) * SEEDS as usize].iter().sum();
+        let failures: u64 = rows[i * SEEDS as usize..(i + 1) * SEEDS as usize]
+            .iter()
+            .sum();
         tsv_row(&[
             p.to_string(),
             params.bins.to_string(),
@@ -108,5 +129,7 @@ fn main() {
         ]);
     }
     println!("# expected: zero failures in both tables; iceberg bits/code < one-choice bits/code,");
-    println!("# so iceberg hmax ≥ one-choice hmax — the Θ(w/logloglogP) vs Θ(w/loglogP) separation.");
+    println!(
+        "# so iceberg hmax ≥ one-choice hmax — the Θ(w/logloglogP) vs Θ(w/loglogP) separation."
+    );
 }

@@ -17,12 +17,33 @@ fn main() {
     let scale = Scale::from_args();
     let (total_pages, hot_pages, phys, tlb, warmup, measure) = match scale {
         // 64 GB VA / 1 GB hot / 16 GB cache, 100M + 100M.
-        Scale::Paper => (1u64 << 24, 1u64 << 18, 1u64 << 22, 1536, 100_000_000, 100_000_000),
+        Scale::Paper => (
+            1u64 << 24,
+            1u64 << 18,
+            1u64 << 22,
+            1536,
+            100_000_000,
+            100_000_000,
+        ),
         // Same ratios (64:1 VA:hot, 4:1 VA:cache), 1M + 1M accesses.
-        Scale::Laptop => (1u64 << 19, 1u64 << 13, 1u64 << 17, 1536, 1_000_000, 1_000_000),
+        Scale::Laptop => (
+            1u64 << 19,
+            1u64 << 13,
+            1u64 << 17,
+            1536,
+            1_000_000,
+            1_000_000,
+        ),
     };
     let trace: Vec<VirtPage> = Bimodal::new(1, total_pages, hot_pages, 0.9999)
         .take((warmup + measure) as usize)
         .collect();
-    figure1_table("Figure 1a (bimodal uniform)", &trace, phys, tlb, warmup, measure);
+    figure1_table(
+        "Figure 1a (bimodal uniform)",
+        &trace,
+        phys,
+        tlb,
+        warmup,
+        measure,
+    );
 }

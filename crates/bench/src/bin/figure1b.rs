@@ -24,5 +24,12 @@ fn main() {
     let trace: Vec<VirtPage> = ParetoWalk::new(2, total_pages, 0.01)
         .take((warmup + measure) as usize)
         .collect();
-    figure1_table("Figure 1b (Pareto random walk)", &trace, phys, tlb, warmup, measure);
+    figure1_table(
+        "Figure 1b (Pareto random walk)",
+        &trace,
+        phys,
+        tlb,
+        warmup,
+        measure,
+    );
 }

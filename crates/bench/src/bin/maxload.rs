@@ -31,7 +31,9 @@ fn main() {
     let log_n = (n as f64).log2();
 
     println!("# T-load1: one-choice max load, n = {n} bins (eq. 5)");
-    println!("# theory: o(log n) → ~log n/log(log n/λ); Θ(log n) → Θ(λ); ω(log n) → λ+O(√(λ log n))");
+    println!(
+        "# theory: o(log n) → ~log n/log(log n/λ); Θ(log n) → Θ(λ); ω(log n) → λ+O(√(λ log n))"
+    );
     tsv_header(&["regime", "lambda", "max", "p99", "overhead", "pred"]);
     let lambdas = [
         ("o(log n)", 1.0f64),

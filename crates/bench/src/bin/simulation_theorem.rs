@@ -24,10 +24,7 @@ fn main() {
     let params = IcebergParams::derive(phys);
 
     let traces: Vec<(&str, Vec<VirtPage>)> = vec![
-        (
-            "bimodal",
-            Bimodal::scaled(1, phys * 4).take(n).collect(),
-        ),
+        ("bimodal", Bimodal::scaled(1, phys * 4).take(n).collect()),
         (
             "pareto-walk",
             ParetoWalk::new(2, phys * 2, 0.01).take(n).collect(),

@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use atp_memmgmt::classic::{ClassicConfig, ClassicMm};
 use atp_replacement::PolicyKind;
 use atp_types::{Costs, VirtPage};
@@ -82,7 +84,9 @@ pub fn figure1_table(
     use atp_memmgmt::decoupled::DecoupledConfig;
     use atp_memmgmt::DecoupledMm;
 
-    println!("# {label}: P={phys_pages} pages, ℓ={tlb_entries}, warmup={warmup}, measure={measure}");
+    println!(
+        "# {label}: P={phys_pages} pages, ℓ={tlb_entries}, warmup={warmup}, measure={measure}"
+    );
     println!("# opt_ios_full: Belady lower bound on IOs over the FULL trace (warmup+measure),");
     println!("# at huge-page granularity — the offline floor no replacement policy can beat.");
     tsv_header(&["h", "ios", "tlb_misses", "opt_ios_full"]);

@@ -2,18 +2,19 @@
 
 use crate::args::{parse_u64, ArgError, Args};
 use atp_core::{IcebergAlloc, IcebergParams};
-use atp_memmgmt::classic::{ClassicConfig, ClassicMm};
-use atp_memmgmt::decoupled::DecoupledConfig;
-use atp_memmgmt::sparse::{SparseConfig, SparseDecoupledMm};
-use atp_memmgmt::thp::{ThpConfig, ThpMm};
-use atp_memmgmt::{DecoupledMm, MemoryManager, PagingOnlyMm, VirtualOnlyMm};
+use atp_memmgmt::classic::{ClassicConfig, ClassicStages};
+use atp_memmgmt::decoupled::{DecoupledConfig, DecoupledStages};
+use atp_memmgmt::only::{PagingOnlyStages, VirtualOnlyStages};
+use atp_memmgmt::sparse::{SparseConfig, SparseStages};
+use atp_memmgmt::thp::{ThpConfig, ThpStages};
+use atp_memmgmt::{MemoryManager, NoopObserver, Pipeline, SharedRecorder, SimObserver};
 use atp_replacement::PolicyKind;
 use atp_sim::LatencyModel;
 use atp_trace::{read_trace, write_trace, ReuseProfile, TraceStats};
 use atp_types::{CostModel, VirtPage};
 use atp_workloads::{
-    Bimodal, Graph500Config, Graph500Trace, Gups, ParetoWalk, Sequential, Stencil2d,
-    UniformRandom, Zipfian,
+    Bimodal, Graph500Config, Graph500Trace, Gups, ParetoWalk, Sequential, Stencil2d, UniformRandom,
+    Zipfian,
 };
 use std::path::Path;
 
@@ -44,6 +45,8 @@ COMMON OPTIONS (sizes accept k/m/g suffixes and 2^n):
   --epsilon F     TLB-miss cost ε           [0.01]
   --policy P      lru|fifo|clock|…          [lru]
   --seed N        RNG seed                  [42]
+  --observe       (simulate) attach a pipeline Recorder and print
+                  per-stage counters + reuse/latency histograms
 
 TRACE TOOLS:
   atp trace record --workload W --out FILE --accesses N [--phys N …]
@@ -59,7 +62,11 @@ fn policy_of(name: &str) -> Result<PolicyKind, ArgError> {
 }
 
 /// Builds a workload iterator from args.
-fn workload(args: &Args, virt: u64, seed: u64) -> Result<Box<dyn Iterator<Item = VirtPage>>, ArgError> {
+fn workload(
+    args: &Args,
+    virt: u64,
+    seed: u64,
+) -> Result<Box<dyn Iterator<Item = VirtPage>>, ArgError> {
     Ok(match args.get_or("workload", "bimodal") {
         "bimodal" => Box::new(Bimodal::scaled(seed, virt)),
         "walk" => Box::new(ParetoWalk::new(seed, virt, 0.01)),
@@ -121,70 +128,108 @@ fn common(args: &Args) -> Result<Common, ArgError> {
     })
 }
 
-fn build_manager(name: &str, c: &Common) -> Result<Box<dyn MemoryManager>, ArgError> {
+/// Builds a manager as a pipeline over `obs`. The observer is generic so
+/// the default build pays nothing ([`NoopObserver`]) while `--observe`
+/// attaches a [`SharedRecorder`] without a separate construction path.
+fn build_observed<O: SimObserver + 'static>(
+    name: &str,
+    c: &Common,
+    obs: O,
+) -> Result<Box<dyn MemoryManager>, ArgError> {
     Ok(match name {
-        "classic" => Box::new(ClassicMm::new(ClassicConfig {
-            huge_pages: c.h,
-            phys_pages: c.phys,
-            tlb_entries: c.tlb,
-            tlb_policy: c.policy,
-            ram_policy: c.policy,
-            seed: c.seed,
-        })),
+        "classic" => Box::new(Pipeline::with_observer(
+            ClassicStages::new(ClassicConfig {
+                huge_pages: c.h,
+                phys_pages: c.phys,
+                tlb_entries: c.tlb,
+                tlb_policy: c.policy,
+                ram_policy: c.policy,
+                seed: c.seed,
+            }),
+            obs,
+        )),
         "decoupled" => {
             let params = IcebergParams::derive(c.phys);
-            Box::new(DecoupledMm::new(
-                IcebergAlloc::new(&params, c.seed),
-                DecoupledConfig {
-                    tlb_value_bits: 64,
-                    tlb_entries: c.tlb,
-                    tlb_policy: c.policy,
-                    resident_pages: params.max_resident,
-                    ram_policy: c.policy,
-                    seed: c.seed,
-                },
+            Box::new(Pipeline::with_observer(
+                DecoupledStages::new(
+                    IcebergAlloc::new(&params, c.seed),
+                    DecoupledConfig {
+                        tlb_value_bits: 64,
+                        tlb_entries: c.tlb,
+                        tlb_policy: c.policy,
+                        resident_pages: params.max_resident,
+                        ram_policy: c.policy,
+                        seed: c.seed,
+                    },
+                ),
+                obs,
             ))
         }
         "sparse" => {
             let params = IcebergParams::derive(c.phys);
-            Box::new(SparseDecoupledMm::new(
-                IcebergAlloc::new(&params, c.seed),
-                SparseConfig {
-                    tlb_value_bits: 64,
-                    coverage: c.h.max(2).next_power_of_two(),
-                    tlb_entries: c.tlb,
-                    tlb_policy: c.policy,
-                    resident_pages: params.max_resident,
-                    ram_policy: c.policy,
-                    seed: c.seed,
-                },
+            Box::new(Pipeline::with_observer(
+                SparseStages::new(
+                    IcebergAlloc::new(&params, c.seed),
+                    SparseConfig {
+                        tlb_value_bits: 64,
+                        coverage: c.h.max(2).next_power_of_two(),
+                        tlb_entries: c.tlb,
+                        tlb_policy: c.policy,
+                        resident_pages: params.max_resident,
+                        ram_policy: c.policy,
+                        seed: c.seed,
+                    },
+                ),
+                obs,
             ))
         }
-        "thp" => Box::new(ThpMm::new(ThpConfig {
-            huge_pages: c.h,
-            phys_pages: c.phys - c.phys % c.h,
-            tlb_entries: c.tlb,
-            policy: c.policy,
-            seed: c.seed,
-        })),
-        "x" => Box::new(VirtualOnlyMm::new(c.h, c.tlb, c.policy, c.seed)),
-        "y" => Box::new(PagingOnlyMm::new(c.phys, c.policy, c.seed)),
+        "thp" => Box::new(Pipeline::with_observer(
+            ThpStages::new(ThpConfig {
+                huge_pages: c.h,
+                phys_pages: c.phys - c.phys % c.h,
+                tlb_entries: c.tlb,
+                policy: c.policy,
+                seed: c.seed,
+            }),
+            obs,
+        )),
+        "x" => Box::new(Pipeline::with_observer(
+            VirtualOnlyStages::new(c.h, c.tlb, c.policy, c.seed),
+            obs,
+        )),
+        "y" => Box::new(Pipeline::with_observer(
+            PagingOnlyStages::new(c.phys, c.policy, c.seed),
+            obs,
+        )),
         other => return Err(ArgError(format!("unknown manager {other:?}"))),
     })
 }
 
+fn build_manager(name: &str, c: &Common) -> Result<Box<dyn MemoryManager>, ArgError> {
+    build_observed(name, c, NoopObserver)
+}
+
 /// `atp simulate`.
 pub fn simulate(raw: &[String]) -> Result<(), ArgError> {
-    let args = Args::parse(raw, &[])?;
+    let args = Args::parse(raw, &["observe"])?;
     let c = common(&args)?;
-    let mut mgr = build_manager(args.get_or("manager", "classic"), &c)?;
+    let name = args.get_or("manager", "classic");
+    let recorder = args.flag("observe").then(SharedRecorder::new);
+    let mut mgr = match &recorder {
+        Some(rec) => build_observed(name, &c, rec.clone())?,
+        None => build_manager(name, &c)?,
+    };
     let trace = workload(&args, c.virt, c.seed)?;
     let stats = atp_sim::run(mgr.as_mut(), trace, c.warmup, c.accesses);
     let costs = stats.costs;
     println!("manager:        {}", stats.name);
     println!("accesses:       {}", costs.accesses);
     println!("ios:            {}", costs.ios);
-    println!("tlb misses:     {} ({:.4} per access)", costs.tlb_misses, costs.tlb_miss_rate());
+    println!(
+        "tlb misses:     {} ({:.4} per access)",
+        costs.tlb_misses,
+        costs.tlb_miss_rate()
+    );
     println!("decode misses:  {}", costs.decode_misses);
     println!("paging failures:{}", costs.paging_failures);
     println!(
@@ -196,6 +241,12 @@ pub fn simulate(raw: &[String]) -> Result<(), ArgError> {
         costs.decode_cost(c.model)
     );
     println!("wall time:      {:.2?}", stats.elapsed);
+    if let Some(rec) = recorder {
+        // The recorder observes warmup as well as measurement — useful for
+        // seeing the cold-start transient the Costs report excludes.
+        println!();
+        println!("{}", rec.with(|r| r.summary()));
+    }
     Ok(())
 }
 
@@ -212,14 +263,14 @@ pub fn sweep_cmd(raw: &[String]) -> Result<(), ArgError> {
         if h > c.phys {
             break;
         }
-        let mut m = ClassicMm::new(ClassicConfig {
+        let mut m = Pipeline::from_stages(ClassicStages::new(ClassicConfig {
             huge_pages: h,
             phys_pages: c.phys,
             tlb_entries: c.tlb,
             tlb_policy: c.policy,
             ram_policy: c.policy,
             seed: c.seed,
-        });
+        }));
         let s = atp_sim::run(&mut m, trace.iter().copied(), c.warmup, c.accesses);
         println!(
             "{h}\t{}\t{}\t{:.1}",
@@ -339,8 +390,18 @@ mod tests {
     fn simulate_runs_every_manager() {
         for mgr in ["classic", "decoupled", "sparse", "thp", "x", "y"] {
             simulate(&argv(&[
-                "--manager", mgr, "--workload", "zipf", "--phys", "2^12", "--accesses", "10k",
-                "--warmup", "10k", "--h", "8",
+                "--manager",
+                mgr,
+                "--workload",
+                "zipf",
+                "--phys",
+                "2^12",
+                "--accesses",
+                "10k",
+                "--warmup",
+                "10k",
+                "--h",
+                "8",
             ]))
             .unwrap_or_else(|e| panic!("{mgr}: {e}"));
         }
@@ -348,12 +409,46 @@ mod tests {
 
     #[test]
     fn simulate_runs_every_workload() {
-        for w in ["bimodal", "walk", "zipf", "uniform", "seq", "gups", "stencil"] {
+        for w in [
+            "bimodal", "walk", "zipf", "uniform", "seq", "gups", "stencil",
+        ] {
             simulate(&argv(&[
-                "--manager", "classic", "--workload", w, "--phys", "2^12", "--accesses", "5k",
-                "--warmup", "0", "--h", "4",
+                "--manager",
+                "classic",
+                "--workload",
+                w,
+                "--phys",
+                "2^12",
+                "--accesses",
+                "5k",
+                "--warmup",
+                "0",
+                "--h",
+                "4",
             ]))
             .unwrap_or_else(|e| panic!("{w}: {e}"));
+        }
+    }
+
+    #[test]
+    fn simulate_observe_flag() {
+        for mgr in ["classic", "decoupled", "sparse", "thp", "x", "y"] {
+            simulate(&argv(&[
+                "--manager",
+                mgr,
+                "--workload",
+                "zipf",
+                "--phys",
+                "2^12",
+                "--accesses",
+                "10k",
+                "--warmup",
+                "0",
+                "--h",
+                "8",
+                "--observe",
+            ]))
+            .unwrap_or_else(|e| panic!("{mgr}: {e}"));
         }
     }
 
@@ -368,8 +463,16 @@ mod tests {
     #[test]
     fn sweep_runs_small() {
         sweep_cmd(&argv(&[
-            "--workload", "uniform", "--phys", "2^10", "--accesses", "5k", "--warmup", "5k",
-            "--tlb", "64",
+            "--workload",
+            "uniform",
+            "--phys",
+            "2^10",
+            "--accesses",
+            "5k",
+            "--warmup",
+            "5k",
+            "--tlb",
+            "64",
         ]))
         .unwrap();
     }
@@ -381,7 +484,14 @@ mod tests {
         let file = dir.join("t.atpt");
         let file_s = file.to_str().unwrap();
         trace_cmd(&argv(&[
-            "record", "--workload", "zipf", "--out", file_s, "--accesses", "5k", "--phys",
+            "record",
+            "--workload",
+            "zipf",
+            "--out",
+            file_s,
+            "--accesses",
+            "5k",
+            "--phys",
             "2^12",
         ]))
         .unwrap();

@@ -18,7 +18,7 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{Args, ArgError};
+pub use args::{ArgError, Args};
 
 /// Entry point: dispatches `argv[1]` as a subcommand. Returns the process
 /// exit code.

@@ -31,7 +31,10 @@ impl GreedyAlloc {
     /// # Panics
     /// Panics if any dimension is zero or `d < 2`.
     pub fn with_geometry(bins: u64, bin_size: u32, d: u32, seed: u64) -> Self {
-        assert!(bins > 0 && bin_size > 0, "bins and bin_size must be nonzero");
+        assert!(
+            bins > 0 && bin_size > 0,
+            "bins and bin_size must be nonzero"
+        );
         assert!(d >= 2, "Greedy[d] requires d >= 2");
         Self {
             hasher: PageHasher::new(seed, bins, d),

@@ -145,12 +145,11 @@ impl RamAllocator for IcebergAlloc {
         // Greedy[2] over back tiers of h2, h3.
         let b2 = self.hasher.bin(v, 1);
         let b3 = self.hasher.bin(v, 2);
-        let (first, first_idx, second, second_idx) =
-            if self.back_load(b2) <= self.back_load(b3) {
-                (b2, 1u8, b3, 2u8)
-            } else {
-                (b3, 2u8, b2, 1u8)
-            };
+        let (first, first_idx, second, second_idx) = if self.back_load(b2) <= self.back_load(b3) {
+            (b2, 1u8, b3, 2u8)
+        } else {
+            (b3, 2u8, b2, 1u8)
+        };
         for (bin, idx) in [(first, first_idx), (second, second_idx)] {
             if let Some(slot) = self.back_free[bin as usize].pop() {
                 self.back_placements += 1;
@@ -239,12 +238,7 @@ mod tests {
 
     #[test]
     fn contract_holds() {
-        churn_contract(
-            IcebergAlloc::with_geometry(32, 8, 4, 11),
-            4000,
-            200,
-            10_000,
-        );
+        churn_contract(IcebergAlloc::with_geometry(32, 8, 4, 11), 4000, 200, 10_000);
     }
 
     #[test]
@@ -253,7 +247,11 @@ mod tests {
         for v in 0..32u64 {
             a.place(VirtPage(v)).unwrap();
         }
-        assert_eq!(a.back_placements(), 0, "sparse fill must stay in front tiers");
+        assert_eq!(
+            a.back_placements(),
+            0,
+            "sparse fill must stay in front tiers"
+        );
     }
 
     #[test]

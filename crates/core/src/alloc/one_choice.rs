@@ -35,7 +35,10 @@ impl OneChoiceAlloc {
     /// # Panics
     /// Panics if `bins == 0` or `bin_size == 0`.
     pub fn with_geometry(bins: u64, bin_size: u32, seed: u64) -> Self {
-        assert!(bins > 0 && bin_size > 0, "bins and bin_size must be nonzero");
+        assert!(
+            bins > 0 && bin_size > 0,
+            "bins and bin_size must be nonzero"
+        );
         Self {
             hasher: PageHasher::new(seed, bins, 1),
             free_slots: (0..bins).map(|_| (0..bin_size).rev().collect()).collect(),
@@ -122,7 +125,11 @@ impl RamAllocator for OneChoiceAlloc {
     }
 
     fn iter_placed(&self) -> Box<dyn Iterator<Item = (VirtPage, PhysPage)> + '_> {
-        Box::new(self.placed.iter().map(|(&v, &(b, s))| (v, self.frame(b, s))))
+        Box::new(
+            self.placed
+                .iter()
+                .map(|(&v, &(b, s))| (v, self.frame(b, s))),
+        )
     }
 }
 

@@ -8,11 +8,9 @@
 //! [`TlbValue`] is the packed bit vector; it is the *only* state a TLB entry
 //! carries, so its size is checked against `w` at construction.
 
-use serde::{Deserialize, Serialize};
-
 /// A per-page slot code. `0` = not resident; the allocator defines the
 /// meaning of nonzero values (see each allocator's `decode`).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct SlotCode(pub u32);
 
 impl SlotCode {
@@ -28,7 +26,7 @@ impl SlotCode {
 
 /// A `w`-bit TLB value: `hmax` codes of `bits` bits, little-endian packed
 /// into 64-bit words.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TlbValue {
     words: Vec<u64>,
     bits: u32,
@@ -77,7 +75,11 @@ impl TlbValue {
         assert!(i < self.count, "code index {i} out of range");
         let bit = i as usize * self.bits as usize;
         let (word, off) = (bit / 64, (bit % 64) as u32);
-        let mask = if self.bits == 32 { u32::MAX as u64 } else { (1u64 << self.bits) - 1 };
+        let mask = if self.bits == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << self.bits) - 1
+        };
         let lo = self.words[word] >> off;
         let val = if off + self.bits <= 64 {
             lo & mask
@@ -94,7 +96,11 @@ impl TlbValue {
     /// Panics if `i >= count` or the code does not fit in `bits` bits.
     pub fn set(&mut self, i: u32, code: SlotCode) {
         assert!(i < self.count, "code index {i} out of range");
-        let mask = if self.bits == 32 { u32::MAX as u64 } else { (1u64 << self.bits) - 1 };
+        let mask = if self.bits == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << self.bits) - 1
+        };
         assert!(
             (code.0 as u64) <= mask,
             "code {} does not fit in {} bits",
@@ -120,7 +126,9 @@ impl TlbValue {
 
     /// Number of resident (nonzero) codes.
     pub fn resident_count(&self) -> u32 {
-        (0..self.count).filter(|&i| !self.get(i).is_absent()).count() as u32
+        (0..self.count)
+            .filter(|&i| !self.get(i).is_absent())
+            .count() as u32
     }
 }
 
@@ -133,9 +141,16 @@ mod tests {
         for bits in 1..=32u32 {
             let count = 37;
             let mut v = TlbValue::new(count, bits);
-            let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            let mask = if bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << bits) - 1
+            };
             for i in 0..count {
-                v.set(i, SlotCode(i.wrapping_mul(2_654_435_761u32.wrapping_mul(i + 1)) & mask));
+                v.set(
+                    i,
+                    SlotCode(i.wrapping_mul(2_654_435_761u32.wrapping_mul(i + 1)) & mask),
+                );
             }
             for i in 0..count {
                 let expect = i.wrapping_mul(2_654_435_761u32.wrapping_mul(i + 1)) & mask;

@@ -17,11 +17,10 @@
 
 use crate::encoding::SlotCode;
 use crate::params::bits_for;
-use serde::{Deserialize, Serialize};
 
 /// A sparse `w`-bit TLB value: up to `K` (constituent index, slot code)
 /// pairs over a huge page of `hmax` constituents.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SparseValue {
     entries: Vec<(u32, SlotCode)>,
     capacity: u32,
@@ -82,7 +81,11 @@ impl SparseValue {
     pub fn set(&mut self, i: u32, code: SlotCode) -> bool {
         assert!(i < self.hmax, "constituent index {i} out of range");
         if !code.is_absent() {
-            let mask = if self.bits >= 32 { u32::MAX } else { (1u32 << self.bits) - 1 };
+            let mask = if self.bits >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << self.bits) - 1
+            };
             assert!(code.0 <= mask, "code {} exceeds {} bits", code.0, self.bits);
         }
         match self.entries.iter().position(|&(idx, _)| idx == i) {

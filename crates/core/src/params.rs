@@ -16,10 +16,8 @@
 //! and verify (a) zero observed paging failures at the derived parameters
 //! and (b) the bits-per-code gap between the two schemes widening with `P`.
 
-use serde::{Deserialize, Serialize};
-
 /// Which allocation scheme to use, for runtime-configured experiments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AllocatorKind {
     /// Fully associative free-list (baseline; `⌈log₂(P+1)⌉`-bit codes).
     FullyAssociative,
@@ -47,12 +45,12 @@ pub fn bits_for(values: u64) -> u32 {
 /// must be power-of-two sized (Section 5 assumes `hmax` is a power of two).
 pub fn hmax_for(w: u32, bits: u32) -> u64 {
     let raw = (w / bits.max(1)).max(1) as u64;
-    
+
     1u64 << (63 - raw.leading_zeros())
 }
 
 /// Derived parameters for the one-choice allocator (Theorem 1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OneChoiceParams {
     /// Number of bins `n`.
     pub bins: u64,
@@ -112,7 +110,7 @@ impl OneChoiceParams {
 }
 
 /// Derived parameters for the Iceberg\[2\] allocator (Theorem 3).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IcebergParams {
     /// Number of bins `n`.
     pub bins: u64,
@@ -157,13 +155,7 @@ impl IcebergParams {
     }
 
     /// Explicit parameters, for sweeps and failure-injection tests.
-    pub fn custom(
-        bins: u64,
-        front_cap: u32,
-        back_cap: u32,
-        phys_pages: u64,
-        lambda: f64,
-    ) -> Self {
+    pub fn custom(bins: u64, front_cap: u32, back_cap: u32, phys_pages: u64, lambda: f64) -> Self {
         let max_resident = ((bins as f64) * lambda).floor() as u64;
         Self {
             bins,
@@ -211,7 +203,10 @@ mod tests {
             let p = 1u64 << shift;
             let d = OneChoiceParams::derive(p);
             assert!(d.bins >= 1);
-            assert!((d.bins * d.bin_size as u64) <= p, "bins overrun P at 2^{shift}");
+            assert!(
+                (d.bins * d.bin_size as u64) <= p,
+                "bins overrun P at 2^{shift}"
+            );
             assert!(d.max_resident <= p);
             assert!(d.bin_size as f64 > d.lambda, "B must exceed λ");
             assert!(d.delta_eff > 0.0 && d.delta_eff < 1.0);
@@ -259,8 +254,8 @@ mod tests {
         // only a few slots.
         let small = IcebergParams::derive(1 << 14);
         let large = IcebergParams::derive(1u64 << 34);
-        let growth = (large.front_cap + large.back_cap) as f64
-            / (small.front_cap + small.back_cap) as f64;
+        let growth =
+            (large.front_cap + large.back_cap) as f64 / (small.front_cap + small.back_cap) as f64;
         assert!(growth < 2.0, "iceberg bins grew {growth}x over 2^20 range");
     }
 }

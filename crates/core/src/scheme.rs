@@ -151,7 +151,10 @@ impl<A: RamAllocator> DecouplingScheme<A> {
     /// Returns an error if `v` is already active (policy bug) — failed pages
     /// count as active.
     pub fn ram_insert(&mut self, v: VirtPage) -> Result<PhysPage, PagingFailure> {
-        assert!(!self.failed.contains(&v), "page {v:?} inserted while failed");
+        assert!(
+            !self.failed.contains(&v),
+            "page {v:?} inserted while failed"
+        );
         match self.alloc.place(v) {
             Ok(pl) => {
                 self.stats.placements += 1;

@@ -38,7 +38,10 @@ impl CounterRng {
     #[inline]
     #[allow(clippy::should_implement_trait)]
     pub fn next_u64(&mut self) -> u64 {
-        let out = splitmix64(self.state.wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let out = splitmix64(
+            self.state
+                .wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
         self.counter += 1;
         out
     }

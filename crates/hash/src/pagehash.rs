@@ -143,7 +143,10 @@ mod tests {
                 all_distinct += 1;
             }
         }
-        assert!(all_distinct > 950, "too many colliding choice sets: {all_distinct}");
+        assert!(
+            all_distinct > 950,
+            "too many colliding choice sets: {all_distinct}"
+        );
     }
 
     #[test]

@@ -62,7 +62,8 @@ impl XxHash64 {
 
     fn consume_stripe(&mut self, stripe: &[u8]) {
         debug_assert_eq!(stripe.len(), 32);
-        let w = |i: usize| u64::from_le_bytes(stripe[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        let w =
+            |i: usize| u64::from_le_bytes(stripe[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
         self.v1 = Self::round(self.v1, w(0));
         self.v2 = Self::round(self.v2, w(1));
         self.v3 = Self::round(self.v3, w(2));
@@ -199,7 +200,10 @@ mod tests {
         let data: Vec<u8> = (0..32).collect();
         let mut seen = std::collections::HashSet::new();
         for len in 0..=32 {
-            assert!(seen.insert(xxhash64(&data[..len], 0)), "collision at len {len}");
+            assert!(
+                seen.insert(xxhash64(&data[..len], 0)),
+                "collision at len {len}"
+            );
         }
     }
 }

@@ -1,66 +1,109 @@
-//! Property tests for the hashing substrate.
+//! Randomized property tests for the hashing substrate, driven by the
+//! crate's own deterministic counter RNG (no external test deps).
 
 use atp_hash::mix::reduce;
 use atp_hash::{splitmix64, CounterRng, PageHasher, XxHash64};
 use atp_types::VirtPage;
-use proptest::prelude::*;
 
-proptest! {
-    /// reduce maps any hash into [0, n) for any nonzero n.
-    #[test]
-    fn reduce_in_range(h in any::<u64>(), n in 1u64..u64::MAX) {
-        prop_assert!(reduce(h, n) < n);
+const CASES: u64 = 512;
+
+#[test]
+fn reduce_in_range() {
+    // reduce maps any hash into [0, n) for any nonzero n.
+    let mut rng = CounterRng::new(0xA11CE, 1);
+    for _ in 0..CASES {
+        let h = rng.next_u64();
+        let n = rng.next_u64().max(1);
+        assert!(reduce(h, n) < n, "reduce({h}, {n}) out of range");
     }
+    assert!(reduce(u64::MAX, 1) < 1);
+    assert!(reduce(0, u64::MAX) < u64::MAX);
+}
 
-    /// splitmix64 is injective (bijective mixer): distinct inputs give
-    /// distinct outputs.
-    #[test]
-    fn splitmix_injective(a in any::<u64>(), b in any::<u64>()) {
-        prop_assume!(a != b);
-        prop_assert_ne!(splitmix64(a), splitmix64(b));
+#[test]
+fn splitmix_injective() {
+    // splitmix64 is injective (bijective mixer): distinct inputs give
+    // distinct outputs.
+    let mut rng = CounterRng::new(0xA11CE, 2);
+    for _ in 0..CASES {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        if a != b {
+            assert_ne!(splitmix64(a), splitmix64(b));
+        }
     }
+    assert_ne!(splitmix64(0), splitmix64(1));
+    assert_ne!(splitmix64(u64::MAX), splitmix64(u64::MAX - 1));
+}
 
-    /// PageHasher choices are always within the bin count, for any geometry.
-    #[test]
-    fn page_hasher_in_range(seed in any::<u64>(), bins in 1u64..(1 << 40), k in 1u32..8, v in any::<u64>()) {
+#[test]
+fn page_hasher_in_range() {
+    // PageHasher choices are always within the bin count, for any geometry.
+    let mut rng = CounterRng::new(0xA11CE, 3);
+    for _ in 0..128 {
+        let seed = rng.next_u64();
+        let bins = rng.next_below(1 << 40) + 1;
+        let k = rng.next_below(7) as u32 + 1;
+        let v = rng.next_u64();
         let h = PageHasher::new(seed, bins, k);
         for i in 0..k {
-            prop_assert!(h.bin(VirtPage(v), i) < bins);
+            assert!(h.bin(VirtPage(v), i) < bins);
         }
         // bins_of agrees with bin().
         for (i, b) in h.bins_of(VirtPage(v)).enumerate() {
-            prop_assert_eq!(b, h.bin(VirtPage(v), i as u32));
+            assert_eq!(b, h.bin(VirtPage(v), i as u32));
         }
     }
+}
 
-    /// CounterRng streams are pure functions of (seed, key).
-    #[test]
-    fn counter_rng_reproducible(seed in any::<u64>(), key in any::<u64>()) {
+#[test]
+fn counter_rng_reproducible() {
+    // CounterRng streams are pure functions of (seed, key).
+    let mut meta = CounterRng::new(0xA11CE, 4);
+    for _ in 0..64 {
+        let seed = meta.next_u64();
+        let key = meta.next_u64();
         let mut a = CounterRng::new(seed, key);
         let mut b = CounterRng::new(seed, key);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+}
 
-    /// next_below stays below its bound.
-    #[test]
-    fn counter_rng_below(seed in any::<u64>(), key in any::<u64>(), n in 1u64..u64::MAX) {
+#[test]
+fn counter_rng_below() {
+    // next_below stays below its bound.
+    let mut meta = CounterRng::new(0xA11CE, 5);
+    for _ in 0..128 {
+        let seed = meta.next_u64();
+        let key = meta.next_u64();
+        let n = meta.next_u64().max(1);
         let mut r = CounterRng::new(seed, key);
         for _ in 0..8 {
-            prop_assert!(r.next_below(n) < n);
+            assert!(r.next_below(n) < n);
         }
     }
+}
 
-    /// Streaming xxhash equals one-shot for arbitrary data and split points.
-    #[test]
-    fn xxhash_streaming_consistent(data in prop::collection::vec(any::<u8>(), 0..300), seed in any::<u64>(), split_frac in 0.0f64..1.0) {
-        let split = ((data.len() as f64) * split_frac) as usize;
+#[test]
+fn xxhash_streaming_consistent() {
+    // Streaming xxhash equals one-shot for arbitrary data and split points.
+    let mut rng = CounterRng::new(0xA11CE, 6);
+    for _ in 0..128 {
+        let len = rng.next_below(300) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let seed = rng.next_u64();
+        let split = if len == 0 {
+            0
+        } else {
+            rng.next_below(len as u64 + 1) as usize
+        };
         let mut h = XxHash64::with_seed(seed);
         h.update(&data[..split]);
         h.update(&data[split..]);
         let mut whole = XxHash64::with_seed(seed);
         whole.update(&data);
-        prop_assert_eq!(h.digest(), whole.digest());
+        assert_eq!(h.digest(), whole.digest(), "len={len} split={split}");
     }
 }

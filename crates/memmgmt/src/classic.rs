@@ -11,10 +11,12 @@
 //! `h = 1` recovers classic paging with no huge pages; sweeping
 //! `h ∈ {1, 2, 4, …, 1024}` regenerates Figure 1.
 
-use crate::traits::{tally, AccessReport, MemoryManager};
+use crate::observe::{EvictionEvent, SimObserver, TlbEvent};
+use crate::pipeline::{Pipeline, Stages, TlbProbe};
+use crate::traits::AccessReport;
 use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
 use atp_tlb::Tlb;
-use atp_types::{Costs, HugePageGeometry, VirtPage};
+use atp_types::{HugePageGeometry, VirtPage};
 
 /// Configuration for [`ClassicMm`].
 #[derive(Clone, Copy, Debug)]
@@ -47,17 +49,16 @@ impl ClassicConfig {
     }
 }
 
-/// The classic physical-huge-page memory manager.
-pub struct ClassicMm {
+/// Stage state of the classic physical-huge-page manager.
+pub struct ClassicStages {
     geom: HugePageGeometry,
     tlb: Tlb<()>,
     ram: CacheSim<u64, Box<dyn Policy>>,
-    costs: Costs,
     h: u64,
 }
 
-impl ClassicMm {
-    /// Builds the manager.
+impl ClassicStages {
+    /// Builds the stages.
     ///
     /// # Panics
     /// Panics if `huge_pages` is not a power of two or exceeds `phys_pages`.
@@ -71,8 +72,10 @@ impl ClassicMm {
         Self {
             geom,
             tlb: Tlb::new(cfg.tlb_entries, cfg.tlb_policy, cfg.seed),
-            ram: CacheSim::new(ram_units, make_policy(cfg.ram_policy, ram_units, cfg.seed ^ 1)),
-            costs: Costs::default(),
+            ram: CacheSim::new(
+                ram_units,
+                make_policy(cfg.ram_policy, ram_units, cfg.seed ^ 1),
+            ),
             h: cfg.huge_pages,
         }
     }
@@ -88,38 +91,53 @@ impl ClassicMm {
     }
 }
 
-impl MemoryManager for ClassicMm {
-    fn access(&mut self, v: VirtPage) -> AccessReport {
-        let u = self.geom.huge_of(v);
-        let mut report = AccessReport::default();
+impl Stages for ClassicStages {
+    // RAM first: a fault brings the whole physical huge page in (h IOs);
+    // the TLB is touched once, after residency, so the probe is deferred.
+    fn tlb_stage<O: SimObserver>(&mut self, _addr: VirtPage, _obs: &mut O) -> TlbProbe {
+        TlbProbe::Deferred
+    }
 
-        // RAM first: a fault brings the whole physical huge page in
-        // (h IOs), and invalidates nothing — but the *evicted* unit's
-        // translation must leave the TLB (it no longer has a physical
-        // address).
+    fn residency_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        _probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    ) {
+        let u = self.geom.huge_of(addr);
         match self.ram.access(u.id()) {
             AccessResult::Hit => {}
             AccessResult::Miss { evicted } => {
                 report.ios = self.h;
                 if let Some(old) = evicted {
-                    self.tlb.invalidate(atp_types::VirtHugePage(old));
+                    obs.on_eviction(EvictionEvent {
+                        unit: old,
+                        pages: self.h,
+                    });
+                    // The evicted unit's translation must leave the TLB —
+                    // it no longer has a physical address.
+                    if self.tlb.invalidate(atp_types::VirtHugePage(old)).is_some() {
+                        obs.on_tlb_event(TlbEvent::Shootdown);
+                    }
                 }
             }
         }
+    }
 
-        // TLB: fully associative over huge-page ids.
+    fn translate_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        _probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    ) {
+        // Fully associative over huge-page ids; touch-or-fill in one step.
+        let u = self.geom.huge_of(addr);
         report.tlb_miss = !self.tlb.access_or_fill(u, || ());
-
-        tally(&mut self.costs, report);
-        report
-    }
-
-    fn costs(&self) -> Costs {
-        self.costs
-    }
-
-    fn reset_costs(&mut self) {
-        self.costs = Costs::default();
+        if report.tlb_miss {
+            obs.on_tlb_event(TlbEvent::Fill);
+        }
     }
 
     fn name(&self) -> String {
@@ -127,9 +145,36 @@ impl MemoryManager for ClassicMm {
     }
 }
 
+/// The classic physical-huge-page memory manager.
+pub type ClassicMm<O = crate::observe::NoopObserver> = Pipeline<ClassicStages, O>;
+
+impl ClassicMm {
+    /// Builds the manager (unobserved).
+    ///
+    /// # Panics
+    /// Panics if `huge_pages` is not a power of two or exceeds `phys_pages`.
+    pub fn new(cfg: ClassicConfig) -> Self {
+        Pipeline::from_stages(ClassicStages::new(cfg))
+    }
+}
+
+impl<O: SimObserver> ClassicMm<O> {
+    /// Huge-page size in base pages.
+    pub fn huge_page_size(&self) -> u64 {
+        self.stages().huge_page_size()
+    }
+
+    /// RAM capacity in huge-page units.
+    pub fn ram_units(&self) -> usize {
+        self.stages().ram_units()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traits::MemoryManager;
+    use atp_types::Costs;
 
     fn mm(h: u64, phys: u64, tlb: u64) -> ClassicMm {
         ClassicMm::new(ClassicConfig {
@@ -234,5 +279,29 @@ mod tests {
     #[test]
     fn name_mentions_h() {
         assert_eq!(mm(64, 1 << 10, 4).name(), "classic(h=64)");
+    }
+
+    #[test]
+    fn observer_sees_shootdowns_and_evictions() {
+        use crate::observe::Recorder;
+        let mut m: ClassicMm<Recorder> = Pipeline::with_observer(
+            ClassicStages::new(ClassicConfig {
+                huge_pages: 1,
+                phys_pages: 2,
+                tlb_entries: 16,
+                tlb_policy: PolicyKind::Lru,
+                ram_policy: PolicyKind::Lru,
+                seed: 0,
+            }),
+            Recorder::new(),
+        );
+        m.access(VirtPage(0));
+        m.access(VirtPage(1));
+        m.access(VirtPage(2)); // evicts 0, shoots down its TLB entry
+        let c = m.observer().counters();
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.tlb_shootdowns, 1);
+        assert_eq!(c.tlb_fills, 3);
+        assert_eq!(c.faults, 3);
     }
 }

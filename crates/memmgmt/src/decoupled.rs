@@ -17,12 +17,18 @@
 //!   (IO + decoding miss) and receives no TLB encoding, until `Y` evicts it.
 //!
 //! The result enjoys eq. (7): `C(Z,σ) ≤ C_TLB(X,σ) + C_IO(Y,σ) + n/poly(P)`.
+//!
+//! In pipeline terms, `Z` is the canonical three-stage manager: probe first
+//! (hardware order), page-granular residency with free in-place TLB value
+//! maintenance, then a ψ(u) fill on the probe miss.
 
-use crate::traits::{tally, AccessReport, MemoryManager};
+use crate::observe::{EvictionEvent, SimObserver, TlbEvent};
+use crate::pipeline::{Pipeline, Stages, TlbProbe};
+use crate::traits::AccessReport;
 use atp_core::{DecouplingScheme, RamAllocator, SlotCode, TlbValue};
 use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
 use atp_tlb::Tlb;
-use atp_types::{Costs, VirtPage};
+use atp_types::VirtPage;
 
 /// Configuration for [`DecoupledMm`].
 #[derive(Clone, Copy, Debug)]
@@ -41,16 +47,15 @@ pub struct DecoupledConfig {
     pub seed: u64,
 }
 
-/// The decoupled memory manager `Z`.
-pub struct DecoupledMm<A: RamAllocator> {
-    scheme: DecouplingScheme<A>,
-    tlb: Tlb<TlbValue>,
-    ram: CacheSim<u64, Box<dyn Policy>>,
-    costs: Costs,
+/// Stage state of the decoupled manager `Z`.
+pub struct DecoupledStages<A: RamAllocator> {
+    pub(crate) scheme: DecouplingScheme<A>,
+    pub(crate) tlb: Tlb<TlbValue>,
+    pub(crate) ram: CacheSim<u64, Box<dyn Policy>>,
 }
 
-impl<A: RamAllocator> DecoupledMm<A> {
-    /// Builds `Z` from an allocator and configuration.
+impl<A: RamAllocator> DecoupledStages<A> {
+    /// Builds the stages from an allocator and configuration.
     ///
     /// # Panics
     /// Panics if `resident_pages` exceeds the allocator's physical memory
@@ -67,7 +72,6 @@ impl<A: RamAllocator> DecoupledMm<A> {
             scheme: DecouplingScheme::new(alloc, cfg.tlb_value_bits),
             tlb: Tlb::new(cfg.tlb_entries, cfg.tlb_policy, cfg.seed),
             ram: CacheSim::new(cap, make_policy(cfg.ram_policy, cap, cfg.seed ^ 0xF00D)),
-            costs: Costs::default(),
         }
     }
 
@@ -82,21 +86,31 @@ impl<A: RamAllocator> DecoupledMm<A> {
     }
 }
 
-impl<A: RamAllocator> MemoryManager for DecoupledMm<A> {
-    fn access(&mut self, p: VirtPage) -> AccessReport {
+impl<A: RamAllocator> Stages for DecoupledStages<A> {
+    fn tlb_stage<O: SimObserver>(&mut self, addr: VirtPage, _obs: &mut O) -> TlbProbe {
+        // Lookup first (hardware order); the fill happens in the translate
+        // stage so the installed ψ(u) is fresh.
+        let u = self.scheme.geometry().huge_of(addr);
+        if self.tlb.lookup(u).is_some() {
+            TlbProbe::Hit
+        } else {
+            TlbProbe::Miss
+        }
+    }
+
+    fn residency_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        _probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    ) {
         let geom = self.scheme.geometry();
-        let u = geom.huge_of(p);
-        let mut report = AccessReport::default();
-
-        // TLB lookup first (hardware order); fills happen after the RAM
-        // step so the installed ψ(u) is fresh.
-        let tlb_hit = self.tlb.lookup(u).is_some();
-        report.tlb_miss = !tlb_hit;
-
+        let u = geom.huge_of(addr);
         // RAM step: Y's policy over base pages.
-        match self.ram.access(p.0) {
+        match self.ram.access(addr.0) {
             AccessResult::Hit => {
-                if self.scheme.is_failed(p) {
+                if self.scheme.is_failed(addr) {
                     // Theorem 4 failure path: 1 + ε per access to a failed
                     // page (temporary IO + decoding miss), no TLB encoding.
                     report.ios += 1;
@@ -109,15 +123,16 @@ impl<A: RamAllocator> MemoryManager for DecoupledMm<A> {
                 if let Some(ev) = evicted {
                     let ev_page = VirtPage(ev);
                     self.scheme.ram_evict(ev_page);
+                    obs.on_eviction(EvictionEvent { unit: ev, pages: 1 });
                     // Clear the evicted page's code in any TLB-resident value.
                     let eu = geom.huge_of(ev_page);
                     let idx = self.scheme.index_within(ev_page);
                     self.tlb.update(eu, |val| val.set(idx, SlotCode::ABSENT));
                 }
-                match self.scheme.ram_insert(p) {
+                match self.scheme.ram_insert(addr) {
                     Ok(_frame) => {
-                        let idx = self.scheme.index_within(p);
-                        let code = self.scheme.code_of(p);
+                        let idx = self.scheme.index_within(addr);
+                        let code = self.scheme.code_of(addr);
                         self.tlb.update(u, |val| val.set(idx, code));
                     }
                     Err(_) => {
@@ -129,32 +144,31 @@ impl<A: RamAllocator> MemoryManager for DecoupledMm<A> {
                 }
             }
         }
+    }
 
-        if !tlb_hit {
+    fn translate_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        probe: TlbProbe,
+        _report: &mut AccessReport,
+        obs: &mut O,
+    ) {
+        let u = self.scheme.geometry().huge_of(addr);
+        if probe == TlbProbe::Miss {
             self.tlb.insert(u, self.scheme.psi(u));
+            obs.on_tlb_event(TlbEvent::Fill);
         }
 
         // Eq. (4) invariant: a TLB-resident value must decode the page we
         // just serviced, unless the page is in the failure set.
         debug_assert!(
-            self.scheme.is_failed(p)
+            self.scheme.is_failed(addr)
                 || self
                     .tlb
                     .peek(u)
-                    .is_none_or(|val| self.scheme.decode(p, val) == self.scheme.frame_of(p)),
-            "decode invariant violated for {p:?}"
+                    .is_none_or(|val| self.scheme.decode(addr, val) == self.scheme.frame_of(addr)),
+            "decode invariant violated for {addr:?}"
         );
-
-        tally(&mut self.costs, report);
-        report
-    }
-
-    fn costs(&self) -> Costs {
-        self.costs
-    }
-
-    fn reset_costs(&mut self) {
-        self.costs = Costs::default();
     }
 
     fn name(&self) -> String {
@@ -167,10 +181,36 @@ impl<A: RamAllocator> MemoryManager for DecoupledMm<A> {
     }
 }
 
+/// The decoupled memory manager `Z`.
+pub type DecoupledMm<A, O = crate::observe::NoopObserver> = Pipeline<DecoupledStages<A>, O>;
+
+impl<A: RamAllocator> DecoupledMm<A> {
+    /// Builds `Z` from an allocator and configuration (unobserved).
+    ///
+    /// # Panics
+    /// Panics if `resident_pages` exceeds the allocator's physical memory.
+    pub fn new(alloc: A, cfg: DecoupledConfig) -> Self {
+        Pipeline::from_stages(DecoupledStages::new(alloc, cfg))
+    }
+}
+
+impl<A: RamAllocator, O: SimObserver> DecoupledMm<A, O> {
+    /// The decoupling scheme (for hmax, bits, failure stats…).
+    pub fn scheme(&self) -> &DecouplingScheme<A> {
+        self.stages().scheme()
+    }
+
+    /// Effective TLB coverage per entry, in base pages.
+    pub fn coverage(&self) -> u64 {
+        self.stages().coverage()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::only::{PagingOnlyMm, VirtualOnlyMm};
+    use crate::traits::MemoryManager;
     use atp_core::{IcebergAlloc, IcebergParams};
     use atp_hash::CounterRng;
 
@@ -310,7 +350,7 @@ mod tests {
         // RAM; every access must decode correctly (debug_assert enforces it).
         let mut z = iceberg_z(5);
         let h = z.coverage();
-        let m = z.ram.capacity() as u64;
+        let m = z.stages().ram.capacity() as u64;
         // Working set larger than RAM to force evictions, all within few
         // huge pages to keep TLB entries alive.
         let span = m + h * 4;
@@ -334,9 +374,40 @@ mod tests {
         let c = z.costs();
         let m = CostModel::new(0.25);
         let total = c.total(m);
-        let expect =
-            c.ios as f64 + 0.25 * (c.tlb_misses as f64) + 0.25 * (c.decode_misses as f64);
+        let expect = c.ios as f64 + 0.25 * (c.tlb_misses as f64) + 0.25 * (c.decode_misses as f64);
         assert!((total - expect).abs() < 1e-9);
         assert_eq!(c.accesses, 20_000);
+    }
+
+    #[test]
+    fn recorder_matches_costs() {
+        use crate::observe::Recorder;
+        let params = IcebergParams::derive(1 << 14);
+        let mut z: DecoupledMm<IcebergAlloc, Recorder> = Pipeline::with_observer(
+            DecoupledStages::new(
+                IcebergAlloc::new(&params, 9),
+                DecoupledConfig {
+                    tlb_value_bits: 64,
+                    tlb_entries: 64,
+                    tlb_policy: PolicyKind::Lru,
+                    resident_pages: params.max_resident,
+                    ram_policy: PolicyKind::Lru,
+                    seed: 9,
+                },
+            ),
+            Recorder::new(),
+        );
+        let mut rng = CounterRng::new(11, 0);
+        for _ in 0..30_000 {
+            z.access(VirtPage(rng.next_below(1 << 15)));
+        }
+        let costs = z.costs();
+        let obs = z.observer().counters();
+        assert_eq!(obs.tlb_hits, costs.tlb_hits);
+        assert_eq!(obs.tlb_misses, costs.tlb_misses);
+        assert_eq!(obs.tlb_fills, costs.tlb_misses, "every Z miss fills ψ(u)");
+        assert_eq!(obs.ios, costs.ios);
+        assert_eq!(obs.decode_misses, costs.decode_misses);
+        assert_eq!(obs.residency_hits + obs.faults, costs.accesses);
     }
 }

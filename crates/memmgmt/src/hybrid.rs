@@ -9,21 +9,27 @@
 //! the decoupled algorithm `Z` over chunk ids. A TLB entry then covers
 //! `hmax × chunk` base pages, while a fault moves `chunk` pages (amplification
 //! `chunk` instead of `hmax × chunk`).
+//!
+//! In pipeline terms this is exactly the [`Stages::map_addr`] and
+//! [`Stages::io_scale`] hooks over the decoupled stages: requests map to
+//! chunk ids before the TLB probe, and the residency stage's IOs are scaled
+//! by `chunk` after the stages run.
 
-use crate::decoupled::{DecoupledConfig, DecoupledMm};
-use crate::traits::{tally, AccessReport, MemoryManager};
+use crate::decoupled::{DecoupledConfig, DecoupledStages};
+use crate::observe::SimObserver;
+use crate::pipeline::{Pipeline, Stages, TlbProbe};
+use crate::traits::AccessReport;
 use atp_core::RamAllocator;
-use atp_types::{Costs, VirtPage};
+use atp_types::VirtPage;
 
-/// Decoupled manager over physically contiguous chunks.
-pub struct HybridMm<A: RamAllocator> {
-    inner: DecoupledMm<A>,
+/// Stage state of the hybrid manager: decoupled stages over chunk ids.
+pub struct HybridStages<A: RamAllocator> {
+    pub(crate) inner: DecoupledStages<A>,
     chunk: u64,
-    costs: Costs,
 }
 
-impl<A: RamAllocator> HybridMm<A> {
-    /// Builds the hybrid. `alloc` and `cfg.resident_pages` are in **chunk**
+impl<A: RamAllocator> HybridStages<A> {
+    /// Builds the stages. `alloc` and `cfg.resident_pages` are in **chunk**
     /// units: the allocator's "pages" are chunks of `chunk` base pages.
     ///
     /// # Panics
@@ -31,9 +37,8 @@ impl<A: RamAllocator> HybridMm<A> {
     pub fn new(alloc: A, cfg: DecoupledConfig, chunk: u64) -> Self {
         assert!(chunk.is_power_of_two(), "chunk must be a power of two");
         Self {
-            inner: DecoupledMm::new(alloc, cfg),
+            inner: DecoupledStages::new(alloc, cfg),
             chunk,
-            costs: Costs::default(),
         }
     }
 
@@ -48,25 +53,37 @@ impl<A: RamAllocator> HybridMm<A> {
     }
 }
 
-impl<A: RamAllocator> MemoryManager for HybridMm<A> {
-    fn access(&mut self, v: VirtPage) -> AccessReport {
-        let chunk_id = VirtPage(v.0 / self.chunk);
-        let inner_report = self.inner.access(chunk_id);
-        let report = AccessReport {
-            ios: inner_report.ios * self.chunk, // a chunk fault moves `chunk` pages
-            ..inner_report
-        };
-        tally(&mut self.costs, report);
-        report
+impl<A: RamAllocator> Stages for HybridStages<A> {
+    fn map_addr(&self, v: VirtPage) -> VirtPage {
+        VirtPage(v.0 / self.chunk)
     }
 
-    fn costs(&self) -> Costs {
-        self.costs
+    fn io_scale(&self) -> u64 {
+        self.chunk // a chunk fault moves `chunk` pages
     }
 
-    fn reset_costs(&mut self) {
-        self.costs = Costs::default();
-        self.inner.reset_costs();
+    fn tlb_stage<O: SimObserver>(&mut self, addr: VirtPage, obs: &mut O) -> TlbProbe {
+        self.inner.tlb_stage(addr, obs)
+    }
+
+    fn residency_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    ) {
+        self.inner.residency_stage(addr, probe, report, obs);
+    }
+
+    fn translate_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    ) {
+        self.inner.translate_stage(addr, probe, report, obs);
     }
 
     fn name(&self) -> String {
@@ -74,9 +91,36 @@ impl<A: RamAllocator> MemoryManager for HybridMm<A> {
     }
 }
 
+/// Decoupled manager over physically contiguous chunks.
+pub type HybridMm<A, O = crate::observe::NoopObserver> = Pipeline<HybridStages<A>, O>;
+
+impl<A: RamAllocator> HybridMm<A> {
+    /// Builds the hybrid (unobserved). `alloc` and `cfg.resident_pages` are
+    /// in **chunk** units.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is not a power of two.
+    pub fn new(alloc: A, cfg: DecoupledConfig, chunk: u64) -> Self {
+        Pipeline::from_stages(HybridStages::new(alloc, cfg, chunk))
+    }
+}
+
+impl<A: RamAllocator, O: SimObserver> HybridMm<A, O> {
+    /// Base pages per physically contiguous chunk.
+    pub fn chunk(&self) -> u64 {
+        self.stages().chunk()
+    }
+
+    /// Effective TLB coverage per entry in base pages: `hmax × chunk`.
+    pub fn coverage(&self) -> u64 {
+        self.stages().coverage()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traits::MemoryManager;
     use atp_core::IcebergAlloc;
     use atp_replacement::PolicyKind;
 
@@ -98,7 +142,7 @@ mod tests {
     #[test]
     fn coverage_multiplies() {
         let h = hybrid(4);
-        assert_eq!(h.coverage(), h.inner.coverage() * 4);
+        assert_eq!(h.coverage(), h.stages().inner.coverage() * 4);
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //!   are moderate-size physical huge pages (chunks), trading a little IO
 //!   amplification for `chunk×` more TLB coverage.
 //!
-//! All managers implement [`MemoryManager`] and can be driven by `atp-sim`.
+//! All managers are [`Stages`] implementations run by the shared
+//! [`Pipeline`] — a staged access path (TLB probe → residency → translate)
+//! with a pluggable [`SimObserver`] seam ([`Recorder`] captures per-stage
+//! counters and histograms; the default [`NoopObserver`] costs nothing).
+//! Every pipeline implements [`MemoryManager`] and can be driven by
+//! `atp-sim`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +36,9 @@
 pub mod classic;
 pub mod decoupled;
 pub mod hybrid;
+pub mod observe;
 pub mod only;
+pub mod pipeline;
 pub mod sparse;
 pub mod thp;
 pub mod traits;
@@ -39,7 +46,11 @@ pub mod traits;
 pub use classic::ClassicMm;
 pub use decoupled::DecoupledMm;
 pub use hybrid::HybridMm;
+pub use observe::{
+    EvictionEvent, NoopObserver, Recorder, SharedRecorder, SimObserver, StageCounters, TlbEvent,
+};
 pub use only::{PagingOnlyMm, VirtualOnlyMm};
+pub use pipeline::{Pipeline, Stages, TlbProbe};
 pub use sparse::{SparseConfig, SparseDecoupledMm};
 pub use thp::{ThpConfig, ThpMm, ThpStats};
 pub use traits::{AccessReport, MemoryManager};

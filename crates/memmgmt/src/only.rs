@@ -5,48 +5,64 @@
 //! minimizing `C_IO(Y, σ)` is classic paging on `σ` with `(1−δ)P` pages.
 //! These managers compute exactly those two costs, forming the right-hand
 //! side of eq. (7): `C(Z, σ) ≤ C_TLB(X, σ) + C_IO(Y, σ) + n/poly(P)`.
+//!
+//! As pipelines, each is a degenerate single-stage configuration: `X` runs
+//! only the TLB stage (no residency, no translation install beyond the
+//! cache's own fill); `Y` bypasses the TLB and runs only the residency
+//! stage.
 
-use crate::traits::{tally, AccessReport, MemoryManager};
-use atp_replacement::{make_policy, CacheSim, Policy, PolicyKind};
-use atp_types::{Costs, HugePageGeometry, VirtPage};
+use crate::observe::{EvictionEvent, SimObserver, TlbEvent};
+use crate::pipeline::{Pipeline, Stages, TlbProbe};
+use crate::traits::AccessReport;
+use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_types::{HugePageGeometry, VirtPage};
 
-/// `X`: cares only about TLB misses, using huge pages of size `hmax`
-/// (WLOG per Lemma 1's proof).
-pub struct VirtualOnlyMm {
+/// Stage state of `X`: a TLB over size-`hmax` huge pages, nothing else.
+pub struct VirtualOnlyStages {
     geom: HugePageGeometry,
     tlb: CacheSim<u64, Box<dyn Policy>>,
-    costs: Costs,
 }
 
-impl VirtualOnlyMm {
-    /// Builds `X` with `tlb_entries` entries over size-`hmax` huge pages.
+impl VirtualOnlyStages {
+    /// Builds the stages.
     pub fn new(hmax: u64, tlb_entries: u64, policy: PolicyKind, seed: u64) -> Self {
         let cap = tlb_entries as usize;
         Self {
             geom: HugePageGeometry::new(hmax).expect("hmax power of two"),
             tlb: CacheSim::new(cap, make_policy(policy, cap, seed)),
-            costs: Costs::default(),
         }
     }
 }
 
-impl MemoryManager for VirtualOnlyMm {
-    fn access(&mut self, v: VirtPage) -> AccessReport {
-        let u = self.geom.huge_of(v);
-        let report = AccessReport {
-            tlb_miss: !self.tlb.access(u.id()).is_hit(),
-            ..Default::default()
-        };
-        tally(&mut self.costs, report);
-        report
+impl Stages for VirtualOnlyStages {
+    fn tlb_stage<O: SimObserver>(&mut self, addr: VirtPage, obs: &mut O) -> TlbProbe {
+        let u = self.geom.huge_of(addr);
+        // The cache fills on miss, so the fill happens here rather than in
+        // the translate stage.
+        if self.tlb.access(u.id()).is_hit() {
+            TlbProbe::Hit
+        } else {
+            obs.on_tlb_event(TlbEvent::Fill);
+            TlbProbe::Miss
+        }
     }
 
-    fn costs(&self) -> Costs {
-        self.costs
+    fn residency_stage<O: SimObserver>(
+        &mut self,
+        _addr: VirtPage,
+        _probe: TlbProbe,
+        _report: &mut AccessReport,
+        _obs: &mut O,
+    ) {
     }
 
-    fn reset_costs(&mut self) {
-        self.costs = Costs::default();
+    fn translate_stage<O: SimObserver>(
+        &mut self,
+        _addr: VirtPage,
+        _probe: TlbProbe,
+        _report: &mut AccessReport,
+        _obs: &mut O,
+    ) {
     }
 
     fn name(&self) -> String {
@@ -54,40 +70,65 @@ impl MemoryManager for VirtualOnlyMm {
     }
 }
 
-/// `Y`: cares only about IOs — classic paging on base pages with a cache of
-/// `(1−δ)P` pages.
-pub struct PagingOnlyMm {
-    ram: CacheSim<u64, Box<dyn Policy>>,
-    costs: Costs,
+/// `X`: cares only about TLB misses, using huge pages of size `hmax`
+/// (WLOG per Lemma 1's proof).
+pub type VirtualOnlyMm<O = crate::observe::NoopObserver> = Pipeline<VirtualOnlyStages, O>;
+
+impl VirtualOnlyMm {
+    /// Builds `X` with `tlb_entries` entries over size-`hmax` huge pages.
+    pub fn new(hmax: u64, tlb_entries: u64, policy: PolicyKind, seed: u64) -> Self {
+        Pipeline::from_stages(VirtualOnlyStages::new(hmax, tlb_entries, policy, seed))
+    }
 }
 
-impl PagingOnlyMm {
-    /// Builds `Y` with `resident_pages = ⌊(1−δ)P⌋` page slots.
+/// Stage state of `Y`: classic paging on base pages, no TLB.
+pub struct PagingOnlyStages {
+    ram: CacheSim<u64, Box<dyn Policy>>,
+}
+
+impl PagingOnlyStages {
+    /// Builds the stages.
     pub fn new(resident_pages: u64, policy: PolicyKind, seed: u64) -> Self {
         let cap = resident_pages as usize;
         Self {
             ram: CacheSim::new(cap, make_policy(policy, cap, seed)),
-            costs: Costs::default(),
         }
     }
 }
 
-impl MemoryManager for PagingOnlyMm {
-    fn access(&mut self, v: VirtPage) -> AccessReport {
-        let report = AccessReport {
-            ios: u64::from(!self.ram.access(v.id()).is_hit()),
-            ..Default::default()
-        };
-        tally(&mut self.costs, report);
-        report
+impl Stages for PagingOnlyStages {
+    fn tlb_stage<O: SimObserver>(&mut self, _addr: VirtPage, _obs: &mut O) -> TlbProbe {
+        TlbProbe::Bypass
     }
 
-    fn costs(&self) -> Costs {
-        self.costs
+    fn residency_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        _probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    ) {
+        match self.ram.access(addr.id()) {
+            AccessResult::Hit => {}
+            AccessResult::Miss { evicted } => {
+                report.ios = 1;
+                if let Some(old) = evicted {
+                    obs.on_eviction(EvictionEvent {
+                        unit: old,
+                        pages: 1,
+                    });
+                }
+            }
+        }
     }
 
-    fn reset_costs(&mut self) {
-        self.costs = Costs::default();
+    fn translate_stage<O: SimObserver>(
+        &mut self,
+        _addr: VirtPage,
+        _probe: TlbProbe,
+        _report: &mut AccessReport,
+        _obs: &mut O,
+    ) {
     }
 
     fn name(&self) -> String {
@@ -95,9 +136,21 @@ impl MemoryManager for PagingOnlyMm {
     }
 }
 
+/// `Y`: cares only about IOs — classic paging on base pages with a cache of
+/// `(1−δ)P` pages.
+pub type PagingOnlyMm<O = crate::observe::NoopObserver> = Pipeline<PagingOnlyStages, O>;
+
+impl PagingOnlyMm {
+    /// Builds `Y` with `resident_pages = ⌊(1−δ)P⌋` page slots.
+    pub fn new(resident_pages: u64, policy: PolicyKind, seed: u64) -> Self {
+        Pipeline::from_stages(PagingOnlyStages::new(resident_pages, policy, seed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traits::MemoryManager;
 
     #[test]
     fn x_counts_only_tlb() {

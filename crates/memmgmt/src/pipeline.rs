@@ -1,0 +1,286 @@
+//! The staged translation pipeline.
+//!
+//! Every memory manager in this crate services a request through the same
+//! three stages, in order:
+//!
+//! 1. **TLB stage** — probe the translation cache ([`Stages::tlb_stage`]).
+//!    The probe can resolve immediately (`Hit`/`Miss`), be `Deferred` to
+//!    the translate stage (managers that touch RAM before the TLB, like
+//!    the classic huge-page simulator), or `Bypass` the TLB entirely (the
+//!    IO-only algorithm `Y`).
+//! 2. **Residency stage** — consult the RAM cache, perform IOs, evict and
+//!    update the decoupling scheme ([`Stages::residency_stage`]).
+//! 3. **Translate stage** — decode/walk and install translations
+//!    ([`Stages::translate_stage`]): ψ(u) fills after a miss, deferred
+//!    probes, decode-miss re-encodes.
+//!
+//! [`Pipeline`] owns the stages plus a [`SimObserver`], runs the three
+//! stages for each access, applies the address map and IO scale hooks
+//! (used by the hybrid chunked manager), emits observer events, and keeps
+//! the [`Costs`] tally. Managers are thin [`Stages`] implementations; all
+//! probe/tally plumbing lives here, once.
+
+use crate::observe::{NoopObserver, SimObserver, TlbEvent};
+use crate::traits::{tally, AccessReport, MemoryManager};
+use atp_types::{Costs, VirtPage};
+
+/// Outcome of the TLB stage for one access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlbProbe {
+    /// The TLB holds a translation for the request.
+    Hit,
+    /// The TLB does not; the translate stage will install one.
+    Miss,
+    /// The probe is deferred to the translate stage (RAM-first managers
+    /// perform a single combined touch-or-fill after residency).
+    Deferred,
+    /// This manager has no TLB in the request path.
+    Bypass,
+}
+
+/// A memory manager expressed as the three pipeline stages.
+///
+/// Stage methods are generic over the observer so that a `NoopObserver`
+/// pipeline monomorphizes to the bare access path. Implementations must
+/// only report events through `obs`; cost accounting goes through the
+/// [`AccessReport`] and is tallied centrally by [`Pipeline`].
+pub trait Stages {
+    /// Maps the requested page into this manager's internal address space
+    /// (the hybrid manager maps base pages to chunk ids). Default:
+    /// identity.
+    fn map_addr(&self, v: VirtPage) -> VirtPage {
+        v
+    }
+
+    /// Multiplier applied to the residency stage's IO count (the hybrid
+    /// manager moves whole chunks per fault). Default: 1.
+    fn io_scale(&self) -> u64 {
+        1
+    }
+
+    /// Stage 1: probe the TLB for `addr`.
+    fn tlb_stage<O: SimObserver>(&mut self, addr: VirtPage, obs: &mut O) -> TlbProbe;
+
+    /// Stage 2: make `addr` resident, recording IOs (and failure-path
+    /// costs) in `report`.
+    fn residency_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    );
+
+    /// Stage 3: install or refresh translations for `addr`. A `Deferred`
+    /// probe must be resolved here by setting `report.tlb_miss`.
+    fn translate_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    );
+
+    /// Human-readable description for reports.
+    fn name(&self) -> String;
+}
+
+/// A staged, observable memory manager: [`Stages`] + [`SimObserver`] +
+/// the shared cost tally.
+pub struct Pipeline<S: Stages, O: SimObserver = NoopObserver> {
+    stages: S,
+    observer: O,
+    costs: Costs,
+}
+
+impl<S: Stages> Pipeline<S> {
+    /// Builds an unobserved pipeline (zero-cost [`NoopObserver`]).
+    pub fn from_stages(stages: S) -> Self {
+        Pipeline::with_observer(stages, NoopObserver)
+    }
+}
+
+impl<S: Stages, O: SimObserver> Pipeline<S, O> {
+    /// Builds a pipeline with an explicit observer.
+    pub fn with_observer(stages: S, observer: O) -> Self {
+        Pipeline {
+            stages,
+            observer,
+            costs: Costs::default(),
+        }
+    }
+
+    /// The manager's stage state (TLBs, RAM caches, schemes…).
+    pub fn stages(&self) -> &S {
+        &self.stages
+    }
+
+    /// Mutable stage state (for tests and calibration drivers).
+    pub fn stages_mut(&mut self) -> &mut S {
+        &mut self.stages
+    }
+
+    /// The observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Consumes the pipeline, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+}
+
+impl<S: Stages, O: SimObserver> MemoryManager for Pipeline<S, O> {
+    fn access(&mut self, v: VirtPage) -> AccessReport {
+        let addr = self.stages.map_addr(v);
+        let mut report = AccessReport::default();
+
+        let probe = self.stages.tlb_stage(addr, &mut self.observer);
+        self.stages
+            .residency_stage(addr, probe, &mut report, &mut self.observer);
+        self.stages
+            .translate_stage(addr, probe, &mut report, &mut self.observer);
+
+        match probe {
+            TlbProbe::Hit => report.tlb_miss = false,
+            TlbProbe::Miss => report.tlb_miss = true,
+            // Bypass: no TLB in the path; the model charges nothing (and
+            // the tally counts the access as a hit). Deferred: the
+            // translate stage resolved the probe into `report`.
+            TlbProbe::Bypass | TlbProbe::Deferred => {}
+        }
+        report.ios *= self.stages.io_scale();
+
+        self.observer.on_tlb_event(if report.tlb_miss {
+            TlbEvent::Miss
+        } else {
+            TlbEvent::Hit
+        });
+        if report.decode_miss {
+            self.observer.on_decode_miss(v);
+        }
+        tally(&mut self.costs, report);
+        self.observer.on_access(v, report);
+        report
+    }
+
+    fn costs(&self) -> Costs {
+        self.costs
+    }
+
+    fn reset_costs(&mut self) {
+        self.costs = Costs::default();
+    }
+
+    fn name(&self) -> String {
+        self.stages.name()
+    }
+
+    fn batch_boundary(&mut self, len: usize) {
+        self.observer.on_batch_boundary(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::Recorder;
+
+    /// A toy manager: direct-mapped one-entry TLB over an infinite RAM
+    /// that faults on first touch.
+    struct Toy {
+        tlb: Option<u64>,
+        resident: std::collections::HashSet<u64>,
+    }
+
+    impl Stages for Toy {
+        fn tlb_stage<O: SimObserver>(&mut self, addr: VirtPage, _obs: &mut O) -> TlbProbe {
+            if self.tlb == Some(addr.0) {
+                TlbProbe::Hit
+            } else {
+                TlbProbe::Miss
+            }
+        }
+
+        fn residency_stage<O: SimObserver>(
+            &mut self,
+            addr: VirtPage,
+            _probe: TlbProbe,
+            report: &mut AccessReport,
+            _obs: &mut O,
+        ) {
+            if self.resident.insert(addr.0) {
+                report.ios = 1;
+            }
+        }
+
+        fn translate_stage<O: SimObserver>(
+            &mut self,
+            addr: VirtPage,
+            probe: TlbProbe,
+            _report: &mut AccessReport,
+            obs: &mut O,
+        ) {
+            if probe == TlbProbe::Miss {
+                self.tlb = Some(addr.0);
+                obs.on_tlb_event(TlbEvent::Fill);
+            }
+        }
+
+        fn name(&self) -> String {
+            "toy".into()
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy {
+            tlb: None,
+            resident: Default::default(),
+        }
+    }
+
+    #[test]
+    fn pipeline_tallies_and_reports() {
+        let mut p = Pipeline::from_stages(toy());
+        let r = p.access(VirtPage(7));
+        assert!(r.tlb_miss);
+        assert_eq!(r.ios, 1);
+        let r = p.access(VirtPage(7));
+        assert!(!r.tlb_miss);
+        assert_eq!(r.ios, 0);
+        let c = p.costs();
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.tlb_misses, 1);
+        assert_eq!(c.tlb_hits, 1);
+        assert_eq!(c.ios, 1);
+        assert_eq!(p.name(), "toy");
+    }
+
+    #[test]
+    fn observer_sees_stage_events() {
+        let mut p = Pipeline::with_observer(toy(), Recorder::new());
+        p.access(VirtPage(1));
+        p.access(VirtPage(1));
+        p.access(VirtPage(2));
+        p.batch_boundary(3);
+        let c = p.observer().counters();
+        assert_eq!(c.tlb_misses, 2);
+        assert_eq!(c.tlb_hits, 1);
+        assert_eq!(c.tlb_fills, 2);
+        assert_eq!(c.faults, 2);
+        assert_eq!(c.residency_hits, 1);
+        assert_eq!(c.batches, 1);
+        assert_eq!(p.observer().accesses(), 3);
+    }
+
+    #[test]
+    fn reset_costs_keeps_stage_state() {
+        let mut p = Pipeline::from_stages(toy());
+        p.access(VirtPage(1));
+        p.reset_costs();
+        assert_eq!(p.costs(), Costs::default());
+        let r = p.access(VirtPage(1));
+        assert_eq!(r.ios, 0, "residency survives the reset");
+    }
+}

@@ -16,12 +16,19 @@
 //! Sparse coverage is the right trade for workloads that are *sparse within
 //! huge pages* (strides, cold regions); dense encoding wins when runs are
 //! fully resident. The `sparse_vs_dense` test pins both directions.
+//!
+//! The pipeline shape matches dense `Z`, with one addition: the residency
+//! stage's hit path may discover a resident-but-unencoded page, which costs
+//! a decoding miss and re-encodes for free (this is the only manager whose
+//! residency stage consults the TLB probe).
 
-use crate::traits::{tally, AccessReport, MemoryManager};
+use crate::observe::{EvictionEvent, SimObserver, TlbEvent};
+use crate::pipeline::{Pipeline, Stages, TlbProbe};
+use crate::traits::AccessReport;
 use atp_core::{DecouplingScheme, RamAllocator, SlotCode, SparseValue};
 use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
 use atp_tlb::Tlb;
-use atp_types::{Costs, VirtPage};
+use atp_types::VirtPage;
 
 /// Configuration for [`SparseDecoupledMm`].
 #[derive(Clone, Copy, Debug)]
@@ -42,18 +49,17 @@ pub struct SparseConfig {
     pub seed: u64,
 }
 
-/// Decoupled manager with sparse TLB encoding.
-pub struct SparseDecoupledMm<A: RamAllocator> {
+/// Stage state of the sparse-encoding decoupled manager.
+pub struct SparseStages<A: RamAllocator> {
     scheme: DecouplingScheme<A>,
     tlb: Tlb<SparseValue>,
     ram: CacheSim<u64, Box<dyn Policy>>,
-    costs: Costs,
     w: u32,
     bits: u32,
 }
 
-impl<A: RamAllocator> SparseDecoupledMm<A> {
-    /// Builds the manager.
+impl<A: RamAllocator> SparseStages<A> {
+    /// Builds the stages.
     ///
     /// # Panics
     /// Panics if `coverage` is not a power of two, the resident budget
@@ -74,7 +80,6 @@ impl<A: RamAllocator> SparseDecoupledMm<A> {
             scheme,
             tlb: Tlb::new(cfg.tlb_entries, cfg.tlb_policy, cfg.seed),
             ram: CacheSim::new(cap, make_policy(cfg.ram_policy, cap, cfg.seed ^ 0x5BA3)),
-            costs: Costs::default(),
             w: cfg.tlb_value_bits,
             bits,
         }
@@ -110,34 +115,41 @@ impl<A: RamAllocator> SparseDecoupledMm<A> {
     }
 }
 
-impl<A: RamAllocator> MemoryManager for SparseDecoupledMm<A> {
-    fn access(&mut self, p: VirtPage) -> AccessReport {
+impl<A: RamAllocator> Stages for SparseStages<A> {
+    fn tlb_stage<O: SimObserver>(&mut self, addr: VirtPage, _obs: &mut O) -> TlbProbe {
+        let u = self.scheme.geometry().huge_of(addr);
+        if self.tlb.lookup(u).is_some() {
+            TlbProbe::Hit
+        } else {
+            TlbProbe::Miss
+        }
+    }
+
+    fn residency_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    ) {
         let geom = self.scheme.geometry();
-        let u = geom.huge_of(p);
-        let idx = self.scheme.index_within(p);
-        let mut report = AccessReport::default();
+        let u = geom.huge_of(addr);
+        let idx = self.scheme.index_within(addr);
 
-        let tlb_hit = self.tlb.lookup(u).is_some();
-        report.tlb_miss = !tlb_hit;
-
-        match self.ram.access(p.0) {
+        match self.ram.access(addr.0) {
             AccessResult::Hit => {
-                if self.scheme.is_failed(p) {
+                if self.scheme.is_failed(addr) {
                     report.ios += 1;
                     report.decode_miss = true;
                     report.paging_failure = true;
-                } else if tlb_hit {
-                    // Resident + covered: does the sparse value know p?
-                    let known = self
-                        .tlb
-                        .peek(u)
-                        .and_then(|v| v.get(idx))
-                        .is_some();
+                } else if probe == TlbProbe::Hit {
+                    // Resident + covered: does the sparse value know addr?
+                    let known = self.tlb.peek(u).and_then(|v| v.get(idx)).is_some();
                     if !known {
                         // §5: resident but unencoded — decoding miss; the
                         // walk result may now be re-encoded for free.
                         report.decode_miss = true;
-                        let code = self.scheme.code_of(p);
+                        let code = self.scheme.code_of(addr);
                         self.tlb.update(u, |v| {
                             v.set(idx, code);
                         });
@@ -149,15 +161,16 @@ impl<A: RamAllocator> MemoryManager for SparseDecoupledMm<A> {
                 if let Some(ev) = evicted {
                     let ev_page = VirtPage(ev);
                     self.scheme.ram_evict(ev_page);
+                    obs.on_eviction(EvictionEvent { unit: ev, pages: 1 });
                     let eu = geom.huge_of(ev_page);
                     let eidx = self.scheme.index_within(ev_page);
                     self.tlb.update(eu, |v| {
                         v.set(eidx, SlotCode::ABSENT);
                     });
                 }
-                match self.scheme.ram_insert(p) {
+                match self.scheme.ram_insert(addr) {
                     Ok(_) => {
-                        let code = self.scheme.code_of(p);
+                        let code = self.scheme.code_of(addr);
                         self.tlb.update(u, |v| {
                             v.set(idx, code); // may drop: future decode miss
                         });
@@ -169,22 +182,21 @@ impl<A: RamAllocator> MemoryManager for SparseDecoupledMm<A> {
                 }
             }
         }
+    }
 
-        if !tlb_hit {
+    fn translate_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        probe: TlbProbe,
+        _report: &mut AccessReport,
+        obs: &mut O,
+    ) {
+        if probe == TlbProbe::Miss {
+            let u = self.scheme.geometry().huge_of(addr);
             let psi = self.sparse_psi(u);
             self.tlb.insert(u, psi);
+            obs.on_tlb_event(TlbEvent::Fill);
         }
-
-        tally(&mut self.costs, report);
-        report
-    }
-
-    fn costs(&self) -> Costs {
-        self.costs
-    }
-
-    fn reset_costs(&mut self) {
-        self.costs = Costs::default();
     }
 
     fn name(&self) -> String {
@@ -197,10 +209,42 @@ impl<A: RamAllocator> MemoryManager for SparseDecoupledMm<A> {
     }
 }
 
+/// Decoupled manager with sparse TLB encoding.
+pub type SparseDecoupledMm<A, O = crate::observe::NoopObserver> = Pipeline<SparseStages<A>, O>;
+
+impl<A: RamAllocator> SparseDecoupledMm<A> {
+    /// Builds the manager (unobserved).
+    ///
+    /// # Panics
+    /// Panics if `coverage` is not a power of two, the resident budget
+    /// exceeds the allocator's frames, or one pair doesn't fit in `w` bits.
+    pub fn new(alloc: A, cfg: SparseConfig) -> Self {
+        Pipeline::from_stages(SparseStages::new(alloc, cfg))
+    }
+}
+
+impl<A: RamAllocator, O: SimObserver> SparseDecoupledMm<A, O> {
+    /// Coverage per TLB entry, in base pages.
+    pub fn coverage(&self) -> u64 {
+        self.stages().coverage()
+    }
+
+    /// Pairs per TLB value (`K`).
+    pub fn pairs_per_value(&self) -> u32 {
+        self.stages().pairs_per_value()
+    }
+
+    /// The underlying scheme.
+    pub fn scheme(&self) -> &DecouplingScheme<A> {
+        self.stages().scheme()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::decoupled::{DecoupledConfig, DecoupledMm};
+    use crate::traits::MemoryManager;
     use atp_core::IcebergAlloc;
     use atp_types::VirtPage;
 
@@ -302,7 +346,10 @@ mod tests {
         let sparse_cost = sp.costs().tlb_misses + sp.costs().decode_misses;
         // Equal-stride case: they tie (same entry churn). Now the partially
         // dense case: 4 pages per huge page, 50 huge pages.
-        assert!(sparse_cost >= dense_cost / 2, "sanity: {sparse_cost} vs {dense_cost}");
+        assert!(
+            sparse_cost >= dense_cost / 2,
+            "sanity: {sparse_cost} vs {dense_cost}"
+        );
 
         let trace2: Vec<VirtPage> = (0..4000u64)
             .map(|i| {

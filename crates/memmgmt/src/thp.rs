@@ -21,12 +21,19 @@
 //!
 //! The `thp_fragmentation` example shows promotion failures rising as churn
 //! scatters free frames.
+//!
+//! As a pipeline, THP is a RAM-first manager like the classic simulator:
+//! the TLB probe is deferred, the residency stage does all fault/promote/
+//! evict work, and the translate stage performs the single touch-or-fill
+//! against whichever key (huge or base) currently maps the page.
 
-use crate::traits::{tally, AccessReport, MemoryManager};
+use crate::observe::{EvictionEvent, SimObserver, TlbEvent};
+use crate::pipeline::{Pipeline, Stages, TlbProbe};
+use crate::traits::AccessReport;
 use atp_hash::{CounterRng, FxHashMap};
 use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
 use atp_tlb::Tlb;
-use atp_types::{Costs, HugePageGeometry, PhysPage, VirtHugePage, VirtPage};
+use atp_types::{HugePageGeometry, PhysPage, VirtHugePage, VirtPage};
 
 /// Configuration for [`ThpMm`].
 #[derive(Clone, Copy, Debug)]
@@ -140,25 +147,24 @@ impl FramePool {
 // Unit keys: a huge unit is tagged with the top bit.
 const HUGE_TAG: u64 = 1 << 63;
 
-/// The THP-style memory manager.
-pub struct ThpMm {
+/// Stage state of the THP-style manager.
+pub struct ThpStages {
     geom: HugePageGeometry,
     pool: FramePool,
     /// Base-page mappings (pages in non-promoted runs).
-    base_frames: FxHashMap<VirtPage, PhysPage>,
+    pub(crate) base_frames: FxHashMap<VirtPage, PhysPage>,
     /// Promoted runs: huge page → base frame of its contiguous run.
-    huge_frames: FxHashMap<VirtHugePage, PhysPage>,
+    pub(crate) huge_frames: FxHashMap<VirtHugePage, PhysPage>,
     /// Resident base-page count per (non-promoted) huge page.
     run_population: FxHashMap<VirtHugePage, u32>,
     units: CacheSim<u64, Box<dyn Policy>>,
     tlb: Tlb<()>,
-    costs: Costs,
     stats: ThpStats,
     h: u64,
 }
 
-impl ThpMm {
-    /// Builds the manager.
+impl ThpStages {
+    /// Builds the stages.
     ///
     /// # Panics
     /// Panics if `huge_pages` is not a power of two or doesn't divide
@@ -178,7 +184,6 @@ impl ThpMm {
             run_population: FxHashMap::default(),
             units: CacheSim::new(cap, make_policy(cfg.policy, cap, cfg.seed ^ 0x7)),
             tlb: Tlb::new(cfg.tlb_entries, cfg.policy, cfg.seed ^ 0x9),
-            costs: Costs::default(),
             stats: ThpStats::default(),
             h: cfg.huge_pages,
         }
@@ -208,13 +213,19 @@ impl ThpMm {
         self.base_frames.get(&v).copied()
     }
 
-    fn evict_unit(&mut self, unit: u64) {
+    fn evict_unit<O: SimObserver>(&mut self, unit: u64, obs: &mut O) {
         if unit & HUGE_TAG != 0 {
             let u = VirtHugePage(unit & !HUGE_TAG);
             let base = self.huge_frames.remove(&u).expect("promoted unit mapped");
             self.pool.release(base, self.h);
-            self.tlb.invalidate(u);
+            if self.tlb.invalidate(u).is_some() {
+                obs.on_tlb_event(TlbEvent::Shootdown);
+            }
             self.stats.huge_evictions += 1;
+            obs.on_eviction(EvictionEvent {
+                unit,
+                pages: self.h,
+            });
         } else {
             let v = VirtPage(unit);
             let frame = self.base_frames.remove(&v).expect("base unit mapped");
@@ -227,7 +238,10 @@ impl ThpMm {
                 }
             }
             // Base-page TLB entries are keyed by the page id.
-            self.tlb.invalidate(VirtHugePage(v.0));
+            if self.tlb.invalidate(VirtHugePage(v.0)).is_some() {
+                obs.on_tlb_event(TlbEvent::Shootdown);
+            }
+            obs.on_eviction(EvictionEvent { unit, pages: 1 });
         }
     }
 
@@ -235,19 +249,19 @@ impl ThpMm {
     /// replacement policy) until a frame is free. The unit cache's entry
     /// capacity equals the frame count, so frames — not entries — are the
     /// binding constraint.
-    fn fault_base(&mut self, v: VirtPage) -> u64 {
+    fn fault_base<O: SimObserver>(&mut self, v: VirtPage, obs: &mut O) -> u64 {
         let ios = 1;
         let frame = loop {
             if let Some(frame) = self.pool.take_any() {
                 break frame;
             }
             let victim = self.units.evict_one().expect("resident unit exists");
-            self.evict_unit(victim);
+            self.evict_unit(victim, obs);
         };
         if let Some(victim) = self.units.insert_cold(v.0) {
             // Entry capacity reached before frames ran out (possible when
             // huge units freed many frames): honor the policy's choice.
-            self.evict_unit(victim);
+            self.evict_unit(victim, obs);
         }
         self.base_frames.insert(v, frame);
         *self.run_population.entry(self.geom.huge_of(v)).or_insert(0) += 1;
@@ -255,14 +269,14 @@ impl ThpMm {
         // Promotion check: full run resident?
         let u = self.geom.huge_of(v);
         if self.run_population.get(&u).copied().unwrap_or(0) as u64 == self.h {
-            self.try_promote(u);
+            self.try_promote(u, obs);
         }
         ios
     }
 
     /// Attempts to promote run `u`. Migration copies are in-RAM and free in
     /// the cost model; they are tracked in [`ThpStats`].
-    fn try_promote(&mut self, u: VirtHugePage) {
+    fn try_promote<O: SimObserver>(&mut self, u: VirtHugePage, obs: &mut O) {
         match self.pool.take_contiguous(self.h) {
             None => {
                 self.stats.promotion_failures += 1;
@@ -274,54 +288,67 @@ impl ThpMm {
                     let old = self.base_frames.remove(&v).expect("run resident");
                     self.pool.release(old, 1);
                     self.units.remove(&v.0);
-                    self.tlb.invalidate(VirtHugePage(v.0));
+                    if self.tlb.invalidate(VirtHugePage(v.0)).is_some() {
+                        obs.on_tlb_event(TlbEvent::Shootdown);
+                    }
                     self.stats.migrated_pages += 1;
                 }
                 self.run_population.remove(&u);
                 self.huge_frames.insert(u, base);
                 if let Some(victim) = self.units.insert_cold(HUGE_TAG | u.0) {
-                    self.evict_unit(victim);
+                    self.evict_unit(victim, obs);
                 }
             }
         }
     }
 }
 
-impl MemoryManager for ThpMm {
-    fn access(&mut self, v: VirtPage) -> AccessReport {
-        let u = self.geom.huge_of(v);
-        let mut report = AccessReport::default();
+impl Stages for ThpStages {
+    fn tlb_stage<O: SimObserver>(&mut self, _addr: VirtPage, _obs: &mut O) -> TlbProbe {
+        // RAM-first manager: a fault may promote the run, changing which
+        // TLB key covers the page — the probe waits for residency.
+        TlbProbe::Deferred
+    }
 
+    fn residency_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        _probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    ) {
+        let u = self.geom.huge_of(addr);
         if self.huge_frames.contains_key(&u) {
-            // Promoted: one unit, one TLB entry for the whole run.
+            // Promoted: one unit for the whole run.
             let hit = matches!(self.units.access(HUGE_TAG | u.0), AccessResult::Hit);
             debug_assert!(hit, "promoted unit must be resident");
-            report.tlb_miss = !self.tlb.access_or_fill(u, || ());
+        } else if self.base_frames.contains_key(&addr) {
+            let r = self.units.access(addr.0);
+            debug_assert!(r.is_hit());
         } else {
-            if self.base_frames.contains_key(&v) {
-                let r = self.units.access(v.0);
-                debug_assert!(r.is_hit());
-            } else {
-                report.ios = self.fault_base(v);
-            }
-            // After a fault the run may have been promoted.
-            if self.huge_frames.contains_key(&u) {
-                report.tlb_miss = !self.tlb.access_or_fill(u, || ());
-            } else {
-                report.tlb_miss = !self.tlb.access_or_fill(VirtHugePage(v.0), || ());
-            }
+            report.ios = self.fault_base(addr, obs);
         }
-
-        tally(&mut self.costs, report);
-        report
     }
 
-    fn costs(&self) -> Costs {
-        self.costs
-    }
-
-    fn reset_costs(&mut self) {
-        self.costs = Costs::default();
+    fn translate_stage<O: SimObserver>(
+        &mut self,
+        addr: VirtPage,
+        _probe: TlbProbe,
+        report: &mut AccessReport,
+        obs: &mut O,
+    ) {
+        // After a fault the run may have been promoted: pick the TLB key
+        // (huge run vs. single page) from the post-residency state.
+        let u = self.geom.huge_of(addr);
+        let key = if self.huge_frames.contains_key(&u) {
+            u
+        } else {
+            VirtHugePage(addr.0)
+        };
+        report.tlb_miss = !self.tlb.access_or_fill(key, || ());
+        if report.tlb_miss {
+            obs.on_tlb_event(TlbEvent::Fill);
+        }
     }
 
     fn name(&self) -> String {
@@ -329,9 +356,46 @@ impl MemoryManager for ThpMm {
     }
 }
 
+/// The THP-style memory manager.
+pub type ThpMm<O = crate::observe::NoopObserver> = Pipeline<ThpStages, O>;
+
+impl ThpMm {
+    /// Builds the manager (unobserved).
+    ///
+    /// # Panics
+    /// Panics if `huge_pages` is not a power of two or doesn't divide
+    /// `phys_pages`.
+    pub fn new(cfg: ThpConfig) -> Self {
+        Pipeline::from_stages(ThpStages::new(cfg))
+    }
+}
+
+impl<O: SimObserver> ThpMm<O> {
+    /// THP counters.
+    pub fn thp_stats(&self) -> ThpStats {
+        self.stages().thp_stats()
+    }
+
+    /// Free frames remaining.
+    pub fn free_frames(&self) -> u64 {
+        self.stages().free_frames()
+    }
+
+    /// Largest aligned contiguous free run (fragmentation gauge).
+    pub fn max_contiguous_free(&self) -> u64 {
+        self.stages().max_contiguous_free()
+    }
+
+    /// Physical frame of `v`, if resident.
+    pub fn frame_of(&self, v: VirtPage) -> Option<PhysPage> {
+        self.stages().frame_of(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traits::MemoryManager;
 
     fn mm(h: u64, phys: u64) -> ThpMm {
         ThpMm::new(ThpConfig {
@@ -412,7 +476,10 @@ mod tests {
             m.access(VirtPage(1000 * 8 + r * 8));
         }
         let s = m.thp_stats();
-        assert!(s.huge_evictions >= 1, "huge unit should be evicted whole: {s:?}");
+        assert!(
+            s.huge_evictions >= 1,
+            "huge unit should be evicted whole: {s:?}"
+        );
         // Re-access the promoted run: it is gone; pages fault individually.
         m.reset_costs();
         m.access(VirtPage(0));
@@ -426,8 +493,8 @@ mod tests {
         let mut rng = CounterRng::new(5, 0);
         for _ in 0..2000 {
             m.access(VirtPage(rng.next_below(256)));
-            let resident_base = m.base_frames.len() as u64;
-            let resident_huge = m.huge_frames.len() as u64 * 4;
+            let resident_base = m.stages().base_frames.len() as u64;
+            let resident_huge = m.stages().huge_frames.len() as u64 * 4;
             assert_eq!(
                 resident_base + resident_huge + m.free_frames(),
                 32,
@@ -445,10 +512,10 @@ mod tests {
         for _ in 0..1500 {
             m.access(VirtPage(rng.next_below(64)));
             let mut seen = HashSet::new();
-            for (&v, &f) in m.base_frames.iter() {
+            for (&v, &f) in m.stages().base_frames.iter() {
                 assert!(seen.insert(f.0), "frame shared at {v:?}");
             }
-            for (&u, &base) in m.huge_frames.iter() {
+            for (&u, &base) in m.stages().huge_frames.iter() {
                 for i in 0..4u64 {
                     assert!(seen.insert(base.0 + i), "huge frame shared at {u:?}");
                 }

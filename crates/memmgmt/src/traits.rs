@@ -31,6 +31,10 @@ pub trait MemoryManager {
 
     /// Human-readable description for reports.
     fn name(&self) -> String;
+
+    /// Hook called by batched drivers after each chunk of `_len` accesses.
+    /// Default: no-op; pipelines forward it to their observer.
+    fn batch_boundary(&mut self, _len: usize) {}
 }
 
 /// Folds an [`AccessReport`] into a [`Costs`] tally.

@@ -57,7 +57,11 @@ impl HashPageTable {
             return;
         }
         // Grow if genuinely full; otherwise same-size rehash clears tombstones.
-        let new_cap = if self.mapped * 10 > cap * 5 { cap * 2 } else { cap };
+        let new_cap = if self.mapped * 10 > cap * 5 {
+            cap * 2
+        } else {
+            cap
+        };
         let old = core::mem::replace(&mut self.slots, vec![Slot::Empty; new_cap as usize]);
         self.mask = new_cap - 1;
         self.occupied = 0;
@@ -228,7 +232,11 @@ mod tests {
             }
         }
         let (_, stats) = pt.translate(VirtPage(999_999));
-        assert!(stats.touches < 64, "probe chain too long: {}", stats.touches);
+        assert!(
+            stats.touches < 64,
+            "probe chain too long: {}",
+            stats.touches
+        );
     }
 
     #[test]

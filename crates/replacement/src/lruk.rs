@@ -113,8 +113,8 @@ mod tests {
         c.access(1); // 1 has 2 refs → warm band
         c.access(2); // cold
         c.access(3); // cold
-        // Victim must be the coldest one-touch page (2), not the old-but-
-        // reused 1.
+                     // Victim must be the coldest one-touch page (2), not the old-but-
+                     // reused 1.
         match c.access(4) {
             AccessResult::Miss { evicted } => assert_eq!(evicted, Some(2)),
             _ => panic!(),

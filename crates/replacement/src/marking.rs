@@ -174,10 +174,7 @@ mod tests {
             ml += u64::from(!lru.access(i % universe).is_hit());
         }
         assert_eq!(ml, 5_000, "LRU thrashes by construction");
-        assert!(
-            mm < 3_000,
-            "randomized marking should miss far less: {mm}"
-        );
+        assert!(mm < 3_000, "randomized marking should miss far less: {mm}");
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! The replacement-policy callback interface.
 
-use serde::{Deserialize, Serialize};
-
 /// A cache slot index, allocated by [`crate::cache::CacheSim`];
 /// always `< capacity`.
 pub type SlotId = usize;
@@ -50,7 +48,7 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 }
 
 /// Enumeration of the online policies, for runtime configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Least-recently used.
     Lru,

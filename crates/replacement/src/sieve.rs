@@ -111,8 +111,8 @@ mod tests {
         c.access(1);
         c.access(2);
         c.access(3); // all visited
-        // First eviction sweeps the whole list (clearing bits) and wraps to
-        // evict the tail (1); the hand now rests past 1.
+                     // First eviction sweeps the whole list (clearing bits) and wraps to
+                     // evict the tail (1); the hand now rests past 1.
         match c.access(4) {
             AccessResult::Miss { evicted } => assert_eq!(evicted, Some(1)),
             _ => panic!(),
@@ -148,7 +148,10 @@ mod tests {
                 lru.access(scan);
             }
         }
-        assert!(hs > hl, "sieve {hs} should beat lru {hl} under scan pollution");
+        assert!(
+            hs > hl,
+            "sieve {hs} should beat lru {hl} under scan pollution"
+        );
     }
 
     #[test]
@@ -161,7 +164,7 @@ mod tests {
             c.access(k); // visit all
         }
         c.access(5); // force a full sweep; hand set
-        // Remove everything including wherever the hand points.
+                     // Remove everything including wherever the hand points.
         for k in 2..=5u64 {
             c.remove(&k);
         }

@@ -91,7 +91,7 @@ mod tests {
         let mut c = CacheSim::new(8, TwoQ::new(8));
         c.access(1);
         c.access(1); // → Am
-        // Flood A1in with one-touch keys; 1 must survive.
+                     // Flood A1in with one-touch keys; 1 must survive.
         for k in 100..140u64 {
             c.access(k);
         }

@@ -18,7 +18,7 @@ pub mod runner;
 pub mod sweep;
 
 pub use epsilon::LatencyModel;
-pub use multicore::{run_multicore, CoreStats, MulticoreConfig, MulticoreResult};
+pub use multicore::{run_multicore, CoreStats, MulticoreConfig, MulticoreResult, ShootdownTally};
 pub use replicate::{replicate, Summary};
-pub use runner::{run, SimStats};
+pub use runner::{run, run_batched, SimStats, DEFAULT_BATCH};
 pub use sweep::sweep;

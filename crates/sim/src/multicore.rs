@@ -12,11 +12,45 @@
 //! lock, and the RAM lock may be held while briefly taking any TLB lock —
 //! a strict two-level hierarchy, so the system is deadlock-free.
 
+use atp_memmgmt::{EvictionEvent, SimObserver, TlbEvent};
 use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
 use atp_tlb::Tlb;
 use atp_types::{Costs, HugePageGeometry, VirtHugePage, VirtPage};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-core [`SimObserver`] tallying the shootdown traffic a core *causes*
+/// (its RAM evictions and the remote TLB entries they invalidate). Each
+/// worker owns one — no shared counters — and the tallies are summed when
+/// the threads join.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShootdownTally {
+    events: u64,
+    invalidations: u64,
+}
+
+impl ShootdownTally {
+    /// RAM evictions that triggered shootdown broadcasts.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// TLB entries actually invalidated across all cores.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
+impl SimObserver for ShootdownTally {
+    fn on_eviction(&mut self, _event: EvictionEvent) {
+        self.events += 1;
+    }
+
+    fn on_tlb_event(&mut self, event: TlbEvent) {
+        if event == TlbEvent::Shootdown {
+            self.invalidations += 1;
+        }
+    }
+}
 
 /// Configuration for a multicore run.
 #[derive(Clone, Copy, Debug)]
@@ -83,30 +117,30 @@ pub fn run_multicore(cfg: &MulticoreConfig, traces: &[Vec<VirtPage>]) -> Multico
     let tlbs: Vec<Mutex<Tlb<()>>> = (0..cfg.cores)
         .map(|i| Mutex::new(Tlb::new(cfg.tlb_entries, cfg.policy, cfg.seed + i as u64)))
         .collect();
-    let shootdown_events = AtomicU64::new(0);
-    let shootdown_invalidations = AtomicU64::new(0);
-
     let mut per_core = vec![CoreStats::default(); cfg.cores];
+    let mut shootdown_events = 0;
+    let mut shootdown_invalidations = 0;
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (core, trace) in traces.iter().enumerate() {
             let ram = &ram;
             let tlbs = &tlbs;
-            let shootdown_events = &shootdown_events;
-            let shootdown_invalidations = &shootdown_invalidations;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut costs = Costs::default();
+                // Shootdowns this core *caused*, routed through the same
+                // observer vocabulary the pipelines use.
+                let mut tally = ShootdownTally::default();
                 for &p in trace {
                     let u = geom.huge_of(p);
                     costs.accesses += 1;
 
                     // 1. Private TLB lookup (lock released before RAM).
-                    let tlb_hit = { tlbs[core].lock().lookup(u).is_some() };
+                    let tlb_hit = { tlbs[core].lock().expect("tlb lock").lookup(u).is_some() };
 
                     // 2. Shared RAM access; evictions broadcast shootdowns.
                     let evicted = {
-                        let mut ram = ram.lock();
+                        let mut ram = ram.lock().expect("ram lock");
                         match ram.access(u.id()) {
                             AccessResult::Hit => None,
                             AccessResult::Miss { evicted } => {
@@ -116,10 +150,14 @@ pub fn run_multicore(cfg: &MulticoreConfig, traces: &[Vec<VirtPage>]) -> Multico
                         }
                     };
                     if let Some(victim) = evicted {
-                        shootdown_events.fetch_add(1, Ordering::Relaxed);
+                        tally.on_eviction(EvictionEvent {
+                            unit: victim,
+                            pages: cfg.huge_pages,
+                        });
                         for t in tlbs.iter() {
-                            if t.lock().invalidate(VirtHugePage(victim)).is_some() {
-                                shootdown_invalidations.fetch_add(1, Ordering::Relaxed);
+                            let mut t = t.lock().expect("tlb lock");
+                            if t.invalidate(VirtHugePage(victim)).is_some() {
+                                tally.on_tlb_event(TlbEvent::Shootdown);
                             }
                         }
                     }
@@ -129,26 +167,27 @@ pub fn run_multicore(cfg: &MulticoreConfig, traces: &[Vec<VirtPage>]) -> Multico
                         costs.tlb_hits += 1;
                     } else {
                         costs.tlb_misses += 1;
-                        let mut t = tlbs[core].lock();
+                        let mut t = tlbs[core].lock().expect("tlb lock");
                         if !t.contains(u) {
                             t.insert(u, ());
                         }
                     }
                 }
-                (core, costs)
+                (core, costs, tally)
             }));
         }
         for h in handles {
-            let (core, costs) = h.join().expect("core thread panicked");
+            let (core, costs, tally) = h.join().expect("core thread panicked");
             per_core[core] = CoreStats { costs };
+            shootdown_events += tally.events();
+            shootdown_invalidations += tally.invalidations();
         }
-    })
-    .expect("multicore scope");
+    });
 
     MulticoreResult {
         per_core,
-        shootdown_events: shootdown_events.into_inner(),
-        shootdown_invalidations: shootdown_invalidations.into_inner(),
+        shootdown_events,
+        shootdown_invalidations,
     }
 }
 
@@ -226,7 +265,11 @@ mod tests {
     #[test]
     fn per_core_accesses_accounted() {
         let traces: Vec<Vec<VirtPage>> = (0..3)
-            .map(|i| UniformRandom::new(i + 9, 128).take(1000 + i as usize).collect())
+            .map(|i| {
+                UniformRandom::new(i + 9, 128)
+                    .take(1000 + i as usize)
+                    .collect()
+            })
             .collect();
         let r = run_multicore(&cfg(3, 2, 128, 8), &traces);
         for (i, c) in r.per_core.iter().enumerate() {

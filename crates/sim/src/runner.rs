@@ -1,8 +1,19 @@
 //! Single-run driver with the paper's warmup/measure protocol.
+//!
+//! Traces are streamed in fixed-size batches through a reused buffer:
+//! the driver pulls up to [`DEFAULT_BATCH`] pages from the trace iterator,
+//! replays them against the manager, then announces the chunk via
+//! [`MemoryManager::batch_boundary`] (pipelines forward it to their
+//! observer). Batching keeps the iterator → manager handoff out of the
+//! per-access hot path and gives observers natural flush points without
+//! changing the access sequence in any way.
 
 use atp_memmgmt::MemoryManager;
 use atp_types::{Costs, VirtPage};
 use std::time::{Duration, Instant};
+
+/// Default batch size for [`run`] (pages per chunk).
+pub const DEFAULT_BATCH: usize = 4096;
 
 /// Result of one simulation run.
 #[derive(Clone, Debug)]
@@ -20,24 +31,35 @@ pub struct SimStats {
 /// Drives `mgr` over `trace`: `warmup` accesses to fill caches (counters
 /// then reset — "100 million accesses to warm up the cache"), then
 /// `measure` accesses that are reported. Stops early if the trace ends.
+/// Streams in [`DEFAULT_BATCH`]-sized chunks.
 pub fn run<M: MemoryManager + ?Sized>(
     mgr: &mut M,
     trace: impl IntoIterator<Item = VirtPage>,
     warmup: u64,
     measure: u64,
 ) -> SimStats {
+    run_batched(mgr, trace, warmup, measure, DEFAULT_BATCH)
+}
+
+/// [`run`] with an explicit batch size.
+///
+/// # Panics
+/// Panics if `batch` is zero.
+pub fn run_batched<M: MemoryManager + ?Sized>(
+    mgr: &mut M,
+    trace: impl IntoIterator<Item = VirtPage>,
+    warmup: u64,
+    measure: u64,
+    batch: usize,
+) -> SimStats {
+    assert!(batch > 0, "batch size must be positive");
     let start = Instant::now();
     let mut iter = trace.into_iter();
-    for _ in 0..warmup {
-        let Some(p) = iter.next() else { break };
-        mgr.access(p);
-    }
+    let mut buf = Vec::with_capacity(batch);
+    drive(mgr, &mut iter, warmup, batch, &mut buf);
     let warmup_costs = mgr.costs();
     mgr.reset_costs();
-    for _ in 0..measure {
-        let Some(p) = iter.next() else { break };
-        mgr.access(p);
-    }
+    drive(mgr, &mut iter, measure, batch, &mut buf);
     SimStats {
         name: mgr.name(),
         costs: mgr.costs(),
@@ -46,11 +68,36 @@ pub fn run<M: MemoryManager + ?Sized>(
     }
 }
 
+/// Replays up to `total` accesses in `batch`-sized chunks through the
+/// reused `buf`, announcing each chunk boundary. Stops when the trace ends.
+fn drive<M: MemoryManager + ?Sized>(
+    mgr: &mut M,
+    iter: &mut impl Iterator<Item = VirtPage>,
+    total: u64,
+    batch: usize,
+    buf: &mut Vec<VirtPage>,
+) {
+    let mut remaining = total;
+    while remaining > 0 {
+        let want = remaining.min(batch as u64) as usize;
+        buf.clear();
+        buf.extend(iter.by_ref().take(want));
+        if buf.is_empty() {
+            break;
+        }
+        for &p in buf.iter() {
+            mgr.access(p);
+        }
+        mgr.batch_boundary(buf.len());
+        remaining -= buf.len() as u64;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atp_memmgmt::classic::{ClassicConfig, ClassicMm};
-    use atp_memmgmt::MemoryManager;
+    use atp_memmgmt::classic::{ClassicConfig, ClassicMm, ClassicStages};
+    use atp_memmgmt::{MemoryManager, Pipeline, Recorder};
     use atp_workloads::Sequential;
 
     #[test]
@@ -77,5 +124,29 @@ mod tests {
         let mut m = ClassicMm::new(ClassicConfig::paper(4, 64));
         let stats = run(&mut m, Sequential::new(16), 0, 16);
         assert_eq!(stats.name, m.name());
+    }
+
+    #[test]
+    fn batching_preserves_costs() {
+        // Same trace, different chunkings: identical Costs.
+        let trace: Vec<_> = Sequential::new(300).take(5000).collect();
+        let mut a = ClassicMm::new(ClassicConfig::paper(4, 128));
+        let mut b = ClassicMm::new(ClassicConfig::paper(4, 128));
+        let sa = run_batched(&mut a, trace.iter().copied(), 1000, 4000, 7);
+        let sb = run_batched(&mut b, trace.iter().copied(), 1000, 4000, 4096);
+        assert_eq!(sa.costs, sb.costs);
+        assert_eq!(sa.warmup_costs, sb.warmup_costs);
+    }
+
+    #[test]
+    fn observers_see_batch_boundaries() {
+        let mut m = Pipeline::with_observer(
+            ClassicStages::new(ClassicConfig::paper(1, 64)),
+            Recorder::new(),
+        );
+        // 10 accesses in chunks of 4 → boundaries after 4, 4, 2.
+        let trace: Vec<_> = Sequential::new(8).take(10).collect();
+        run_batched(&mut m, trace, 0, 100, 4);
+        assert_eq!(m.observer().counters().batches, 3);
     }
 }

@@ -2,16 +2,23 @@
 //!
 //! Figure 1 sweeps the huge-page size over eleven values per workload; the
 //! theorem experiments sweep `P` and seeds. Runs are independent, so we fan
-//! them out over a scoped thread pool with a shared atomic work index
-//! (work-stealing by index; no unsafe, no channels on the hot path).
+//! them out over `std::thread::scope` workers with a shared atomic work
+//! index (work-stealing by index; no unsafe, no channels, no locks).
+//!
+//! Each worker collects `(index, result)` pairs into its own private vector;
+//! the pairs are stitched back into input order after the scope joins. A
+//! panic in any closure invocation propagates out of [`sweep`] (the scope
+//! re-raises the first worker panic on join).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Runs `f` on every config, in parallel over `threads` workers, returning
 /// results in input order.
 ///
 /// `threads = 0` means "number of available CPUs".
+///
+/// # Panics
+/// Re-raises the panic if `f` panics on any config.
 pub fn sweep<C: Sync, R: Send>(
     configs: &[C],
     threads: usize,
@@ -27,25 +34,38 @@ pub fn sweep<C: Sync, R: Send>(
     .min(configs.len().max(1));
 
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = configs.iter().map(|_| Mutex::new(None)).collect();
+    let f = &f;
 
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= configs.len() {
-                    break;
-                }
-                let r = f(&configs[i]);
-                *results[i].lock().expect("result slot") = Some(r);
-            });
+    let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= configs.len() {
+                            break;
+                        }
+                        mine.push((i, f(&configs[i])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+
+    let mut out: Vec<Option<R>> = configs.iter().map(|_| None).collect();
+    for part in parts.drain(..) {
+        for (i, r) in part {
+            out[i] = Some(r);
         }
-    })
-    .expect("sweep worker panicked");
-
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("slot filled"))
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index claimed exactly once"))
         .collect()
 }
 
@@ -82,13 +102,33 @@ mod tests {
     fn actually_parallel() {
         // All workers must participate: record thread ids.
         use std::collections::HashSet;
-        use std::sync::Mutex as StdMutex;
-        let seen = StdMutex::new(HashSet::new());
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
         let configs = vec![(); 64];
         sweep(&configs, 4, |_| {
             std::thread::sleep(std::time::Duration::from_millis(2));
             seen.lock().unwrap().insert(std::thread::current().id());
         });
         assert!(seen.lock().unwrap().len() > 1, "sweep never parallelized");
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let configs: Vec<u64> = (0..32).collect();
+        let caught = std::panic::catch_unwind(|| {
+            sweep(&configs, 4, |&c| {
+                if c == 17 {
+                    panic!("boom at {c}");
+                }
+                c
+            })
+        });
+        assert!(caught.is_err(), "panic in sweep closure must propagate");
+    }
+
+    #[test]
+    fn moves_non_copy_results() {
+        let out = sweep(&[1u64, 2, 3], 2, |&c| vec![c; c as usize]);
+        assert_eq!(out, vec![vec![1], vec![2, 2], vec![3, 3, 3]]);
     }
 }

@@ -89,12 +89,7 @@ impl<V> SplitTlb<V> {
     }
 
     /// Inserts into the TLB class for `size`.
-    pub fn insert(
-        &mut self,
-        u: VirtHugePage,
-        size: u64,
-        value: V,
-    ) -> Option<(VirtHugePage, V)> {
+    pub fn insert(&mut self, u: VirtHugePage, size: u64, value: V) -> Option<(VirtHugePage, V)> {
         let (tlb, key) = self.resolve(u, size);
         tlb.insert(key, value)
             .map(|(k, v)| (VirtHugePage(k.0 & ((1 << 58) - 1)), v))
@@ -171,7 +166,10 @@ mod tests {
                 let _ = round;
             }
         }
-        assert_eq!(misses, 320, "16-entry LRU TLB must thrash on 32-entry cycle");
+        assert_eq!(
+            misses, 320,
+            "16-entry LRU TLB must thrash on 32-entry cycle"
+        );
     }
 
     #[test]

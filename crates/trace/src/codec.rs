@@ -1,7 +1,6 @@
 //! Trace encoding/decoding.
 
 use atp_types::VirtPage;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -50,65 +49,74 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
-        buf.put_u8((v as u8 & 0x7F) | 0x80);
+        buf.push((v as u8 & 0x7F) | 0x80);
         v >>= 7;
     }
-    buf.put_u8(v as u8);
+    buf.push(v as u8);
 }
 
-fn get_varint(buf: &mut Bytes) -> Option<u64> {
-    let mut out = 0u64;
-    let mut shift = 0u32;
-    loop {
-        if !buf.has_remaining() || shift >= 64 {
-            return None;
+/// A cursor over the undecoded tail of the payload.
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn get_u8(&mut self) -> Option<u8> {
+        let (&b, rest) = self.0.split_first()?;
+        self.0 = rest;
+        Some(b)
+    }
+
+    fn get_varint(&mut self) -> Option<u64> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if shift >= 64 {
+                return None;
+            }
+            let b = self.get_u8()?;
+            out |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Some(out);
+            }
+            shift += 7;
         }
-        let b = buf.get_u8();
-        out |= ((b & 0x7F) as u64) << shift;
-        if b & 0x80 == 0 {
-            return Some(out);
-        }
-        shift += 7;
     }
 }
 
 /// Encodes a page trace to bytes.
-pub fn encode_trace(pages: &[VirtPage]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + pages.len() * 2);
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u64_le(pages.len() as u64);
+pub fn encode_trace(pages: &[VirtPage]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + pages.len() * 2);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
+    buf.extend_from_slice(&(pages.len() as u64).to_le_bytes());
     let mut prev = 0i64;
     for p in pages {
         let cur = p.0 as i64;
         put_varint(&mut buf, zigzag(cur.wrapping_sub(prev)));
         prev = cur;
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a page trace from bytes.
 pub fn decode_trace(data: &[u8]) -> Result<Vec<VirtPage>, TraceError> {
-    let mut buf = Bytes::copy_from_slice(data);
-    if buf.remaining() < 13 {
+    if data.len() < 13 {
         return Err(TraceError::BadMagic);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &data[..4] != MAGIC {
         return Err(TraceError::BadMagic);
     }
-    let version = buf.get_u8();
+    let version = data[4];
     if version != VERSION {
         return Err(TraceError::BadVersion(version));
     }
-    let count = buf.get_u64_le();
-    let mut out = Vec::with_capacity(count as usize);
+    let count = u64::from_le_bytes(data[5..13].try_into().expect("8-byte slice"));
+    let mut buf = Reader(&data[13..]);
+    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
     let mut prev = 0i64;
     for _ in 0..count {
-        let delta = unzigzag(get_varint(&mut buf).ok_or(TraceError::Truncated)?);
+        let delta = unzigzag(buf.get_varint().ok_or(TraceError::Truncated)?);
         prev = prev.wrapping_add(delta);
         out.push(VirtPage(prev as u64));
     }
@@ -180,9 +188,12 @@ mod tests {
 
     #[test]
     fn rejects_wrong_version() {
-        let mut enc = encode_trace(&pages(&[1])).to_vec();
+        let mut enc = encode_trace(&pages(&[1]));
         enc[4] = 99;
-        assert!(matches!(decode_trace(&enc), Err(TraceError::BadVersion(99))));
+        assert!(matches!(
+            decode_trace(&enc),
+            Err(TraceError::BadVersion(99))
+        ));
     }
 
     #[test]

@@ -89,8 +89,8 @@ impl ReuseProfile {
                 Some(&prev) => {
                     // Distinct pages accessed strictly between prev and i =
                     // live markers in (prev, i).
-                    let between = fenwick.prefix(i.saturating_sub(1)) as u64
-                        - fenwick.prefix(prev) as u64;
+                    let between =
+                        fenwick.prefix(i.saturating_sub(1)) as u64 - fenwick.prefix(prev) as u64;
                     let d = (between as usize).min(max_distance);
                     histogram[d] += 1;
                     // The page's marker moves from prev to i.
@@ -111,7 +111,11 @@ impl ReuseProfile {
     /// LRU misses at cache capacity `c` (in pages): cold misses plus all
     /// accesses with reuse distance ≥ c. Exact for `c ≤ max_distance`.
     pub fn lru_misses(&self, c: usize) -> u64 {
-        let reuse_hits: u64 = self.histogram.iter().take(c.min(self.histogram.len())).sum();
+        let reuse_hits: u64 = self
+            .histogram
+            .iter()
+            .take(c.min(self.histogram.len()))
+            .sum();
         self.total - reuse_hits
     }
 

@@ -12,10 +12,8 @@
 //!
 //! Total cost: `C = C_TLB + C_IO + C_D` (the paper's decomposition).
 
-use serde::{Deserialize, Serialize};
-
 /// The cost model parameter: the relative cost `ε` of a TLB miss.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
     /// Cost of a TLB miss (and of a decoding miss), relative to an IO cost
     /// of 1. The paper requires `ε ∈ (0, 1)`.
@@ -44,7 +42,7 @@ impl Default for CostModel {
 }
 
 /// Cumulative event counts for a run, convertible to model cost.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Costs {
     /// Number of page fetches from storage (each costs 1).
     pub ios: u64,

@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_messages_name_the_parameter() {
-        let e = ParamError::NotPowerOfTwo { name: "h", value: 3 };
+        let e = ParamError::NotPowerOfTwo {
+            name: "h",
+            value: 3,
+        };
         assert!(e.to_string().contains('h'));
         assert!(e.to_string().contains('3'));
 

@@ -9,10 +9,9 @@
 
 use crate::error::{ParamError, Result};
 use crate::page::{VirtHugePage, VirtPage};
-use serde::{Deserialize, Serialize};
 
 /// Aligned huge-page geometry over the virtual address space.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HugePageGeometry {
     /// Huge-page size in base pages; always a power of two, `>= 1`.
     h: u64,
@@ -27,7 +26,10 @@ impl HugePageGeometry {
     /// Returns [`ParamError::NotPowerOfTwo`] unless `h` is a power of two.
     pub fn new(h: u64) -> Result<Self> {
         if h == 0 || !h.is_power_of_two() {
-            return Err(ParamError::NotPowerOfTwo { name: "h", value: h });
+            return Err(ParamError::NotPowerOfTwo {
+                name: "h",
+                value: h,
+            });
         }
         Ok(Self {
             h,
@@ -77,7 +79,11 @@ impl HugePageGeometry {
     /// Panics in debug builds if `i >= h`.
     #[inline]
     pub fn constituent(self, u: VirtHugePage, i: u64) -> VirtPage {
-        debug_assert!(i < self.h, "constituent index {i} out of range for h={}", self.h);
+        debug_assert!(
+            i < self.h,
+            "constituent index {i} out of range for h={}",
+            self.h
+        );
         VirtPage((u.0 << self.shift) | i)
     }
 

@@ -13,7 +13,7 @@
 //!   hit costs 0, and decoding misses also cost `ε`.
 //!
 //! Everything here is plain data with no behaviour beyond arithmetic, so the
-//! crate has no dependencies other than `serde` for reporting.
+//! crate has no dependencies at all.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -12,14 +12,13 @@
 //! boundaries.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// A virtual page address `v ∈ [V]`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtPage(pub u64);
 
 /// A physical page address (frame number) `p ∈ [P]`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PhysPage(pub u64);
 
 /// A virtual huge-page address `u ∈ [V / h]` for some huge-page size `h`.
@@ -27,7 +26,7 @@ pub struct PhysPage(pub u64);
 /// The huge-page size is *not* part of the value; calling code must track the
 /// geometry (see [`crate::geometry::HugePageGeometry`]). Two `VirtHugePage`s
 /// are only comparable under the same geometry.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtHugePage(pub u64);
 
 /// The "null" physical address used by the paper's decoding function

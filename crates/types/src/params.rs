@@ -13,10 +13,9 @@
 use crate::cost::CostModel;
 use crate::error::{ParamError, Result};
 use crate::geometry::HugePageGeometry;
-use serde::{Deserialize, Serialize};
 
 /// Validated model parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SystemParams {
     /// `V`: number of virtual pages.
     pub virt_pages: u64,
@@ -146,7 +145,9 @@ impl SystemParamsBuilder {
             return Err(ParamError::Zero { name: "phys_pages" });
         }
         if self.tlb_entries == 0 {
-            return Err(ParamError::Zero { name: "tlb_entries" });
+            return Err(ParamError::Zero {
+                name: "tlb_entries",
+            });
         }
         if self.tlb_value_bits == 0 {
             return Err(ParamError::Zero {

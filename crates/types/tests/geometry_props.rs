@@ -1,53 +1,89 @@
-//! Property tests for huge-page geometry laws.
+//! Randomized property tests for huge-page geometry laws, driven by a
+//! local deterministic counter RNG (no external test deps; `atp-types`
+//! stays dependency-free, so the splitmix mixer is inlined here rather
+//! than imported from `atp-hash`).
 
-use atp_types::{HugePageGeometry, VirtPage};
-use proptest::prelude::*;
+use atp_types::{HugePageGeometry, VirtHugePage, VirtPage};
 
-proptest! {
-    /// Decomposition law: v == constituent(huge_of(v), index_within(v)).
-    #[test]
-    fn decompose_recompose(shift in 0u32..20, v in 0u64..(1 << 40)) {
+const CASES: u64 = 256;
+
+/// Minimal splitmix64 counter RNG, equivalent to `atp_hash::CounterRng`.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+#[test]
+fn decompose_recompose() {
+    // Decomposition law: v == constituent(huge_of(v), index_within(v)).
+    let mut rng = Rng(1);
+    for _ in 0..CASES {
+        let shift = rng.next_below(20) as u32;
+        let v = rng.next_below(1 << 40);
         let g = HugePageGeometry::new(1 << shift).unwrap();
         let u = g.huge_of(VirtPage(v));
         let i = g.index_within(VirtPage(v));
-        prop_assert!(i < g.pages_per_huge());
-        prop_assert_eq!(g.constituent(u, i), VirtPage(v));
-        prop_assert!(g.covers(u, VirtPage(v)));
+        assert!(i < g.pages_per_huge());
+        assert_eq!(g.constituent(u, i), VirtPage(v));
+        assert!(g.covers(u, VirtPage(v)));
     }
+}
 
-    /// base_of is the first constituent and is aligned.
-    #[test]
-    fn base_alignment(shift in 0u32..20, u in 0u64..(1 << 30)) {
+#[test]
+fn base_alignment() {
+    // base_of is the first constituent and is aligned.
+    let mut rng = Rng(2);
+    for _ in 0..CASES {
+        let shift = rng.next_below(20) as u32;
+        let u = rng.next_below(1 << 30);
         let g = HugePageGeometry::new(1 << shift).unwrap();
-        let base = g.base_of(atp_types::VirtHugePage(u));
-        prop_assert_eq!(base.0 % g.pages_per_huge(), 0);
-        prop_assert_eq!(g.huge_of(base).0, u);
-        prop_assert_eq!(g.index_within(base), 0);
+        let base = g.base_of(VirtHugePage(u));
+        assert_eq!(base.0 % g.pages_per_huge(), 0);
+        assert_eq!(g.huge_of(base).0, u);
+        assert_eq!(g.index_within(base), 0);
     }
+}
 
-    /// Every constituent of u maps back to u, and constituents are
-    /// consecutive.
-    #[test]
-    fn constituents_are_exactly_the_run(shift in 0u32..10, u in 0u64..(1 << 20)) {
+#[test]
+fn constituents_are_exactly_the_run() {
+    // Every constituent of u maps back to u, and constituents are
+    // consecutive.
+    let mut rng = Rng(3);
+    for _ in 0..64 {
+        let shift = rng.next_below(10) as u32;
+        let u = rng.next_below(1 << 20);
         let g = HugePageGeometry::new(1 << shift).unwrap();
-        let hp = atp_types::VirtHugePage(u);
-        let mut expected = g.base_of(hp).0;
+        let hp = VirtHugePage(u);
         let mut count = 0u64;
-        #[allow(clippy::explicit_counter_loop)] // expected/count checked as values
-        for v in g.constituents(hp) {
-            prop_assert_eq!(v.0, expected);
-            prop_assert_eq!(g.huge_of(v), hp);
-            expected += 1;
+        for (expected, v) in (g.base_of(hp).0..).zip(g.constituents(hp)) {
+            assert_eq!(v.0, expected);
+            assert_eq!(g.huge_of(v), hp);
             count += 1;
         }
-        prop_assert_eq!(count, g.pages_per_huge());
+        assert_eq!(count, g.pages_per_huge());
     }
+}
 
-    /// huge_count is the exact ceiling division.
-    #[test]
-    fn huge_count_is_ceil(shift in 0u32..12, pages in 0u64..(1 << 30)) {
+#[test]
+fn huge_count_is_ceil() {
+    // huge_count is the exact ceiling division.
+    let mut rng = Rng(4);
+    for _ in 0..CASES {
+        let shift = rng.next_below(12) as u32;
+        let pages = rng.next_below(1 << 30);
         let g = HugePageGeometry::new(1 << shift).unwrap();
         let h = g.pages_per_huge();
-        prop_assert_eq!(g.huge_count(pages), pages.div_ceil(h));
+        assert_eq!(g.huge_count(pages), pages.div_ceil(h));
     }
 }

@@ -305,11 +305,8 @@ mod tests {
         };
         let edges = rmat_edges(&cfg);
         let n = 1u64 << cfg.scale;
-        let low_half = edges
-            .iter()
-            .filter(|&&(u, _)| (u as u64) < n / 2)
-            .count() as f64
-            / edges.len() as f64;
+        let low_half =
+            edges.iter().filter(|&&(u, _)| (u as u64) < n / 2).count() as f64 / edges.len() as f64;
         // P(source in low half) = A + B = 0.76.
         assert!((0.72..0.80).contains(&low_half), "skew {low_half}");
     }

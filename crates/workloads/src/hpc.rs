@@ -106,13 +106,7 @@ impl Stencil2d {
     }
 
     fn emit_cell(&mut self, i: u64, j: u64) {
-        let reads = [
-            (i, j),
-            (i - 1, j),
-            (i + 1, j),
-            (i, j - 1),
-            (i, j + 1),
-        ];
+        let reads = [(i, j), (i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)];
         for (ri, rj) in reads {
             let p = self.page_of(0, ri, rj);
             self.pending.push(p);

@@ -141,7 +141,12 @@ mod tests {
         let n = 1 << 20;
         let emp = histogram(n, 1.01, 300_000, 7);
         let exact = pmf(n, 1.01);
-        assert!((emp[0] - exact[0]).abs() < 0.005, "head mass off: {} vs {}", emp[0], exact[0]);
+        assert!(
+            (emp[0] - exact[0]).abs() < 0.005,
+            "head mass off: {} vs {}",
+            emp[0],
+            exact[0]
+        );
     }
 
     #[test]

@@ -1,14 +1,15 @@
-//! Property-based tests of the decoupling invariants (Section 3's contract)
-//! under arbitrary request sequences.
+//! Randomized tests of the decoupling invariants (Section 3's contract)
+//! under arbitrary request sequences, driven by the in-tree deterministic
+//! counter RNG (no external test deps).
 
 use atp::core::{
     DecouplingScheme, FullyAssociativeAlloc, IcebergAlloc, OneChoiceAlloc, RamAllocator,
 };
+use atp::hash::CounterRng;
 use atp::memmgmt::decoupled::DecoupledConfig;
 use atp::memmgmt::{DecoupledMm, MemoryManager};
 use atp::replacement::PolicyKind;
 use atp::types::{CostModel, VirtPage};
-use proptest::prelude::*;
 
 fn decoupled_cfg(resident: u64, seed: u64) -> DecoupledConfig {
     DecoupledConfig {
@@ -21,13 +22,19 @@ fn decoupled_cfg(resident: u64, seed: u64) -> DecoupledConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_trace(rng: &mut CounterRng, universe: u64, max_len: u64) -> Vec<u64> {
+    let len = rng.next_below(max_len) + 1;
+    (0..len).map(|_| rng.next_below(universe)).collect()
+}
 
-    /// The scheme's eq. (4) invariant and φ-injectivity survive arbitrary
-    /// access sequences, including ones dense enough to force failures.
-    #[test]
-    fn scheme_invariants_hold(trace in prop::collection::vec(0u64..512, 1..400), seed in 0u64..50) {
+#[test]
+fn scheme_invariants_hold() {
+    // The scheme's eq. (4) invariant and φ-injectivity survive arbitrary
+    // access sequences, including ones dense enough to force failures.
+    let mut meta = CounterRng::new(0xDEC0, 1);
+    for _ in 0..64 {
+        let trace = random_trace(&mut meta, 512, 400);
+        let seed = meta.next_below(50);
         let mut z = DecoupledMm::new(
             IcebergAlloc::with_geometry(16, 4, 3, seed),
             decoupled_cfg(100, seed),
@@ -37,30 +44,39 @@ proptest! {
         }
         z.scheme().check_invariants();
     }
+}
 
-    /// Cost identity: accesses = hits + misses; total cost decomposes; the
-    /// per-access IO count never exceeds 1 (no amplification, ever).
-    #[test]
-    fn cost_identities(trace in prop::collection::vec(0u64..2048, 1..500)) {
+#[test]
+fn cost_identities() {
+    // Cost identity: accesses = hits + misses; total cost decomposes; the
+    // per-access IO count never exceeds 1 (no amplification, ever).
+    let mut meta = CounterRng::new(0xDEC0, 2);
+    for _ in 0..64 {
+        let trace = random_trace(&mut meta, 2048, 500);
         let mut z = DecoupledMm::new(
             IcebergAlloc::with_geometry(64, 6, 4, 3),
             decoupled_cfg(500, 3),
         );
         for &p in &trace {
             let r = z.access(VirtPage(p));
-            prop_assert!(r.ios <= 1, "decoupling must never amplify a fault");
+            assert!(r.ios <= 1, "decoupling must never amplify a fault");
         }
         let c = z.costs();
-        prop_assert_eq!(c.accesses as usize, trace.len());
-        prop_assert_eq!(c.tlb_hits + c.tlb_misses, c.accesses);
+        assert_eq!(c.accesses as usize, trace.len());
+        assert_eq!(c.tlb_hits + c.tlb_misses, c.accesses);
         let m = CostModel::new(0.5);
         let expect = c.ios as f64 + 0.5 * (c.tlb_misses + c.decode_misses) as f64;
-        prop_assert!((c.total(m) - expect).abs() < 1e-9);
+        assert!((c.total(m) - expect).abs() < 1e-9);
     }
+}
 
-    /// Replay determinism: identical seeds and traces give identical costs.
-    #[test]
-    fn deterministic_replay(trace in prop::collection::vec(0u64..1024, 1..300), seed in 0u64..20) {
+#[test]
+fn deterministic_replay() {
+    // Replay determinism: identical seeds and traces give identical costs.
+    let mut meta = CounterRng::new(0xDEC0, 3);
+    for _ in 0..32 {
+        let trace = random_trace(&mut meta, 1024, 300);
+        let seed = meta.next_below(20);
         let run = |s: u64| {
             let mut z = DecoupledMm::new(
                 IcebergAlloc::with_geometry(32, 4, 3, s),
@@ -71,57 +87,68 @@ proptest! {
             }
             z.costs()
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(run(seed), run(seed));
     }
+}
 
-    /// φ stability through the manager: once a page is resident, repeated
-    /// accesses never change its frame until it is evicted.
-    #[test]
-    fn frames_are_stable(trace in prop::collection::vec(0u64..256, 1..300)) {
+#[test]
+fn frames_are_stable() {
+    // φ stability through the manager: once a page is resident, repeated
+    // accesses never change its frame until it is evicted.
+    let mut meta = CounterRng::new(0xDEC0, 4);
+    for _ in 0..64 {
+        let trace = random_trace(&mut meta, 256, 300);
         let mut z = DecoupledMm::new(
             IcebergAlloc::with_geometry(32, 4, 3, 7),
             decoupled_cfg(150, 7),
         );
-        let mut last_frame: std::collections::HashMap<u64, _> = Default::default();
         for &p in &trace {
             let before = z.scheme().frame_of(VirtPage(p));
             z.access(VirtPage(p));
             let after = z.scheme().frame_of(VirtPage(p));
             if let (Some(b), Some(a)) = (before, after) {
-                prop_assert_eq!(b, a, "frame moved while resident");
-            }
-            if let Some(f) = after {
-                last_frame.insert(p, f);
+                assert_eq!(b, a, "frame moved while resident");
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// All three allocators satisfy injectivity + decode correctness under
-    /// the same random churn (driven through the scheme layer).
-    #[test]
-    fn all_allocators_uphold_contract(
-        ops in prop::collection::vec((0u64..512, prop::bool::ANY), 1..500),
-        seed in 0u64..20,
-    ) {
-        fn drive<A: RamAllocator>(mut s: DecouplingScheme<A>, ops: &[(u64, bool)]) {
-            let mut active: std::collections::HashSet<u64> = Default::default();
-            for &(v, insert) in ops {
-                if insert && !active.contains(&v) {
-                    let _ = s.ram_insert(VirtPage(v));
-                    active.insert(v);
-                } else if !insert && active.contains(&v) {
-                    s.ram_evict(VirtPage(v));
-                    active.remove(&v);
-                }
+#[test]
+fn all_allocators_uphold_contract() {
+    // All three allocators satisfy injectivity + decode correctness under
+    // the same random churn (driven through the scheme layer).
+    fn drive<A: RamAllocator>(mut s: DecouplingScheme<A>, ops: &[(u64, bool)]) {
+        let mut active: std::collections::HashSet<u64> = Default::default();
+        for &(v, insert) in ops {
+            if insert && !active.contains(&v) {
+                let _ = s.ram_insert(VirtPage(v));
+                active.insert(v);
+            } else if !insert && active.contains(&v) {
+                s.ram_evict(VirtPage(v));
+                active.remove(&v);
             }
-            s.check_invariants();
         }
-        drive(DecouplingScheme::new(IcebergAlloc::with_geometry(16, 4, 3, seed), 64), &ops);
-        drive(DecouplingScheme::new(OneChoiceAlloc::with_geometry(16, 8, seed), 64), &ops);
-        drive(DecouplingScheme::new(FullyAssociativeAlloc::new(256), 64), &ops);
+        s.check_invariants();
+    }
+
+    let mut meta = CounterRng::new(0xDEC0, 5);
+    for _ in 0..32 {
+        let n_ops = meta.next_below(500) as usize + 1;
+        let ops: Vec<(u64, bool)> = (0..n_ops)
+            .map(|_| (meta.next_below(512), meta.next_below(2) == 0))
+            .collect();
+        let seed = meta.next_below(20);
+        drive(
+            DecouplingScheme::new(IcebergAlloc::with_geometry(16, 4, 3, seed), 64),
+            &ops,
+        );
+        drive(
+            DecouplingScheme::new(OneChoiceAlloc::with_geometry(16, 8, seed), 64),
+            &ops,
+        );
+        drive(
+            DecouplingScheme::new(FullyAssociativeAlloc::new(256), 64),
+            &ops,
+        );
     }
 }

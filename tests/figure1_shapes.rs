@@ -90,7 +90,10 @@ fn graph500_shape() {
     let hi = classic_costs(&trace, 256, phys);
     assert!(lo.tlb_misses > lo.ios, "graph500 h=1 should be TLB-bound");
     assert!(hi.ios > lo.ios * 20, "graph500 IO amplification");
-    assert!(mid.ios > lo.ios, "graph500 IO growth is monotone into the sweep");
+    assert!(
+        mid.ios > lo.ios,
+        "graph500 IO growth is monotone into the sweep"
+    );
     assert!(mid.tlb_misses * 3 < lo.tlb_misses, "graph500 TLB reduction");
 }
 

@@ -1,0 +1,284 @@
+//! Golden-parity tests for the translation pipeline refactor.
+//!
+//! Every memory manager must produce **bit-identical** [`Costs`] on fixed
+//! seeds and fixed traces across refactors of the access path. The golden
+//! constants below were captured from the pre-pipeline (seed) manager
+//! implementations; any drift in probe order, fill policy, eviction
+//! accounting, or RNG consumption shows up as a failure here.
+//!
+//! To re-capture after an *intentional* accounting change, run
+//! `cargo test --release --test golden_parity -- --ignored --nocapture`
+//! and paste the printed table over `GOLDEN`.
+
+use atp::core::{IcebergAlloc, IcebergParams};
+use atp::memmgmt::classic::{ClassicConfig, ClassicMm};
+use atp::memmgmt::decoupled::DecoupledConfig;
+use atp::memmgmt::{
+    DecoupledMm, HybridMm, MemoryManager, PagingOnlyMm, SparseConfig, SparseDecoupledMm, ThpConfig,
+    ThpMm, VirtualOnlyMm,
+};
+use atp::replacement::PolicyKind;
+use atp::types::{Costs, VirtPage};
+use atp::workloads::{Graph500Config, Graph500Trace, Sequential, Zipfian};
+
+const N: usize = 60_000;
+const PHYS: u64 = 1 << 12;
+const TLB: u64 = 128;
+
+fn traces() -> Vec<(&'static str, Vec<VirtPage>)> {
+    vec![
+        ("zipf", Zipfian::new(42, 1 << 14, 1.1).take(N).collect()),
+        ("graph500", {
+            Graph500Trace::generate(&Graph500Config {
+                scale: 12,
+                edge_factor: 8,
+                seed: 7,
+                max_accesses: N,
+            })
+            .iter()
+            .collect()
+        }),
+        ("sequential", Sequential::new(1 << 13).take(N).collect()),
+    ]
+}
+
+fn managers() -> Vec<Box<dyn MemoryManager>> {
+    let params = IcebergParams::derive(PHYS);
+    vec![
+        Box::new(ClassicMm::new(ClassicConfig {
+            huge_pages: 8,
+            phys_pages: PHYS,
+            tlb_entries: TLB,
+            tlb_policy: PolicyKind::Lru,
+            ram_policy: PolicyKind::Lru,
+            seed: 11,
+        })),
+        Box::new(VirtualOnlyMm::new(8, TLB, PolicyKind::Lru, 11)),
+        Box::new(PagingOnlyMm::new(PHYS, PolicyKind::Lru, 11)),
+        Box::new(DecoupledMm::new(
+            IcebergAlloc::new(&params, 11),
+            DecoupledConfig {
+                tlb_value_bits: 64,
+                tlb_entries: TLB,
+                tlb_policy: PolicyKind::Lru,
+                resident_pages: params.max_resident,
+                ram_policy: PolicyKind::Lru,
+                seed: 11,
+            },
+        )),
+        Box::new(HybridMm::new(
+            IcebergAlloc::new(&params, 13),
+            DecoupledConfig {
+                tlb_value_bits: 64,
+                tlb_entries: TLB,
+                tlb_policy: PolicyKind::Lru,
+                resident_pages: params.max_resident,
+                ram_policy: PolicyKind::Lru,
+                seed: 13,
+            },
+            4,
+        )),
+        Box::new(SparseDecoupledMm::new(
+            IcebergAlloc::new(&params, 17),
+            SparseConfig {
+                tlb_value_bits: 64,
+                coverage: 64,
+                tlb_entries: TLB,
+                tlb_policy: PolicyKind::Lru,
+                resident_pages: params.max_resident,
+                ram_policy: PolicyKind::Lru,
+                seed: 17,
+            },
+        )),
+        Box::new(ThpMm::new(ThpConfig {
+            huge_pages: 8,
+            phys_pages: PHYS,
+            tlb_entries: TLB,
+            policy: PolicyKind::Lru,
+            seed: 19,
+        })),
+    ]
+}
+
+fn run_cell(mgr: &mut dyn MemoryManager, trace: &[VirtPage]) -> Costs {
+    for &p in trace {
+        mgr.access(p);
+    }
+    mgr.costs()
+}
+
+/// (manager name, trace name, ios, tlb_misses, decode_misses,
+/// paging_failures, accesses, tlb_hits) — captured from the seed managers.
+type GoldenRow = (&'static str, &'static str, u64, u64, u64, u64, u64, u64);
+const GOLDEN: &[GoldenRow] = &[
+    ("classic(h=8)", "zipf", 58944, 14912, 0, 0, 60000, 45088),
+    ("classic(h=8)", "graph500", 88, 11, 0, 0, 60000, 59989),
+    (
+        "classic(h=8)",
+        "sequential",
+        60000,
+        7500,
+        0,
+        0,
+        60000,
+        52500,
+    ),
+    ("X(hmax=8)", "zipf", 0, 14912, 0, 0, 60000, 45088),
+    ("X(hmax=8)", "graph500", 0, 11, 0, 0, 60000, 59989),
+    ("X(hmax=8)", "sequential", 0, 7500, 0, 0, 60000, 52500),
+    ("Y(m=4096)", "zipf", 8741, 0, 0, 0, 60000, 60000),
+    ("Y(m=4096)", "graph500", 85, 0, 0, 0, 60000, 60000),
+    ("Y(m=4096)", "sequential", 60000, 0, 0, 0, 60000, 60000),
+    (
+        "Z(hmax=8, bits=5, m=1419)",
+        "zipf",
+        13368,
+        14912,
+        0,
+        0,
+        60000,
+        45088,
+    ),
+    (
+        "Z(hmax=8, bits=5, m=1419)",
+        "graph500",
+        85,
+        11,
+        0,
+        0,
+        60000,
+        59989,
+    ),
+    (
+        "Z(hmax=8, bits=5, m=1419)",
+        "sequential",
+        60000,
+        7500,
+        0,
+        0,
+        60000,
+        52500,
+    ),
+    (
+        "hybrid(chunk=4, inner=Z(hmax=8, bits=5, m=1419))",
+        "zipf",
+        24408,
+        7314,
+        0,
+        0,
+        60000,
+        52686,
+    ),
+    (
+        "hybrid(chunk=4, inner=Z(hmax=8, bits=5, m=1419))",
+        "graph500",
+        88,
+        3,
+        0,
+        0,
+        60000,
+        59997,
+    ),
+    (
+        "hybrid(chunk=4, inner=Z(hmax=8, bits=5, m=1419))",
+        "sequential",
+        60000,
+        1875,
+        0,
+        0,
+        60000,
+        58125,
+    ),
+    (
+        "Z-sparse(cov=64, K=5, m=1419)",
+        "zipf",
+        13368,
+        3680,
+        28915,
+        0,
+        60000,
+        56320,
+    ),
+    (
+        "Z-sparse(cov=64, K=5, m=1419)",
+        "graph500",
+        85,
+        2,
+        36201,
+        0,
+        60000,
+        59998,
+    ),
+    (
+        "Z-sparse(cov=64, K=5, m=1419)",
+        "sequential",
+        60000,
+        128,
+        0,
+        0,
+        60000,
+        59872,
+    ),
+    ("thp(h=8)", "zipf", 8741, 18305, 0, 0, 60000, 41695),
+    ("thp(h=8)", "graph500", 85, 84, 0, 0, 60000, 59916),
+    ("thp(h=8)", "sequential", 60000, 60000, 0, 0, 60000, 0),
+];
+
+#[test]
+fn costs_match_pre_refactor_golden() {
+    assert!(
+        !GOLDEN.is_empty(),
+        "golden table not captured yet — run the ignored capture test"
+    );
+    let traces = traces();
+    let mut idx = 0;
+    for (mgr_slot, _) in managers().iter().enumerate() {
+        for (trace_name, trace) in &traces {
+            // Fresh manager per cell: managers() rebuilds all state.
+            let mut mgr = managers().remove(mgr_slot);
+            let costs = run_cell(mgr.as_mut(), trace);
+            let (g_name, g_trace, ios, tlb_misses, decode_misses, failures, accesses, tlb_hits) =
+                GOLDEN[idx];
+            assert_eq!(mgr.name(), g_name, "manager name drifted at row {idx}");
+            assert_eq!(*trace_name, g_trace, "trace order drifted at row {idx}");
+            let expect = Costs {
+                ios,
+                tlb_misses,
+                decode_misses,
+                paging_failures: failures,
+                accesses,
+                tlb_hits,
+            };
+            assert_eq!(
+                costs, expect,
+                "{g_name} on {g_trace}: costs drifted from pre-refactor golden"
+            );
+            idx += 1;
+        }
+    }
+    assert_eq!(idx, GOLDEN.len(), "golden table has stale extra rows");
+}
+
+/// Prints the golden table from the current implementations.
+#[test]
+#[ignore = "capture helper: prints the GOLDEN constant from current code"]
+fn print_golden() {
+    let traces = traces();
+    for mgr_slot in 0..managers().len() {
+        for (trace_name, trace) in &traces {
+            let mut mgr = managers().remove(mgr_slot);
+            let c = run_cell(mgr.as_mut(), trace);
+            println!(
+                "    (\"{}\", \"{}\", {}, {}, {}, {}, {}, {}),",
+                mgr.name(),
+                trace_name,
+                c.ios,
+                c.tlb_misses,
+                c.decode_misses,
+                c.paging_failures,
+                c.accesses,
+                c.tlb_hits
+            );
+        }
+    }
+}

@@ -41,11 +41,7 @@ fn shared_hot_set_causes_cross_core_invalidations() {
     // All cores hammer the same small hot set plus private cold spill:
     // evictions of shared entries invalidate other cores' TLBs.
     let traces: Vec<Vec<VirtPage>> = (0..4)
-        .map(|i| {
-            Zipfian::new(i, 4096, 1.0)
-                .take(8_000)
-                .collect()
-        })
+        .map(|i| Zipfian::new(i, 4096, 1.0).take(8_000).collect())
         .collect();
     let r = run_multicore(&cfg(4), &traces);
     assert!(
@@ -93,7 +89,11 @@ fn radix_and_hash_tables_agree_on_contents() {
         hash.map(v, PhysPage(i as u64));
     }
     for &v in &pages {
-        assert_eq!(radix.translate(v).0, hash.translate(v).0, "mismatch at {v:?}");
+        assert_eq!(
+            radix.translate(v).0,
+            hash.translate(v).0,
+            "mismatch at {v:?}"
+        );
     }
     assert_eq!(radix.mapped(), hash.mapped());
 }

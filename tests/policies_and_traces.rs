@@ -1,11 +1,11 @@
 //! Cross-crate properties: Belady dominance over every online policy, and
 //! trace-codec round-trips over real workload output.
 
+use atp::hash::CounterRng;
 use atp::replacement::{make_policy, opt::opt_misses, CacheSim, PolicyKind};
 use atp::trace::{decode_trace, encode_trace, TraceStats};
 use atp::types::VirtPage;
 use atp::workloads::{Bimodal, ParetoWalk, PhasedWorkingSet, Zipfian};
-use proptest::prelude::*;
 
 fn online_misses(trace: &[u64], cap: usize, kind: PolicyKind) -> u64 {
     let mut sim = CacheSim::new(cap, make_policy(kind, cap, 7));
@@ -16,32 +16,35 @@ fn online_misses(trace: &[u64], cap: usize, kind: PolicyKind) -> u64 {
     misses
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// OPT is a lower bound for every online policy on every trace — the
-    /// bedrock of the paper's Lemma-1 reductions.
-    #[test]
-    fn opt_lower_bounds_all_policies(
-        trace in prop::collection::vec(0u64..64, 1..600),
-        cap in 1usize..32,
-    ) {
+/// OPT is a lower bound for every online policy on every trace — the
+/// bedrock of the paper's Lemma-1 reductions. Randomized over traces and
+/// capacities with the in-tree deterministic RNG.
+#[test]
+fn opt_lower_bounds_all_policies() {
+    let mut rng = CounterRng::new(0x0B7, 1);
+    for _ in 0..48 {
+        let len = rng.next_below(599) as usize + 1;
+        let trace: Vec<u64> = (0..len).map(|_| rng.next_below(64)).collect();
+        let cap = rng.next_below(31) as usize + 1;
         let opt = opt_misses(&trace, cap).misses;
         for kind in PolicyKind::ALL {
             let m = online_misses(&trace, cap, kind);
-            prop_assert!(
-                opt <= m,
-                "OPT({opt}) beat by {kind} ({m}) at cap {cap}"
-            );
+            assert!(opt <= m, "OPT({opt}) beat by {kind} ({m}) at cap {cap}");
         }
     }
+}
 
-    /// The trace codec is lossless on arbitrary page-id sequences.
-    #[test]
-    fn codec_roundtrip(ids in prop::collection::vec(0u64..(1 << 48), 0..500)) {
-        let pages: Vec<VirtPage> = ids.iter().copied().map(VirtPage).collect();
+/// The trace codec is lossless on arbitrary page-id sequences.
+#[test]
+fn codec_roundtrip() {
+    let mut rng = CounterRng::new(0x0B7, 2);
+    for _ in 0..48 {
+        let len = rng.next_below(500) as usize;
+        let pages: Vec<VirtPage> = (0..len)
+            .map(|_| VirtPage(rng.next_below(1 << 48)))
+            .collect();
         let decoded = decode_trace(&encode_trace(&pages)).expect("decode");
-        prop_assert_eq!(decoded, pages);
+        assert_eq!(decoded, pages);
     }
 }
 
@@ -51,7 +54,9 @@ fn codec_roundtrips_real_workloads() {
         Bimodal::scaled(1, 1 << 14).take(10_000).collect(),
         ParetoWalk::new(2, 1 << 14, 0.01).take(10_000).collect(),
         Zipfian::new(3, 1 << 14, 1.2).take(10_000).collect(),
-        PhasedWorkingSet::new(4, 1 << 14, 128, 500).take(10_000).collect(),
+        PhasedWorkingSet::new(4, 1 << 14, 128, 500)
+            .take(10_000)
+            .collect(),
     ];
     for t in traces {
         let rt = decode_trace(&encode_trace(&t)).expect("decode");

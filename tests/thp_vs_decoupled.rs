@@ -85,7 +85,9 @@ fn decoupled_coverage_survives_fragmentation_that_defeats_thp() {
 fn bimodal_cold_region_has_pathological_huge_utilization() {
     // Figure 1a's diagnosis, measured: the cold accesses touch one page per
     // huge page, so physical huge pages waste ~(1 - 1/h) of their RAM.
-    let trace: Vec<VirtPage> = Bimodal::new(1, 1 << 22, 1 << 10, 0.5).take(60_000).collect();
+    let trace: Vec<VirtPage> = Bimodal::new(1, 1 << 22, 1 << 10, 0.5)
+        .take(60_000)
+        .collect();
     let hot_only: Vec<VirtPage> = trace
         .iter()
         .copied()
