@@ -52,6 +52,9 @@ pub struct Game {
     back_load: Vec<u32>,
     balls: FxHashMap<u64, Slot>,
     stats: GameStats,
+    /// Fault injection for the `atp-check` shrinker meta-test: break
+    /// Greedy\[d\] ties toward the *last* choice instead of the first.
+    greedy_tie_break_last: bool,
 }
 
 impl Game {
@@ -71,7 +74,18 @@ impl Game {
             back_load: vec![0; bins as usize],
             balls: FxHashMap::default(),
             stats: GameStats::default(),
+            greedy_tie_break_last: false,
         }
+    }
+
+    /// Test-only fault injection: when enabled, Greedy\[d\] breaks load
+    /// ties toward the **last** choice, violating the documented
+    /// ties-toward-first rule. Exists so the `atp-check` harness can
+    /// demonstrate that its differential oracle catches the bug and its
+    /// shrinker minimizes the trigger; never enable it outside tests.
+    #[doc(hidden)]
+    pub fn inject_greedy_tie_break_bug(&mut self, enabled: bool) {
+        self.greedy_tie_break_last = enabled;
     }
 
     /// Number of bins `n`.
@@ -164,7 +178,7 @@ impl Game {
                 for i in 1..d {
                     let b = self.hasher.bin(v, i);
                     let l = self.load(b);
-                    if l < best_load {
+                    if l < best_load || (self.greedy_tie_break_last && l == best_load) {
                         best_bin = b;
                         best_idx = i;
                         best_load = l;

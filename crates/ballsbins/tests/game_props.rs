@@ -1,102 +1,130 @@
-//! Randomized property tests for the dynamic balls-and-bins game, driven
-//! by the in-tree deterministic counter RNG (no external test deps).
+//! Property tests for the dynamic balls-and-bins game, on the `atp-check`
+//! harness: generated inputs shrink to minimal counterexamples and every
+//! failure prints an `ATP_CHECK_SEED` replay command.
 
 use atp_ballsbins::{Game, Rule, Slot, Tier};
-use atp_hash::CounterRng;
+use atp_check::{bools, check, ensure, ensure_eq, from_fn, u64s, vecs, CounterRng, Gen};
 use std::collections::HashMap;
 
-fn rule_from(rng: &mut CounterRng) -> Rule {
-    match rng.next_below(3) {
-        0 => Rule::OneChoice,
-        1 => Rule::Greedy {
-            d: rng.next_below(3) as u32 + 2,
+/// Generates a placement rule; shrinks toward `OneChoice` and minimal
+/// parameters.
+fn rules() -> impl Gen<Value = Rule> {
+    from_fn(
+        |rng: &mut CounterRng| match rng.next_below(3) {
+            0 => Rule::OneChoice,
+            1 => Rule::Greedy {
+                d: rng.next_below(3) as u32 + 2,
+            },
+            _ => Rule::Iceberg {
+                front_cap: rng.next_below(7) as u32 + 1,
+            },
         },
-        _ => Rule::Iceberg {
-            front_cap: rng.next_below(7) as u32 + 1,
+        |r: &Rule| match *r {
+            Rule::OneChoice => vec![],
+            Rule::Greedy { d } if d > 2 => vec![Rule::OneChoice, Rule::Greedy { d: 2 }],
+            Rule::Greedy { .. } => vec![Rule::OneChoice],
+            Rule::Iceberg { front_cap } if front_cap > 1 => {
+                vec![Rule::OneChoice, Rule::Iceberg { front_cap: 1 }]
+            }
+            Rule::Iceberg { .. } => vec![Rule::OneChoice],
         },
-    }
+    )
 }
 
 #[test]
 fn invariants_under_arbitrary_ops() {
     // Load conservation: sum of bin loads == live ball count, front caps
     // are never exceeded, and slots are stable while balls live.
-    let mut meta = CounterRng::new(0xB1B5, 1);
-    for _ in 0..64 {
-        let rule = rule_from(&mut meta);
-        let bins = meta.next_below(63) + 1;
-        let seed = meta.next_u64();
-        let n_ops = meta.next_below(399) as usize + 1;
-        let mut game = Game::new(seed, bins, rule);
-        let mut live: HashMap<u64, Slot> = HashMap::new();
-        for _ in 0..n_ops {
-            let ball = meta.next_below(128);
-            let insert = meta.next_below(2) == 0;
-            if insert && !live.contains_key(&ball) {
-                let slot = game.insert(ball);
-                assert!(slot.bin < bins);
-                if let Rule::Iceberg { front_cap } = rule {
-                    if slot.tier == Tier::Front {
-                        assert!(game.front_load(slot.bin) <= front_cap);
+    let gen = (
+        u64s(0..=u64::MAX),
+        u64s(1..=63),
+        rules(),
+        vecs((u64s(0..=127), bools()), 1..=400),
+    );
+    check(
+        "invariants_under_arbitrary_ops",
+        &gen,
+        |(seed, bins, rule, ops)| {
+            let mut game = Game::new(*seed, *bins, *rule);
+            let mut live: HashMap<u64, Slot> = HashMap::new();
+            for &(ball, insert) in ops.iter() {
+                if insert && !live.contains_key(&ball) {
+                    let slot = game.insert(ball);
+                    ensure!(slot.bin < *bins, "slot bin {} out of range", slot.bin);
+                    if let Rule::Iceberg { front_cap } = rule {
+                        if slot.tier == Tier::Front {
+                            ensure!(
+                                game.front_load(slot.bin) <= *front_cap,
+                                "front cap exceeded at bin {}",
+                                slot.bin
+                            );
+                        }
                     }
+                    live.insert(ball, slot);
+                } else if !insert && live.contains_key(&ball) {
+                    let expected = live.remove(&ball).expect("present");
+                    ensure_eq!(game.remove(ball), Some(expected), "remove({ball})");
                 }
-                live.insert(ball, slot);
-            } else if !insert && live.contains_key(&ball) {
-                let expected = live.remove(&ball).unwrap();
-                assert_eq!(game.remove(ball), Some(expected));
+                // Conservation.
+                let total: u32 = (0..*bins).map(|b| game.load(b)).sum();
+                ensure_eq!(total as usize, live.len(), "load conservation");
+                // Stability of every live ball.
+                for (&b, &s) in &live {
+                    ensure_eq!(game.slot_of(b), Some(s), "slot of live ball {b} moved");
+                }
             }
-            // Conservation.
-            let total: u32 = (0..bins).map(|b| game.load(b)).sum();
-            assert_eq!(total as usize, live.len());
-            // Stability of every live ball.
-            for (&b, &s) in &live {
-                assert_eq!(game.slot_of(b), Some(s));
-            }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn histogram_consistency() {
     // The histogram always sums to the bin count and weights to the ball
     // count.
-    let mut meta = CounterRng::new(0xB1B5, 2);
-    for _ in 0..64 {
-        let rule = rule_from(&mut meta);
-        let bins = meta.next_below(31) + 1;
-        let seed = meta.next_u64();
-        let balls = meta.next_below(200);
-        let mut game = Game::new(seed, bins, rule);
-        for b in 0..balls {
-            game.insert(b);
-        }
-        let hist = game.load_histogram();
-        assert_eq!(hist.iter().sum::<u64>(), bins);
-        let weighted: u64 = hist.iter().enumerate().map(|(l, &c)| l as u64 * c).sum();
-        assert_eq!(weighted, balls);
-    }
+    let gen = (u64s(0..=u64::MAX), u64s(1..=31), rules(), u64s(0..=200));
+    check(
+        "histogram_consistency",
+        &gen,
+        |(seed, bins, rule, balls)| {
+            let mut game = Game::new(*seed, *bins, *rule);
+            for b in 0..*balls {
+                game.insert(b);
+            }
+            let hist = game.load_histogram();
+            ensure_eq!(hist.iter().sum::<u64>(), *bins, "histogram bin total");
+            let weighted: u64 = hist.iter().enumerate().map(|(l, &c)| l as u64 * c).sum();
+            ensure_eq!(weighted, *balls, "histogram weighted total");
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn placement_predicts_insert() {
     // placement() is a pure prediction of insert(): calling it twice, then
     // inserting, yields the same slot.
-    let mut meta = CounterRng::new(0xB1B5, 3);
-    for _ in 0..64 {
-        let rule = rule_from(&mut meta);
-        let bins = meta.next_below(31) + 1;
-        let seed = meta.next_u64();
-        let n_balls = meta.next_below(99) as usize + 1;
-        let mut game = Game::new(seed, bins, rule);
-        for _ in 0..n_balls {
-            let b = meta.next_below(1000);
-            if game.contains(b) {
-                continue;
+    let gen = (
+        u64s(0..=u64::MAX),
+        u64s(1..=31),
+        rules(),
+        vecs(u64s(0..=999), 1..=100),
+    );
+    check(
+        "placement_predicts_insert",
+        &gen,
+        |(seed, bins, rule, balls)| {
+            let mut game = Game::new(*seed, *bins, *rule);
+            for &b in balls.iter() {
+                if game.contains(b) {
+                    continue;
+                }
+                let p1 = game.placement(b);
+                let p2 = game.placement(b);
+                ensure_eq!(p1, p2, "placement({b}) not idempotent");
+                ensure_eq!(game.insert(b), p1, "insert({b}) disagrees with placement");
             }
-            let p1 = game.placement(b);
-            let p2 = game.placement(b);
-            assert_eq!(p1, p2);
-            assert_eq!(game.insert(b), p1);
-        }
-    }
+            Ok(())
+        },
+    );
 }

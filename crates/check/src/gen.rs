@@ -1,0 +1,331 @@
+//! Deterministic input generators with integrated shrinking.
+//!
+//! A [`Gen`] produces a value from a [`CounterRng`] stream (so every case
+//! is a pure function of its case seed) and knows how to propose *smaller*
+//! variants of a failing value. Shrinking is structural — the runner never
+//! re-derives values from mutated seeds, it mutates the failing value
+//! directly — so a generator's `shrink` must only propose values it could
+//! itself have produced.
+//!
+//! The combinators here cover the shapes the workspace's randomized tests
+//! need: bounded integers, booleans, vectors (traces, adversary scripts),
+//! tuples (parameter sets), and [`from_fn`] for bespoke enums like
+//! placement rules.
+
+use atp_hash::CounterRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::RangeInclusive;
+
+/// A deterministic generator of test inputs, with integrated shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Produces one value from the case's RNG stream.
+    fn generate(&self, rng: &mut CounterRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of `v`, most aggressive first.
+    /// Every proposal must be a value this generator could produce. The
+    /// default proposes nothing (no shrinking).
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Uniform `u64` in an inclusive range; shrinks toward the lower bound.
+#[derive(Clone, Copy, Debug)]
+pub struct U64Gen {
+    lo: u64,
+    hi: u64,
+}
+
+/// Uniform `u64` in `range` (inclusive); shrinks toward `range.start()`.
+///
+/// # Panics
+/// Panics if the range is empty.
+pub fn u64s(range: RangeInclusive<u64>) -> U64Gen {
+    assert!(range.start() <= range.end(), "empty range");
+    U64Gen {
+        lo: *range.start(),
+        hi: *range.end(),
+    }
+}
+
+impl Gen for U64Gen {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut CounterRng) -> u64 {
+        let span = self.hi - self.lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        self.lo + rng.next_below(span + 1)
+    }
+
+    fn shrink(&self, &v: &u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if v > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (v - self.lo) / 2;
+            if mid != self.lo && mid != v {
+                out.push(mid);
+            }
+            out.push(v - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+/// Uniform `usize` in an inclusive range; shrinks toward the lower bound.
+#[derive(Clone, Copy, Debug)]
+pub struct UsizeGen(U64Gen);
+
+/// Uniform `usize` in `range` (inclusive); shrinks toward `range.start()`.
+pub fn usizes(range: RangeInclusive<usize>) -> UsizeGen {
+    UsizeGen(u64s(*range.start() as u64..=*range.end() as u64))
+}
+
+impl Gen for UsizeGen {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut CounterRng) -> usize {
+        self.0.generate(rng) as usize
+    }
+
+    fn shrink(&self, &v: &usize) -> Vec<usize> {
+        self.0
+            .shrink(&(v as u64))
+            .into_iter()
+            .map(|x| x as usize)
+            .collect()
+    }
+}
+
+/// Fair coin; shrinks `true` to `false`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BoolGen;
+
+/// A fair boolean; `true` shrinks to `false`.
+pub fn bools() -> BoolGen {
+    BoolGen
+}
+
+impl Gen for BoolGen {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut CounterRng) -> bool {
+        rng.next_below(2) == 0
+    }
+
+    fn shrink(&self, &v: &bool) -> Vec<bool> {
+        if v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Vector of values from an element generator; shrinks by deleting chunks
+/// (halves, quarters, …, single elements) and then by shrinking elements
+/// in place.
+#[derive(Clone, Copy, Debug)]
+pub struct VecGen<G> {
+    elem: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// A vector of `min..=max` elements drawn from `elem`.
+///
+/// # Panics
+/// Panics if `min > max`.
+pub fn vecs<G: Gen>(elem: G, len: RangeInclusive<usize>) -> VecGen<G> {
+    assert!(len.start() <= len.end(), "empty length range");
+    VecGen {
+        elem,
+        min_len: *len.start(),
+        max_len: *len.end(),
+    }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut CounterRng) -> Vec<G::Value> {
+        let span = (self.max_len - self.min_len) as u64;
+        let len = self.min_len + rng.next_below(span + 1) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let len = v.len();
+        // Chunk deletions, most aggressive first: drop aligned windows of
+        // len/2, len/4, …, 1 elements (respecting the minimum length).
+        let mut chunk = len / 2;
+        while chunk >= 1 {
+            let mut start = 0;
+            while start + chunk <= len {
+                if len - chunk >= self.min_len {
+                    let mut smaller = Vec::with_capacity(len - chunk);
+                    smaller.extend_from_slice(&v[..start]);
+                    smaller.extend_from_slice(&v[start + chunk..]);
+                    out.push(smaller);
+                }
+                start += chunk;
+            }
+            chunk /= 2;
+        }
+        // Element-wise shrinks, one position at a time.
+        for (i, e) in v.iter().enumerate() {
+            for cand in self.elem.shrink(e) {
+                let mut copy = v.clone();
+                copy[i] = cand;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+/// A bespoke generator from a pair of closures (see [`from_fn`]).
+pub struct FnGen<T, G, S> {
+    generate: G,
+    shrink: S,
+    _marker: PhantomData<fn() -> T>,
+}
+
+/// Builds a generator from a `generate` closure and a `shrink` closure —
+/// the escape hatch for domain enums (placement rules, op codes) that the
+/// stock combinators don't cover.
+pub fn from_fn<T, G, S>(generate: G, shrink: S) -> FnGen<T, G, S>
+where
+    T: Clone + Debug,
+    G: Fn(&mut CounterRng) -> T,
+    S: Fn(&T) -> Vec<T>,
+{
+    FnGen {
+        generate,
+        shrink,
+        _marker: PhantomData,
+    }
+}
+
+impl<T, G, S> Gen for FnGen<T, G, S>
+where
+    T: Clone + Debug,
+    G: Fn(&mut CounterRng) -> T,
+    S: Fn(&T) -> Vec<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut CounterRng) -> T {
+        (self.generate)(rng)
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        (self.shrink)(v)
+    }
+}
+
+macro_rules! tuple_gen {
+    ($($g:ident / $v:ident : $idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut CounterRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut copy = v.clone();
+                        copy.$idx = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_gen!(A / a: 0, B / b: 1);
+tuple_gen!(A / a: 0, B / b: 1, C / c: 2);
+tuple_gen!(A / a: 0, B / b: 1, C / c: 2, D / d: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> CounterRng {
+        CounterRng::new(7, 7)
+    }
+
+    #[test]
+    fn u64_range_respected() {
+        let g = u64s(5..=9);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = g.generate(&mut r);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn u64_shrinks_toward_lo() {
+        let g = u64s(3..=100);
+        let cands = g.shrink(&50);
+        assert!(cands.contains(&3));
+        assert!(cands.iter().all(|&c| (3..50).contains(&c)));
+        assert!(g.shrink(&3).is_empty(), "lower bound is irreducible");
+    }
+
+    #[test]
+    fn vec_len_respected() {
+        let g = vecs(u64s(0..=9), 2..=5);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = g.generate(&mut r);
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_shrinks_remove_and_shrink_elements() {
+        let g = vecs(u64s(0..=9), 0..=8);
+        let v = vec![4u64, 5, 6, 7];
+        let cands = g.shrink(&v);
+        // Halving removals present.
+        assert!(cands.contains(&vec![6, 7]));
+        assert!(cands.contains(&vec![4, 5]));
+        // Per-element removals present.
+        assert!(cands.contains(&vec![4, 5, 6]));
+        // Element shrinks present (first element toward 0).
+        assert!(cands.contains(&vec![0, 5, 6, 7]));
+        // Minimum length respected.
+        let bounded = vecs(u64s(0..=9), 4..=8);
+        assert!(bounded.shrink(&v).iter().all(|c| c.len() >= 4));
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let g = (u64s(0..=10), bools());
+        let cands = g.shrink(&(6, true));
+        assert!(cands.contains(&(0, true)));
+        assert!(cands.contains(&(6, false)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = vecs((u64s(0..=999), bools()), 0..=50);
+        let a = g.generate(&mut CounterRng::new(1, 2));
+        let b = g.generate(&mut CounterRng::new(1, 2));
+        assert_eq!(a, b);
+    }
+}

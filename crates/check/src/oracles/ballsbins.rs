@@ -1,0 +1,219 @@
+//! Brute-force balls-and-bins placement oracle.
+//!
+//! [`NaiveGame`] re-implements the paper's placement rules with the most
+//! obvious data structure possible: one `Vec` of balls per bin, every load
+//! computed by an exhaustive linear scan at decision time. It shares the
+//! [`PageHasher`] family with the real [`Game`](atp_ballsbins::Game) (both
+//! construct it from `(seed, bins, rule.hash_count())`), so for equal
+//! seeds the two see identical hash choices and must agree on every
+//! placement, load, and removal — the differential surface for
+//! `OneChoice`, `Greedy[d]`, and `Iceberg`.
+
+use atp_ballsbins::{Rule, Slot, Tier};
+use atp_hash::PageHasher;
+use atp_types::VirtPage;
+
+/// The exhaustive-scan reference implementation of the placement game.
+#[derive(Clone, Debug)]
+pub struct NaiveGame {
+    rule: Rule,
+    hasher: PageHasher,
+    bins: Vec<Vec<(u64, Slot)>>,
+}
+
+impl NaiveGame {
+    /// Creates the reference game with the same hash family a
+    /// [`Game`](atp_ballsbins::Game) built from `(seed, bins, rule)` uses.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or the rule is `Greedy{d}` with `d < 2`.
+    pub fn new(seed: u64, bins: u64, rule: Rule) -> Self {
+        assert!(bins > 0, "bins must be nonzero");
+        if let Rule::Greedy { d } = rule {
+            assert!(d >= 2, "Greedy[d] requires d >= 2");
+        }
+        Self {
+            rule,
+            hasher: PageHasher::new(seed, bins, rule.hash_count()),
+            bins: vec![Vec::new(); bins as usize],
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> u64 {
+        self.bins.len() as u64
+    }
+
+    /// Number of balls present (exhaustive count).
+    pub fn len(&self) -> usize {
+        self.bins.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no balls are present.
+    pub fn is_empty(&self) -> bool {
+        self.bins.iter().all(Vec::is_empty)
+    }
+
+    /// Total load of bin `b`, by scanning it.
+    pub fn load(&self, b: u64) -> u32 {
+        self.bins[b as usize].len() as u32
+    }
+
+    fn tier_load(&self, b: u64, tier: Tier) -> u32 {
+        self.bins[b as usize]
+            .iter()
+            .filter(|&&(_, s)| s.tier == tier)
+            .count() as u32
+    }
+
+    /// Front-tier load of bin `b`.
+    pub fn front_load(&self, b: u64) -> u32 {
+        self.tier_load(b, Tier::Front)
+    }
+
+    /// Back-tier load of bin `b`.
+    pub fn back_load(&self, b: u64) -> u32 {
+        self.tier_load(b, Tier::Back)
+    }
+
+    /// Whether `ball` is present (exhaustive scan of every bin).
+    pub fn contains(&self, ball: u64) -> bool {
+        self.slot_of(ball).is_some()
+    }
+
+    /// The slot of a present ball, found by scanning every bin.
+    pub fn slot_of(&self, ball: u64) -> Option<Slot> {
+        self.bins
+            .iter()
+            .flatten()
+            .find(|&&(id, _)| id == ball)
+            .map(|&(_, s)| s)
+    }
+
+    /// Where `ball` would be placed right now — the placement rules
+    /// transcribed from the paper, with every load an exhaustive scan.
+    pub fn placement(&self, ball: u64) -> Slot {
+        let v = VirtPage(ball);
+        match self.rule {
+            Rule::OneChoice => Slot {
+                bin: self.hasher.bin(v, 0),
+                tier: Tier::Back,
+                hash_index: 0,
+            },
+            Rule::Greedy { d } => {
+                // Least-loaded of the d choices, ties toward the first.
+                let (best_idx, best_bin) = (0..d)
+                    .map(|i| (i, self.hasher.bin(v, i)))
+                    .min_by_key(|&(i, b)| (self.load(b), i))
+                    .expect("d >= 2");
+                Slot {
+                    bin: best_bin,
+                    tier: Tier::Back,
+                    hash_index: best_idx,
+                }
+            }
+            Rule::Iceberg { front_cap } => {
+                let b1 = self.hasher.bin(v, 0);
+                if self.front_load(b1) < front_cap {
+                    return Slot {
+                        bin: b1,
+                        tier: Tier::Front,
+                        hash_index: 0,
+                    };
+                }
+                // Overflow: Greedy[2] over back loads only, tie toward h₂.
+                let b2 = self.hasher.bin(v, 1);
+                let b3 = self.hasher.bin(v, 2);
+                if self.back_load(b2) <= self.back_load(b3) {
+                    Slot {
+                        bin: b2,
+                        tier: Tier::Back,
+                        hash_index: 1,
+                    }
+                } else {
+                    Slot {
+                        bin: b3,
+                        tier: Tier::Back,
+                        hash_index: 2,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts `ball`, returning its slot.
+    ///
+    /// # Panics
+    /// Panics if `ball` is already present.
+    pub fn insert(&mut self, ball: u64) -> Slot {
+        assert!(!self.contains(ball), "ball {ball} double-inserted");
+        let slot = self.placement(ball);
+        self.bins[slot.bin as usize].push((ball, slot));
+        slot
+    }
+
+    /// Removes `ball` if present, returning the slot it occupied.
+    pub fn remove(&mut self, ball: u64) -> Option<Slot> {
+        let slot = self.slot_of(ball)?;
+        let bin = &mut self.bins[slot.bin as usize];
+        let pos = bin
+            .iter()
+            .position(|&(id, _)| id == ball)
+            .expect("slot_of found it");
+        bin.remove(pos);
+        Some(slot)
+    }
+
+    /// Maximum total load across bins.
+    pub fn max_load(&self) -> u32 {
+        self.bins.iter().map(|b| b.len() as u32).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_ballsbins::Game;
+
+    #[test]
+    fn naive_matches_real_on_a_fixed_run() {
+        for rule in [
+            Rule::OneChoice,
+            Rule::Greedy { d: 2 },
+            Rule::Greedy { d: 4 },
+            Rule::Iceberg { front_cap: 2 },
+        ] {
+            let mut real = Game::new(9, 8, rule);
+            let mut naive = NaiveGame::new(9, 8, rule);
+            for ball in 0..100u64 {
+                assert_eq!(
+                    real.insert(ball),
+                    naive.insert(ball),
+                    "{rule:?} ball {ball}"
+                );
+            }
+            for b in 0..8 {
+                assert_eq!(real.load(b), naive.load(b));
+                assert_eq!(real.front_load(b), naive.front_load(b));
+                assert_eq!(real.back_load(b), naive.back_load(b));
+            }
+            for ball in (0..100u64).step_by(3) {
+                assert_eq!(real.remove(ball), naive.remove(ball));
+            }
+            assert_eq!(real.len(), naive.len());
+            assert_eq!(real.max_load(), naive.max_load());
+        }
+    }
+
+    #[test]
+    fn slot_of_tracks_inserts() {
+        let mut g = NaiveGame::new(3, 16, Rule::Iceberg { front_cap: 1 });
+        for ball in 0..50u64 {
+            let s = g.insert(ball);
+            assert_eq!(g.slot_of(ball), Some(s));
+        }
+        assert!(!g.is_empty());
+        assert_eq!(g.bins(), 16);
+        assert_eq!(g.len(), 50);
+    }
+}

@@ -1,0 +1,71 @@
+//! Single-step pipeline-driving oracle.
+//!
+//! [`run_single_step`] is the reference for
+//! [`run_batched`](atp_sim::run_batched): it replays the warmup/measure
+//! protocol one access at a time with no chunk buffer and no boundary
+//! announcements. Batching is purely a driver-side streaming optimization,
+//! so for every manager, trace, and batch size the two must accumulate
+//! bit-identical [`Costs`] in both phases; observer counters must also
+//! agree except for the `batches` count, which belongs to the driver (see
+//! [`counters_modulo_batches`]).
+
+use atp_memmgmt::{MemoryManager, StageCounters};
+use atp_types::{Costs, VirtPage};
+
+/// Replays `warmup` then `measure` accesses one at a time (stopping early
+/// if the trace ends), resetting counters between the phases exactly like
+/// the batched driver. Returns `(warmup_costs, measure_costs)`.
+pub fn run_single_step<M: MemoryManager + ?Sized>(
+    mgr: &mut M,
+    trace: impl IntoIterator<Item = VirtPage>,
+    warmup: u64,
+    measure: u64,
+) -> (Costs, Costs) {
+    let mut iter = trace.into_iter();
+    for p in iter.by_ref().take(warmup as usize) {
+        mgr.access(p);
+    }
+    let warmup_costs = mgr.costs();
+    mgr.reset_costs();
+    for p in iter.take(measure as usize) {
+        mgr.access(p);
+    }
+    (warmup_costs, mgr.costs())
+}
+
+/// Projects out the driver-owned `batches` field so stage counters can be
+/// compared across batch sizes (and against the batch-free single-step
+/// reference, which never announces a boundary).
+pub fn counters_modulo_batches(c: StageCounters) -> StageCounters {
+    StageCounters { batches: 0, ..c }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_memmgmt::classic::{ClassicConfig, ClassicMm};
+    use atp_sim::run_batched;
+
+    #[test]
+    fn single_step_matches_batched_on_classic() {
+        let trace: Vec<VirtPage> = (0..3000u64).map(|i| VirtPage(i % 700)).collect();
+        let mut a = ClassicMm::new(ClassicConfig::paper(4, 256));
+        let mut b = ClassicMm::new(ClassicConfig::paper(4, 256));
+        let (wa, ma) = run_single_step(&mut a, trace.iter().copied(), 1000, 2000);
+        let sb = run_batched(&mut b, trace.iter().copied(), 1000, 2000, 64);
+        assert_eq!(wa, sb.warmup_costs);
+        assert_eq!(ma, sb.costs);
+    }
+
+    #[test]
+    fn modulo_batches_only_clears_batches() {
+        let c = StageCounters {
+            tlb_hits: 3,
+            batches: 9,
+            ..StageCounters::default()
+        };
+        let m = counters_modulo_batches(c);
+        assert_eq!(m.tlb_hits, 3);
+        assert_eq!(m.batches, 0);
+    }
+}

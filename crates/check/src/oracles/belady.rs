@@ -1,0 +1,90 @@
+//! Brute-force Belady OPT oracle.
+//!
+//! [`opt_misses_naive`] simulates farthest-in-future eviction with no
+//! precomputation and no heap: on every miss with a full cache it scans
+//! the *remaining trace* to find each resident item's next use, then
+//! evicts the farthest. O(n² · capacity), which is exactly why the real
+//! [`opt_misses`](atp_replacement::opt::opt_misses) exists — and exactly
+//! why this version is trustworthy as its differential reference.
+//!
+//! Ties (several residents never used again) may be broken differently
+//! from the production implementation; Belady's exchange argument makes
+//! every farthest-in-future choice optimal, so the *miss count* is still
+//! uniquely determined and comparable.
+
+/// Misses of Belady's OPT on `trace` with `capacity` frames, by exhaustive
+/// lookahead.
+///
+/// # Panics
+/// Panics if `capacity == 0`.
+pub fn opt_misses_naive(trace: &[u64], capacity: usize) -> u64 {
+    assert!(capacity > 0, "capacity must be nonzero");
+    let mut resident: Vec<u64> = Vec::with_capacity(capacity);
+    let mut misses = 0u64;
+    for (i, &k) in trace.iter().enumerate() {
+        if resident.contains(&k) {
+            continue;
+        }
+        misses += 1;
+        if resident.len() == capacity {
+            // Exhaustive lookahead: next use of each resident after i.
+            let next_use = |r: u64| {
+                trace[i + 1..]
+                    .iter()
+                    .position(|&t| t == r)
+                    .map_or(usize::MAX, |d| i + 1 + d)
+            };
+            let (victim_idx, _) = resident
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &r)| next_use(r))
+                .expect("cache is full");
+            resident.swap_remove(victim_idx);
+        }
+        resident.push(k);
+    }
+    misses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_replacement::opt::opt_misses;
+
+    #[test]
+    fn textbook_example() {
+        let trace = [7u64, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2];
+        assert_eq!(opt_misses_naive(&trace, 3), 7);
+    }
+
+    #[test]
+    fn agrees_with_heap_opt_on_small_fixed_traces() {
+        let traces: &[&[u64]] = &[
+            &[],
+            &[1],
+            &[1, 1, 1],
+            &[1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5],
+            &[0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3],
+        ];
+        for t in traces {
+            for cap in 1..=6 {
+                assert_eq!(
+                    opt_misses_naive(t, cap),
+                    opt_misses(t, cap).misses,
+                    "trace {t:?} cap {cap}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        let trace: Vec<u64> = (0..200u64).map(|i| (i * 7 + i / 5) % 17).collect();
+        let mut prev = u64::MAX;
+        for cap in 1..=8 {
+            let m = opt_misses_naive(&trace, cap);
+            assert!(m <= prev);
+            prev = m;
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Naive reference models ("oracles") for every randomized subsystem.
+//!
+//! Each oracle is the *obvious* implementation of a subsystem's contract —
+//! exhaustive scans, flat maps, quadratic lookahead — deliberately too
+//! slow for simulation but trivially auditable. Differential tests
+//! (`crates/check/tests/`) drive each production implementation and its
+//! oracle over identical generated inputs and fail on the first diverging
+//! step:
+//!
+//! | family        | oracle                                      | systems under test                          |
+//! |---------------|---------------------------------------------|---------------------------------------------|
+//! | balls-and-bins| [`NaiveGame`] (exhaustive bin scan)         | `Game` under `OneChoice`/`Greedy`/`Iceberg` |
+//! | TLB           | [`LinearTlb`] (linear-scan LRU)             | `Tlb`, `SetAssocTlb`, `TwoLevelTlb`, `SplitTlb` |
+//! | page table    | [`MapPageTable`] (flat `HashMap`)           | `radix`, `hash_table`, `pwc`, `nested`      |
+//! | OPT           | [`opt_misses_naive`] (exhaustive lookahead) | `opt::opt_misses`                           |
+//! | batching      | [`run_single_step`] (unbatched driver)      | `run_batched` over all seven managers       |
+
+pub mod ballsbins;
+pub mod batching;
+pub mod belady;
+pub mod pagetable;
+pub mod tlb;
+
+pub use ballsbins::NaiveGame;
+pub use batching::{counters_modulo_batches, run_single_step};
+pub use belady::opt_misses_naive;
+pub use pagetable::MapPageTable;
+pub use tlb::LinearTlb;

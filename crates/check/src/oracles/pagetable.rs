@@ -1,0 +1,84 @@
+//! Flat-map page-table oracle.
+//!
+//! [`MapPageTable`] implements the [`PageTable`] trait with a plain
+//! `HashMap` and a constant walk cost of one touch. Translation
+//! *correctness* (which mappings exist, what they resolve to, how many
+//! pages are mapped) must be identical across every substrate — radix,
+//! open-addressing hash, walk-cache-wrapped, and nested — while the walk
+//! *cost* is each substrate's own business and is deliberately excluded
+//! from the differential surface.
+
+use atp_pagetable::{PageTable, WalkStats};
+use atp_types::{PhysPage, VirtPage};
+use std::collections::HashMap;
+
+/// The obvious page table: a `HashMap<v, p>`; every operation touches one
+/// location.
+#[derive(Clone, Debug, Default)]
+pub struct MapPageTable {
+    map: HashMap<u64, PhysPage>,
+}
+
+impl MapPageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+const ONE_TOUCH: WalkStats = WalkStats { touches: 1 };
+
+impl PageTable for MapPageTable {
+    fn map(&mut self, v: VirtPage, p: PhysPage) -> WalkStats {
+        self.map.insert(v.0, p);
+        ONE_TOUCH
+    }
+
+    fn unmap(&mut self, v: VirtPage) -> (Option<PhysPage>, WalkStats) {
+        (self.map.remove(&v.0), ONE_TOUCH)
+    }
+
+    fn translate(&self, v: VirtPage) -> (Option<PhysPage>, WalkStats) {
+        (self.map.get(&v.0).copied(), ONE_TOUCH)
+    }
+
+    fn mapped(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    fn table_pages(&self) -> u64 {
+        // Structural overhead is substrate-specific; the flat reference
+        // charges the minimum possible (entries packed into 512-slot
+        // pages), and differential tests do not compare this quantity.
+        self.map.len().div_ceil(512) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut t = MapPageTable::new();
+        assert_eq!(t.translate(VirtPage(5)).0, None);
+        t.map(VirtPage(5), PhysPage(50));
+        assert_eq!(t.translate(VirtPage(5)).0, Some(PhysPage(50)));
+        assert_eq!(t.mapped(), 1);
+        // Overwrite keeps the count stable.
+        t.map(VirtPage(5), PhysPage(51));
+        assert_eq!(t.translate(VirtPage(5)).0, Some(PhysPage(51)));
+        assert_eq!(t.mapped(), 1);
+        assert_eq!(t.unmap(VirtPage(5)).0, Some(PhysPage(51)));
+        assert_eq!(t.unmap(VirtPage(5)).0, None);
+        assert_eq!(t.mapped(), 0);
+    }
+
+    #[test]
+    fn every_walk_is_one_touch() {
+        let mut t = MapPageTable::new();
+        assert_eq!(t.map(VirtPage(1), PhysPage(2)).touches, 1);
+        assert_eq!(t.translate(VirtPage(1)).1.touches, 1);
+        assert_eq!(t.unmap(VirtPage(1)).1.touches, 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Linear-scan fully-associative TLB oracle.
+//!
+//! [`LinearTlb`] is textbook LRU: one `Vec` ordered front-to-back from
+//! most- to least-recently-used, every operation a linear scan. It is the
+//! reference model the paper assumes ("the TLB as a fully associative
+//! cache ... LRU as the replacement policy", §6) and the differential
+//! baseline for the real TLB organizations:
+//!
+//! * [`Tlb`](atp_tlb::Tlb) with the LRU policy must match it exactly;
+//! * [`SetAssocTlb`](atp_tlb::SetAssocTlb) with a single set is fully
+//!   associative by construction and must match;
+//! * [`TwoLevelTlb`](atp_tlb::TwoLevelTlb) with mostly-exclusive
+//!   promote/demote LRU movement holds exactly the `ℓ₁+ℓ₂` most recent
+//!   entries, so its hit/miss stream must match a `ℓ₁+ℓ₂`-entry
+//!   [`LinearTlb`];
+//! * [`SplitTlb`](atp_tlb::SplitTlb) restricted to one size class is one
+//!   fully-associative structure and must match.
+
+use atp_types::VirtHugePage;
+
+/// A fully associative LRU TLB as a linearly scanned recency list.
+#[derive(Clone, Debug)]
+pub struct LinearTlb<V> {
+    /// Front = most recently used.
+    entries: Vec<(VirtHugePage, V)>,
+    capacity: usize,
+}
+
+impl<V> LinearTlb<V> {
+    /// Creates an empty TLB with `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be nonzero");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `u` is resident (no recency effect).
+    pub fn contains(&self, u: VirtHugePage) -> bool {
+        self.entries.iter().any(|(k, _)| *k == u)
+    }
+
+    /// Looks up `u`; a hit moves it to the front of the recency list.
+    pub fn lookup(&mut self, u: VirtHugePage) -> Option<&V> {
+        let pos = self.entries.iter().position(|(k, _)| *k == u)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(&self.entries[0].1)
+    }
+
+    /// Inserts `u → value` at the front, returning the LRU victim if the
+    /// TLB was full.
+    ///
+    /// # Panics
+    /// Panics if `u` is already resident.
+    pub fn insert(&mut self, u: VirtHugePage, value: V) -> Option<(VirtHugePage, V)> {
+        assert!(!self.contains(u), "insert of resident TLB entry");
+        let victim = if self.entries.len() == self.capacity {
+            self.entries.pop()
+        } else {
+            None
+        };
+        self.entries.insert(0, (u, value));
+        victim
+    }
+
+    /// Invalidates `u`, returning its value if resident.
+    pub fn invalidate(&mut self, u: VirtHugePage) -> Option<V> {
+        let pos = self.entries.iter().position(|(k, _)| *k == u)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Looks up `u`, filling from `fill` on a miss. Returns whether it hit.
+    pub fn access_or_fill(&mut self, u: VirtHugePage, fill: impl FnOnce() -> V) -> bool {
+        if self.lookup(u).is_some() {
+            return true;
+        }
+        self.insert(u, fill());
+        false
+    }
+
+    /// Resident keys from most- to least-recently used.
+    pub fn recency_order(&self) -> impl Iterator<Item = VirtHugePage> + '_ {
+        self.entries.iter().map(|&(k, _)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(x: u64) -> VirtHugePage {
+        VirtHugePage(x)
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t: LinearTlb<u64> = LinearTlb::new(2);
+        assert_eq!(t.insert(u(1), 10), None);
+        assert_eq!(t.insert(u(2), 20), None);
+        t.lookup(u(1));
+        assert_eq!(t.insert(u(3), 30), Some((u(2), 20)));
+        assert_eq!(t.recency_order().collect::<Vec<_>>(), vec![u(3), u(1)]);
+    }
+
+    #[test]
+    fn invalidate_and_refill() {
+        let mut t: LinearTlb<u64> = LinearTlb::new(4);
+        t.insert(u(9), 90);
+        assert_eq!(t.invalidate(u(9)), Some(90));
+        assert_eq!(t.invalidate(u(9)), None);
+        assert!(!t.access_or_fill(u(9), || 91));
+        assert!(t.access_or_fill(u(9), || 92));
+        assert_eq!(t.lookup(u(9)), Some(&91));
+    }
+
+    #[test]
+    #[should_panic(expected = "insert of resident")]
+    fn double_insert_panics() {
+        let mut t: LinearTlb<()> = LinearTlb::new(2);
+        t.insert(u(1), ());
+        t.insert(u(1), ());
+    }
+}

@@ -1,0 +1,320 @@
+//! The property runner: seeded cases, greedy integrated shrinking, and
+//! replayable failure reports.
+//!
+//! [`check`] runs a property over [`Config::cases`] generated inputs. Each
+//! case's input is a pure function of a 64-bit *case seed*, so a failure
+//! is replayable forever: the report prints
+//! `ATP_CHECK_SEED=<seed> cargo test <property>` and setting that
+//! environment variable re-runs exactly the failing case. On failure the
+//! runner shrinks greedily — it repeatedly adopts the first proposed
+//! smaller input that still fails — and reports the minimal counterexample
+//! alongside the original one.
+
+use crate::gen::Gen;
+use atp_hash::mix::mix2;
+use atp_hash::{CounterRng, XxHash64};
+use std::fmt::Debug;
+
+/// Environment variable that pins the runner to a single case seed.
+pub const SEED_ENV: &str = "ATP_CHECK_SEED";
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases (ignored when a replay seed is pinned).
+    pub cases: u64,
+    /// Base seed; per-case seeds are derived from it. Defaults to a hash
+    /// of the property name so distinct properties explore distinct
+    /// streams.
+    pub seed: u64,
+    /// Upper bound on property evaluations spent shrinking one failure.
+    pub max_shrink_evals: u64,
+    /// Explicit replay seed; overrides case generation just like the
+    /// `ATP_CHECK_SEED` environment variable (which takes precedence).
+    pub replay: Option<u64>,
+}
+
+impl Config {
+    /// The default configuration for a named property.
+    pub fn for_property(name: &str) -> Self {
+        let mut h = XxHash64::with_seed(0xC4EC);
+        h.update(name.as_bytes());
+        Self {
+            cases: 64,
+            seed: h.digest(),
+            max_shrink_evals: 20_000,
+            replay: None,
+        }
+    }
+
+    /// Sets the case count.
+    pub fn with_cases(mut self, cases: u64) -> Self {
+        self.cases = cases;
+        self
+    }
+}
+
+/// A property failure: the original and minimal counterexamples plus the
+/// seed that replays the case.
+#[derive(Clone, Debug)]
+pub struct Failure<T> {
+    /// Property name (the `cargo test` filter for replay).
+    pub property: String,
+    /// Seed that regenerates the failing input.
+    pub case_seed: u64,
+    /// The input as generated.
+    pub original: T,
+    /// The input after greedy shrinking (== `original` if irreducible).
+    pub minimal: T,
+    /// Number of successful shrink steps taken.
+    pub shrink_steps: u64,
+    /// The property's error for the minimal input.
+    pub message: String,
+}
+
+impl<T: Debug> Failure<T> {
+    /// Renders the failure report: what diverged, the minimal
+    /// counterexample, and the replay command.
+    pub fn report(&self) -> String {
+        format!(
+            "property `{}` failed: {}\n\
+             minimal counterexample ({} shrink steps): {:?}\n\
+             original input: {:?}\n\
+             replay: {}={} cargo test {}",
+            self.property,
+            self.message,
+            self.shrink_steps,
+            self.minimal,
+            self.original,
+            SEED_ENV,
+            self.case_seed,
+            self.property,
+        )
+    }
+}
+
+fn replay_seed(cfg: &Config) -> Option<u64> {
+    if let Ok(s) = std::env::var(SEED_ENV) {
+        match s.trim().parse::<u64>() {
+            Ok(v) => return Some(v),
+            Err(_) => panic!("{SEED_ENV}={s:?} is not a u64 case seed"),
+        }
+    }
+    cfg.replay
+}
+
+/// Runs `prop` over generated inputs, returning the first (shrunk) failure
+/// instead of panicking. Prefer [`check`] in tests; this entry point is for
+/// meta-tests and tools that inspect failures programmatically.
+pub fn check_result<G: Gen>(
+    property: &str,
+    gen: &G,
+    cfg: &Config,
+    prop: impl Fn(&G::Value) -> Result<(), String>,
+) -> Result<(), Failure<G::Value>> {
+    let case_seeds: Vec<u64> = match replay_seed(cfg) {
+        Some(s) => vec![s],
+        None => (0..cfg.cases).map(|i| mix2(cfg.seed, i)).collect(),
+    };
+    for case_seed in case_seeds {
+        let mut rng = CounterRng::new(case_seed, 0);
+        let original = gen.generate(&mut rng);
+        let message = match prop(&original) {
+            Ok(()) => continue,
+            Err(m) => m,
+        };
+        let (minimal, message, shrink_steps) =
+            shrink_greedily(gen, original.clone(), message, cfg.max_shrink_evals, &prop);
+        return Err(Failure {
+            property: property.to_string(),
+            case_seed,
+            original,
+            minimal,
+            shrink_steps,
+            message,
+        });
+    }
+    Ok(())
+}
+
+/// Greedy integrated shrinker: adopt the first proposed smaller input that
+/// still fails; stop when no proposal fails (local minimum) or the
+/// evaluation budget is spent.
+fn shrink_greedily<G: Gen>(
+    gen: &G,
+    mut cur: G::Value,
+    mut cur_msg: String,
+    max_evals: u64,
+    prop: &impl Fn(&G::Value) -> Result<(), String>,
+) -> (G::Value, String, u64) {
+    let mut evals = 0u64;
+    let mut steps = 0u64;
+    'outer: loop {
+        for cand in gen.shrink(&cur) {
+            if evals >= max_evals {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(m) = prop(&cand) {
+                cur = cand;
+                cur_msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // No proposal fails: `cur` is locally minimal.
+    }
+    (cur, cur_msg, steps)
+}
+
+/// Runs `prop` over generated inputs with the default [`Config`], panicking
+/// on failure with the minimal counterexample and the replay command.
+///
+/// `property` must be the `#[test]` function's name (it is printed as the
+/// `cargo test` filter of the replay command).
+pub fn check<G: Gen>(property: &str, gen: &G, prop: impl Fn(&G::Value) -> Result<(), String>) {
+    check_config(property, gen, &Config::for_property(property), prop)
+}
+
+/// [`check`] with an explicit configuration.
+pub fn check_config<G: Gen>(
+    property: &str,
+    gen: &G,
+    cfg: &Config,
+    prop: impl Fn(&G::Value) -> Result<(), String>,
+) {
+    if let Err(failure) = check_result(property, gen, cfg, prop) {
+        panic!("{}", failure.report());
+    }
+}
+
+/// `ensure!(cond, "format", args…)` — early-returns `Err(String)` from a
+/// property closure when `cond` is false.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `ensure_eq!(left, right, "context", args…)` — early-returns
+/// `Err(String)` showing both values when they differ.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}: left={:?} right={:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{u64s, vecs};
+
+    #[test]
+    fn passing_property_stays_quiet() {
+        check("passing_property_stays_quiet", &u64s(0..=100), |&v| {
+            ensure!(v <= 100, "generator out of range: {v}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failure_is_shrunk_to_the_boundary() {
+        // Property "all values < 10" over 0..=1000 must shrink exactly to
+        // the boundary value 10.
+        let cfg = Config::for_property("failure_is_shrunk_to_the_boundary");
+        let r = check_result(
+            "failure_is_shrunk_to_the_boundary",
+            &u64s(0..=1000),
+            &cfg,
+            |&v| {
+                ensure!(v < 10, "value {v} too large");
+                Ok(())
+            },
+        );
+        let f = r.expect_err("property must fail");
+        assert_eq!(f.minimal, 10, "greedy shrink must land on the boundary");
+        assert!(f.original >= 10);
+    }
+
+    #[test]
+    fn vec_failures_shrink_to_singletons() {
+        // Property "no element equals 7" shrinks to the one-element vector
+        // [7].
+        let gen = vecs(u64s(0..=9), 0..=100);
+        let cfg = Config::for_property("vec_failures_shrink_to_singletons").with_cases(256);
+        let r = check_result("vec_failures_shrink_to_singletons", &gen, &cfg, |v| {
+            ensure!(!v.contains(&7), "found a 7 in {v:?}");
+            Ok(())
+        });
+        let f = r.expect_err("a 7 must appear in 256 cases");
+        assert_eq!(f.minimal, vec![7]);
+    }
+
+    #[test]
+    fn replay_seed_reproduces_the_case() {
+        let gen = u64s(0..=u64::MAX);
+        let cfg = Config::for_property("replay_seed_reproduces_the_case");
+        let f = check_result("replay_seed_reproduces_the_case", &gen, &cfg, |&v| {
+            ensure!(v % 3 != 0, "multiple of three: {v}");
+            Ok(())
+        })
+        .expect_err("a multiple of 3 appears quickly");
+        // Pin the failing seed: the replayed run regenerates the same input.
+        let pinned = Config {
+            replay: Some(f.case_seed),
+            ..cfg
+        };
+        let g = check_result("replay_seed_reproduces_the_case", &gen, &pinned, |&v| {
+            ensure!(v % 3 != 0, "multiple of three: {v}");
+            Ok(())
+        })
+        .expect_err("replay must fail again");
+        assert_eq!(f.original, g.original);
+        assert_eq!(f.minimal, g.minimal);
+    }
+
+    #[test]
+    fn report_names_the_essentials() {
+        let f = Failure {
+            property: "some_property".to_string(),
+            case_seed: 42,
+            original: vec![1u64, 2, 3],
+            minimal: vec![2u64],
+            shrink_steps: 5,
+            message: "boom".to_string(),
+        };
+        let r = f.report();
+        assert!(r.contains("minimal counterexample"));
+        assert!(r.contains("[2]"));
+        assert!(r.contains("ATP_CHECK_SEED=42 cargo test some_property"));
+    }
+
+    #[test]
+    fn shrink_budget_is_respected() {
+        // A pathological property that always fails: the shrinker must
+        // terminate within its budget.
+        let gen = vecs(u64s(0..=u64::MAX), 0..=200);
+        let cfg = Config {
+            max_shrink_evals: 50,
+            ..Config::for_property("shrink_budget_is_respected")
+        };
+        let f = check_result("shrink_budget_is_respected", &gen, &cfg, |_| {
+            Err("always fails".to_string())
+        })
+        .expect_err("always fails");
+        // Budget bounds the number of *successful* steps too.
+        assert!(f.shrink_steps <= 50);
+    }
+}

@@ -1,0 +1,158 @@
+//! Differential tests: the real balls-and-bins [`Game`] against the
+//! exhaustive-scan [`NaiveGame`] oracle, over generated adversary scripts
+//! of interleaved inserts and removes under every placement rule.
+
+use atp_ballsbins::{Game, Rule, Slot};
+use atp_check::oracles::NaiveGame;
+use atp_check::{check, differential, ensure_eq, from_fn, u64s, vecs, CounterRng, Gen};
+
+/// Generates one of the three placement rules; shrinks toward
+/// `OneChoice`, then toward the smallest parameter.
+fn rules() -> impl Gen<Value = Rule> {
+    from_fn(
+        |rng: &mut CounterRng| match rng.next_below(3) {
+            0 => Rule::OneChoice,
+            1 => Rule::Greedy {
+                d: rng.next_below(3) as u32 + 2,
+            },
+            _ => Rule::Iceberg {
+                front_cap: rng.next_below(7) as u32 + 1,
+            },
+        },
+        |r: &Rule| match *r {
+            Rule::OneChoice => vec![],
+            Rule::Greedy { d } if d > 2 => vec![Rule::OneChoice, Rule::Greedy { d: 2 }],
+            Rule::Greedy { .. } => vec![Rule::OneChoice],
+            Rule::Iceberg { front_cap } if front_cap > 1 => {
+                vec![Rule::OneChoice, Rule::Iceberg { front_cap: 1 }]
+            }
+            Rule::Iceberg { .. } => vec![Rule::OneChoice],
+        },
+    )
+}
+
+/// Applies one `(ball, insert)` op, reporting the slot the op touched.
+/// `None` means the op was a no-op (double insert / absent remove).
+fn step(g: &mut Game, ball: u64, insert: bool) -> Option<Slot> {
+    if insert {
+        if g.contains(ball) {
+            None
+        } else {
+            Some(g.insert(ball))
+        }
+    } else {
+        g.remove(ball)
+    }
+}
+
+fn naive_step(g: &mut NaiveGame, ball: u64, insert: bool) -> Option<Slot> {
+    if insert {
+        if g.contains(ball) {
+            None
+        } else {
+            Some(g.insert(ball))
+        }
+    } else {
+        g.remove(ball)
+    }
+}
+
+#[test]
+fn game_matches_naive_oracle_on_adversary_scripts() {
+    // (seed, bins, rule, ops): every op's slot and every post-script load
+    // must agree with the exhaustive-scan reference.
+    let gen = (
+        u64s(0..=u64::MAX),
+        u64s(1..=32),
+        rules(),
+        vecs((u64s(0..=63), atp_check::bools()), 0..=200),
+    );
+    check(
+        "game_matches_naive_oracle_on_adversary_scripts",
+        &gen,
+        |(seed, bins, rule, ops)| {
+            let mut real = Game::new(*seed, *bins, *rule);
+            let mut naive = NaiveGame::new(*seed, *bins, *rule);
+            differential(
+                "Game",
+                "NaiveGame",
+                ops.iter().copied(),
+                |&(ball, ins)| step(&mut real, ball, ins),
+                |&(ball, ins)| naive_step(&mut naive, ball, ins),
+            )?;
+            for b in 0..*bins {
+                ensure_eq!(real.load(b), naive.load(b), "total load of bin {b}");
+                ensure_eq!(
+                    real.front_load(b),
+                    naive.front_load(b),
+                    "front load of bin {b}"
+                );
+                ensure_eq!(
+                    real.back_load(b),
+                    naive.back_load(b),
+                    "back load of bin {b}"
+                );
+            }
+            ensure_eq!(real.len(), naive.len(), "ball count");
+            ensure_eq!(real.max_load(), naive.max_load(), "max load");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn placement_is_a_pure_prediction_of_insert() {
+    // placement() must not mutate: two calls then an insert agree.
+    let gen = (
+        u64s(0..=u64::MAX),
+        u64s(1..=32),
+        rules(),
+        vecs(u64s(0..=999), 1..=100),
+    );
+    check(
+        "placement_is_a_pure_prediction_of_insert",
+        &gen,
+        |(seed, bins, rule, balls)| {
+            let mut g = Game::new(*seed, *bins, *rule);
+            for &b in balls {
+                if g.contains(b) {
+                    continue;
+                }
+                let p1 = g.placement(b);
+                let p2 = g.placement(b);
+                ensure_eq!(p1, p2, "placement({b}) is not idempotent");
+                ensure_eq!(g.insert(b), p1, "insert({b}) disagrees with placement");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Large-geometry sweep, kept out of the default run (`--ignored` CI step):
+/// thousands of bins and balls per rule, still bit-compared per op.
+#[test]
+#[ignore = "large oracle size; run via the dedicated CI step"]
+fn game_matches_naive_oracle_at_scale() {
+    for rule in [
+        Rule::OneChoice,
+        Rule::Greedy { d: 2 },
+        Rule::Greedy { d: 4 },
+        Rule::Iceberg { front_cap: 8 },
+    ] {
+        let bins = 2048;
+        let mut real = Game::new(0xA7C4, bins, rule);
+        let mut naive = NaiveGame::new(0xA7C4, bins, rule);
+        let mut rng = CounterRng::new(0x5CA1E, 0);
+        for i in 0..50_000u64 {
+            let ball = rng.next_below(30_000);
+            let insert = rng.next_below(3) != 0;
+            assert_eq!(
+                step(&mut real, ball, insert),
+                naive_step(&mut naive, ball, insert),
+                "{rule:?} diverged at op {i} (ball {ball}, insert {insert})"
+            );
+        }
+        assert_eq!(real.len(), naive.len(), "{rule:?} ball count");
+        assert_eq!(real.max_load(), naive.max_load(), "{rule:?} max load");
+    }
+}

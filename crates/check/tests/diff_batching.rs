@@ -1,0 +1,194 @@
+//! Differential tests pinning `run_batched` to the single-step unbatched
+//! oracle across every manager and batch sizes {1, 3, 4096}: batching is a
+//! driver-side streaming optimization and must not change any cost, in
+//! either the warmup or the measurement phase. Observer stage counters
+//! must also agree except for the driver-owned `batches` field.
+
+use atp_check::oracles::{counters_modulo_batches, run_single_step};
+use atp_core::{IcebergAlloc, IcebergParams};
+use atp_memmgmt::classic::{ClassicConfig, ClassicMm, ClassicStages};
+use atp_memmgmt::decoupled::{DecoupledConfig, DecoupledStages};
+use atp_memmgmt::{
+    DecoupledMm, HybridMm, MemoryManager, PagingOnlyMm, Pipeline, Recorder, SparseConfig,
+    SparseDecoupledMm, ThpConfig, ThpMm, VirtualOnlyMm,
+};
+use atp_replacement::PolicyKind;
+use atp_sim::run_batched;
+use atp_types::VirtPage;
+use atp_workloads::Zipfian;
+
+const PHYS: u64 = 1 << 10;
+const TLB: u64 = 64;
+const WARMUP: u64 = 2000;
+const MEASURE: u64 = 3000;
+
+fn trace() -> Vec<VirtPage> {
+    Zipfian::new(42, 1 << 12, 1.1).take(6000).collect()
+}
+
+fn decoupled_cfg(params: &IcebergParams, seed: u64) -> DecoupledConfig {
+    DecoupledConfig {
+        tlb_value_bits: 64,
+        tlb_entries: TLB,
+        tlb_policy: PolicyKind::Lru,
+        resident_pages: params.max_resident,
+        ram_policy: PolicyKind::Lru,
+        seed,
+    }
+}
+
+/// Fresh instances of all seven managers; a factory because the
+/// differential needs two identically-constructed copies per comparison.
+fn managers() -> Vec<Box<dyn MemoryManager>> {
+    let params = IcebergParams::derive(PHYS);
+    vec![
+        Box::new(ClassicMm::new(ClassicConfig {
+            huge_pages: 8,
+            phys_pages: PHYS,
+            tlb_entries: TLB,
+            tlb_policy: PolicyKind::Lru,
+            ram_policy: PolicyKind::Lru,
+            seed: 11,
+        })),
+        Box::new(VirtualOnlyMm::new(8, TLB, PolicyKind::Lru, 11)),
+        Box::new(PagingOnlyMm::new(PHYS, PolicyKind::Lru, 11)),
+        Box::new(DecoupledMm::new(
+            IcebergAlloc::new(&params, 11),
+            decoupled_cfg(&params, 11),
+        )),
+        Box::new(HybridMm::new(
+            IcebergAlloc::new(&params, 13),
+            decoupled_cfg(&params, 13),
+            4,
+        )),
+        Box::new(SparseDecoupledMm::new(
+            IcebergAlloc::new(&params, 17),
+            SparseConfig {
+                tlb_value_bits: 64,
+                coverage: 64,
+                tlb_entries: TLB,
+                tlb_policy: PolicyKind::Lru,
+                resident_pages: params.max_resident,
+                ram_policy: PolicyKind::Lru,
+                seed: 17,
+            },
+        )),
+        Box::new(ThpMm::new(ThpConfig {
+            huge_pages: 8,
+            phys_pages: PHYS,
+            tlb_entries: TLB,
+            policy: PolicyKind::Lru,
+            seed: 19,
+        })),
+    ]
+}
+
+#[test]
+fn batched_costs_match_single_step_for_every_manager() {
+    let trace = trace();
+    let n_managers = managers().len();
+    assert_eq!(n_managers, 7, "every manager family must be covered");
+    for batch in [1usize, 3, 4096] {
+        for slot in 0..n_managers {
+            let mut batched = managers().remove(slot);
+            let mut oracle = managers().remove(slot);
+            let name = batched.name();
+            let stats = run_batched(
+                batched.as_mut(),
+                trace.iter().copied(),
+                WARMUP,
+                MEASURE,
+                batch,
+            );
+            let (warmup_costs, costs) =
+                run_single_step(oracle.as_mut(), trace.iter().copied(), WARMUP, MEASURE);
+            assert_eq!(
+                stats.warmup_costs, warmup_costs,
+                "{name}: warmup costs diverged at batch size {batch}"
+            );
+            assert_eq!(
+                stats.costs, costs,
+                "{name}: measured costs diverged at batch size {batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn observer_counters_match_single_step_modulo_batches() {
+    // The recorder sees identical per-stage event streams regardless of
+    // chunking; only the driver-owned `batches` count may differ.
+    let trace = trace();
+    let cfg = || ClassicConfig {
+        huge_pages: 8,
+        phys_pages: PHYS,
+        tlb_entries: TLB,
+        tlb_policy: PolicyKind::Lru,
+        ram_policy: PolicyKind::Lru,
+        seed: 11,
+    };
+    let mut oracle = Pipeline::with_observer(ClassicStages::new(cfg()), Recorder::new());
+    run_single_step(&mut oracle, trace.iter().copied(), WARMUP, MEASURE);
+    let oracle_counters = counters_modulo_batches(oracle.observer().counters());
+    assert_eq!(
+        oracle_counters.batches, 0,
+        "single-step driver never announces batches"
+    );
+    for batch in [1usize, 3, 4096] {
+        let mut sut = Pipeline::with_observer(ClassicStages::new(cfg()), Recorder::new());
+        run_batched(&mut sut, trace.iter().copied(), WARMUP, MEASURE, batch);
+        let counters = sut.observer().counters();
+        // batch_boundary announcements: one per chunk in each phase.
+        let expected_batches = WARMUP.div_ceil(batch as u64) + MEASURE.div_ceil(batch as u64);
+        assert_eq!(
+            counters.batches, expected_batches,
+            "batch boundary count at batch size {batch}"
+        );
+        assert_eq!(
+            counters_modulo_batches(counters),
+            oracle_counters,
+            "stage counters diverged at batch size {batch}"
+        );
+    }
+}
+
+#[test]
+fn observer_counters_match_on_decoupled_pipeline() {
+    // Same invariant through a decode-bearing pipeline (Z), where the
+    // translate stage emits decode events the classic pipeline never does.
+    let trace = trace();
+    let params = IcebergParams::derive(PHYS);
+    let fresh = || {
+        Pipeline::with_observer(
+            DecoupledStages::new(IcebergAlloc::new(&params, 11), decoupled_cfg(&params, 11)),
+            Recorder::new(),
+        )
+    };
+    let mut oracle = fresh();
+    run_single_step(&mut oracle, trace.iter().copied(), WARMUP, MEASURE);
+    for batch in [1usize, 3, 4096] {
+        let mut sut = fresh();
+        run_batched(&mut sut, trace.iter().copied(), WARMUP, MEASURE, batch);
+        assert_eq!(
+            counters_modulo_batches(sut.observer().counters()),
+            counters_modulo_batches(oracle.observer().counters()),
+            "decoupled stage counters diverged at batch size {batch}"
+        );
+    }
+}
+
+#[test]
+fn short_trace_early_stop_is_batch_invariant() {
+    // Traces shorter than warmup+measure stop early; the early-stop point
+    // must not depend on chunking.
+    let short: Vec<VirtPage> = trace().into_iter().take(700).collect();
+    for batch in [1usize, 3, 4096] {
+        let mut batched = ClassicMm::new(ClassicConfig::paper(4, 256));
+        let mut oracle = ClassicMm::new(ClassicConfig::paper(4, 256));
+        let stats = run_batched(&mut batched, short.iter().copied(), 500, 1000, batch);
+        let (w, m) = run_single_step(&mut oracle, short.iter().copied(), 500, 1000);
+        assert_eq!(stats.warmup_costs, w, "warmup at batch {batch}");
+        assert_eq!(stats.costs, m, "measure at batch {batch}");
+        assert_eq!(stats.costs.accesses, 200, "early stop point moved");
+    }
+}

@@ -1,0 +1,81 @@
+//! Differential tests pinning the heap-based Belady implementation
+//! (`atp_replacement::opt::opt_misses`) to the brute-force exhaustive
+//! lookahead oracle on every generated trace of length ≤ 64 across cache
+//! sizes 1..=8.
+
+use atp_check::oracles::opt_misses_naive;
+use atp_check::{check, ensure, ensure_eq, u64s, vecs};
+use atp_replacement::opt::opt_misses;
+
+#[test]
+fn heap_opt_matches_brute_force_on_short_traces() {
+    // Small page universe maximizes re-references, which is where eviction
+    // choice (and thus any tie-break or lookahead bug) matters.
+    let gen = vecs(u64s(0..=15), 0..=64);
+    check(
+        "heap_opt_matches_brute_force_on_short_traces",
+        &gen,
+        |trace| {
+            for cap in 1..=8usize {
+                ensure_eq!(
+                    opt_misses(trace, cap).misses,
+                    opt_misses_naive(trace, cap),
+                    "OPT miss counts diverged at capacity {cap} on {trace:?}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn opt_never_beats_compulsory_bound_and_is_monotone() {
+    let gen = vecs(u64s(0..=15), 0..=64);
+    check(
+        "opt_never_beats_compulsory_bound_and_is_monotone",
+        &gen,
+        |trace| {
+            let distinct = {
+                let mut s: Vec<u64> = trace.clone();
+                s.sort_unstable();
+                s.dedup();
+                s.len() as u64
+            };
+            let mut prev = u64::MAX;
+            for cap in 1..=8usize {
+                let m = opt_misses_naive(trace, cap);
+                ensure!(
+                    m >= distinct,
+                    "OPT undercounted compulsory misses: {m} < {distinct} at cap {cap}"
+                );
+                ensure!(
+                    m <= trace.len() as u64,
+                    "more misses than accesses at cap {cap}"
+                );
+                ensure!(m <= prev, "OPT misses grew with capacity at {cap}");
+                prev = m;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Long traces and big caches for the dedicated `--ignored` CI step.
+#[test]
+#[ignore = "large oracle size (quadratic lookahead); run via the dedicated CI step"]
+fn heap_opt_matches_brute_force_at_scale() {
+    use atp_check::CounterRng;
+    let mut rng = CounterRng::new(0x0B7A, 0);
+    for round in 0..8u64 {
+        let len = 2000 + rng.next_below(2000) as usize;
+        let universe = 1 + rng.next_below(256);
+        let trace: Vec<u64> = (0..len).map(|_| rng.next_below(universe)).collect();
+        for cap in [1usize, 2, 7, 16, 63, 128] {
+            assert_eq!(
+                opt_misses(&trace, cap).misses,
+                opt_misses_naive(&trace, cap),
+                "round {round}, universe {universe}, cap {cap}"
+            );
+        }
+    }
+}

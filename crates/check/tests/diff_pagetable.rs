@@ -1,0 +1,188 @@
+//! Differential tests: every page-table substrate against the flat
+//! `HashMap` oracle [`MapPageTable`]. Translation *results* must agree
+//! everywhere; walk *costs* are substrate-specific and excluded.
+
+use atp_check::oracles::MapPageTable;
+use atp_check::{check, differential, ensure_eq, from_fn, u64s, vecs, CounterRng, Gen};
+use atp_pagetable::{CachedWalker, HashPageTable, NestedTranslation, PageTable, RadixPageTable};
+use atp_types::{PhysPage, VirtPage};
+
+/// One page-table op over a small address universe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    Map(u64, u64),
+    Translate(u64),
+    Unmap(u64),
+}
+
+/// Generates op scripts; shrinking drops ops (via the vec combinator) and
+/// simplifies each op toward `Translate(0)`.
+fn scripts() -> impl Gen<Value = Vec<Op>> {
+    let op = from_fn(
+        |rng: &mut CounterRng| {
+            let v = rng.next_below(64);
+            match rng.next_below(4) {
+                0 | 1 => Op::Map(v, rng.next_below(1 << 20)),
+                2 => Op::Translate(v),
+                _ => Op::Unmap(v),
+            }
+        },
+        |op: &Op| match *op {
+            Op::Translate(0) => vec![],
+            Op::Translate(v) => vec![Op::Translate(v / 2)],
+            Op::Map(v, p) => vec![Op::Translate(v), Op::Map(v / 2, p), Op::Map(v, p / 2)],
+            Op::Unmap(v) => vec![Op::Translate(v), Op::Unmap(v / 2)],
+        },
+    );
+    vecs(op, 0..=150)
+}
+
+/// Applies one op, returning the translation-relevant outcome only (walk
+/// stats deliberately dropped).
+fn apply<T: PageTable>(t: &mut T, op: Op) -> Option<PhysPage> {
+    match op {
+        Op::Map(v, p) => {
+            t.map(VirtPage(v), PhysPage(p));
+            None
+        }
+        Op::Translate(v) => t.translate(VirtPage(v)).0,
+        Op::Unmap(v) => t.unmap(VirtPage(v)).0,
+    }
+}
+
+#[test]
+fn radix_table_matches_flat_map_oracle() {
+    check("radix_table_matches_flat_map_oracle", &scripts(), |ops| {
+        let mut sut = RadixPageTable::new();
+        let mut oracle = MapPageTable::new();
+        differential(
+            "RadixPageTable",
+            "MapPageTable",
+            ops.iter().copied(),
+            |&op| apply(&mut sut, op),
+            |&op| apply(&mut oracle, op),
+        )?;
+        ensure_eq!(sut.mapped(), oracle.mapped(), "mapped page count");
+        Ok(())
+    });
+}
+
+#[test]
+fn hash_table_matches_flat_map_oracle() {
+    let gen = (u64s(0..=u64::MAX), scripts());
+    check("hash_table_matches_flat_map_oracle", &gen, |(seed, ops)| {
+        // Tiny expected size forces rehashing mid-script.
+        let mut sut = HashPageTable::new(*seed, 4);
+        let mut oracle = MapPageTable::new();
+        differential(
+            "HashPageTable",
+            "MapPageTable",
+            ops.iter().copied(),
+            |&op| apply(&mut sut, op),
+            |&op| apply(&mut oracle, op),
+        )?;
+        ensure_eq!(sut.mapped(), oracle.mapped(), "mapped page count");
+        Ok(())
+    });
+}
+
+#[test]
+fn cached_walker_matches_flat_map_oracle() {
+    // The walk cache accelerates translation but must never change its
+    // result; unmaps are followed by a flush, as an OS would do alongside
+    // a TLB shootdown.
+    check("cached_walker_matches_flat_map_oracle", &scripts(), |ops| {
+        let mut sut = CachedWalker::new(RadixPageTable::new(), 4);
+        let mut oracle = MapPageTable::new();
+        differential(
+            "CachedWalker<RadixPageTable>",
+            "MapPageTable",
+            ops.iter().copied(),
+            |&op| match op {
+                Op::Map(v, p) => {
+                    sut.table_mut().map(VirtPage(v), PhysPage(p));
+                    None
+                }
+                Op::Translate(v) => sut.translate(VirtPage(v)).0,
+                Op::Unmap(v) => {
+                    let r = sut.table_mut().unmap(VirtPage(v)).0;
+                    sut.flush();
+                    r
+                }
+            },
+            |&op| apply(&mut oracle, op),
+        )?;
+        Ok(())
+    });
+}
+
+#[test]
+fn nested_translation_matches_composed_flat_maps() {
+    // A 2D walk resolves to host(guest(v)); the oracle composes two flat
+    // maps by hand. Guest-physical ids are offset so host mappings for
+    // table nodes never alias data mappings.
+    let gen = vecs((u64s(0..=63), u64s(0..=63)), 0..=100);
+    check(
+        "nested_translation_matches_composed_flat_maps",
+        &gen,
+        |pairs| {
+            let mut guest = RadixPageTable::new();
+            let mut host = RadixPageTable::new();
+            let mut oracle_guest = MapPageTable::new();
+            let mut oracle_host = MapPageTable::new();
+            for &(v, gp) in pairs {
+                let gpa = gp + 1000;
+                guest.map(VirtPage(v), PhysPage(gpa));
+                oracle_guest.map(VirtPage(v), PhysPage(gpa));
+                host.map(VirtPage(gpa), PhysPage(gpa + 1000));
+                oracle_host.map(VirtPage(gpa), PhysPage(gpa + 1000));
+            }
+            let nested = NestedTranslation::new(guest, host);
+            differential(
+                "NestedTranslation",
+                "compose(host, guest)",
+                0..=127u64,
+                |&v| nested.translate(VirtPage(v)).0,
+                |&v| {
+                    let gpa = oracle_guest.translate(VirtPage(v)).0?;
+                    oracle_host.translate(VirtPage(gpa.0)).0
+                },
+            )?;
+            Ok(())
+        },
+    );
+}
+
+/// Hundreds of thousands of mappings per substrate, for the dedicated
+/// `--ignored` CI step.
+#[test]
+#[ignore = "large oracle size; run via the dedicated CI step"]
+fn page_tables_match_flat_map_oracle_at_scale() {
+    let mut rng = CounterRng::new(0x9A6E, 0);
+    let mut radix = RadixPageTable::new();
+    let mut hash = HashPageTable::new(3, 8);
+    let mut oracle = MapPageTable::new();
+    for i in 0..300_000u64 {
+        let v = rng.next_below(1 << 22);
+        match rng.next_below(4) {
+            0 | 1 => {
+                let p = rng.next_below(1 << 30);
+                radix.map(VirtPage(v), PhysPage(p));
+                hash.map(VirtPage(v), PhysPage(p));
+                oracle.map(VirtPage(v), PhysPage(p));
+            }
+            2 => {
+                let want = oracle.translate(VirtPage(v)).0;
+                assert_eq!(radix.translate(VirtPage(v)).0, want, "radix at op {i}");
+                assert_eq!(hash.translate(VirtPage(v)).0, want, "hash at op {i}");
+            }
+            _ => {
+                let want = oracle.unmap(VirtPage(v)).0;
+                assert_eq!(radix.unmap(VirtPage(v)).0, want, "radix unmap at op {i}");
+                assert_eq!(hash.unmap(VirtPage(v)).0, want, "hash unmap at op {i}");
+            }
+        }
+    }
+    assert_eq!(radix.mapped(), oracle.mapped());
+    assert_eq!(hash.mapped(), oracle.mapped());
+}

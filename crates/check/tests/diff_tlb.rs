@@ -1,0 +1,218 @@
+//! Differential tests: every TLB organization against the linear-scan
+//! fully-associative LRU oracle [`LinearTlb`].
+//!
+//! The equivalences under test (argued in the oracle's module docs):
+//! a `Tlb` with the LRU policy *is* the oracle; a single-set
+//! `SetAssocTlb` is fully associative by construction; a `TwoLevelTlb`
+//! with mostly-exclusive promote/demote movement holds exactly the
+//! `ℓ₁+ℓ₂` most recently used entries, so its hit/miss stream matches an
+//! `ℓ₁+ℓ₂`-entry LRU; a `SplitTlb` restricted to one size class is one
+//! fully-associative structure.
+
+use atp_check::oracles::LinearTlb;
+use atp_check::{bools, check, differential, ensure_eq, u64s, usizes, vecs};
+use atp_replacement::PolicyKind;
+use atp_tlb::{Level, SetAssocTlb, SplitTlb, Tlb, TwoLevelTlb};
+use atp_types::VirtHugePage;
+
+/// Adversary scripts: `(page, invalidate)` ops over a small page universe
+/// so residency churns hard against tiny capacities.
+fn scripts() -> impl atp_check::Gen<Value = Vec<(u64, bool)>> {
+    vecs((u64s(0..=16), bools()), 0..=300)
+}
+
+#[test]
+fn full_lru_tlb_matches_linear_oracle() {
+    let gen = (usizes(1..=8), scripts());
+    check("full_lru_tlb_matches_linear_oracle", &gen, |(cap, ops)| {
+        let mut sut: Tlb<u64> = Tlb::lru(*cap as u64);
+        let mut oracle: LinearTlb<u64> = LinearTlb::new(*cap);
+        differential(
+            "Tlb::lru",
+            "LinearTlb",
+            ops.iter().copied(),
+            |&(p, inv)| {
+                let u = VirtHugePage(p);
+                if inv {
+                    (sut.invalidate(u), None)
+                } else {
+                    let hit = sut.access_or_fill(u, || p * 10);
+                    (None, Some(hit))
+                }
+            },
+            |&(p, inv)| {
+                let u = VirtHugePage(p);
+                if inv {
+                    (oracle.invalidate(u), None)
+                } else {
+                    let hit = oracle.access_or_fill(u, || p * 10);
+                    (None, Some(hit))
+                }
+            },
+        )?;
+        ensure_eq!(sut.len(), oracle.len(), "resident entry count");
+        Ok(())
+    });
+}
+
+#[test]
+fn single_set_assoc_tlb_matches_linear_oracle() {
+    // One set of `ways` ways: the set index is constant, so per-set LRU is
+    // global LRU. Victims must agree entry-for-entry.
+    let gen = (usizes(1..=8), u64s(0..=u64::MAX), scripts());
+    check(
+        "single_set_assoc_tlb_matches_linear_oracle",
+        &gen,
+        |(ways, seed, ops)| {
+            let mut sut: SetAssocTlb<u64> = SetAssocTlb::new(1, *ways, *seed);
+            let mut oracle: LinearTlb<u64> = LinearTlb::new(*ways);
+            differential(
+                "SetAssocTlb(1 set)",
+                "LinearTlb",
+                ops.iter().copied(),
+                |&(p, inv)| {
+                    let u = VirtHugePage(p);
+                    if inv {
+                        (sut.invalidate(u), false, None)
+                    } else if sut.lookup(u).is_some() {
+                        (None, true, None)
+                    } else {
+                        (None, false, sut.insert(u, p))
+                    }
+                },
+                |&(p, inv)| {
+                    let u = VirtHugePage(p);
+                    if inv {
+                        (oracle.invalidate(u), false, None)
+                    } else if oracle.lookup(u).is_some() {
+                        (None, true, None)
+                    } else {
+                        (None, false, oracle.insert(u, p))
+                    }
+                },
+            )?;
+            ensure_eq!(sut.len(), oracle.len(), "resident entry count");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn two_level_tlb_hit_stream_matches_combined_lru() {
+    // Mostly-exclusive promote/demote: the hierarchy retains exactly the
+    // ℓ₁+ℓ₂ most recently used pages, so hit/miss (and shootdown
+    // residency) streams match one big LRU.
+    let gen = (u64s(1..=4), u64s(1..=8), scripts());
+    check(
+        "two_level_tlb_hit_stream_matches_combined_lru",
+        &gen,
+        |(l1, l2, ops)| {
+            let mut sut: TwoLevelTlb<u64> = TwoLevelTlb::new(*l1, *l2, PolicyKind::Lru, 77);
+            let mut oracle: LinearTlb<u64> = LinearTlb::new((*l1 + *l2) as usize);
+            differential(
+                "TwoLevelTlb",
+                "LinearTlb(l1+l2)",
+                ops.iter().copied(),
+                |&(p, inv)| {
+                    let u = VirtHugePage(p);
+                    if inv {
+                        sut.invalidate(u)
+                    } else {
+                        sut.access(u, || p) != Level::Miss
+                    }
+                },
+                |&(p, inv)| {
+                    let u = VirtHugePage(p);
+                    if inv {
+                        oracle.invalidate(u).is_some()
+                    } else {
+                        oracle.access_or_fill(u, || p)
+                    }
+                },
+            )?;
+            ensure_eq!(sut.len(), oracle.len(), "combined resident count");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn split_tlb_single_class_matches_linear_oracle() {
+    // One size class covering every access: the split TLB degenerates to
+    // one fully-associative LRU structure.
+    let gen = (u64s(1..=8), scripts());
+    check(
+        "split_tlb_single_class_matches_linear_oracle",
+        &gen,
+        |(entries, ops)| {
+            let mut sut: SplitTlb<u64> = SplitTlb::new(&[(&[1u64], *entries)], PolicyKind::Lru, 5);
+            let mut oracle: LinearTlb<u64> = LinearTlb::new(*entries as usize);
+            differential(
+                "SplitTlb(single class)",
+                "LinearTlb",
+                ops.iter().copied(),
+                |&(p, inv)| {
+                    let u = VirtHugePage(p);
+                    if inv {
+                        (sut.invalidate(u, 1), None)
+                    } else if sut.lookup(u, 1).is_some() {
+                        (None, Some(true))
+                    } else {
+                        sut.insert(u, 1, p);
+                        (None, Some(false))
+                    }
+                },
+                |&(p, inv)| {
+                    let u = VirtHugePage(p);
+                    if inv {
+                        (oracle.invalidate(u), None)
+                    } else {
+                        (None, Some(oracle.access_or_fill(u, || p)))
+                    }
+                },
+            )?;
+            Ok(())
+        },
+    );
+}
+
+/// Long-trace, larger-capacity sweep for the dedicated `--ignored` CI step.
+#[test]
+#[ignore = "large oracle size; run via the dedicated CI step"]
+fn tlb_organizations_match_linear_oracle_at_scale() {
+    use atp_check::CounterRng;
+    let mut rng = CounterRng::new(0x71B, 0);
+    let ops: Vec<(u64, bool)> = (0..200_000)
+        .map(|_| (rng.next_below(3000), rng.next_below(16) == 0))
+        .collect();
+    let mut full: Tlb<u64> = Tlb::lru(1024);
+    let mut two: TwoLevelTlb<u64> = TwoLevelTlb::new(64, 960, PolicyKind::Lru, 9);
+    let mut oracle_full: LinearTlb<u64> = LinearTlb::new(1024);
+    let mut oracle_two: LinearTlb<u64> = LinearTlb::new(1024);
+    for (i, &(p, inv)) in ops.iter().enumerate() {
+        let u = VirtHugePage(p);
+        if inv {
+            assert_eq!(
+                full.invalidate(u).is_some(),
+                oracle_full.invalidate(u).is_some(),
+                "Tlb invalidate diverged at op {i}"
+            );
+            assert_eq!(
+                two.invalidate(u),
+                oracle_two.invalidate(u).is_some(),
+                "TwoLevelTlb invalidate diverged at op {i}"
+            );
+        } else {
+            assert_eq!(
+                full.access_or_fill(u, || p),
+                oracle_full.access_or_fill(u, || p),
+                "Tlb access diverged at op {i}"
+            );
+            assert_eq!(
+                two.access(u, || p) != Level::Miss,
+                oracle_two.access_or_fill(u, || p),
+                "TwoLevelTlb access diverged at op {i}"
+            );
+        }
+    }
+}

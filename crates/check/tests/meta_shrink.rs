@@ -1,0 +1,134 @@
+//! Meta-tests of the harness itself.
+//!
+//! 1. **Injected-failure shrinking** (the crate's acceptance bar): enable
+//!    the deliberately wrong Greedy\[d\] tie-break hidden behind
+//!    `Game::inject_greedy_tie_break_bug`, let the differential oracle
+//!    catch it, and require the shrinker to minimize the adversary script
+//!    to at most 8 accesses.
+//! 2. **Failure reporting**: every failing property panics with the
+//!    minimal counterexample and a copy-pasteable
+//!    `ATP_CHECK_SEED=<seed> cargo test <property>` replay command.
+
+use atp_ballsbins::{Game, Rule};
+use atp_check::oracles::NaiveGame;
+use atp_check::{check, check_result, differential, ensure, u64s, vecs, Config};
+
+/// Runs a ball script through a tie-break-buggy `Game` and the correct
+/// oracle, failing on the first diverging placement.
+fn buggy_game_property(seed: u64, balls: &[u64]) -> Result<(), String> {
+    let rule = Rule::Greedy { d: 2 };
+    let mut sut = Game::new(seed, 8, rule);
+    sut.inject_greedy_tie_break_bug(true);
+    let mut oracle = NaiveGame::new(seed, 8, rule);
+    differential(
+        "Game(buggy tie-break)",
+        "NaiveGame",
+        balls.iter().copied(),
+        |&b| {
+            if sut.contains(b) {
+                None
+            } else {
+                Some(sut.insert(b))
+            }
+        },
+        |&b| {
+            if oracle.contains(b) {
+                None
+            } else {
+                Some(oracle.insert(b))
+            }
+        },
+    )?;
+    Ok(())
+}
+
+#[test]
+fn injected_tie_break_bug_shrinks_to_a_tiny_counterexample() {
+    let gen = (u64s(0..=u64::MAX), vecs(u64s(0..=63), 0..=400));
+    let cfg = Config::for_property("injected_tie_break_bug_shrinks_to_a_tiny_counterexample");
+    let failure = check_result(
+        "injected_tie_break_bug_shrinks_to_a_tiny_counterexample",
+        &gen,
+        &cfg,
+        |(seed, balls)| buggy_game_property(*seed, balls),
+    )
+    .expect_err("the injected tie-break bug must be caught by the oracle");
+    let (seed, minimal_balls) = &failure.minimal;
+    assert!(
+        minimal_balls.len() <= 8,
+        "shrinker left {} accesses (want ≤ 8): {minimal_balls:?}",
+        minimal_balls.len()
+    );
+    // The minimal script must still reproduce the divergence.
+    assert!(
+        buggy_game_property(*seed, minimal_balls).is_err(),
+        "minimal counterexample does not reproduce"
+    );
+    // And the divergence really is the injected bug: with the flag off,
+    // the same script passes.
+    let mut clean = Game::new(*seed, 8, Rule::Greedy { d: 2 });
+    let mut oracle = NaiveGame::new(*seed, 8, Rule::Greedy { d: 2 });
+    for &b in minimal_balls {
+        if !clean.contains(b) {
+            assert_eq!(clean.insert(b), oracle.insert(b), "clean Game must agree");
+        }
+    }
+}
+
+#[test]
+fn sanity_clean_game_passes_the_same_property() {
+    // The detector from the acceptance test reports nothing when the bug
+    // flag is off — i.e. it detects the bug, not some unrelated mismatch.
+    let gen = (u64s(0..=u64::MAX), vecs(u64s(0..=63), 0..=400));
+    check(
+        "sanity_clean_game_passes_the_same_property",
+        &gen,
+        |(seed, balls)| {
+            let rule = Rule::Greedy { d: 2 };
+            let mut sut = Game::new(*seed, 8, rule);
+            let mut oracle = NaiveGame::new(*seed, 8, rule);
+            for &b in balls.iter() {
+                if sut.contains(b) {
+                    continue;
+                }
+                let (s, o) = (sut.insert(b), oracle.insert(b));
+                ensure!(s == o, "clean Game diverged on ball {b}: {s:?} vs {o:?}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn failing_check_panics_with_counterexample_and_replay_command() {
+    let result = std::panic::catch_unwind(|| {
+        check(
+            "failing_check_panics_with_counterexample_and_replay_command",
+            &vecs(u64s(0..=100), 0..=50),
+            |v: &Vec<u64>| {
+                ensure!(v.len() < 3, "vector too long: {} elements", v.len());
+                Ok(())
+            },
+        )
+    });
+    let payload = result.expect_err("the property must fail");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a string");
+    assert!(
+        msg.contains("minimal counterexample"),
+        "report lacks the minimal counterexample: {msg}"
+    );
+    assert!(
+        msg.contains("ATP_CHECK_SEED="),
+        "report lacks the replay seed: {msg}"
+    );
+    assert!(
+        msg.contains("cargo test failing_check_panics_with_counterexample_and_replay_command"),
+        "report lacks the replay command: {msg}"
+    );
+    // The boundary case shrinks to exactly 3 elements.
+    assert!(msg.contains("3 elements"), "shrinking stopped early: {msg}");
+}

@@ -1,37 +1,38 @@
-//! Randomized property tests for the hashing substrate, driven by the
-//! crate's own deterministic counter RNG (no external test deps).
+//! Property tests for the hashing substrate, on the `atp-check` harness:
+//! generated inputs shrink to minimal counterexamples and every failure
+//! prints an `ATP_CHECK_SEED` replay command.
 
+use atp_check::{check, check_config, ensure, ensure_eq, u64s, usizes, vecs, Config};
 use atp_hash::mix::reduce;
 use atp_hash::{splitmix64, CounterRng, PageHasher, XxHash64};
 use atp_types::VirtPage;
 
-const CASES: u64 = 512;
-
 #[test]
 fn reduce_in_range() {
     // reduce maps any hash into [0, n) for any nonzero n.
-    let mut rng = CounterRng::new(0xA11CE, 1);
-    for _ in 0..CASES {
-        let h = rng.next_u64();
-        let n = rng.next_u64().max(1);
-        assert!(reduce(h, n) < n, "reduce({h}, {n}) out of range");
-    }
-    assert!(reduce(u64::MAX, 1) < 1);
-    assert!(reduce(0, u64::MAX) < u64::MAX);
+    let gen = (u64s(0..=u64::MAX), u64s(1..=u64::MAX));
+    let cfg = Config::for_property("reduce_in_range").with_cases(512);
+    check_config("reduce_in_range", &gen, &cfg, |(h, n)| {
+        ensure!(reduce(*h, *n) < *n, "reduce({h}, {n}) out of range");
+        Ok(())
+    });
 }
 
 #[test]
 fn splitmix_injective() {
     // splitmix64 is injective (bijective mixer): distinct inputs give
     // distinct outputs.
-    let mut rng = CounterRng::new(0xA11CE, 2);
-    for _ in 0..CASES {
-        let a = rng.next_u64();
-        let b = rng.next_u64();
+    let gen = (u64s(0..=u64::MAX), u64s(0..=u64::MAX));
+    let cfg = Config::for_property("splitmix_injective").with_cases(512);
+    check_config("splitmix_injective", &gen, &cfg, |(a, b)| {
         if a != b {
-            assert_ne!(splitmix64(a), splitmix64(b));
+            ensure!(
+                splitmix64(*a) != splitmix64(*b),
+                "splitmix64 collision: {a} and {b}"
+            );
         }
-    }
+        Ok(())
+    });
     assert_ne!(splitmix64(0), splitmix64(1));
     assert_ne!(splitmix64(u64::MAX), splitmix64(u64::MAX - 1));
 }
@@ -39,71 +40,83 @@ fn splitmix_injective() {
 #[test]
 fn page_hasher_in_range() {
     // PageHasher choices are always within the bin count, for any geometry.
-    let mut rng = CounterRng::new(0xA11CE, 3);
-    for _ in 0..128 {
-        let seed = rng.next_u64();
-        let bins = rng.next_below(1 << 40) + 1;
-        let k = rng.next_below(7) as u32 + 1;
-        let v = rng.next_u64();
-        let h = PageHasher::new(seed, bins, k);
+    let gen = (
+        u64s(0..=u64::MAX),
+        u64s(1..=1 << 40),
+        u64s(1..=7),
+        u64s(0..=u64::MAX),
+    );
+    check("page_hasher_in_range", &gen, |(seed, bins, k, v)| {
+        let k = *k as u32;
+        let h = PageHasher::new(*seed, *bins, k);
         for i in 0..k {
-            assert!(h.bin(VirtPage(v), i) < bins);
+            ensure!(
+                h.bin(VirtPage(*v), i) < *bins,
+                "choice {i} out of range for bins={bins}"
+            );
         }
         // bins_of agrees with bin().
-        for (i, b) in h.bins_of(VirtPage(v)).enumerate() {
-            assert_eq!(b, h.bin(VirtPage(v), i as u32));
+        for (i, b) in h.bins_of(VirtPage(*v)).enumerate() {
+            ensure_eq!(b, h.bin(VirtPage(*v), i as u32), "bins_of vs bin at {i}");
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn counter_rng_reproducible() {
     // CounterRng streams are pure functions of (seed, key).
-    let mut meta = CounterRng::new(0xA11CE, 4);
-    for _ in 0..64 {
-        let seed = meta.next_u64();
-        let key = meta.next_u64();
-        let mut a = CounterRng::new(seed, key);
-        let mut b = CounterRng::new(seed, key);
-        for _ in 0..16 {
-            assert_eq!(a.next_u64(), b.next_u64());
+    let gen = (u64s(0..=u64::MAX), u64s(0..=u64::MAX));
+    check("counter_rng_reproducible", &gen, |(seed, key)| {
+        let mut a = CounterRng::new(*seed, *key);
+        let mut b = CounterRng::new(*seed, *key);
+        for i in 0..16 {
+            ensure_eq!(a.next_u64(), b.next_u64(), "stream diverged at draw {i}");
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn counter_rng_below() {
     // next_below stays below its bound.
-    let mut meta = CounterRng::new(0xA11CE, 5);
-    for _ in 0..128 {
-        let seed = meta.next_u64();
-        let key = meta.next_u64();
-        let n = meta.next_u64().max(1);
-        let mut r = CounterRng::new(seed, key);
+    let gen = (u64s(0..=u64::MAX), u64s(0..=u64::MAX), u64s(1..=u64::MAX));
+    check("counter_rng_below", &gen, |(seed, key, n)| {
+        let mut r = CounterRng::new(*seed, *key);
         for _ in 0..8 {
-            assert!(r.next_below(n) < n);
+            let x = r.next_below(*n);
+            ensure!(x < *n, "next_below({n}) returned {x}");
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn xxhash_streaming_consistent() {
     // Streaming xxhash equals one-shot for arbitrary data and split points.
-    let mut rng = CounterRng::new(0xA11CE, 6);
-    for _ in 0..128 {
-        let len = rng.next_below(300) as usize;
-        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
-        let seed = rng.next_u64();
-        let split = if len == 0 {
-            0
-        } else {
-            rng.next_below(len as u64 + 1) as usize
-        };
-        let mut h = XxHash64::with_seed(seed);
-        h.update(&data[..split]);
-        h.update(&data[split..]);
-        let mut whole = XxHash64::with_seed(seed);
-        whole.update(&data);
-        assert_eq!(h.digest(), whole.digest(), "len={len} split={split}");
-    }
+    let gen = (
+        u64s(0..=u64::MAX),
+        vecs(u64s(0..=255), 0..=300),
+        usizes(0..=300),
+    );
+    check(
+        "xxhash_streaming_consistent",
+        &gen,
+        |(seed, bytes, split)| {
+            let data: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+            let split = (*split).min(data.len());
+            let mut h = XxHash64::with_seed(*seed);
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            let mut whole = XxHash64::with_seed(*seed);
+            whole.update(&data);
+            ensure_eq!(
+                h.digest(),
+                whole.digest(),
+                "len={} split={split}",
+                data.len()
+            );
+            Ok(())
+        },
+    );
 }

@@ -113,7 +113,12 @@ pub fn decode_trace(data: &[u8]) -> Result<Vec<VirtPage>, TraceError> {
     }
     let count = u64::from_le_bytes(data[5..13].try_into().expect("8-byte slice"));
     let mut buf = Reader(&data[13..]);
-    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+    // Every entry takes at least one payload byte, so a header claiming
+    // more entries than there are bytes is certainly truncated; bounding
+    // the pre-allocation by the payload length keeps hostile headers from
+    // reserving gigabytes before the first decode failure.
+    let payload_len = data.len() - 13;
+    let mut out = Vec::with_capacity(count.min(payload_len as u64) as usize);
     let mut prev = 0i64;
     for _ in 0..count {
         let delta = unzigzag(buf.get_varint().ok_or(TraceError::Truncated)?);

@@ -1,0 +1,115 @@
+//! Property tests for the trace codec, on the `atp-check` harness:
+//! encode→decode is the identity on arbitrary page sequences, and *no*
+//! input — truncated, corrupted, or outright random — may panic the
+//! decoder; malformed inputs must return a `TraceError`.
+
+use atp_check::{check, check_config, ensure, ensure_eq, u64s, usizes, vecs, Config};
+use atp_trace::{decode_trace, encode_trace, TraceError};
+use atp_types::VirtPage;
+
+fn pages(ids: &[u64]) -> Vec<VirtPage> {
+    ids.iter().map(|&i| VirtPage(i)).collect()
+}
+
+#[test]
+fn roundtrip_identity_on_arbitrary_sequences() {
+    // Full-width page ids exercise the zigzag delta encoding in both
+    // directions, including wrap-around deltas.
+    let gen = vecs(u64s(0..=u64::MAX), 0..=300);
+    check("roundtrip_identity_on_arbitrary_sequences", &gen, |ids| {
+        let t = pages(ids);
+        match decode_trace(&encode_trace(&t)) {
+            Ok(d) => ensure_eq!(d, t, "codec round-trip"),
+            Err(e) => return Err(format!("decode of valid encoding failed: {e}")),
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn every_strict_prefix_errors_without_panicking() {
+    // Truncation at *any* byte boundary is an error, never a panic and
+    // never a silently short trace.
+    let gen = vecs(u64s(0..=u64::MAX), 1..=50);
+    check(
+        "every_strict_prefix_errors_without_panicking",
+        &gen,
+        |ids| {
+            let enc = encode_trace(&pages(ids));
+            for cut in 0..enc.len() {
+                let r = std::panic::catch_unwind(|| decode_trace(&enc[..cut]));
+                let decoded = match r {
+                    Ok(d) => d,
+                    Err(_) => return Err(format!("decoder panicked on prefix of {cut} bytes")),
+                };
+                ensure!(
+                    decoded.is_err(),
+                    "strict prefix of {cut}/{} bytes decoded successfully",
+                    enc.len()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_the_decoder() {
+    let gen = vecs(u64s(0..=255), 0..=200);
+    let cfg = Config::for_property("arbitrary_bytes_never_panic_the_decoder").with_cases(128);
+    check_config(
+        "arbitrary_bytes_never_panic_the_decoder",
+        &gen,
+        &cfg,
+        |bytes| {
+            let data: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+            let r = std::panic::catch_unwind(|| decode_trace(&data));
+            ensure!(r.is_ok(), "decoder panicked on {} fuzz bytes", data.len());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn corrupted_headers_never_panic() {
+    // Flip every single byte of a valid encoding: decode may fail or may
+    // (for payload flips) produce a different trace, but must not panic.
+    let gen = (
+        vecs(u64s(0..=u64::MAX), 0..=40),
+        usizes(0..=u64::MAX as usize),
+        u64s(0..=255),
+    );
+    check("corrupted_headers_never_panic", &gen, |(ids, pos, val)| {
+        let mut enc = encode_trace(&pages(ids));
+        if enc.is_empty() {
+            return Ok(());
+        }
+        let pos = *pos % enc.len();
+        enc[pos] = *val as u8;
+        let r = std::panic::catch_unwind(|| decode_trace(&enc));
+        ensure!(r.is_ok(), "decoder panicked after corrupting byte {pos}");
+        Ok(())
+    });
+}
+
+#[test]
+fn hostile_count_header_is_rejected_cheaply() {
+    // A 13-byte header claiming u64::MAX entries with an empty payload:
+    // must fail with Truncated (the payload can't possibly hold them) and
+    // must not pre-allocate for the claimed count.
+    let mut evil = Vec::new();
+    evil.extend_from_slice(b"ATPT");
+    evil.push(1);
+    evil.extend_from_slice(&u64::MAX.to_le_bytes());
+    match decode_trace(&evil) {
+        Err(TraceError::Truncated) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+    // Same with one payload byte and a still-absurd count.
+    evil.push(0x00);
+    evil[5..13].copy_from_slice(&(1u64 << 40).to_le_bytes());
+    match decode_trace(&evil) {
+        Err(TraceError::Truncated) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}

@@ -1,89 +1,70 @@
-//! Randomized property tests for huge-page geometry laws, driven by a
-//! local deterministic counter RNG (no external test deps; `atp-types`
-//! stays dependency-free, so the splitmix mixer is inlined here rather
-//! than imported from `atp-hash`).
+//! Property tests for huge-page geometry laws, on the `atp-check` harness
+//! (a dev-dependency only: the `atp-types` library itself stays
+//! dependency-free). Generated inputs shrink to minimal counterexamples
+//! and every failure prints an `ATP_CHECK_SEED` replay command.
 
+use atp_check::{check, check_config, ensure, ensure_eq, u64s, Config};
 use atp_types::{HugePageGeometry, VirtHugePage, VirtPage};
-
-const CASES: u64 = 256;
-
-/// Minimal splitmix64 counter RNG, equivalent to `atp_hash::CounterRng`.
-struct Rng(u64);
-
-impl Rng {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn next_below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n
-    }
-}
 
 #[test]
 fn decompose_recompose() {
     // Decomposition law: v == constituent(huge_of(v), index_within(v)).
-    let mut rng = Rng(1);
-    for _ in 0..CASES {
-        let shift = rng.next_below(20) as u32;
-        let v = rng.next_below(1 << 40);
-        let g = HugePageGeometry::new(1 << shift).unwrap();
-        let u = g.huge_of(VirtPage(v));
-        let i = g.index_within(VirtPage(v));
-        assert!(i < g.pages_per_huge());
-        assert_eq!(g.constituent(u, i), VirtPage(v));
-        assert!(g.covers(u, VirtPage(v)));
-    }
+    let gen = (u64s(0..=19), u64s(0..=(1 << 40) - 1));
+    let cfg = Config::for_property("decompose_recompose").with_cases(256);
+    check_config("decompose_recompose", &gen, &cfg, |(shift, v)| {
+        let g = HugePageGeometry::new(1 << *shift).expect("power of two");
+        let u = g.huge_of(VirtPage(*v));
+        let i = g.index_within(VirtPage(*v));
+        ensure!(i < g.pages_per_huge(), "index {i} out of range");
+        ensure_eq!(g.constituent(u, i), VirtPage(*v), "recompose");
+        ensure!(g.covers(u, VirtPage(*v)), "covers(huge_of(v), v) is false");
+        Ok(())
+    });
 }
 
 #[test]
 fn base_alignment() {
     // base_of is the first constituent and is aligned.
-    let mut rng = Rng(2);
-    for _ in 0..CASES {
-        let shift = rng.next_below(20) as u32;
-        let u = rng.next_below(1 << 30);
-        let g = HugePageGeometry::new(1 << shift).unwrap();
-        let base = g.base_of(VirtHugePage(u));
-        assert_eq!(base.0 % g.pages_per_huge(), 0);
-        assert_eq!(g.huge_of(base).0, u);
-        assert_eq!(g.index_within(base), 0);
-    }
+    let gen = (u64s(0..=19), u64s(0..=(1 << 30) - 1));
+    let cfg = Config::for_property("base_alignment").with_cases(256);
+    check_config("base_alignment", &gen, &cfg, |(shift, u)| {
+        let g = HugePageGeometry::new(1 << *shift).expect("power of two");
+        let base = g.base_of(VirtHugePage(*u));
+        ensure_eq!(base.0 % g.pages_per_huge(), 0, "base misaligned");
+        ensure_eq!(g.huge_of(base).0, *u, "base maps back to its huge page");
+        ensure_eq!(g.index_within(base), 0, "base is the first constituent");
+        Ok(())
+    });
 }
 
 #[test]
 fn constituents_are_exactly_the_run() {
     // Every constituent of u maps back to u, and constituents are
     // consecutive.
-    let mut rng = Rng(3);
-    for _ in 0..64 {
-        let shift = rng.next_below(10) as u32;
-        let u = rng.next_below(1 << 20);
-        let g = HugePageGeometry::new(1 << shift).unwrap();
-        let hp = VirtHugePage(u);
+    let gen = (u64s(0..=9), u64s(0..=(1 << 20) - 1));
+    check("constituents_are_exactly_the_run", &gen, |(shift, u)| {
+        let g = HugePageGeometry::new(1 << *shift).expect("power of two");
+        let hp = VirtHugePage(*u);
         let mut count = 0u64;
         for (expected, v) in (g.base_of(hp).0..).zip(g.constituents(hp)) {
-            assert_eq!(v.0, expected);
-            assert_eq!(g.huge_of(v), hp);
+            ensure_eq!(v.0, expected, "constituents not consecutive");
+            ensure_eq!(g.huge_of(v), hp, "constituent escapes its huge page");
             count += 1;
         }
-        assert_eq!(count, g.pages_per_huge());
-    }
+        ensure_eq!(count, g.pages_per_huge(), "constituent count");
+        Ok(())
+    });
 }
 
 #[test]
 fn huge_count_is_ceil() {
     // huge_count is the exact ceiling division.
-    let mut rng = Rng(4);
-    for _ in 0..CASES {
-        let shift = rng.next_below(12) as u32;
-        let pages = rng.next_below(1 << 30);
-        let g = HugePageGeometry::new(1 << shift).unwrap();
+    let gen = (u64s(0..=11), u64s(0..=(1 << 30) - 1));
+    let cfg = Config::for_property("huge_count_is_ceil").with_cases(256);
+    check_config("huge_count_is_ceil", &gen, &cfg, |(shift, pages)| {
+        let g = HugePageGeometry::new(1 << *shift).expect("power of two");
         let h = g.pages_per_huge();
-        assert_eq!(g.huge_count(pages), pages.div_ceil(h));
-    }
+        ensure_eq!(g.huge_count(*pages), pages.div_ceil(h), "ceiling division");
+        Ok(())
+    });
 }

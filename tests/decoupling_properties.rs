@@ -1,15 +1,16 @@
 //! Randomized tests of the decoupling invariants (Section 3's contract)
-//! under arbitrary request sequences, driven by the in-tree deterministic
-//! counter RNG (no external test deps).
+//! under arbitrary request sequences, on the `atp-check` harness:
+//! generated traces shrink to minimal counterexamples and every failure
+//! prints an `ATP_CHECK_SEED` replay command.
 
 use atp::core::{
     DecouplingScheme, FullyAssociativeAlloc, IcebergAlloc, OneChoiceAlloc, RamAllocator,
 };
-use atp::hash::CounterRng;
 use atp::memmgmt::decoupled::DecoupledConfig;
 use atp::memmgmt::{DecoupledMm, MemoryManager};
 use atp::replacement::PolicyKind;
 use atp::types::{CostModel, VirtPage};
+use atp_check::{bools, check, ensure, ensure_eq, u64s, vecs};
 
 fn decoupled_cfg(resident: u64, seed: u64) -> DecoupledConfig {
     DecoupledConfig {
@@ -22,95 +23,97 @@ fn decoupled_cfg(resident: u64, seed: u64) -> DecoupledConfig {
     }
 }
 
-fn random_trace(rng: &mut CounterRng, universe: u64, max_len: u64) -> Vec<u64> {
-    let len = rng.next_below(max_len) + 1;
-    (0..len).map(|_| rng.next_below(universe)).collect()
-}
-
 #[test]
 fn scheme_invariants_hold() {
     // The scheme's eq. (4) invariant and φ-injectivity survive arbitrary
     // access sequences, including ones dense enough to force failures.
-    let mut meta = CounterRng::new(0xDEC0, 1);
-    for _ in 0..64 {
-        let trace = random_trace(&mut meta, 512, 400);
-        let seed = meta.next_below(50);
-        let mut z = DecoupledMm::new(
-            IcebergAlloc::with_geometry(16, 4, 3, seed),
-            decoupled_cfg(100, seed),
-        );
-        for &p in &trace {
-            z.access(VirtPage(p));
-        }
-        z.scheme().check_invariants();
-    }
+    let gen = (u64s(0..=49), vecs(u64s(0..=511), 1..=400));
+    check("scheme_invariants_hold", &gen, |(seed, trace)| {
+        // check_invariants panics on violation; convert to Err so the
+        // harness can shrink the offending trace.
+        let outcome = std::panic::catch_unwind(|| {
+            let mut z = DecoupledMm::new(
+                IcebergAlloc::with_geometry(16, 4, 3, *seed),
+                decoupled_cfg(100, *seed),
+            );
+            for &p in trace.iter() {
+                z.access(VirtPage(p));
+            }
+            z.scheme().check_invariants();
+        });
+        ensure!(outcome.is_ok(), "scheme invariant violated (seed {seed})");
+        Ok(())
+    });
 }
 
 #[test]
 fn cost_identities() {
     // Cost identity: accesses = hits + misses; total cost decomposes; the
     // per-access IO count never exceeds 1 (no amplification, ever).
-    let mut meta = CounterRng::new(0xDEC0, 2);
-    for _ in 0..64 {
-        let trace = random_trace(&mut meta, 2048, 500);
+    let gen = vecs(u64s(0..=2047), 1..=500);
+    check("cost_identities", &gen, |trace| {
         let mut z = DecoupledMm::new(
             IcebergAlloc::with_geometry(64, 6, 4, 3),
             decoupled_cfg(500, 3),
         );
-        for &p in &trace {
+        for &p in trace.iter() {
             let r = z.access(VirtPage(p));
-            assert!(r.ios <= 1, "decoupling must never amplify a fault");
+            ensure!(r.ios <= 1, "decoupling amplified a fault on page {p}");
         }
         let c = z.costs();
-        assert_eq!(c.accesses as usize, trace.len());
-        assert_eq!(c.tlb_hits + c.tlb_misses, c.accesses);
+        ensure_eq!(c.accesses as usize, trace.len(), "access count");
+        ensure_eq!(c.tlb_hits + c.tlb_misses, c.accesses, "hit/miss identity");
         let m = CostModel::new(0.5);
         let expect = c.ios as f64 + 0.5 * (c.tlb_misses + c.decode_misses) as f64;
-        assert!((c.total(m) - expect).abs() < 1e-9);
-    }
+        ensure!(
+            (c.total(m) - expect).abs() < 1e-9,
+            "cost decomposition broke: {} vs {expect}",
+            c.total(m)
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn deterministic_replay() {
     // Replay determinism: identical seeds and traces give identical costs.
-    let mut meta = CounterRng::new(0xDEC0, 3);
-    for _ in 0..32 {
-        let trace = random_trace(&mut meta, 1024, 300);
-        let seed = meta.next_below(20);
+    let gen = (u64s(0..=19), vecs(u64s(0..=1023), 1..=300));
+    check("deterministic_replay", &gen, |(seed, trace)| {
         let run = |s: u64| {
             let mut z = DecoupledMm::new(
                 IcebergAlloc::with_geometry(32, 4, 3, s),
                 decoupled_cfg(200, s),
             );
-            for &p in &trace {
+            for &p in trace.iter() {
                 z.access(VirtPage(p));
             }
             z.costs()
         };
-        assert_eq!(run(seed), run(seed));
-    }
+        ensure_eq!(run(*seed), run(*seed), "replay diverged for seed {seed}");
+        Ok(())
+    });
 }
 
 #[test]
 fn frames_are_stable() {
     // φ stability through the manager: once a page is resident, repeated
     // accesses never change its frame until it is evicted.
-    let mut meta = CounterRng::new(0xDEC0, 4);
-    for _ in 0..64 {
-        let trace = random_trace(&mut meta, 256, 300);
+    let gen = vecs(u64s(0..=255), 1..=300);
+    check("frames_are_stable", &gen, |trace| {
         let mut z = DecoupledMm::new(
             IcebergAlloc::with_geometry(32, 4, 3, 7),
             decoupled_cfg(150, 7),
         );
-        for &p in &trace {
+        for &p in trace.iter() {
             let before = z.scheme().frame_of(VirtPage(p));
             z.access(VirtPage(p));
             let after = z.scheme().frame_of(VirtPage(p));
             if let (Some(b), Some(a)) = (before, after) {
-                assert_eq!(b, a, "frame moved while resident");
+                ensure_eq!(b, a, "frame of page {p} moved while resident");
             }
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
@@ -131,24 +134,31 @@ fn all_allocators_uphold_contract() {
         s.check_invariants();
     }
 
-    let mut meta = CounterRng::new(0xDEC0, 5);
-    for _ in 0..32 {
-        let n_ops = meta.next_below(500) as usize + 1;
-        let ops: Vec<(u64, bool)> = (0..n_ops)
-            .map(|_| (meta.next_below(512), meta.next_below(2) == 0))
-            .collect();
-        let seed = meta.next_below(20);
-        drive(
-            DecouplingScheme::new(IcebergAlloc::with_geometry(16, 4, 3, seed), 64),
-            &ops,
-        );
-        drive(
-            DecouplingScheme::new(OneChoiceAlloc::with_geometry(16, 8, seed), 64),
-            &ops,
-        );
-        drive(
-            DecouplingScheme::new(FullyAssociativeAlloc::new(256), 64),
-            &ops,
-        );
-    }
+    let gen = (u64s(0..=19), vecs((u64s(0..=511), bools()), 1..=500));
+    check("all_allocators_uphold_contract", &gen, |(seed, ops)| {
+        // check_invariants panics on violation; convert to Err so the
+        // harness can shrink the offending op script.
+        for (name, run) in [
+            ("IcebergAlloc", 0usize),
+            ("OneChoiceAlloc", 1),
+            ("FullyAssociativeAlloc", 2),
+        ] {
+            let outcome = std::panic::catch_unwind(|| match run {
+                0 => drive(
+                    DecouplingScheme::new(IcebergAlloc::with_geometry(16, 4, 3, *seed), 64),
+                    ops,
+                ),
+                1 => drive(
+                    DecouplingScheme::new(OneChoiceAlloc::with_geometry(16, 8, *seed), 64),
+                    ops,
+                ),
+                _ => drive(
+                    DecouplingScheme::new(FullyAssociativeAlloc::new(256), 64),
+                    ops,
+                ),
+            });
+            ensure!(outcome.is_ok(), "{name} broke its contract (seed {seed})");
+        }
+        Ok(())
+    });
 }

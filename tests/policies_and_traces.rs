@@ -1,11 +1,11 @@
 //! Cross-crate properties: Belady dominance over every online policy, and
 //! trace-codec round-trips over real workload output.
 
-use atp::hash::CounterRng;
 use atp::replacement::{make_policy, opt::opt_misses, CacheSim, PolicyKind};
 use atp::trace::{decode_trace, encode_trace, TraceStats};
 use atp::types::VirtPage;
 use atp::workloads::{Bimodal, ParetoWalk, PhasedWorkingSet, Zipfian};
+use atp_check::{check, check_config, ensure, ensure_eq, u64s, usizes, vecs, Config};
 
 fn online_misses(trace: &[u64], cap: usize, kind: PolicyKind) -> u64 {
     let mut sim = CacheSim::new(cap, make_policy(kind, cap, 7));
@@ -18,34 +18,40 @@ fn online_misses(trace: &[u64], cap: usize, kind: PolicyKind) -> u64 {
 
 /// OPT is a lower bound for every online policy on every trace — the
 /// bedrock of the paper's Lemma-1 reductions. Randomized over traces and
-/// capacities with the in-tree deterministic RNG.
+/// capacities by the `atp-check` harness: a violation shrinks to a
+/// minimal trace and prints an `ATP_CHECK_SEED` replay command.
 #[test]
 fn opt_lower_bounds_all_policies() {
-    let mut rng = CounterRng::new(0x0B7, 1);
-    for _ in 0..48 {
-        let len = rng.next_below(599) as usize + 1;
-        let trace: Vec<u64> = (0..len).map(|_| rng.next_below(64)).collect();
-        let cap = rng.next_below(31) as usize + 1;
-        let opt = opt_misses(&trace, cap).misses;
-        for kind in PolicyKind::ALL {
-            let m = online_misses(&trace, cap, kind);
-            assert!(opt <= m, "OPT({opt}) beat by {kind} ({m}) at cap {cap}");
-        }
-    }
+    let gen = (vecs(u64s(0..=63), 1..=600), usizes(1..=31));
+    let cfg = Config::for_property("opt_lower_bounds_all_policies").with_cases(48);
+    check_config(
+        "opt_lower_bounds_all_policies",
+        &gen,
+        &cfg,
+        |(trace, cap)| {
+            let opt = opt_misses(trace, *cap).misses;
+            for kind in PolicyKind::ALL {
+                let m = online_misses(trace, *cap, kind);
+                ensure!(opt <= m, "OPT({opt}) beat by {kind} ({m}) at cap {cap}");
+            }
+            Ok(())
+        },
+    );
 }
 
 /// The trace codec is lossless on arbitrary page-id sequences.
 #[test]
 fn codec_roundtrip() {
-    let mut rng = CounterRng::new(0x0B7, 2);
-    for _ in 0..48 {
-        let len = rng.next_below(500) as usize;
-        let pages: Vec<VirtPage> = (0..len)
-            .map(|_| VirtPage(rng.next_below(1 << 48)))
-            .collect();
-        let decoded = decode_trace(&encode_trace(&pages)).expect("decode");
-        assert_eq!(decoded, pages);
-    }
+    let gen = vecs(u64s(0..=1 << 48), 0..=500);
+    check("codec_roundtrip", &gen, |ids| {
+        let pages: Vec<VirtPage> = ids.iter().map(|&p| VirtPage(p)).collect();
+        let decoded = decode_trace(&encode_trace(&pages));
+        match decoded {
+            Ok(d) => ensure_eq!(d, pages, "codec round-trip"),
+            Err(e) => return Err(format!("decode failed: {e}")),
+        }
+        Ok(())
+    });
 }
 
 #[test]
