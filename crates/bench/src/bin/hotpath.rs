@@ -1,0 +1,706 @@
+//! Hot-path throughput harness: accesses/sec for every TLB variant ×
+//! policy × trace, written to `BENCH_hotpath.json` so the perf trajectory
+//! of the single-probe slot-arena core is tracked over time.
+//!
+//! ```sh
+//! cargo run --release -p atp-bench --bin hotpath              # full run
+//! cargo run --release -p atp-bench --bin hotpath -- --quick   # CI smoke
+//! cargo run --release -p atp-bench --bin hotpath -- --baseline BENCH_hotpath.json
+//! ```
+//!
+//! Everything except the timing fields is deterministic: fixed seeds, a
+//! fixed variant matrix, and a `hits` checksum per cell that pins the
+//! simulated behaviour (if a refactor changes `hits`, it changed
+//! *semantics*, not just speed). `--baseline` re-runs the matrix and
+//! prints per-cell speedups against a previous JSON.
+//!
+//! The `legacy_*` variants re-implement the pre-fused design in this
+//! binary — `contains` → `access` → `values.get` triple probe, a separate
+//! key→value hash map, and a `Box<dyn Policy>` callback per operation — so
+//! one binary measures the before/after of the slot-arena refactor
+//! forever, not just in the PR that landed it.
+
+use std::time::Instant;
+
+use atp_hash::FxHashMap;
+use atp_replacement::{
+    make_policy, AnyPolicy, CacheSim, Clock, Fifo, Lru, Policy, PolicyBuild, PolicyKind, Sieve,
+};
+use atp_tlb::{SetAssocTlb, SplitTlb, Tlb, TwoLevelTlb};
+use atp_types::{VirtHugePage, VirtPage};
+use atp_workloads::{Graph500Trace, Sequential, Zipfian};
+
+/// Paper-default fully-associative TLB size (Cascade Lake L2 dTLB).
+const TLB_ENTRIES: u64 = 1536;
+/// Cascade Lake L1 dTLB: 64 entries, fully associative in hardware. At
+/// this size every translation structure is L1-cache-resident, so the
+/// cells isolate probe/dispatch overhead rather than memory latency.
+const L1_TLB_ENTRIES: u64 = 64;
+/// Base pages per huge page for trace coarsening (2 MB / 4 kB).
+const HUGE: u64 = 512;
+/// Trace window length. Kept small enough (1 MB of `u64`s) to stay
+/// cache-resident: a timed pass loops the window several times, so the
+/// harness measures the translation structures, not the DRAM bandwidth of
+/// streaming a giant trace array — which would add a uniform per-access
+/// cost to every variant and compress all ratios toward 1×.
+const TRACE_WINDOW: usize = 1 << 17;
+
+// ---------------------------------------------------------------------------
+// Legacy replica: the pre-fused TLB design, preserved for comparison.
+// ---------------------------------------------------------------------------
+
+/// Sentinel of the seed's `IndexList` (usize links).
+const LNIL: usize = usize::MAX;
+
+/// The seed's intrusive list, as shipped before the slot-arena refactor:
+/// `usize` links, explicit head/tail fields, and data-dependent "am I the
+/// head/tail?" branches in `remove` (the current `IndexList` uses `u32`
+/// links through a circular sentinel instead).
+struct LegacyList {
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl LegacyList {
+    fn new(capacity: usize) -> Self {
+        Self {
+            prev: vec![LNIL; capacity],
+            next: vec![LNIL; capacity],
+            head: LNIL,
+            tail: LNIL,
+            len: 0,
+        }
+    }
+
+    fn back(&self) -> Option<usize> {
+        (self.tail != LNIL).then_some(self.tail)
+    }
+
+    fn push_front(&mut self, s: usize) {
+        self.prev[s] = LNIL;
+        self.next[s] = self.head;
+        if self.head != LNIL {
+            self.prev[self.head] = s;
+        } else {
+            self.tail = s;
+        }
+        self.head = s;
+        self.len += 1;
+    }
+
+    fn remove(&mut self, s: usize) {
+        let (p, n) = (self.prev[s], self.next[s]);
+        if p != LNIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != LNIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+        self.prev[s] = LNIL;
+        self.next[s] = LNIL;
+        self.len -= 1;
+    }
+
+    fn move_to_front(&mut self, s: usize) {
+        if self.head != s {
+            self.remove(s);
+            self.push_front(s);
+        }
+    }
+}
+
+/// The seed's LRU policy over [`LegacyList`], so the `legacy_full_lru`
+/// cells measure the genuinely pre-refactor hit path, not the current
+/// list internals behind the old probe structure.
+struct LegacyLru {
+    recency: LegacyList,
+}
+
+impl Policy for LegacyLru {
+    fn on_insert(&mut self, s: usize) {
+        self.recency.push_front(s);
+    }
+
+    fn on_hit(&mut self, s: usize) {
+        self.recency.move_to_front(s);
+    }
+
+    fn choose_victim(&mut self) -> usize {
+        self.recency.back().expect("choose_victim on empty cache")
+    }
+
+    fn on_remove(&mut self, s: usize) {
+        self.recency.remove(s);
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lru
+    }
+}
+
+/// The old keys-only cache sim: key→slot map + slot→key arena + boxed
+/// policy. No values — those lived in a second hash map in the TLB.
+struct LegacyCacheSim {
+    capacity: usize,
+    map: FxHashMap<VirtHugePage, usize>,
+    keys: Vec<Option<VirtHugePage>>,
+    free: Vec<usize>,
+    policy: Box<dyn Policy>,
+    hits: u64,
+}
+
+impl LegacyCacheSim {
+    fn new(capacity: usize, policy: Box<dyn Policy>) -> Self {
+        Self {
+            capacity,
+            map: FxHashMap::default(),
+            keys: vec![None; capacity],
+            free: (0..capacity).rev().collect(),
+            policy,
+            hits: 0,
+        }
+    }
+
+    fn contains(&self, k: &VirtHugePage) -> bool {
+        self.map.contains_key(k)
+    }
+
+    /// Hit path of the old `CacheSim::access`, reached only after the
+    /// caller's own `contains` probe.
+    fn access_resident(&mut self, k: VirtHugePage) {
+        let slot = *self.map.get(&k).expect("resident");
+        self.policy.on_hit(slot);
+        self.hits += 1;
+    }
+
+    fn insert_cold(&mut self, k: VirtHugePage) -> Option<VirtHugePage> {
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let victim_slot = self.policy.choose_victim();
+            let victim = self.keys[victim_slot].take().expect("occupied");
+            self.policy.on_remove(victim_slot);
+            self.map.remove(&victim);
+            self.free.push(victim_slot);
+            evicted = Some(victim);
+        }
+        let slot = self.free.pop().expect("free slot");
+        self.keys[slot] = Some(k);
+        self.map.insert(k, slot);
+        self.policy.on_insert(slot);
+        evicted
+    }
+}
+
+/// The old fully-associative TLB: residency sim + separate values map,
+/// with the triple-probe lookup (`contains` → `access` → `values.get`).
+/// Counter fields replicate the seed's `TlbStats` bookkeeping so the
+/// replica executes the same per-access work; only `hits` is read back.
+struct LegacyTlb {
+    sim: LegacyCacheSim,
+    values: FxHashMap<VirtHugePage, u64>,
+    hits: u64,
+    #[allow(dead_code)]
+    misses: u64,
+    #[allow(dead_code)]
+    inserts: u64,
+    #[allow(dead_code)]
+    evictions: u64,
+}
+
+impl LegacyTlb {
+    fn new(entries: u64, kind: PolicyKind, seed: u64) -> Self {
+        let cap = entries as usize;
+        // The headline comparison is LRU, so LRU gets the fully faithful
+        // seed policy (usize-link list); other kinds reuse the crate's
+        // policies behind the same boxed-dispatch triple-probe structure.
+        let policy: Box<dyn Policy> = match kind {
+            PolicyKind::Lru => Box::new(LegacyLru {
+                recency: LegacyList::new(cap),
+            }),
+            _ => make_policy(kind, cap, seed),
+        };
+        Self {
+            sim: LegacyCacheSim::new(cap, policy),
+            values: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+            inserts: 0,
+            evictions: 0,
+        }
+    }
+
+    fn lookup(&mut self, u: VirtHugePage) -> Option<&u64> {
+        if self.sim.contains(&u) {
+            self.sim.access_resident(u);
+            self.hits += 1;
+            self.values.get(&u)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    fn insert(&mut self, u: VirtHugePage, value: u64) {
+        assert!(!self.sim.contains(&u), "insert of resident TLB entry");
+        self.inserts += 1;
+        if let Some(victim) = self.sim.insert_cold(u) {
+            self.evictions += 1;
+            self.values.remove(&victim);
+        }
+        self.values.insert(u, value);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Variant drivers
+// ---------------------------------------------------------------------------
+
+/// One benchmarkable TLB instance: runs a full pass over a trace of
+/// huge-page ids and reports cumulative hits afterwards.
+trait Driver {
+    fn pass(&mut self, trace: &[u64]);
+    fn hits(&self) -> u64;
+}
+
+struct FullDriver<P: Policy>(Tlb<u64, P>);
+impl<P: Policy> Driver for FullDriver<P> {
+    fn pass(&mut self, trace: &[u64]) {
+        for &p in trace {
+            let u = VirtHugePage(p);
+            if self.0.lookup(u).is_none() {
+                self.0.insert(u, p);
+            }
+        }
+    }
+    fn hits(&self) -> u64 {
+        self.0.stats().hits
+    }
+}
+
+struct LegacyDriver(LegacyTlb);
+impl Driver for LegacyDriver {
+    fn pass(&mut self, trace: &[u64]) {
+        for &p in trace {
+            let u = VirtHugePage(p);
+            if self.0.lookup(u).is_none() {
+                self.0.insert(u, p);
+            }
+        }
+    }
+    fn hits(&self) -> u64 {
+        self.0.hits
+    }
+}
+
+struct SetAssocDriver(SetAssocTlb<u64>);
+impl Driver for SetAssocDriver {
+    fn pass(&mut self, trace: &[u64]) {
+        for &p in trace {
+            let u = VirtHugePage(p);
+            if self.0.lookup(u).is_none() {
+                self.0.insert(u, p);
+            }
+        }
+    }
+    fn hits(&self) -> u64 {
+        self.0.stats().hits
+    }
+}
+
+struct TwoLevelDriver<P: Policy>(TwoLevelTlb<u64, P>);
+impl<P: Policy> Driver for TwoLevelDriver<P> {
+    fn pass(&mut self, trace: &[u64]) {
+        for &p in trace {
+            self.0.access(VirtHugePage(p), || p);
+        }
+    }
+    fn hits(&self) -> u64 {
+        let s = self.0.stats();
+        s.l1_hits + s.l2_hits
+    }
+}
+
+struct SplitDriver<P: Policy>(SplitTlb<u64, P>);
+impl<P: Policy> Driver for SplitDriver<P> {
+    fn pass(&mut self, trace: &[u64]) {
+        for &p in trace {
+            let u = VirtHugePage(p);
+            if self.0.lookup(u, 1).is_none() {
+                self.0.insert(u, 1, p);
+            }
+        }
+    }
+    fn hits(&self) -> u64 {
+        self.0.stats().hits
+    }
+}
+
+struct RawCacheDriver<P: Policy>(CacheSim<u64, P, u64>, u64);
+impl<P: Policy> Driver for RawCacheDriver<P> {
+    fn pass(&mut self, trace: &[u64]) {
+        for &p in trace {
+            if self.0.access_if_present(&p).is_none() {
+                self.0.insert_cold_with(p, p);
+            }
+        }
+        self.1 = self.0.hits();
+    }
+    fn hits(&self) -> u64 {
+        self.1
+    }
+}
+
+/// A named driver factory; factories build a *fresh* TLB per repetition
+/// so every rep does identical work from a cold start.
+type Variant = (&'static str, Box<dyn Fn() -> Box<dyn Driver>>);
+
+/// The variant matrix.
+fn variants() -> Vec<Variant> {
+    fn mono<P: Policy + PolicyBuild + 'static>() -> Box<dyn Driver> {
+        Box::new(FullDriver(Tlb::<u64, P>::monomorphic(TLB_ENTRIES, 0)))
+    }
+    fn any(kind: PolicyKind) -> Box<dyn Driver> {
+        Box::new(FullDriver(Tlb::<u64, AnyPolicy>::new(TLB_ENTRIES, kind, 0)))
+    }
+    fn legacy(kind: PolicyKind) -> Box<dyn Driver> {
+        Box::new(LegacyDriver(LegacyTlb::new(TLB_ENTRIES, kind, 0)))
+    }
+    // Fused/legacy pairs are adjacent so each rep round measures a pair
+    // back-to-back — see `paired_speedup`.
+    vec![
+        ("full_lru_mono", Box::new(mono::<Lru>)),
+        ("legacy_full_lru", Box::new(|| legacy(PolicyKind::Lru))),
+        (
+            "full_lru_mono_l1",
+            Box::new(|| Box::new(FullDriver(Tlb::<u64, Lru>::monomorphic(L1_TLB_ENTRIES, 0)))),
+        ),
+        (
+            "legacy_full_lru_l1",
+            Box::new(|| {
+                Box::new(LegacyDriver(LegacyTlb::new(
+                    L1_TLB_ENTRIES,
+                    PolicyKind::Lru,
+                    0,
+                )))
+            }),
+        ),
+        ("full_fifo_mono", Box::new(mono::<Fifo>)),
+        ("legacy_full_fifo", Box::new(|| legacy(PolicyKind::Fifo))),
+        ("full_clock_mono", Box::new(mono::<Clock>)),
+        ("legacy_full_clock", Box::new(|| legacy(PolicyKind::Clock))),
+        ("full_sieve_mono", Box::new(mono::<Sieve>)),
+        ("legacy_full_sieve", Box::new(|| legacy(PolicyKind::Sieve))),
+        ("full_lru_any", Box::new(|| any(PolicyKind::Lru))),
+        ("full_fifo_any", Box::new(|| any(PolicyKind::Fifo))),
+        ("full_clock_any", Box::new(|| any(PolicyKind::Clock))),
+        ("full_sieve_any", Box::new(|| any(PolicyKind::Sieve))),
+        (
+            "set_assoc_lru",
+            Box::new(|| Box::new(SetAssocDriver(SetAssocTlb::new(192, 8, 7)))),
+        ),
+        (
+            "two_level_lru_mono",
+            Box::new(|| Box::new(TwoLevelDriver(TwoLevelTlb::<u64, Lru>::cascade_lake_lru(3)))),
+        ),
+        (
+            "split_lru_mono",
+            Box::new(|| {
+                Box::new(SplitDriver(SplitTlb::<u64, Lru>::monomorphic(
+                    &[(&[1], TLB_ENTRIES)],
+                    0,
+                )))
+            }),
+        ),
+        (
+            "raw_cachesim_lru",
+            Box::new(|| {
+                let cap = TLB_ENTRIES as usize;
+                Box::new(RawCacheDriver(CacheSim::new(cap, Lru::new(cap)), 0))
+            }),
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Traces
+// ---------------------------------------------------------------------------
+
+/// Deterministic traces of huge-page ids (base-page traces coarsened by
+/// the 512-page huge-page factor).
+///
+/// `zipf_hot`'s working set (1200 huge pages) fits the 1536-entry TLB, so
+/// after warmup it exercises the *pure hit path* — the cell the slot-arena
+/// refactor targets. `zipf` overflows capacity (4096 huge pages) and mixes
+/// in the eviction path; `seq` is a wrapping in-capacity scan; `graph500`
+/// is the paper's irregular BFS workload.
+fn traces(window: usize) -> Vec<(&'static str, Vec<u64>)> {
+    let zipf_hot: Vec<u64> = Zipfian::new(1, 1200 * HUGE, 1.1)
+        .take(window)
+        .map(|VirtPage(p)| p / HUGE)
+        .collect();
+    // 48 huge pages: fits the 64-entry `*_l1` variants, so those cells are
+    // a pure hit path with every structure L1-cache-resident.
+    let zipf_l1: Vec<u64> = Zipfian::new(2, 48 * HUGE, 1.1)
+        .take(window)
+        .map(|VirtPage(p)| p / HUGE)
+        .collect();
+    let zipf: Vec<u64> = Zipfian::new(1, 4096 * HUGE, 1.1)
+        .take(window)
+        .map(|VirtPage(p)| p / HUGE)
+        .collect();
+    let seq: Vec<u64> = Sequential::new(1024 * HUGE)
+        .take(window)
+        .map(|VirtPage(p)| p / HUGE)
+        .collect();
+    let g500 = Graph500Trace::generate(&atp_workloads::Graph500Config::small(5));
+    let graph_once: Vec<u64> = g500.iter().map(|VirtPage(p)| p / HUGE).collect();
+    let graph: Vec<u64> = graph_once.iter().copied().cycle().take(window).collect();
+    vec![
+        ("zipf_hot", zipf_hot),
+        ("zipf_l1", zipf_l1),
+        ("zipf", zipf),
+        ("seq", seq),
+        ("graph500", graph),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+struct Cell {
+    id: String,
+    variant: &'static str,
+    trace: &'static str,
+    accesses: usize,
+    hits: u64,
+    accesses_per_sec: f64,
+    ns_per_access: f64,
+    /// Per-rep timings in measurement order, for paired comparisons.
+    rep_times: Vec<f64>,
+}
+
+/// One timed repetition of a cell: build a fresh TLB, run one untimed
+/// warmup pass over the window to reach steady state, then time `rounds`
+/// further passes. Returns the elapsed seconds and the driver's cumulative
+/// hits (deterministic).
+fn time_once(factory: &dyn Fn() -> Box<dyn Driver>, trace: &[u64], rounds: usize) -> (f64, u64) {
+    let mut d = factory();
+    d.pass(trace); // warmup: fill to steady state
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        d.pass(trace);
+    }
+    (t0.elapsed().as_secs_f64(), d.hits())
+}
+
+/// Measures the whole matrix, *interleaving* repetitions across cells
+/// (rep-major order) so slow machine phases — frequency scaling, noisy
+/// neighbours — spread across every cell instead of sinking whichever one
+/// they landed on. Each cell reports its median over `reps`.
+fn measure_matrix(
+    variants: &[Variant],
+    traces: &[(&'static str, Vec<u64>)],
+    reps: usize,
+    rounds: usize,
+) -> Vec<Cell> {
+    let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); variants.len() * traces.len()];
+    let mut hits: Vec<u64> = vec![0; variants.len() * traces.len()];
+    // Traces outer, variants inner: adjacent variants (the fused/legacy
+    // pairs) are measured back-to-back within each rep round.
+    for _ in 0..reps {
+        for (ti, (_, trace)) in traces.iter().enumerate() {
+            for (vi, (_, factory)) in variants.iter().enumerate() {
+                let cell = vi * traces.len() + ti;
+                let (dt, h) = time_once(factory.as_ref(), trace, rounds);
+                times[cell].push(dt);
+                hits[cell] = h;
+            }
+        }
+    }
+    let mut cells = Vec::with_capacity(times.len());
+    let mut cell = 0;
+    for (name, _) in variants {
+        for (trace_name, trace) in traces {
+            let accesses = trace.len() * rounds;
+            let rep_times = times[cell].clone();
+            let ts = &mut times[cell];
+            ts.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            let median = ts[ts.len() / 2];
+            cells.push(Cell {
+                id: format!("{name}/{trace_name}"),
+                variant: name,
+                trace: trace_name,
+                accesses,
+                hits: hits[cell],
+                accesses_per_sec: accesses as f64 / median,
+                ns_per_access: median * 1e9 / accesses as f64,
+                rep_times,
+            });
+            cell += 1;
+        }
+    }
+    cells
+}
+
+/// Speedup of `fast` over `slow` as the *median of per-rep ratios*. The
+/// two cells sit adjacent in the matrix, so each rep measures them within
+/// the same round — pairing cancels the machine-throughput drift that a
+/// ratio of independent medians would soak up.
+fn paired_speedup(fast: &Cell, slow: &Cell) -> f64 {
+    let mut ratios: Vec<f64> = slow
+        .rep_times
+        .iter()
+        .zip(&fast.rep_times)
+        .map(|(s, f)| s / f)
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    ratios[ratios.len() / 2]
+}
+
+// ---------------------------------------------------------------------------
+// JSON out / baseline compare
+// ---------------------------------------------------------------------------
+
+fn write_json(path: &str, quick: bool, reps: usize, cells: &[Cell]) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"atp-bench-hotpath-v1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
+    s.push_str(&format!("  \"tlb_entries\": {TLB_ENTRIES},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"variant\": \"{}\", \"trace\": \"{}\", \
+             \"accesses\": {}, \"hits\": {}, \"accesses_per_sec\": {:.1}, \
+             \"ns_per_access\": {:.3}}}{}\n",
+            c.id,
+            c.variant,
+            c.trace,
+            c.accesses,
+            c.hits,
+            c.accesses_per_sec,
+            c.ns_per_access,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// Minimal scan of a previous `BENCH_hotpath.json`: `(id, accesses_per_sec)`
+/// pairs. Field-order dependent, which is fine — we only read our own
+/// output format.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id_at) = line.find("\"id\": \"") else {
+            continue;
+        };
+        let rest = &line[id_at + 7..];
+        let Some(id_end) = rest.find('"') else {
+            continue;
+        };
+        let id = rest[..id_end].to_string();
+        let Some(aps_at) = rest.find("\"accesses_per_sec\": ") else {
+            continue;
+        };
+        let tail = &rest[aps_at + 20..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((id, v));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| args.get(i + 1).expect("--baseline needs a path").clone());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out needs a path").clone())
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    let (rounds, reps) = if quick { (2, 3) } else { (8, 11) };
+    let traces = traces(TRACE_WINDOW);
+    let variants = variants();
+
+    println!(
+        "hotpath: {} variants × {} traces, {} accesses ({TRACE_WINDOW}-access \
+         window × {rounds} rounds), median of {reps}",
+        variants.len(),
+        traces.len(),
+        TRACE_WINDOW * rounds,
+    );
+
+    let cells = measure_matrix(&variants, &traces, reps, rounds);
+    for cell in &cells {
+        println!(
+            "  {:28} {:>12.0} acc/s  ({:6.2} ns/access, {} hits)",
+            cell.id, cell.accesses_per_sec, cell.ns_per_access, cell.hits
+        );
+    }
+
+    // Headline ratios: fused monomorphized LRU vs the legacy replica at
+    // both hardware sizes, paired per rep (each pair is adjacent in the
+    // matrix, so its two cells are measured back-to-back).
+    for (fused_name, legacy_name) in [
+        ("full_lru_mono", "legacy_full_lru"),
+        ("full_lru_mono_l1", "legacy_full_lru_l1"),
+    ] {
+        for (tname, _) in &traces {
+            let fused = cells
+                .iter()
+                .find(|c| c.variant == fused_name && &c.trace == tname);
+            let legacy = cells
+                .iter()
+                .find(|c| c.variant == legacy_name && &c.trace == tname);
+            if let (Some(f), Some(l)) = (fused, legacy) {
+                println!(
+                    "speedup {fused_name} vs {legacy_name} on {tname}: {:.2}x",
+                    paired_speedup(f, l)
+                );
+            }
+        }
+    }
+
+    if let Some(bpath) = baseline {
+        let base = read_baseline(&bpath);
+        println!("\ncomparison vs {bpath}:");
+        for c in &cells {
+            if let Some((_, old)) = base.iter().find(|(id, _)| *id == c.id) {
+                let ratio = c.accesses_per_sec / old;
+                println!(
+                    "  {:28} {:>12.0} vs {:>12.0} acc/s  ({:+.1}%)",
+                    c.id,
+                    c.accesses_per_sec,
+                    old,
+                    (ratio - 1.0) * 100.0
+                );
+            } else {
+                println!("  {:28} (new cell, no baseline)", c.id);
+            }
+        }
+    }
+
+    write_json(&out_path, quick, reps, &cells);
+}

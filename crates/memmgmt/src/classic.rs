@@ -14,7 +14,7 @@
 use crate::observe::{EvictionEvent, SimObserver, TlbEvent};
 use crate::pipeline::{Pipeline, Stages, TlbProbe};
 use crate::traits::AccessReport;
-use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_replacement::{AccessResult, AnyPolicy, CacheSim, PolicyKind};
 use atp_tlb::Tlb;
 use atp_types::{HugePageGeometry, VirtPage};
 
@@ -52,8 +52,8 @@ impl ClassicConfig {
 /// Stage state of the classic physical-huge-page manager.
 pub struct ClassicStages {
     geom: HugePageGeometry,
-    tlb: Tlb<()>,
-    ram: CacheSim<u64, Box<dyn Policy>>,
+    tlb: Tlb<(), AnyPolicy>,
+    ram: CacheSim<u64, AnyPolicy>,
     h: u64,
 }
 
@@ -74,7 +74,7 @@ impl ClassicStages {
             tlb: Tlb::new(cfg.tlb_entries, cfg.tlb_policy, cfg.seed),
             ram: CacheSim::new(
                 ram_units,
-                make_policy(cfg.ram_policy, ram_units, cfg.seed ^ 1),
+                AnyPolicy::new(cfg.ram_policy, ram_units, cfg.seed ^ 1),
             ),
             h: cfg.huge_pages,
         }

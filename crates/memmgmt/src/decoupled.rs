@@ -26,7 +26,7 @@ use crate::observe::{EvictionEvent, SimObserver, TlbEvent};
 use crate::pipeline::{Pipeline, Stages, TlbProbe};
 use crate::traits::AccessReport;
 use atp_core::{DecouplingScheme, RamAllocator, SlotCode, TlbValue};
-use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_replacement::{AccessResult, AnyPolicy, CacheSim, PolicyKind};
 use atp_tlb::Tlb;
 use atp_types::VirtPage;
 
@@ -50,8 +50,8 @@ pub struct DecoupledConfig {
 /// Stage state of the decoupled manager `Z`.
 pub struct DecoupledStages<A: RamAllocator> {
     pub(crate) scheme: DecouplingScheme<A>,
-    pub(crate) tlb: Tlb<TlbValue>,
-    pub(crate) ram: CacheSim<u64, Box<dyn Policy>>,
+    pub(crate) tlb: Tlb<TlbValue, AnyPolicy>,
+    pub(crate) ram: CacheSim<u64, AnyPolicy>,
 }
 
 impl<A: RamAllocator> DecoupledStages<A> {
@@ -71,7 +71,7 @@ impl<A: RamAllocator> DecoupledStages<A> {
         Self {
             scheme: DecouplingScheme::new(alloc, cfg.tlb_value_bits),
             tlb: Tlb::new(cfg.tlb_entries, cfg.tlb_policy, cfg.seed),
-            ram: CacheSim::new(cap, make_policy(cfg.ram_policy, cap, cfg.seed ^ 0xF00D)),
+            ram: CacheSim::new(cap, AnyPolicy::new(cfg.ram_policy, cap, cfg.seed ^ 0xF00D)),
         }
     }
 

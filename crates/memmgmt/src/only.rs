@@ -14,13 +14,13 @@
 use crate::observe::{EvictionEvent, SimObserver, TlbEvent};
 use crate::pipeline::{Pipeline, Stages, TlbProbe};
 use crate::traits::AccessReport;
-use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_replacement::{AccessResult, AnyPolicy, CacheSim, PolicyKind};
 use atp_types::{HugePageGeometry, VirtPage};
 
 /// Stage state of `X`: a TLB over size-`hmax` huge pages, nothing else.
 pub struct VirtualOnlyStages {
     geom: HugePageGeometry,
-    tlb: CacheSim<u64, Box<dyn Policy>>,
+    tlb: CacheSim<u64, AnyPolicy>,
 }
 
 impl VirtualOnlyStages {
@@ -29,7 +29,7 @@ impl VirtualOnlyStages {
         let cap = tlb_entries as usize;
         Self {
             geom: HugePageGeometry::new(hmax).expect("hmax power of two"),
-            tlb: CacheSim::new(cap, make_policy(policy, cap, seed)),
+            tlb: CacheSim::new(cap, AnyPolicy::new(policy, cap, seed)),
         }
     }
 }
@@ -83,7 +83,7 @@ impl VirtualOnlyMm {
 
 /// Stage state of `Y`: classic paging on base pages, no TLB.
 pub struct PagingOnlyStages {
-    ram: CacheSim<u64, Box<dyn Policy>>,
+    ram: CacheSim<u64, AnyPolicy>,
 }
 
 impl PagingOnlyStages {
@@ -91,7 +91,7 @@ impl PagingOnlyStages {
     pub fn new(resident_pages: u64, policy: PolicyKind, seed: u64) -> Self {
         let cap = resident_pages as usize;
         Self {
-            ram: CacheSim::new(cap, make_policy(policy, cap, seed)),
+            ram: CacheSim::new(cap, AnyPolicy::new(policy, cap, seed)),
         }
     }
 }

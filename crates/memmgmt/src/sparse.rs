@@ -26,7 +26,7 @@ use crate::observe::{EvictionEvent, SimObserver, TlbEvent};
 use crate::pipeline::{Pipeline, Stages, TlbProbe};
 use crate::traits::AccessReport;
 use atp_core::{DecouplingScheme, RamAllocator, SlotCode, SparseValue};
-use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_replacement::{AccessResult, AnyPolicy, CacheSim, PolicyKind};
 use atp_tlb::Tlb;
 use atp_types::VirtPage;
 
@@ -52,8 +52,8 @@ pub struct SparseConfig {
 /// Stage state of the sparse-encoding decoupled manager.
 pub struct SparseStages<A: RamAllocator> {
     scheme: DecouplingScheme<A>,
-    tlb: Tlb<SparseValue>,
-    ram: CacheSim<u64, Box<dyn Policy>>,
+    tlb: Tlb<SparseValue, AnyPolicy>,
+    ram: CacheSim<u64, AnyPolicy>,
     w: u32,
     bits: u32,
 }
@@ -79,7 +79,7 @@ impl<A: RamAllocator> SparseStages<A> {
         Self {
             scheme,
             tlb: Tlb::new(cfg.tlb_entries, cfg.tlb_policy, cfg.seed),
-            ram: CacheSim::new(cap, make_policy(cfg.ram_policy, cap, cfg.seed ^ 0x5BA3)),
+            ram: CacheSim::new(cap, AnyPolicy::new(cfg.ram_policy, cap, cfg.seed ^ 0x5BA3)),
             w: cfg.tlb_value_bits,
             bits,
         }

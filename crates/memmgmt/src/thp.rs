@@ -31,7 +31,7 @@ use crate::observe::{EvictionEvent, SimObserver, TlbEvent};
 use crate::pipeline::{Pipeline, Stages, TlbProbe};
 use crate::traits::AccessReport;
 use atp_hash::{CounterRng, FxHashMap};
-use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_replacement::{AccessResult, AnyPolicy, CacheSim, PolicyKind};
 use atp_tlb::Tlb;
 use atp_types::{HugePageGeometry, PhysPage, VirtHugePage, VirtPage};
 
@@ -157,8 +157,8 @@ pub struct ThpStages {
     pub(crate) huge_frames: FxHashMap<VirtHugePage, PhysPage>,
     /// Resident base-page count per (non-promoted) huge page.
     run_population: FxHashMap<VirtHugePage, u32>,
-    units: CacheSim<u64, Box<dyn Policy>>,
-    tlb: Tlb<()>,
+    units: CacheSim<u64, AnyPolicy>,
+    tlb: Tlb<(), AnyPolicy>,
     stats: ThpStats,
     h: u64,
 }
@@ -182,7 +182,7 @@ impl ThpStages {
             base_frames: FxHashMap::default(),
             huge_frames: FxHashMap::default(),
             run_population: FxHashMap::default(),
-            units: CacheSim::new(cap, make_policy(cfg.policy, cap, cfg.seed ^ 0x7)),
+            units: CacheSim::new(cap, AnyPolicy::new(cfg.policy, cap, cfg.seed ^ 0x7)),
             tlb: Tlb::new(cfg.tlb_entries, cfg.policy, cfg.seed ^ 0x9),
             stats: ThpStats::default(),
             h: cfg.huge_pages,

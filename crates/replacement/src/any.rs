@@ -1,0 +1,235 @@
+//! Runtime-selected policy with inline fast paths.
+//!
+//! [`AnyPolicy`] is the bridge between the two dispatch worlds: code that
+//! knows its policy at compile time instantiates `CacheSim<K, Lru>` /
+//! `Tlb<V, Sieve>` and gets fully monomorphized callbacks, while code
+//! configured from a [`PolicyKind`] (sweep drivers, CLI flags) uses
+//! `CacheSim<K, AnyPolicy>`. The four Figure-1 policies (LRU, FIFO, Clock,
+//! Sieve) are inline enum variants — dispatch is a branch-predictable
+//! `match`, not a vtable call — and every other kind falls back to the
+//! boxed trait object via [`crate::make_policy`].
+
+use crate::clock::Clock;
+use crate::fifo::Fifo;
+use crate::lfu::Lfu;
+use crate::lru::Lru;
+use crate::lruk::LruK;
+use crate::marking::Marking;
+use crate::mru::Mru;
+use crate::policy::{Policy, PolicyBuild, PolicyKind, SlotId};
+use crate::random::RandomPolicy;
+use crate::sieve::Sieve;
+use crate::slru::Slru;
+use crate::twoq::TwoQ;
+
+/// A policy chosen at runtime. Hot kinds are inline variants; the rest are
+/// boxed. Behavior is identical to the wrapped policy in every case.
+pub enum AnyPolicy {
+    /// Least-recently used (inline).
+    Lru(Lru),
+    /// First-in first-out (inline).
+    Fifo(Fifo),
+    /// CLOCK / second chance (inline).
+    Clock(Clock),
+    /// SIEVE (inline).
+    Sieve(Sieve),
+    /// Any other kind, boxed.
+    Other(Box<dyn Policy>),
+}
+
+impl AnyPolicy {
+    /// Builds the policy of `kind` for a cache of `capacity` slots.
+    /// Deterministic kinds ignore `seed`.
+    pub fn new(kind: PolicyKind, capacity: usize, seed: u64) -> Self {
+        match kind {
+            PolicyKind::Lru => AnyPolicy::Lru(Lru::new(capacity)),
+            PolicyKind::Fifo => AnyPolicy::Fifo(Fifo::new(capacity)),
+            PolicyKind::Clock => AnyPolicy::Clock(Clock::new(capacity)),
+            PolicyKind::Sieve => AnyPolicy::Sieve(Sieve::new(capacity)),
+            other => AnyPolicy::Other(crate::make_policy(other, capacity, seed)),
+        }
+    }
+}
+
+impl Policy for AnyPolicy {
+    #[inline]
+    fn on_insert(&mut self, s: SlotId) {
+        match self {
+            AnyPolicy::Lru(p) => p.on_insert(s),
+            AnyPolicy::Fifo(p) => p.on_insert(s),
+            AnyPolicy::Clock(p) => p.on_insert(s),
+            AnyPolicy::Sieve(p) => p.on_insert(s),
+            AnyPolicy::Other(p) => p.on_insert(s),
+        }
+    }
+
+    #[inline]
+    fn on_hit(&mut self, s: SlotId) {
+        match self {
+            AnyPolicy::Lru(p) => p.on_hit(s),
+            AnyPolicy::Fifo(p) => p.on_hit(s),
+            AnyPolicy::Clock(p) => p.on_hit(s),
+            AnyPolicy::Sieve(p) => p.on_hit(s),
+            AnyPolicy::Other(p) => p.on_hit(s),
+        }
+    }
+
+    #[inline]
+    fn choose_victim(&mut self) -> SlotId {
+        match self {
+            AnyPolicy::Lru(p) => p.choose_victim(),
+            AnyPolicy::Fifo(p) => p.choose_victim(),
+            AnyPolicy::Clock(p) => p.choose_victim(),
+            AnyPolicy::Sieve(p) => p.choose_victim(),
+            AnyPolicy::Other(p) => p.choose_victim(),
+        }
+    }
+
+    #[inline]
+    fn on_remove(&mut self, s: SlotId) {
+        match self {
+            AnyPolicy::Lru(p) => p.on_remove(s),
+            AnyPolicy::Fifo(p) => p.on_remove(s),
+            AnyPolicy::Clock(p) => p.on_remove(s),
+            AnyPolicy::Sieve(p) => p.on_remove(s),
+            AnyPolicy::Other(p) => p.on_remove(s),
+        }
+    }
+
+    fn kind(&self) -> PolicyKind {
+        match self {
+            AnyPolicy::Lru(p) => p.kind(),
+            AnyPolicy::Fifo(p) => p.kind(),
+            AnyPolicy::Clock(p) => p.kind(),
+            AnyPolicy::Sieve(p) => p.kind(),
+            AnyPolicy::Other(p) => p.kind(),
+        }
+    }
+}
+
+impl PolicyBuild for Lru {
+    fn build(capacity: usize, _seed: u64) -> Self {
+        Lru::new(capacity)
+    }
+}
+
+impl PolicyBuild for Fifo {
+    fn build(capacity: usize, _seed: u64) -> Self {
+        Fifo::new(capacity)
+    }
+}
+
+impl PolicyBuild for Clock {
+    fn build(capacity: usize, _seed: u64) -> Self {
+        Clock::new(capacity)
+    }
+}
+
+impl PolicyBuild for Sieve {
+    fn build(capacity: usize, _seed: u64) -> Self {
+        Sieve::new(capacity)
+    }
+}
+
+impl PolicyBuild for Mru {
+    fn build(capacity: usize, _seed: u64) -> Self {
+        Mru::new(capacity)
+    }
+}
+
+impl PolicyBuild for Lfu {
+    fn build(capacity: usize, _seed: u64) -> Self {
+        Lfu::new(capacity)
+    }
+}
+
+impl PolicyBuild for Slru {
+    fn build(capacity: usize, _seed: u64) -> Self {
+        Slru::new(capacity)
+    }
+}
+
+impl PolicyBuild for TwoQ {
+    fn build(capacity: usize, _seed: u64) -> Self {
+        TwoQ::new(capacity)
+    }
+}
+
+impl PolicyBuild for RandomPolicy {
+    fn build(capacity: usize, seed: u64) -> Self {
+        RandomPolicy::new(capacity, seed)
+    }
+}
+
+impl PolicyBuild for LruK {
+    fn build(capacity: usize, _seed: u64) -> Self {
+        LruK::two(capacity)
+    }
+}
+
+impl PolicyBuild for Marking {
+    fn build(capacity: usize, seed: u64) -> Self {
+        Marking::new(capacity, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheSim;
+
+    /// AnyPolicy must replay the exact same eviction stream as the policy
+    /// it wraps, for both inline and boxed variants.
+    #[test]
+    fn any_matches_wrapped_policy() {
+        for kind in PolicyKind::ALL {
+            let cap = 4;
+            let mut mono: CacheSim<u64, Box<dyn Policy>> =
+                CacheSim::new(cap, crate::make_policy(kind, cap, 42));
+            let mut any: CacheSim<u64, AnyPolicy> =
+                CacheSim::new(cap, AnyPolicy::new(kind, cap, 42));
+            let mut x: u64 = 0x9E37;
+            for _ in 0..500 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let k = (x >> 33) % 9;
+                assert_eq!(mono.access(k), any.access(k), "{kind} diverged");
+            }
+            assert_eq!(mono.hits(), any.hits());
+            assert_eq!(any.policy().kind(), kind);
+        }
+    }
+
+    #[test]
+    fn inline_variants_cover_figure1_policies() {
+        assert!(matches!(
+            AnyPolicy::new(PolicyKind::Lru, 2, 0),
+            AnyPolicy::Lru(_)
+        ));
+        assert!(matches!(
+            AnyPolicy::new(PolicyKind::Fifo, 2, 0),
+            AnyPolicy::Fifo(_)
+        ));
+        assert!(matches!(
+            AnyPolicy::new(PolicyKind::Clock, 2, 0),
+            AnyPolicy::Clock(_)
+        ));
+        assert!(matches!(
+            AnyPolicy::new(PolicyKind::Sieve, 2, 0),
+            AnyPolicy::Sieve(_)
+        ));
+        assert!(matches!(
+            AnyPolicy::new(PolicyKind::Lfu, 2, 0),
+            AnyPolicy::Other(_)
+        ));
+    }
+
+    #[test]
+    fn build_trait_constructs_working_policies() {
+        let mut c: CacheSim<u64, Sieve> = CacheSim::new(2, Sieve::build(2, 0));
+        c.access(1);
+        c.access(2);
+        assert!(c.access(1).is_hit());
+    }
+}

@@ -1,4 +1,13 @@
 //! The generic cache simulator driving a replacement policy.
+//!
+//! [`CacheSim`] is the single-probe slot arena at the bottom of every hot
+//! path in the workspace: one `FxHashMap<K, u32>` probe resolves to a slot
+//! index into a contiguous arena holding the key and an optional user value
+//! `V`, while the policy keeps its intrusive recency metadata (u32 links,
+//! reference bits, …) in its own slot-indexed arrays. A hit is therefore
+//! one hash probe plus O(1) index arithmetic — no second map for values, no
+//! membership pre-check. The policy type parameter `P` is monomorphized at
+//! the call site; pass [`crate::AnyPolicy`] for runtime-configured policies.
 
 use crate::policy::{Policy, SlotId};
 use atp_hash::FxHashMap;
@@ -24,12 +33,13 @@ impl<K> AccessResult<K> {
     }
 }
 
-/// A capacity-bounded cache over keys `K`, with replacement delegated to a
-/// [`Policy`].
+/// A capacity-bounded cache over keys `K` (optionally carrying a value `V`
+/// per entry), with replacement delegated to a [`Policy`].
 ///
 /// Used throughout the workspace as the content-tracker for both RAM (keys =
-/// pages or huge pages) and TLBs (keys = huge-page ids). Explicit removal is
-/// supported for TLB shootdowns and decoupling-driven invalidations.
+/// pages or huge pages, no value) and TLBs (keys = huge-page ids, value =
+/// the translation payload). Explicit removal is supported for TLB
+/// shootdowns and decoupling-driven invalidations.
 ///
 /// ```
 /// use atp_replacement::{AccessResult, CacheSim, Lru};
@@ -43,28 +53,34 @@ impl<K> AccessResult<K> {
 ///     _ => unreachable!(),
 /// }
 /// ```
-pub struct CacheSim<K, P: Policy> {
+pub struct CacheSim<K, P: Policy, V = ()> {
     capacity: usize,
-    map: FxHashMap<K, SlotId>,
-    keys: Vec<Option<K>>,
-    free: Vec<SlotId>,
+    map: FxHashMap<K, u32>,
+    /// Slot arena: key and value co-located, `None` = free slot.
+    slots: Vec<Option<(K, V)>>,
+    free: Vec<u32>,
     policy: P,
     hits: u64,
     misses: u64,
 }
 
-impl<K: Eq + Hash + Copy, P: Policy> CacheSim<K, P> {
+impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
     /// Creates a cache of `capacity` entries driven by `policy`.
     ///
     /// # Panics
-    /// Panics if `capacity == 0`.
+    /// Panics if `capacity == 0` or `capacity >= u32::MAX` (slot ids are
+    /// 32-bit).
     pub fn new(capacity: usize, policy: P) -> Self {
         assert!(capacity > 0, "cache capacity must be nonzero");
+        assert!(
+            capacity < u32::MAX as usize,
+            "cache capacity exceeds u32 slot ids"
+        );
         Self {
             capacity,
             map: FxHashMap::default(),
-            keys: (0..capacity).map(|_| None).collect(),
-            free: (0..capacity).rev().collect(),
+            slots: (0..capacity).map(|_| None).collect(),
+            free: (0..capacity as u32).rev().collect(),
             policy,
             hits: 0,
             misses: 0,
@@ -107,10 +123,126 @@ impl<K: Eq + Hash + Copy, P: Policy> CacheSim<K, P> {
         self.misses
     }
 
+    /// Accesses `k` *only if resident*: one hash probe. A hit refreshes the
+    /// policy, bumps the hit counter, and returns the value; a miss bumps
+    /// the miss counter and returns `None` without inserting anything.
+    ///
+    /// This is the whole TLB/cache hot path — callers must not pair it with
+    /// a preceding [`CacheSim::contains`] (that is the double-probe pattern
+    /// this method exists to remove).
+    #[inline]
+    pub fn access_if_present(&mut self, k: &K) -> Option<&V> {
+        match self.map.get(k) {
+            Some(&slot) => {
+                self.policy.on_hit(slot as SlotId);
+                self.hits += 1;
+                match &self.slots[slot as usize] {
+                    Some((_, v)) => Some(v),
+                    None => unreachable!("mapped slot occupied"),
+                }
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Reads the value of `k` without touching recency or counters.
+    #[inline]
+    pub fn get(&self, k: &K) -> Option<&V> {
+        let &slot = self.map.get(k)?;
+        self.slots[slot as usize].as_ref().map(|(_, v)| v)
+    }
+
+    /// Mutable access to the value of `k` without touching recency or
+    /// counters (free ψ-updates in the paper's cost model).
+    #[inline]
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        let &slot = self.map.get(k)?;
+        self.slots[slot as usize].as_mut().map(|(_, v)| v)
+    }
+
+    /// Inserts a key known to be absent with its value, returning the
+    /// evicted victim entry if the cache was full.
+    ///
+    /// # Panics
+    /// Panics if `k` is already resident.
+    pub fn insert_cold_with(&mut self, k: K, v: V) -> Option<(K, V)> {
+        assert!(!self.map.contains_key(&k), "insert_cold on resident key");
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            evicted = self.evict_one_entry();
+            debug_assert!(evicted.is_some(), "full cache must yield a victim");
+        }
+        let slot = self.free.pop().expect("free slot available");
+        self.slots[slot as usize] = Some((k, v));
+        self.map.insert(k, slot);
+        self.policy.on_insert(slot as SlotId);
+        evicted
+    }
+
+    /// Forces eviction of the policy's preferred victim, returning its
+    /// entry (`None` if the cache is empty). Used by managers whose real
+    /// capacity constraint is external (e.g. physical frames rather than
+    /// entries).
+    pub fn evict_one_entry(&mut self) -> Option<(K, V)> {
+        if self.map.is_empty() {
+            return None;
+        }
+        let victim_slot = self.policy.choose_victim();
+        let (k, v) = self.slots[victim_slot]
+            .take()
+            .expect("victim slot occupied");
+        self.policy.on_remove(victim_slot);
+        self.map.remove(&k);
+        self.free.push(victim_slot as u32);
+        Some((k, v))
+    }
+
+    /// Explicitly removes `k` (invalidation), returning its value if it was
+    /// resident. One hash probe.
+    pub fn remove_entry(&mut self, k: &K) -> Option<V> {
+        let slot = self.map.remove(k)?;
+        let (_, v) = self.slots[slot as usize].take().expect("slot occupied");
+        self.policy.on_remove(slot as SlotId);
+        self.free.push(slot);
+        Some(v)
+    }
+
+    /// Explicitly removes `k` (invalidation), returning whether it was
+    /// resident.
+    pub fn remove(&mut self, k: &K) -> bool {
+        self.remove_entry(k).is_some()
+    }
+
+    /// Iterates over resident keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
+    /// Iterates over resident `(key, value)` pairs in slot-arena order
+    /// (arbitrary from the caller's point of view).
+    pub fn entries(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Access to the policy (for tests / instrumentation).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+}
+
+/// Keys-only API: the original `CacheSim` surface, for residency caches
+/// that track membership without a payload.
+impl<K: Eq + Hash + Copy, P: Policy> CacheSim<K, P, ()> {
     /// Accesses `k`: on a miss, inserts it (possibly evicting).
+    #[inline]
     pub fn access(&mut self, k: K) -> AccessResult<K> {
         if let Some(&slot) = self.map.get(&k) {
-            self.policy.on_hit(slot);
+            self.policy.on_hit(slot as SlotId);
             self.hits += 1;
             return AccessResult::Hit;
         }
@@ -125,59 +257,13 @@ impl<K: Eq + Hash + Copy, P: Policy> CacheSim<K, P> {
     /// # Panics
     /// Panics if `k` is already resident.
     pub fn insert_cold(&mut self, k: K) -> Option<K> {
-        assert!(!self.map.contains_key(&k), "insert_cold on resident key");
-        let mut evicted = None;
-        if self.map.len() == self.capacity {
-            let victim_slot = self.policy.choose_victim();
-            let victim = self.keys[victim_slot].take().expect("victim slot occupied");
-            self.policy.on_remove(victim_slot);
-            self.map.remove(&victim);
-            self.free.push(victim_slot);
-            evicted = Some(victim);
-        }
-        let slot = self.free.pop().expect("free slot available");
-        self.keys[slot] = Some(k);
-        self.map.insert(k, slot);
-        self.policy.on_insert(slot);
-        evicted
+        self.insert_cold_with(k, ()).map(|(victim, ())| victim)
     }
 
     /// Forces eviction of the policy's preferred victim, returning it
-    /// (`None` if the cache is empty). Used by managers whose real capacity
-    /// constraint is external (e.g. physical frames rather than entries).
+    /// (`None` if the cache is empty).
     pub fn evict_one(&mut self) -> Option<K> {
-        if self.map.is_empty() {
-            return None;
-        }
-        let victim_slot = self.policy.choose_victim();
-        let victim = self.keys[victim_slot].take().expect("victim slot occupied");
-        self.policy.on_remove(victim_slot);
-        self.map.remove(&victim);
-        self.free.push(victim_slot);
-        Some(victim)
-    }
-
-    /// Explicitly removes `k` (invalidation), returning whether it was
-    /// resident.
-    pub fn remove(&mut self, k: &K) -> bool {
-        if let Some(slot) = self.map.remove(k) {
-            self.keys[slot] = None;
-            self.policy.on_remove(slot);
-            self.free.push(slot);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Iterates over resident keys (arbitrary order).
-    pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.map.keys()
-    }
-
-    /// Access to the policy (for tests / instrumentation).
-    pub fn policy(&self) -> &P {
-        &self.policy
+        self.evict_one_entry().map(|(k, ())| k)
     }
 }
 
@@ -287,5 +373,50 @@ mod tests {
         let mut ks: Vec<u64> = c.keys().copied().collect();
         ks.sort_unstable();
         assert_eq!(ks, vec![10, 20]);
+    }
+
+    #[test]
+    fn values_live_in_the_arena() {
+        let mut c: CacheSim<u64, Lru, String> = CacheSim::new(2, Lru::new(2));
+        assert!(c.insert_cold_with(1, "one".into()).is_none());
+        assert!(c.insert_cold_with(2, "two".into()).is_none());
+        assert_eq!(c.access_if_present(&1), Some(&"one".to_string()));
+        // 2 is now LRU; inserting 3 evicts it with its value.
+        let evicted = c.insert_cold_with(3, "three".into());
+        assert_eq!(evicted, Some((2, "two".to_string())));
+        assert_eq!(c.access_if_present(&2), None);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn get_and_get_mut_skip_recency() {
+        let mut c: CacheSim<u64, Lru, u32> = CacheSim::new(2, Lru::new(2));
+        c.insert_cold_with(1, 10);
+        c.insert_cold_with(2, 20);
+        *c.get_mut(&1).unwrap() += 1;
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!((c.hits(), c.misses()), (0, 0), "peeks must not count");
+        // 1 was NOT refreshed by get/get_mut: it is still the LRU victim.
+        assert_eq!(c.insert_cold_with(3, 30), Some((1, 11)));
+    }
+
+    #[test]
+    fn remove_entry_returns_value() {
+        let mut c: CacheSim<u64, Lru, u32> = CacheSim::new(2, Lru::new(2));
+        c.insert_cold_with(7, 70);
+        assert_eq!(c.remove_entry(&7), Some(70));
+        assert_eq!(c.remove_entry(&7), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn entries_iterates_pairs() {
+        let mut c: CacheSim<u64, Lru, u32> = CacheSim::new(3, Lru::new(3));
+        c.insert_cold_with(1, 10);
+        c.insert_cold_with(2, 20);
+        let mut pairs: Vec<(u64, u32)> = c.entries().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 10), (2, 20)]);
     }
 }

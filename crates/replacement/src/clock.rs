@@ -29,15 +29,18 @@ impl Clock {
 }
 
 impl Policy for Clock {
+    #[inline]
     fn on_insert(&mut self, s: SlotId) {
         self.referenced[s] = false;
         self.ring.push_front(s);
     }
 
+    #[inline]
     fn on_hit(&mut self, s: SlotId) {
         self.referenced[s] = true;
     }
 
+    #[inline]
     fn choose_victim(&mut self) -> SlotId {
         loop {
             let hand = self.ring.back().expect("choose_victim on empty cache");
@@ -50,11 +53,13 @@ impl Policy for Clock {
         }
     }
 
+    #[inline]
     fn on_remove(&mut self, s: SlotId) {
         self.referenced[s] = false;
         self.ring.remove(s);
     }
 
+    #[inline]
     fn kind(&self) -> PolicyKind {
         PolicyKind::Clock
     }

@@ -21,22 +21,27 @@ impl Fifo {
 }
 
 impl Policy for Fifo {
+    #[inline]
     fn on_insert(&mut self, s: SlotId) {
         self.queue.push_front(s);
     }
 
+    #[inline]
     fn on_hit(&mut self, _s: SlotId) {
         // FIFO ignores hits.
     }
 
+    #[inline]
     fn choose_victim(&mut self) -> SlotId {
         self.queue.back().expect("choose_victim on empty cache")
     }
 
+    #[inline]
     fn on_remove(&mut self, s: SlotId) {
         self.queue.remove(s);
     }
 
+    #[inline]
     fn kind(&self) -> PolicyKind {
         PolicyKind::Fifo
     }

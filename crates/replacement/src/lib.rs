@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod any;
 pub mod cache;
 pub mod clock;
 pub mod fifo;
@@ -38,6 +39,7 @@ pub mod sieve;
 pub mod slru;
 pub mod twoq;
 
+pub use any::AnyPolicy;
 pub use cache::{AccessResult, CacheSim};
 pub use clock::Clock;
 pub use fifo::Fifo;
@@ -47,7 +49,7 @@ pub use lruk::LruK;
 pub use marking::Marking;
 pub use mru::Mru;
 pub use opt::OptCache;
-pub use policy::{Policy, PolicyKind, SlotId};
+pub use policy::{Policy, PolicyBuild, PolicyKind, SlotId};
 pub use random::RandomPolicy;
 pub use sieve::Sieve;
 pub use slru::Slru;

@@ -5,28 +5,65 @@
 //! instead we link *slot indices* through a flat `Vec` — the standard
 //! arena-backed pattern for cache simulators. Slots are allocated by the
 //! caller ([`crate::cache::CacheSim`]) and must be `< capacity`.
+//!
+//! Links are stored as `u32` slot indices: half the memory of `usize`
+//! links, so twice as many nodes fit per cache line on the hot
+//! move-to-front path. The public API stays in `usize`.
+//!
+//! The list is *circular through a sentinel node* stored at index
+//! `capacity`: the sentinel's `next` is the head and its `prev` is the
+//! tail. Every linked node therefore has a real predecessor and successor,
+//! which makes `push_front`/`push_back`/`remove` straight-line code — no
+//! "am I the head/tail?" branches, which are data-dependent and
+//! mispredict-prone on the move-to-front path taken by every LRU hit.
+//! Unlinked slots are marked by `prev[s] == NIL`.
 
-/// Sentinel meaning "no link".
-const NIL: usize = usize::MAX;
+/// Sentinel meaning "not linked".
+const NIL: u32 = u32::MAX;
+
+/// A node's links, stored as one pair so touching both costs a single
+/// bounds check and one cache line.
+#[derive(Clone, Copy, Debug)]
+struct Link {
+    prev: u32,
+    next: u32,
+}
 
 /// A doubly-linked list over externally-allocated slot indices.
 #[derive(Clone, Debug)]
 pub struct IndexList {
-    prev: Vec<usize>,
-    next: Vec<usize>,
-    head: usize,
-    tail: usize,
+    /// `capacity + 1` entries; the extra slot is the circular sentinel.
+    links: Vec<Link>,
+    /// Sentinel index (`== capacity`).
+    sent: u32,
     len: usize,
 }
 
 impl IndexList {
     /// Creates an empty list able to link slots `0..capacity`.
+    ///
+    /// # Panics
+    /// Panics if `capacity >= u32::MAX` (slot links are 32-bit).
     pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity < u32::MAX as usize,
+            "capacity {capacity} exceeds u32 slot links"
+        );
+        let sent = capacity as u32;
+        let mut links = vec![
+            Link {
+                prev: NIL,
+                next: NIL
+            };
+            capacity + 1
+        ];
+        links[capacity] = Link {
+            prev: sent,
+            next: sent,
+        };
         Self {
-            prev: vec![NIL; capacity],
-            next: vec![NIL; capacity],
-            head: NIL,
-            tail: NIL,
+            links,
+            sent,
             len: 0,
         }
     }
@@ -46,77 +83,77 @@ impl IndexList {
     /// First slot, if any.
     #[inline]
     pub fn front(&self) -> Option<usize> {
-        (self.head != NIL).then_some(self.head)
+        let h = self.links[self.sent as usize].next;
+        (h != self.sent).then_some(h as usize)
     }
 
     /// Last slot, if any.
     #[inline]
     pub fn back(&self) -> Option<usize> {
-        (self.tail != NIL).then_some(self.tail)
+        let t = self.links[self.sent as usize].prev;
+        (t != self.sent).then_some(t as usize)
     }
 
     /// Slot after `s`, if any.
     #[inline]
     pub fn next_of(&self, s: usize) -> Option<usize> {
-        let n = self.next[s];
-        (n != NIL).then_some(n)
+        let n = self.links[s].next;
+        (n != NIL && n != self.sent).then_some(n as usize)
     }
 
     /// Slot before `s`, if any.
     #[inline]
     pub fn prev_of(&self, s: usize) -> Option<usize> {
-        let p = self.prev[s];
-        (p != NIL).then_some(p)
+        let p = self.links[s].prev;
+        (p != NIL && p != self.sent).then_some(p as usize)
     }
 
     /// Links `s` at the front.
     ///
     /// # Panics
     /// Debug-panics if `s` is already linked.
+    #[inline]
     pub fn push_front(&mut self, s: usize) {
         debug_assert!(!self.contains(s), "slot {s} already linked");
-        self.prev[s] = NIL;
-        self.next[s] = self.head;
-        if self.head != NIL {
-            self.prev[self.head] = s;
-        } else {
-            self.tail = s;
-        }
-        self.head = s;
+        let s32 = s as u32;
+        let sent = self.sent as usize;
+        let h = self.links[sent].next;
+        self.links[s] = Link {
+            prev: self.sent,
+            next: h,
+        };
+        self.links[h as usize].prev = s32;
+        self.links[sent].next = s32;
         self.len += 1;
     }
 
     /// Links `s` at the back.
+    #[inline]
     pub fn push_back(&mut self, s: usize) {
         debug_assert!(!self.contains(s), "slot {s} already linked");
-        self.next[s] = NIL;
-        self.prev[s] = self.tail;
-        if self.tail != NIL {
-            self.next[self.tail] = s;
-        } else {
-            self.head = s;
-        }
-        self.tail = s;
+        let s32 = s as u32;
+        let sent = self.sent as usize;
+        let t = self.links[sent].prev;
+        self.links[s] = Link {
+            prev: t,
+            next: self.sent,
+        };
+        self.links[t as usize].next = s32;
+        self.links[sent].prev = s32;
         self.len += 1;
     }
 
     /// Unlinks `s` (which must be linked).
+    #[inline]
     pub fn remove(&mut self, s: usize) {
-        let (p, n) = (self.prev[s], self.next[s]);
-        if p != NIL {
-            self.next[p] = n;
-        } else {
-            debug_assert_eq!(self.head, s, "removing unlinked slot {s}");
-            self.head = n;
-        }
-        if n != NIL {
-            self.prev[n] = p;
-        } else {
-            debug_assert_eq!(self.tail, s, "removing unlinked slot {s}");
-            self.tail = p;
-        }
-        self.prev[s] = NIL;
-        self.next[s] = NIL;
+        debug_assert!(self.contains(s), "removing unlinked slot {s}");
+        let Link { prev: p, next: n } = self.links[s];
+        self.links[p as usize].next = n;
+        self.links[n as usize].prev = p;
+        self.links[s] = Link {
+            prev: NIL,
+            next: NIL,
+        };
         self.len -= 1;
     }
 
@@ -135,36 +172,74 @@ impl IndexList {
     }
 
     /// Moves `s` to the front (must be linked).
+    ///
+    /// Fused unlink+relink rather than `remove` + `push_front`: the length
+    /// is unchanged and `s`'s links are overwritten anyway, and thanks to
+    /// the sentinel the whole operation is branch-free past the
+    /// already-at-front early exit. This is the hottest code in the crate —
+    /// it runs on every LRU hit.
+    #[inline]
     pub fn move_to_front(&mut self, s: usize) {
-        if self.head != s {
-            self.remove(s);
-            self.push_front(s);
+        debug_assert!(self.contains(s), "moving unlinked slot {s}");
+        let s32 = s as u32;
+        let sent = self.sent as usize;
+        let h = self.links[sent].next;
+        if h == s32 {
+            return;
         }
+        // `s` is not the head, so its predecessor `p` is a real node or the
+        // sentinel — either way the writes below cannot clobber `h`'s
+        // `next` link (`h != s`, `h != n`; `h == p` only touches `.prev`).
+        let Link { prev: p, next: n } = self.links[s];
+        self.links[p as usize].next = n;
+        self.links[n as usize].prev = p;
+        self.links[s] = Link {
+            prev: self.sent,
+            next: h,
+        };
+        self.links[h as usize].prev = s32;
+        self.links[sent].next = s32;
     }
 
-    /// Moves `s` to the back (must be linked).
+    /// Moves `s` to the back (must be linked). Mirror of
+    /// [`Self::move_to_front`].
+    #[inline]
     pub fn move_to_back(&mut self, s: usize) {
-        if self.tail != s {
-            self.remove(s);
-            self.push_back(s);
+        debug_assert!(self.contains(s), "moving unlinked slot {s}");
+        let s32 = s as u32;
+        let sent = self.sent as usize;
+        let t = self.links[sent].prev;
+        if t == s32 {
+            return;
         }
+        let Link { prev: p, next: n } = self.links[s];
+        self.links[p as usize].next = n;
+        self.links[n as usize].prev = p;
+        self.links[s] = Link {
+            prev: t,
+            next: self.sent,
+        };
+        self.links[t as usize].next = s32;
+        self.links[sent].prev = s32;
     }
 
-    /// Whether `s` is currently linked. O(1) except for the head special
-    /// case, which is disambiguated via the stored links.
+    /// Whether `s` is currently linked. One load: every linked node has a
+    /// real predecessor (at least the sentinel), so `prev == NIL` means
+    /// unlinked.
+    #[inline]
     pub fn contains(&self, s: usize) -> bool {
-        self.head == s || self.prev[s] != NIL || self.next[s] != NIL
+        self.links[s].prev != NIL
     }
 
     /// Iterates front-to-back.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        let mut cur = self.head;
+        let mut cur = self.links[self.sent as usize].next;
         core::iter::from_fn(move || {
-            if cur == NIL {
+            if cur == self.sent {
                 None
             } else {
-                let out = cur;
-                cur = self.next[cur];
+                let out = cur as usize;
+                cur = self.links[out].next;
                 Some(out)
             }
         })

@@ -23,22 +23,27 @@ impl Lru {
 }
 
 impl Policy for Lru {
+    #[inline]
     fn on_insert(&mut self, s: SlotId) {
         self.recency.push_front(s);
     }
 
+    #[inline]
     fn on_hit(&mut self, s: SlotId) {
         self.recency.move_to_front(s);
     }
 
+    #[inline]
     fn choose_victim(&mut self) -> SlotId {
         self.recency.back().expect("choose_victim on empty cache")
     }
 
+    #[inline]
     fn on_remove(&mut self, s: SlotId) {
         self.recency.remove(s);
     }
 
+    #[inline]
     fn kind(&self) -> PolicyKind {
         PolicyKind::Lru
     }

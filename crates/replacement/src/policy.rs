@@ -29,6 +29,16 @@ pub trait Policy: Send {
     fn kind(&self) -> PolicyKind;
 }
 
+/// A policy that can be constructed from just `(capacity, seed)` — the
+/// hook that lets [`crate::cache::CacheSim`] and downstream TLB types offer
+/// fully monomorphized constructors (`Tlb::<_, Sieve>::monomorphic(..)`)
+/// next to the runtime-configured [`PolicyKind`] path. Deterministic
+/// policies ignore the seed.
+pub trait PolicyBuild: Policy + Sized {
+    /// Builds the policy for a cache of `capacity` slots.
+    fn build(capacity: usize, seed: u64) -> Self;
+}
+
 impl<P: Policy + ?Sized> Policy for Box<P> {
     fn on_insert(&mut self, s: SlotId) {
         (**self).on_insert(s)

@@ -39,15 +39,18 @@ impl Sieve {
 }
 
 impl Policy for Sieve {
+    #[inline]
     fn on_insert(&mut self, s: SlotId) {
         self.visited[s] = false;
         self.list.push_front(s);
     }
 
+    #[inline]
     fn on_hit(&mut self, s: SlotId) {
         self.visited[s] = true;
     }
 
+    #[inline]
     fn choose_victim(&mut self) -> SlotId {
         // Start at the hand (or the tail), sweep toward the head clearing
         // visited bits; wrap to the tail if the head is passed.
@@ -69,6 +72,7 @@ impl Policy for Sieve {
         }
     }
 
+    #[inline]
     fn on_remove(&mut self, s: SlotId) {
         if self.hand == Some(s) {
             self.hand = self.prev_toward_head(s);
@@ -77,6 +81,7 @@ impl Policy for Sieve {
         self.list.remove(s);
     }
 
+    #[inline]
     fn kind(&self) -> PolicyKind {
         PolicyKind::Sieve
     }

@@ -13,7 +13,7 @@
 //! a strict two-level hierarchy, so the system is deadlock-free.
 
 use atp_memmgmt::{EvictionEvent, SimObserver, TlbEvent};
-use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_replacement::{AccessResult, AnyPolicy, CacheSim, PolicyKind};
 use atp_tlb::Tlb;
 use atp_types::{Costs, HugePageGeometry, VirtHugePage, VirtPage};
 use std::sync::Mutex;
@@ -110,11 +110,11 @@ pub fn run_multicore(cfg: &MulticoreConfig, traces: &[Vec<VirtPage>]) -> Multico
     let geom = HugePageGeometry::new(cfg.huge_pages).expect("h power of two");
     let ram_units = (cfg.phys_pages / cfg.huge_pages).max(1) as usize;
 
-    let ram: Mutex<CacheSim<u64, Box<dyn Policy>>> = Mutex::new(CacheSim::new(
+    let ram: Mutex<CacheSim<u64, AnyPolicy>> = Mutex::new(CacheSim::new(
         ram_units,
-        make_policy(cfg.policy, ram_units, cfg.seed),
+        AnyPolicy::new(cfg.policy, ram_units, cfg.seed),
     ));
-    let tlbs: Vec<Mutex<Tlb<()>>> = (0..cfg.cores)
+    let tlbs: Vec<Mutex<Tlb<(), AnyPolicy>>> = (0..cfg.cores)
         .map(|i| Mutex::new(Tlb::new(cfg.tlb_entries, cfg.policy, cfg.seed + i as u64)))
         .collect();
     let mut per_core = vec![CoreStats::default(); cfg.cores];

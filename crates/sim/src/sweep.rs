@@ -9,8 +9,22 @@
 //! the pairs are stitched back into input order after the scope joins. A
 //! panic in any closure invocation propagates out of [`sweep`] (the scope
 //! re-raises the first worker panic on join).
+//!
+//! Workers claim indices in small *chunks* (one `fetch_add` per
+//! [`chunk_size`] configs rather than per config) so the shared counter's
+//! cache line is not ping-ponged between cores on cheap per-config work.
+//! The chunk size adapts to the sweep shape: large sweeps claim up to 8
+//! indices at a time, while small sweeps (e.g. the eleven Figure-1 sizes)
+//! keep chunk 1 so no worker idles behind an unlucky batch.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Indices claimed per atomic `fetch_add`: `len / (threads * 4)` clamped to
+/// `1..=8`, so every worker gets at least ~4 claim opportunities and
+/// contention drops by up to 8× on big sweeps.
+fn chunk_size(len: usize, threads: usize) -> usize {
+    (len / (threads * 4).max(1)).clamp(1, 8)
+}
 
 /// Runs `f` on every config, in parallel over `threads` workers, returning
 /// results in input order.
@@ -35,6 +49,7 @@ pub fn sweep<C: Sync, R: Send>(
 
     let next = AtomicUsize::new(0);
     let f = &f;
+    let chunk = chunk_size(configs.len(), threads);
 
     let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
@@ -42,11 +57,14 @@ pub fn sweep<C: Sync, R: Send>(
                 s.spawn(|| {
                     let mut mine = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= configs.len() {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= configs.len() {
                             break;
                         }
-                        mine.push((i, f(&configs[i])));
+                        let end = (start + chunk).min(configs.len());
+                        for (i, cfg) in configs[start..end].iter().enumerate() {
+                            mine.push((start + i, f(cfg)));
+                        }
                     }
                     mine
                 })
@@ -130,5 +148,62 @@ mod tests {
     fn moves_non_copy_results() {
         let out = sweep(&[1u64, 2, 3], 2, |&c| vec![c; c as usize]);
         assert_eq!(out, vec![vec![1], vec![2, 2], vec![3, 3, 3]]);
+    }
+
+    #[test]
+    fn chunk_size_adapts_to_shape() {
+        // Small sweeps must not batch: eleven Figure-1 sizes over 8 threads
+        // keep per-index claiming so no worker idles behind a batch.
+        assert_eq!(chunk_size(11, 8), 1);
+        // Large sweeps cap at 8 indices per atomic op.
+        assert_eq!(chunk_size(10_000, 8), 8);
+        // In between: everyone still gets ~4 claim opportunities.
+        assert_eq!(chunk_size(64, 4), 4);
+        // Degenerate inputs stay sane.
+        assert_eq!(chunk_size(0, 8), 1);
+        assert_eq!(chunk_size(1, 1), 1);
+    }
+
+    #[test]
+    fn every_index_claimed_once_at_awkward_lengths() {
+        // Lengths straddling chunk boundaries: each config must be run
+        // exactly once and land at its own index.
+        use std::sync::atomic::AtomicUsize;
+        for len in [1usize, 7, 8, 9, 31, 32, 33, 63, 65, 127] {
+            for threads in [1usize, 2, 3, 4, 7] {
+                let calls = AtomicUsize::new(0);
+                let configs: Vec<usize> = (0..len).collect();
+                let out = sweep(&configs, threads, |&c| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    c * 3
+                });
+                assert_eq!(
+                    calls.load(Ordering::Relaxed),
+                    len,
+                    "len {len} × threads {threads}: wrong call count"
+                );
+                assert_eq!(
+                    out,
+                    (0..len).map(|c| c * 3).collect::<Vec<_>>(),
+                    "len {len} × threads {threads}: order broken"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panic_propagates_from_inside_a_chunk() {
+        // Large sweep so chunking is active (chunk == 8); the panicking
+        // index sits mid-chunk.
+        let configs: Vec<u64> = (0..512).collect();
+        let caught = std::panic::catch_unwind(|| {
+            sweep(&configs, 4, |&c| {
+                if c == 260 {
+                    panic!("mid-chunk boom");
+                }
+                c
+            })
+        });
+        assert!(caught.is_err(), "mid-chunk panic must propagate");
     }
 }

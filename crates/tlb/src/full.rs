@@ -1,7 +1,6 @@
 //! A fully associative TLB with a pluggable replacement policy.
 
-use atp_hash::FxHashMap;
-use atp_replacement::{make_policy, AccessResult, CacheSim, Policy, PolicyKind};
+use atp_replacement::{AnyPolicy, CacheSim, Lru, Policy, PolicyBuild, PolicyKind};
 use atp_types::VirtHugePage;
 
 /// TLB event counters.
@@ -21,26 +20,53 @@ pub struct TlbStats {
 
 /// A fully associative TLB of ℓ entries mapping virtual huge pages to a
 /// value payload `V`.
-pub struct Tlb<V> {
-    sim: CacheSim<VirtHugePage, Box<dyn Policy>>,
-    values: FxHashMap<VirtHugePage, V>,
+///
+/// The entry payload lives *inside* the [`CacheSim`] slot arena, so a hit
+/// is a single hash probe plus index arithmetic. The policy parameter `P`
+/// is monomorphized: `Tlb<V>` (= `Tlb<V, Lru>`) is the paper's default
+/// fully-associative LRU TLB with a statically dispatched policy, while
+/// [`Tlb::new`] returns `Tlb<V, AnyPolicy>` for [`PolicyKind`]-configured
+/// experiments.
+pub struct Tlb<V, P: Policy = Lru> {
+    sim: CacheSim<VirtHugePage, P, V>,
+    /// Insert/invalidation/eviction counters; hits and misses live in the
+    /// sim (counted by `access_if_present`) so the hit path pays for them
+    /// exactly once. [`Tlb::stats`] assembles the full view.
     stats: TlbStats,
 }
 
-impl<V> Tlb<V> {
-    /// Creates a TLB with `entries` slots and the given replacement policy.
+impl<V> Tlb<V, AnyPolicy> {
+    /// Creates a TLB with `entries` slots and the given replacement policy,
+    /// selected at runtime.
     pub fn new(entries: u64, policy: PolicyKind, seed: u64) -> Self {
         let cap = entries as usize;
+        Self::with_policy(entries, AnyPolicy::new(policy, cap, seed))
+    }
+}
+
+impl<V> Tlb<V, Lru> {
+    /// Creates an LRU TLB (the paper's default), fully monomorphized.
+    pub fn lru(entries: u64) -> Self {
+        Self::with_policy(entries, Lru::new(entries as usize))
+    }
+}
+
+impl<V, P: Policy> Tlb<V, P> {
+    /// Creates a TLB with `entries` slots driven by a concrete policy value.
+    pub fn with_policy(entries: u64, policy: P) -> Self {
         Self {
-            sim: CacheSim::new(cap, make_policy(policy, cap, seed)),
-            values: FxHashMap::default(),
+            sim: CacheSim::new(entries as usize, policy),
             stats: TlbStats::default(),
         }
     }
 
-    /// Creates an LRU TLB (the paper's default).
-    pub fn lru(entries: u64) -> Self {
-        Self::new(entries, PolicyKind::Lru, 0)
+    /// Creates a TLB with a statically chosen policy built from
+    /// `(capacity, seed)` — e.g. `Tlb::<u64, Sieve>::monomorphic(64, 0)`.
+    pub fn monomorphic(entries: u64, seed: u64) -> Self
+    where
+        P: PolicyBuild,
+    {
+        Self::with_policy(entries, P::build(entries as usize, seed))
     }
 
     /// Capacity ℓ.
@@ -60,7 +86,11 @@ impl<V> Tlb<V> {
 
     /// Event counters.
     pub fn stats(&self) -> TlbStats {
-        self.stats
+        TlbStats {
+            hits: self.sim.hits(),
+            misses: self.sim.misses(),
+            ..self.stats
+        }
     }
 
     /// Whether `u` is cached, without touching recency or counters.
@@ -68,18 +98,10 @@ impl<V> Tlb<V> {
         self.sim.contains(&u)
     }
 
-    /// Looks up `u`, updating recency and hit/miss counters.
+    /// Looks up `u`, updating recency and hit/miss counters. One probe.
+    #[inline]
     pub fn lookup(&mut self, u: VirtHugePage) -> Option<&V> {
-        if self.sim.contains(&u) {
-            // Touch recency via access (guaranteed hit).
-            let r = self.sim.access(u);
-            debug_assert!(r.is_hit());
-            self.stats.hits += 1;
-            self.values.get(&u)
-        } else {
-            self.stats.misses += 1;
-            None
-        }
+        self.sim.access_if_present(&u)
     }
 
     /// Inserts `u → value`, returning the evicted entry if the TLB was full.
@@ -90,20 +112,18 @@ impl<V> Tlb<V> {
     pub fn insert(&mut self, u: VirtHugePage, value: V) -> Option<(VirtHugePage, V)> {
         assert!(!self.sim.contains(&u), "insert of resident TLB entry");
         self.stats.inserts += 1;
-        let evicted = self.sim.insert_cold(u);
-        self.values.insert(u, value);
-        evicted.map(|victim| {
+        let evicted = self.sim.insert_cold_with(u, value);
+        if evicted.is_some() {
             self.stats.evictions += 1;
-            let val = self.values.remove(&victim).expect("victim has a value");
-            (victim, val)
-        })
+        }
+        evicted
     }
 
     /// Updates the value of a resident entry in place (free in the cost
     /// model — ψ updates do not count as TLB traffic). Returns whether the
     /// entry was resident.
     pub fn update(&mut self, u: VirtHugePage, f: impl FnOnce(&mut V)) -> bool {
-        match self.values.get_mut(&u) {
+        match self.sim.get_mut(&u) {
             Some(v) => {
                 f(v);
                 true
@@ -114,17 +134,16 @@ impl<V> Tlb<V> {
 
     /// Reads a resident value without touching recency or counters.
     pub fn peek(&self, u: VirtHugePage) -> Option<&V> {
-        self.values.get(&u)
+        self.sim.get(&u)
     }
 
     /// Invalidates `u`, returning its value if it was resident.
     pub fn invalidate(&mut self, u: VirtHugePage) -> Option<V> {
-        if self.sim.remove(&u) {
+        let v = self.sim.remove_entry(&u);
+        if v.is_some() {
             self.stats.invalidations += 1;
-            self.values.remove(&u)
-        } else {
-            None
         }
+        v
     }
 
     /// Accesses `u` like a hardware lookup-and-fill driven by `fill`:
@@ -139,14 +158,8 @@ impl<V> Tlb<V> {
 
     /// Iterates resident (huge page, value) pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&VirtHugePage, &V)> {
-        self.values.iter()
+        self.sim.entries()
     }
-}
-
-// Suppress unused-import warning for AccessResult used in debug_assert only.
-#[allow(unused)]
-fn _assert_types(r: AccessResult<VirtHugePage>) -> bool {
-    r.is_hit()
 }
 
 #[cfg(test)]
@@ -224,16 +237,34 @@ mod tests {
 
     #[test]
     fn fifo_policy_differs_from_lru() {
-        let mut lru: Tlb<()> = Tlb::lru(2);
-        let mut fifo: Tlb<()> = Tlb::new(2, PolicyKind::Fifo, 0);
-        for t in [&mut lru, &mut fifo] {
+        fn script<P: Policy>(t: &mut Tlb<(), P>) {
             t.insert(VirtHugePage(1), ());
             t.insert(VirtHugePage(2), ());
             t.lookup(VirtHugePage(1));
             t.insert(VirtHugePage(3), ());
         }
+        let mut lru: Tlb<()> = Tlb::lru(2);
+        let mut fifo: Tlb<(), AnyPolicy> = Tlb::new(2, PolicyKind::Fifo, 0);
+        script(&mut lru);
+        script(&mut fifo);
         assert!(lru.contains(VirtHugePage(1)));
         assert!(!fifo.contains(VirtHugePage(1)));
+    }
+
+    #[test]
+    fn monomorphic_sieve_matches_runtime_sieve() {
+        use atp_replacement::Sieve;
+        let mut mono: Tlb<u64, Sieve> = Tlb::monomorphic(3, 0);
+        let mut any: Tlb<u64, AnyPolicy> = Tlb::new(3, PolicyKind::Sieve, 0);
+        for i in 0..400u64 {
+            let u = VirtHugePage(i % 7);
+            assert_eq!(
+                mono.access_or_fill(u, || i),
+                any.access_or_fill(u, || i),
+                "diverged at access {i}"
+            );
+        }
+        assert_eq!(mono.stats(), any.stats());
     }
 
     #[test]
@@ -246,7 +277,7 @@ mod tests {
 
     #[test]
     fn values_follow_entries_exactly() {
-        // values map and cache sim must stay in lockstep under churn.
+        // slot arena and key map must stay in lockstep under churn.
         let mut tlb: Tlb<u64> = Tlb::lru(8);
         for i in 0..1000u64 {
             let u = VirtHugePage(i % 23);

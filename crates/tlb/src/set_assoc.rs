@@ -2,18 +2,20 @@
 //!
 //! Real TLBs are set-associative: the huge-page address selects one of `s`
 //! sets, and only the `a` ways of that set are searched. Per-set LRU over a
-//! handful of ways is how hardware actually approximates LRU. Way counts are
-//! small (4–16), so each set is a linearly-scanned `Vec` ordered by recency
-//! (front = MRU).
+//! handful of ways is how hardware actually approximates LRU. Each set is a
+//! fused slot-arena [`CacheSim`] with a monomorphized [`Lru`] policy — a
+//! way hit is one hash probe into the set's arena, exactly matching the
+//! recency-ordered-`Vec` model this replaced (MRU at front, evict the back).
 
 use atp_hash::mix::{mix2, reduce};
+use atp_replacement::{CacheSim, Lru};
 use atp_types::VirtHugePage;
 
 use crate::full::TlbStats;
 
 /// A set-associative TLB with per-set LRU replacement.
 pub struct SetAssocTlb<V> {
-    sets: Vec<Vec<(VirtHugePage, V)>>,
+    sets: Vec<CacheSim<VirtHugePage, Lru, V>>,
     ways: usize,
     seed: u64,
     stats: TlbStats,
@@ -27,7 +29,9 @@ impl<V> SetAssocTlb<V> {
     pub fn new(sets: usize, ways: usize, seed: u64) -> Self {
         assert!(sets > 0 && ways > 0, "sets and ways must be nonzero");
         Self {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            sets: (0..sets)
+                .map(|_| CacheSim::new(ways, Lru::new(ways)))
+                .collect(),
             ways,
             seed,
             stats: TlbStats::default(),
@@ -41,12 +45,12 @@ impl<V> SetAssocTlb<V> {
 
     /// Resident entry count.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.sets.iter().map(CacheSim::len).sum()
     }
 
     /// Whether the TLB is empty.
     pub fn is_empty(&self) -> bool {
-        self.sets.iter().all(Vec::is_empty)
+        self.sets.iter().all(CacheSim::is_empty)
     }
 
     /// Event counters.
@@ -59,18 +63,20 @@ impl<V> SetAssocTlb<V> {
         reduce(mix2(self.seed, u.0), self.sets.len() as u64) as usize
     }
 
-    /// Looks up `u`, updating per-set recency and counters.
+    /// Looks up `u`, updating per-set recency and counters. One probe into
+    /// the selected set's arena.
+    #[inline]
     pub fn lookup(&mut self, u: VirtHugePage) -> Option<&V> {
         let si = self.set_of(u);
-        let set = &mut self.sets[si];
-        if let Some(pos) = set.iter().position(|(k, _)| *k == u) {
-            let entry = set.remove(pos);
-            set.insert(0, entry);
-            self.stats.hits += 1;
-            Some(&set[0].1)
-        } else {
-            self.stats.misses += 1;
-            None
+        match self.sets[si].access_if_present(&u) {
+            Some(v) => {
+                self.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
         }
     }
 
@@ -81,39 +87,30 @@ impl<V> SetAssocTlb<V> {
     /// Panics if `u` is already resident.
     pub fn insert(&mut self, u: VirtHugePage, value: V) -> Option<(VirtHugePage, V)> {
         let si = self.set_of(u);
-        let ways = self.ways;
         let set = &mut self.sets[si];
-        assert!(
-            set.iter().all(|(k, _)| *k != u),
-            "insert of resident TLB entry"
-        );
+        assert!(!set.contains(&u), "insert of resident TLB entry");
         self.stats.inserts += 1;
-        let evicted = if set.len() == ways {
+        let evicted = set.insert_cold_with(u, value);
+        if evicted.is_some() {
             self.stats.evictions += 1;
-            set.pop()
-        } else {
-            None
-        };
-        set.insert(0, (u, value));
+        }
         evicted
     }
 
     /// Invalidates `u`, returning its value if resident.
     pub fn invalidate(&mut self, u: VirtHugePage) -> Option<V> {
         let si = self.set_of(u);
-        let set = &mut self.sets[si];
-        if let Some(pos) = set.iter().position(|(k, _)| *k == u) {
+        let v = self.sets[si].remove_entry(&u);
+        if v.is_some() {
             self.stats.invalidations += 1;
-            Some(set.remove(pos).1)
-        } else {
-            None
         }
+        v
     }
 
     /// Whether `u` is resident (no counter/recency effects).
     pub fn contains(&self, u: VirtHugePage) -> bool {
         let si = self.set_of(u);
-        self.sets[si].iter().any(|(k, _)| *k == u)
+        self.sets[si].contains(&u)
     }
 }
 

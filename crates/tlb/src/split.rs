@@ -8,45 +8,33 @@
 //! TLB can lose more to capacity misses than it gains in coverage.
 
 use crate::full::{Tlb, TlbStats};
-use atp_replacement::PolicyKind;
+use atp_replacement::{AnyPolicy, Policy, PolicyBuild, PolicyKind};
 use atp_types::VirtHugePage;
 
 /// One size class of a split TLB.
-struct SizeClass<V> {
+struct SizeClass<V, P: Policy> {
     /// Huge-page sizes (in base pages) routed to this structure.
     sizes: Vec<u64>,
-    tlb: Tlb<V>,
+    tlb: Tlb<V, P>,
 }
 
-/// A TLB composed of per-page-size structures.
-pub struct SplitTlb<V> {
-    classes: Vec<SizeClass<V>>,
+/// A TLB composed of per-page-size structures. `P` is the per-class
+/// replacement policy: runtime-selected via [`SplitTlb::new`]
+/// ([`AnyPolicy`]) or statically dispatched via [`SplitTlb::monomorphic`].
+pub struct SplitTlb<V, P: Policy = AnyPolicy> {
+    classes: Vec<SizeClass<V, P>>,
 }
 
-impl<V> SplitTlb<V> {
+impl<V> SplitTlb<V, AnyPolicy> {
     /// Creates a split TLB from `(sizes, entries)` class descriptions.
     ///
     /// # Panics
     /// Panics if classes are empty, a class has no sizes, or a size appears
     /// in two classes.
     pub fn new(classes: &[(&[u64], u64)], policy: PolicyKind, seed: u64) -> Self {
-        assert!(!classes.is_empty(), "at least one size class required");
-        let mut seen = std::collections::HashSet::new();
-        let built = classes
-            .iter()
-            .enumerate()
-            .map(|(i, (sizes, entries))| {
-                assert!(!sizes.is_empty(), "size class must route some sizes");
-                for &s in *sizes {
-                    assert!(seen.insert(s), "size {s} routed to two classes");
-                }
-                SizeClass {
-                    sizes: sizes.to_vec(),
-                    tlb: Tlb::new(*entries, policy, seed.wrapping_add(i as u64)),
-                }
-            })
-            .collect();
-        Self { classes: built }
+        Self::build_with(classes, seed, |entries, class_seed| {
+            Tlb::new(entries, policy, class_seed)
+        })
     }
 
     /// The Cascade Lake-like default: 1536 entries for sizes ≤ 512 pages
@@ -61,11 +49,50 @@ impl<V> SplitTlb<V> {
             seed,
         )
     }
+}
+
+impl<V, P: Policy> SplitTlb<V, P> {
+    /// Creates a split TLB with a statically chosen policy, seeding each
+    /// class exactly as [`SplitTlb::new`] does.
+    pub fn monomorphic(classes: &[(&[u64], u64)], seed: u64) -> Self
+    where
+        P: PolicyBuild,
+    {
+        Self::build_with(classes, seed, |entries, class_seed| {
+            Tlb::monomorphic(entries, class_seed)
+        })
+    }
+
+    /// Shared constructor plumbing: validates the class table and builds
+    /// each class's TLB with the per-class seed `seed + i`.
+    fn build_with(
+        classes: &[(&[u64], u64)],
+        seed: u64,
+        mut make_tlb: impl FnMut(u64, u64) -> Tlb<V, P>,
+    ) -> Self {
+        assert!(!classes.is_empty(), "at least one size class required");
+        let mut seen = std::collections::HashSet::new();
+        let built = classes
+            .iter()
+            .enumerate()
+            .map(|(i, (sizes, entries))| {
+                assert!(!sizes.is_empty(), "size class must route some sizes");
+                for &s in *sizes {
+                    assert!(seen.insert(s), "size {s} routed to two classes");
+                }
+                SizeClass {
+                    sizes: sizes.to_vec(),
+                    tlb: make_tlb(*entries, seed.wrapping_add(i as u64)),
+                }
+            })
+            .collect();
+        Self { classes: built }
+    }
 
     /// Resolves `size` to its class and a size-tagged key. Entries of
     /// different page sizes sharing one physical structure are distinguished
     /// by their size tag (hardware keys entries by (tag, page size)).
-    fn resolve(&mut self, u: VirtHugePage, size: u64) -> (&mut Tlb<V>, VirtHugePage) {
+    fn resolve(&mut self, u: VirtHugePage, size: u64) -> (&mut Tlb<V, P>, VirtHugePage) {
         let idx = self
             .classes
             .iter()

@@ -11,7 +11,7 @@
 //! go straight to L1 with the same demotion path.
 
 use crate::full::Tlb;
-use atp_replacement::PolicyKind;
+use atp_replacement::{AnyPolicy, Lru, Policy, PolicyBuild, PolicyKind};
 use atp_types::VirtHugePage;
 
 /// Outcome of a two-level lookup.
@@ -36,14 +36,17 @@ pub struct TwoLevelStats {
     pub misses: u64,
 }
 
-/// A two-level TLB with promotion/demotion between levels.
-pub struct TwoLevelTlb<V> {
-    l1: Tlb<V>,
-    l2: Tlb<V>,
+/// A two-level TLB with promotion/demotion between levels. The policy
+/// parameter `P` is monomorphized per level; [`TwoLevelTlb::new`] selects
+/// it at runtime via [`AnyPolicy`], [`TwoLevelTlb::monomorphic`] fixes it
+/// statically (e.g. `TwoLevelTlb::<u64, Lru>::monomorphic(..)`).
+pub struct TwoLevelTlb<V, P: Policy = AnyPolicy> {
+    l1: Tlb<V, P>,
+    l2: Tlb<V, P>,
     stats: TwoLevelStats,
 }
 
-impl<V> TwoLevelTlb<V> {
+impl<V> TwoLevelTlb<V, AnyPolicy> {
     /// Creates the hierarchy with the given per-level entry counts.
     pub fn new(l1_entries: u64, l2_entries: u64, policy: PolicyKind, seed: u64) -> Self {
         Self {
@@ -56,6 +59,28 @@ impl<V> TwoLevelTlb<V> {
     /// Cascade-Lake-like defaults: 64-entry L1, 1536-entry L2, LRU.
     pub fn cascade_lake(seed: u64) -> Self {
         Self::new(64, 1536, PolicyKind::Lru, seed)
+    }
+}
+
+impl<V> TwoLevelTlb<V, Lru> {
+    /// Cascade-Lake-like defaults with a statically dispatched LRU policy.
+    pub fn cascade_lake_lru(seed: u64) -> Self {
+        Self::monomorphic(64, 1536, seed)
+    }
+}
+
+impl<V, P: Policy> TwoLevelTlb<V, P> {
+    /// Creates the hierarchy with a statically chosen policy, seeding each
+    /// level exactly as [`TwoLevelTlb::new`] does.
+    pub fn monomorphic(l1_entries: u64, l2_entries: u64, seed: u64) -> Self
+    where
+        P: PolicyBuild,
+    {
+        Self {
+            l1: Tlb::monomorphic(l1_entries, seed),
+            l2: Tlb::monomorphic(l2_entries, seed ^ 0x11),
+            stats: TwoLevelStats::default(),
+        }
     }
 
     /// Counters.
