@@ -569,60 +569,95 @@ fn paired_speedup(fast: &Cell, slow: &Cell) -> f64 {
 // JSON out / baseline compare
 // ---------------------------------------------------------------------------
 
+/// Writes the matrix in the workspace-wide `atp-metrics-v1` schema (one
+/// metric object per line), so the bench artifact is readable by the same
+/// consumers as `atp simulate --metrics`.
 fn write_json(path: &str, quick: bool, reps: usize, cells: &[Cell]) {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"schema\": \"atp-bench-hotpath-v1\",\n");
-    s.push_str(&format!("  \"quick\": {quick},\n"));
-    s.push_str(&format!("  \"reps\": {reps},\n"));
-    s.push_str(&format!("  \"tlb_entries\": {TLB_ENTRIES},\n"));
-    s.push_str("  \"results\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"id\": \"{}\", \"variant\": \"{}\", \"trace\": \"{}\", \
-             \"accesses\": {}, \"hits\": {}, \"accesses_per_sec\": {:.1}, \
-             \"ns_per_access\": {:.3}}}{}\n",
-            c.id,
-            c.variant,
-            c.trace,
-            c.accesses,
+    let mut reg = atp_obs::MetricsRegistry::new();
+    reg.set_meta("bench", "hotpath");
+    reg.set_meta("quick", if quick { "true" } else { "false" });
+    reg.set_meta("reps", &reps.to_string());
+    reg.set_meta("tlb_entries", &TLB_ENTRIES.to_string());
+    for c in cells {
+        let labels = [
+            ("id", c.id.as_str()),
+            ("variant", c.variant),
+            ("trace", c.trace),
+        ];
+        reg.counter(
+            "hotpath_accesses",
+            "timed accesses per repetition",
+            &labels,
+            c.accesses as u64,
+        );
+        reg.counter(
+            "hotpath_hits",
+            "cumulative TLB hits (deterministic semantics checksum)",
+            &labels,
             c.hits,
+        );
+        reg.gauge(
+            "hotpath_accesses_per_sec",
+            "median throughput over reps",
+            &labels,
             c.accesses_per_sec,
+        );
+        reg.gauge(
+            "hotpath_ns_per_access",
+            "median latency over reps",
+            &labels,
             c.ns_per_access,
-            if i + 1 < cells.len() { "," } else { "" }
-        ));
+        );
     }
-    s.push_str("  ]\n}\n");
-    std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    std::fs::write(path, reg.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("wrote {path}");
 }
 
-/// Minimal scan of a previous `BENCH_hotpath.json`: `(id, accesses_per_sec)`
-/// pairs. Field-order dependent, which is fine — we only read our own
-/// output format.
+/// Reads `(id, accesses_per_sec)` pairs from a previous run's JSON.
+/// Understands both the current `atp-metrics-v1` schema and the
+/// pre-observability `atp-bench-hotpath-v1` format, so old committed
+/// baselines keep working as `--baseline` inputs.
 fn read_baseline(path: &str) -> Vec<(String, f64)> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let doc = atp_obs::json::parse(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+    let schema = doc.get("schema").and_then(|s| s.as_str()).unwrap_or("");
     let mut out = Vec::new();
-    for line in text.lines() {
-        let Some(id_at) = line.find("\"id\": \"") else {
-            continue;
-        };
-        let rest = &line[id_at + 7..];
-        let Some(id_end) = rest.find('"') else {
-            continue;
-        };
-        let id = rest[..id_end].to_string();
-        let Some(aps_at) = rest.find("\"accesses_per_sec\": ") else {
-            continue;
-        };
-        let tail = &rest[aps_at + 20..];
-        let num: String = tail
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-            .collect();
-        if let Ok(v) = num.parse::<f64>() {
-            out.push((id, v));
+    match schema {
+        "atp-metrics-v1" => {
+            for m in doc
+                .get("metrics")
+                .and_then(|m| m.as_arr())
+                .into_iter()
+                .flatten()
+            {
+                if m.get("name").and_then(|n| n.as_str()) != Some("hotpath_accesses_per_sec") {
+                    continue;
+                }
+                let id = m
+                    .get("labels")
+                    .and_then(|l| l.get("id"))
+                    .and_then(|i| i.as_str());
+                let value = m.get("value").and_then(|v| v.as_f64());
+                if let (Some(id), Some(v)) = (id, value) {
+                    out.push((id.to_string(), v));
+                }
+            }
         }
+        "atp-bench-hotpath-v1" => {
+            for r in doc
+                .get("results")
+                .and_then(|r| r.as_arr())
+                .into_iter()
+                .flatten()
+            {
+                let id = r.get("id").and_then(|i| i.as_str());
+                let value = r.get("accesses_per_sec").and_then(|v| v.as_f64());
+                if let (Some(id), Some(v)) = (id, value) {
+                    out.push((id.to_string(), v));
+                }
+            }
+        }
+        other => panic!("unknown baseline schema {other:?} in {path}"),
     }
     out
 }

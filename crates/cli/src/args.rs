@@ -29,6 +29,10 @@ impl std::error::Error for ArgError {}
 impl Args {
     /// Parses raw arguments (excluding the program/subcommand names).
     /// `bool_flags` names options that take no value.
+    ///
+    /// Repeating an option or flag is an error: silently letting the last
+    /// occurrence win hides typos in long command lines (`--seed 1 … --seed
+    /// 2` almost always means an editing mistake, not an override).
     pub fn parse(raw: &[String], bool_flags: &[&str]) -> Result<Self, ArgError> {
         let mut out = Args::default();
         let mut i = 0;
@@ -36,6 +40,9 @@ impl Args {
             let a = &raw[i];
             if let Some(name) = a.strip_prefix("--") {
                 if bool_flags.contains(&name) {
+                    if out.flags.iter().any(|f| f == name) {
+                        return Err(ArgError(format!("--{name} given more than once")));
+                    }
                     out.flags.push(name.to_string());
                     i += 1;
                 } else {
@@ -45,7 +52,9 @@ impl Args {
                     if value.starts_with("--") {
                         return Err(ArgError(format!("--{name} expects a value, got {value}")));
                     }
-                    out.opts.insert(name.to_string(), value.clone());
+                    if out.opts.insert(name.to_string(), value.clone()).is_some() {
+                        return Err(ArgError(format!("--{name} given more than once")));
+                    }
                     i += 2;
                 }
             } else {
@@ -54,6 +63,26 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// Errors on any option or flag whose name is not in `known` — a typo'd
+    /// `--warmpup 0` would otherwise parse fine and be silently ignored,
+    /// leaving the default in effect. All unknown names are reported at
+    /// once, sorted, so one rerun fixes everything.
+    pub fn check_known(&self, known: &[&str]) -> Result<(), ArgError> {
+        let mut unknown: Vec<&str> = self
+            .opts
+            .keys()
+            .map(String::as_str)
+            .chain(self.flags.iter().map(String::as_str))
+            .filter(|name| !known.contains(name))
+            .collect();
+        if unknown.is_empty() {
+            return Ok(());
+        }
+        unknown.sort_unstable();
+        let list: Vec<String> = unknown.iter().map(|n| format!("--{n}")).collect();
+        Err(ArgError(format!("unknown option(s): {}", list.join(", "))))
     }
 
     /// Whether a boolean flag was passed.
@@ -161,6 +190,36 @@ mod tests {
         assert!(a.u64_or("phys", 0).is_err());
         let a = Args::parse(&argv(&["--epsilon", "nanx"]), &[]).unwrap();
         assert!(a.f64_or("epsilon", 0.0).is_err());
+    }
+
+    #[test]
+    fn duplicate_options_are_rejected() {
+        let err = Args::parse(&argv(&["--seed", "1", "--seed", "2"]), &[]).unwrap_err();
+        assert!(err.0.contains("--seed"), "message names the option: {err}");
+        assert!(err.0.contains("more than once"));
+        let err = Args::parse(&argv(&["--paper", "--paper"]), &["paper"]).unwrap_err();
+        assert!(err.0.contains("--paper"));
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_sorted() {
+        let a = Args::parse(
+            &argv(&["--seed", "1", "--warmpup", "0", "--zeed", "9"]),
+            &[],
+        )
+        .unwrap();
+        assert!(a.check_known(&["seed", "warmup"]).is_err());
+        let err = a.check_known(&["seed"]).unwrap_err();
+        // Both typos reported at once, in sorted order.
+        assert_eq!(err.0, "unknown option(s): --warmpup, --zeed");
+        a.check_known(&["seed", "warmpup", "zeed"]).unwrap();
+    }
+
+    #[test]
+    fn check_known_covers_flags_too() {
+        let a = Args::parse(&argv(&["--observe"]), &["observe"]).unwrap();
+        assert!(a.check_known(&[]).is_err());
+        a.check_known(&["observe"]).unwrap();
     }
 
     #[test]

@@ -7,15 +7,17 @@ use atp_memmgmt::decoupled::{DecoupledConfig, DecoupledStages};
 use atp_memmgmt::only::{PagingOnlyStages, VirtualOnlyStages};
 use atp_memmgmt::sparse::{SparseConfig, SparseStages};
 use atp_memmgmt::thp::{ThpConfig, ThpStages};
-use atp_memmgmt::{MemoryManager, NoopObserver, Pipeline, SharedRecorder, SimObserver};
+use atp_memmgmt::{MemoryManager, NoopObserver, Pipeline, Recorder, SimObserver, StageCounters};
+use atp_obs::{run_registry, EventLog, ExportFormat, RunObserver, Shared, SyncRecorder};
 use atp_replacement::PolicyKind;
-use atp_sim::LatencyModel;
+use atp_sim::{run_multicore_observed, sweep_with_progress, LatencyModel, MulticoreConfig};
 use atp_trace::{read_trace, write_trace, ReuseProfile, TraceStats};
-use atp_types::{CostModel, VirtPage};
+use atp_types::{CostModel, Costs, VirtPage};
 use atp_workloads::{
     Bimodal, Graph500Config, Graph500Trace, Gups, ParetoWalk, Sequential, Stencil2d, UniformRandom,
     Zipfian,
 };
+use std::io::Write;
 use std::path::Path;
 
 /// Top-level usage text.
@@ -25,6 +27,7 @@ atp — Paging and the Address-Translation Problem (SPAA 2021) simulator
 USAGE:
   atp simulate  --workload W --manager M [options]   run one simulation
   atp sweep     --workload W [options]               Figure-1 h-sweep
+  atp multicore --workload W --cores N [options]     shootdown extension
   atp trace     record|stats|mrc …                   trace tools
   atp calibrate [--device nvme|disk] [--virtualized] derive ε
   atp help                                           this text
@@ -45,14 +48,61 @@ COMMON OPTIONS (sizes accept k/m/g suffixes and 2^n):
   --epsilon F     TLB-miss cost ε           [0.01]
   --policy P      lru|fifo|clock|…          [lru]
   --seed N        RNG seed                  [42]
-  --observe       (simulate) attach a pipeline Recorder and print
-                  per-stage counters + reuse/latency histograms
+
+OBSERVABILITY (simulate; --metrics/--format also on sweep and multicore):
+  --observe            print per-stage counters + reuse/latency histograms
+  --metrics FILE       write run metrics (--format json|csv|prom) [json]
+  --trace-events FILE  write Chrome trace-event JSON (load in Perfetto)
+  --events-cap N       event ring capacity                        [64k]
+  --window N           emit per-window time-series CSV every N accesses
+  --window-out FILE    write the window CSV here instead of stdout
+
+SWEEP / MULTICORE:
+  --threads N     sweep worker threads (0 = all CPUs)             [0]
+  --cores N       multicore: cores (one trace per core)           [4]
 
 TRACE TOOLS:
   atp trace record --workload W --out FILE --accesses N [--phys N …]
   atp trace stats FILE
   atp trace mrc FILE [--capacities 1k,4k,16k,…]
 ";
+
+/// Options read by [`common`] and [`workload`] — every subcommand that
+/// builds a simulation accepts these.
+const COMMON_OPTS: &[&str] = &[
+    "workload",
+    "phys",
+    "virt",
+    "tlb",
+    "h",
+    "accesses",
+    "warmup",
+    "epsilon",
+    "policy",
+    "seed",
+    "zipf-s",
+    "graph-scale",
+    "edge-factor",
+];
+
+/// `check_known` against [`COMMON_OPTS`] plus the subcommand's own options.
+fn check_opts(args: &Args, extra: &[&str]) -> Result<(), ArgError> {
+    let mut known: Vec<&str> = COMMON_OPTS.to_vec();
+    known.extend_from_slice(extra);
+    args.check_known(&known)
+}
+
+/// Writes an export artifact, wrapping IO errors with the path.
+fn write_text(path: &str, contents: &str) -> Result<(), ArgError> {
+    std::fs::write(path, contents).map_err(|e| ArgError(format!("write {path}: {e}")))
+}
+
+/// Parses `--format` into an [`ExportFormat`] (default JSON).
+fn export_format(args: &Args) -> Result<ExportFormat, ArgError> {
+    let s = args.get_or("format", "json");
+    ExportFormat::parse(s)
+        .ok_or_else(|| ArgError(format!("--format: expected json|csv|prom, got {s:?}")))
+}
 
 fn policy_of(name: &str) -> Result<PolicyKind, ArgError> {
     PolicyKind::ALL
@@ -95,6 +145,7 @@ fn workload(
     })
 }
 
+#[derive(Clone)]
 struct Common {
     phys: u64,
     virt: u64,
@@ -212,11 +263,44 @@ fn build_manager(name: &str, c: &Common) -> Result<Box<dyn MemoryManager>, ArgEr
 /// `atp simulate`.
 pub fn simulate(raw: &[String]) -> Result<(), ArgError> {
     let args = Args::parse(raw, &["observe"])?;
+    check_opts(
+        &args,
+        &[
+            "manager",
+            "observe",
+            "metrics",
+            "trace-events",
+            "events-cap",
+            "window",
+            "window-out",
+            "format",
+        ],
+    )?;
     let c = common(&args)?;
     let name = args.get_or("manager", "classic");
-    let recorder = args.flag("observe").then(SharedRecorder::new);
-    let mut mgr = match &recorder {
-        Some(rec) => build_observed(name, &c, rec.clone())?,
+    let wname = args.get_or("workload", "bimodal");
+    let format = export_format(&args)?;
+    let window = args.u64_or("window", 0)?;
+    let events_cap = args.u64_or("events-cap", EventLog::DEFAULT_CAPACITY as u64)? as usize;
+
+    // Any export flag attaches the full observer stack; the pipeline stays
+    // observer-free (NoopObserver, statically eliminated) otherwise.
+    let wants_observer = args.flag("observe")
+        || args.get("metrics").is_some()
+        || args.get("trace-events").is_some()
+        || window > 0;
+    let observer = wants_observer.then(|| {
+        let mut obs = RunObserver::new(Recorder::new());
+        if args.get("trace-events").is_some() {
+            obs = obs.with_events(events_cap);
+        }
+        if window > 0 {
+            obs = obs.with_window(window, c.model.epsilon);
+        }
+        Shared::new(obs)
+    });
+    let mut mgr = match &observer {
+        Some(obs) => build_observed(name, &c, obs.clone())?,
         None => build_manager(name, &c)?,
     };
     let trace = workload(&args, c.virt, c.seed)?;
@@ -241,52 +325,227 @@ pub fn simulate(raw: &[String]) -> Result<(), ArgError> {
         costs.decode_cost(c.model)
     );
     println!("wall time:      {:.2?}", stats.elapsed);
-    if let Some(rec) = recorder {
-        // The recorder observes warmup as well as measurement — useful for
-        // seeing the cold-start transient the Costs report excludes.
-        println!();
-        println!("{}", rec.with(|r| r.summary()));
+    if let Some(obs) = &observer {
+        // The observer sees warmup as well as measurement — useful for the
+        // cold-start transient the Costs report excludes.
+        if args.flag("observe") {
+            println!();
+            println!("{}", obs.with(|o| o.recorder.summary()));
+        }
+        obs.with(|o| -> Result<(), ArgError> {
+            if let Some(path) = args.get("metrics") {
+                let reg = run_registry(name, wname, &costs, c.model, Some(&o.recorder));
+                write_text(path, &reg.render(format))?;
+                eprintln!("metrics: {path}");
+            }
+            if let Some(path) = args.get("trace-events") {
+                let log = o.events.as_ref().expect("event ring attached above");
+                write_text(path, &log.to_chrome_trace())?;
+                eprintln!(
+                    "trace events: {path} ({} recorded, {} dropped)",
+                    log.recorded(),
+                    log.dropped()
+                );
+            }
+            if let Some(w) = &o.windowed {
+                match args.get("window-out") {
+                    Some(path) => {
+                        write_text(path, &w.to_csv())?;
+                        eprintln!("window csv: {path} ({} windows)", w.all_rows().len());
+                    }
+                    None => print!("\n{}", w.to_csv()),
+                }
+            }
+            Ok(())
+        })?;
     }
     Ok(())
 }
 
+/// One finished sweep point, collected from a worker thread.
+struct SweepRow {
+    /// `h` for a classic configuration, `None` for the decoupled Z row.
+    h: Option<u64>,
+    costs: Costs,
+    stages: StageCounters,
+}
+
 /// `atp sweep`.
+///
+/// The eleven-ish configurations are independent, so they fan out over
+/// [`sweep_with_progress`] workers (`--threads`, 0 = all CPUs) with a
+/// `done/total` ticker on stderr; rows print in input order afterwards, so
+/// stdout is byte-identical to the old sequential driver. Each worker
+/// attaches a constant-size `Recorder::without_reuse_tracking()` — sweeps
+/// only need stage counters, not the per-page reuse map.
 pub fn sweep_cmd(raw: &[String]) -> Result<(), ArgError> {
     let args = Args::parse(raw, &[])?;
+    check_opts(&args, &["threads", "metrics", "format"])?;
     let c = common(&args)?;
+    let threads = args.u64_or("threads", 0)? as usize;
+    let format = export_format(&args)?;
     let trace: Vec<VirtPage> = workload(&args, c.virt, c.seed)?
         .take((c.warmup + c.accesses) as usize)
         .collect();
+
+    let mut configs: Vec<Option<u64>> = (0..=10u32)
+        .map(|shift| 1u64 << shift)
+        .filter(|&h| h <= c.phys)
+        .map(Some)
+        .collect();
+    configs.push(None); // the decoupled Z baseline rides along
+    let total = configs.len();
+
+    let results: Vec<Result<SweepRow, ArgError>> = sweep_with_progress(
+        &configs,
+        threads,
+        |&cfg| {
+            let rec = Shared::new(Recorder::without_reuse_tracking());
+            let mut mgr = match cfg {
+                Some(h) => {
+                    let mut over_h = c.clone();
+                    over_h.h = h;
+                    build_observed("classic", &over_h, rec.clone())?
+                }
+                None => build_observed("decoupled", &c, rec.clone())?,
+            };
+            let s = atp_sim::run(mgr.as_mut(), trace.iter().copied(), c.warmup, c.accesses);
+            Ok(SweepRow {
+                h: cfg,
+                costs: s.costs,
+                stages: rec.with(|r| r.counters()),
+            })
+        },
+        |done, _| {
+            eprint!("\rsweep {done}/{total}");
+            let _ = std::io::stderr().flush();
+        },
+    );
+    eprintln!();
+
+    let rows: Vec<SweepRow> = results.into_iter().collect::<Result<_, _>>()?;
     println!("h\tios\ttlb_misses\ttotal(ε={})", c.model.epsilon);
-    for shift in 0..=10u32 {
-        let h = 1u64 << shift;
-        if h > c.phys {
-            break;
-        }
-        let mut m = Pipeline::from_stages(ClassicStages::new(ClassicConfig {
-            huge_pages: h,
-            phys_pages: c.phys,
-            tlb_entries: c.tlb,
-            tlb_policy: c.policy,
-            ram_policy: c.policy,
-            seed: c.seed,
-        }));
-        let s = atp_sim::run(&mut m, trace.iter().copied(), c.warmup, c.accesses);
+    for row in &rows {
+        let label = match row.h {
+            Some(h) => h.to_string(),
+            None => "Z".to_string(),
+        };
         println!(
-            "{h}\t{}\t{}\t{:.1}",
-            s.costs.ios,
-            s.costs.tlb_misses,
-            s.costs.total(c.model)
+            "{label}\t{}\t{}\t{:.1}",
+            row.costs.ios,
+            row.costs.tlb_misses,
+            row.costs.total(c.model)
         );
     }
-    let mut z = build_manager("decoupled", &c)?;
-    let s = atp_sim::run(z.as_mut(), trace.iter().copied(), c.warmup, c.accesses);
+
+    if let Some(path) = args.get("metrics") {
+        let wname = args.get_or("workload", "bimodal");
+        let mut reg = atp_obs::MetricsRegistry::new();
+        reg.set_meta("command", "sweep");
+        reg.set_meta("workload", wname);
+        reg.set_meta("epsilon", &format!("{}", c.model.epsilon));
+        for row in &rows {
+            let (mname, hval) = match row.h {
+                Some(h) => ("classic", h.to_string()),
+                None => ("decoupled", "-".to_string()),
+            };
+            let labels = [
+                ("manager", mname),
+                ("workload", wname),
+                ("h", hval.as_str()),
+            ];
+            atp_obs::costs_into(&mut reg, &labels, &row.costs, c.model);
+            reg.counter(
+                "atp_stage_evictions",
+                "residency evictions",
+                &labels,
+                row.stages.evictions,
+            );
+            reg.counter(
+                "atp_stage_evicted_pages",
+                "base pages dropped by evictions",
+                &labels,
+                row.stages.evicted_pages,
+            );
+        }
+        write_text(path, &reg.render(format))?;
+        eprintln!("metrics: {path}");
+    }
+    Ok(())
+}
+
+/// `atp multicore` — the Section 1 shootdown extension from the shell:
+/// `--cores` private TLBs over one shared page cache, each core replaying
+/// the workload under its own seed. One [`SyncRecorder`] is cloned into
+/// every core, so the printed stage counters are machine-wide.
+pub fn multicore_cmd(raw: &[String]) -> Result<(), ArgError> {
+    let args = Args::parse(raw, &[])?;
+    check_opts(&args, &["cores", "metrics", "format"])?;
+    let c = common(&args)?;
+    let cores = args.u64_or("cores", 4)? as usize;
+    if cores == 0 {
+        return Err(ArgError("--cores must be at least 1".into()));
+    }
+    let format = export_format(&args)?;
+    let wname = args.get_or("workload", "bimodal");
+    let cfg = MulticoreConfig {
+        cores,
+        huge_pages: c.h,
+        phys_pages: c.phys,
+        tlb_entries: c.tlb,
+        policy: c.policy,
+        seed: c.seed,
+    };
+    let mut traces = Vec::with_capacity(cores);
+    for core in 0..cores {
+        traces.push(
+            workload(&args, c.virt, c.seed + core as u64)?
+                .take(c.accesses as usize)
+                .collect::<Vec<VirtPage>>(),
+        );
+    }
+
+    let shared = SyncRecorder::without_reuse_tracking();
+    let (result, _) = run_multicore_observed(&cfg, &traces, |_| shared.clone());
+
+    println!("core\taccesses\ttlb_misses\tios");
+    for (core, stats) in result.per_core.iter().enumerate() {
+        println!(
+            "{core}\t{}\t{}\t{}",
+            stats.costs.accesses, stats.costs.tlb_misses, stats.costs.ios
+        );
+    }
+    let total = result.total_costs();
     println!(
-        "Z\t{}\t{}\t{:.1}",
-        s.costs.ios,
-        s.costs.tlb_misses,
-        s.costs.total(c.model)
+        "total\t{}\t{}\t{}",
+        total.accesses, total.tlb_misses, total.ios
     );
+    println!("shootdown events:        {}", result.shootdown_events);
+    println!(
+        "shootdown invalidations: {}",
+        result.shootdown_invalidations
+    );
+
+    if let Some(path) = args.get("metrics") {
+        let snapshot = shared.snapshot();
+        let mut reg = run_registry("multicore", wname, &total, c.model, Some(&snapshot));
+        reg.set_meta("cores", &cores.to_string());
+        let labels = [("manager", "multicore"), ("workload", wname)];
+        reg.counter(
+            "atp_shootdown_events",
+            "RAM evictions that triggered shootdown broadcasts",
+            &labels,
+            result.shootdown_events,
+        );
+        reg.counter(
+            "atp_shootdown_invalidations",
+            "TLB entries invalidated across all cores",
+            &labels,
+            result.shootdown_invalidations,
+        );
+        write_text(path, &reg.render(format))?;
+        eprintln!("metrics: {path}");
+    }
     Ok(())
 }
 
@@ -300,6 +559,7 @@ pub fn trace_cmd(raw: &[String]) -> Result<(), ArgError> {
     match sub.as_str() {
         "record" => {
             let args = Args::parse(rest, &[])?;
+            check_opts(&args, &["out"])?;
             let c = common(&args)?;
             let out = args
                 .get("out")
@@ -314,6 +574,7 @@ pub fn trace_cmd(raw: &[String]) -> Result<(), ArgError> {
         }
         "stats" => {
             let args = Args::parse(rest, &[])?;
+            args.check_known(&[])?;
             let file = args
                 .positional(0)
                 .ok_or_else(|| ArgError("trace stats requires a FILE".into()))?;
@@ -330,6 +591,7 @@ pub fn trace_cmd(raw: &[String]) -> Result<(), ArgError> {
         }
         "mrc" => {
             let args = Args::parse(rest, &[])?;
+            args.check_known(&["capacities"])?;
             let file = args
                 .positional(0)
                 .ok_or_else(|| ArgError("trace mrc requires a FILE".into()))?;
@@ -359,6 +621,7 @@ pub fn trace_cmd(raw: &[String]) -> Result<(), ArgError> {
 /// `atp calibrate`.
 pub fn calibrate(raw: &[String]) -> Result<(), ArgError> {
     let args = Args::parse(raw, &["virtualized"])?;
+    args.check_known(&["device", "virtualized", "walk-ns", "io-ns"])?;
     let device = args.get_or("device", "nvme");
     let mut m = match device {
         "nvme" => LatencyModel::nvme_native(),
@@ -461,6 +724,141 @@ mod tests {
     }
 
     #[test]
+    fn simulate_rejects_unknown_and_duplicate_options() {
+        // A typo'd option name must not be silently ignored.
+        let err = simulate(&argv(&["--warmpup", "0"])).unwrap_err();
+        assert!(err.0.contains("--warmpup"), "{err}");
+        // Same for a repeated one.
+        let err = simulate(&argv(&["--seed", "1", "--seed", "2"])).unwrap_err();
+        assert!(err.0.contains("more than once"), "{err}");
+        // Bad export format names the accepted set.
+        let err = simulate(&argv(&["--format", "xml"])).unwrap_err();
+        assert!(err.0.contains("json|csv|prom"), "{err}");
+        // Every subcommand gets the unknown-option check.
+        assert!(sweep_cmd(&argv(&["--warmpup", "0"])).is_err());
+        assert!(multicore_cmd(&argv(&["--coers", "2"])).is_err());
+        assert!(calibrate(&argv(&["--devcie", "nvme"])).is_err());
+        assert!(trace_cmd(&argv(&["mrc", "f", "--capacties", "1k"])).is_err());
+    }
+
+    #[test]
+    fn simulate_exports_observability_artifacts() {
+        let dir = std::env::temp_dir().join("atp_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("m.json");
+        let trace = dir.join("t.json");
+        let window = dir.join("w.csv");
+        simulate(&argv(&[
+            "--manager",
+            "classic",
+            "--workload",
+            "zipf",
+            "--phys",
+            "2^12",
+            "--accesses",
+            "10k",
+            "--warmup",
+            "0",
+            "--h",
+            "8",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--trace-events",
+            trace.to_str().unwrap(),
+            "--window",
+            "1k",
+            "--window-out",
+            window.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Metrics and trace events are valid JSON in the expected schemas.
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        let doc = atp_obs::json::parse(&m).expect("metrics must be valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("atp-metrics-v1")
+        );
+        let t = std::fs::read_to_string(&trace).unwrap();
+        let doc = atp_obs::json::parse(&t).expect("trace events must be valid JSON");
+        assert!(doc.get("traceEvents").and_then(|e| e.as_arr()).is_some());
+        // The window CSV has a header plus ten 1k windows.
+        let w = std::fs::read_to_string(&window).unwrap();
+        assert_eq!(w.lines().count(), 11);
+        assert!(w.starts_with("window,start,accesses,"));
+        for f in [&metrics, &trace, &window] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn simulate_csv_and_prom_formats() {
+        let dir = std::env::temp_dir().join("atp_cli_obs_fmt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (fmt, needle) in [
+            ("csv", "atp_ios,counter,"),
+            ("prom", "# TYPE atp_ios counter"),
+        ] {
+            let path = dir.join(format!("m.{fmt}"));
+            simulate(&argv(&[
+                "--workload",
+                "uniform",
+                "--phys",
+                "2^10",
+                "--accesses",
+                "2k",
+                "--warmup",
+                "0",
+                "--h",
+                "4",
+                "--metrics",
+                path.to_str().unwrap(),
+                "--format",
+                fmt,
+            ]))
+            .unwrap();
+            let body = std::fs::read_to_string(&path).unwrap();
+            assert!(body.contains(needle), "{fmt}: missing {needle:?}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn multicore_runs_and_exports() {
+        let dir = std::env::temp_dir().join("atp_cli_mc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("mc.json");
+        multicore_cmd(&argv(&[
+            "--workload",
+            "uniform",
+            "--cores",
+            "2",
+            "--phys",
+            "2^10",
+            "--tlb",
+            "32",
+            "--accesses",
+            "5k",
+            "--h",
+            "4",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        let doc = atp_obs::json::parse(&m).unwrap();
+        assert_eq!(
+            doc.get("meta")
+                .unwrap()
+                .get("cores")
+                .and_then(|c| c.as_str()),
+            Some("2")
+        );
+        assert!(m.contains("atp_shootdown_events"));
+        std::fs::remove_file(&metrics).ok();
+        assert!(multicore_cmd(&argv(&["--cores", "0"])).is_err());
+    }
+
+    #[test]
     fn sweep_runs_small() {
         sweep_cmd(&argv(&[
             "--workload",
@@ -475,6 +873,42 @@ mod tests {
             "64",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn sweep_parallel_with_metrics() {
+        let dir = std::env::temp_dir().join("atp_cli_sweep_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("sweep.csv");
+        sweep_cmd(&argv(&[
+            "--workload",
+            "zipf",
+            "--phys",
+            "2^10",
+            "--accesses",
+            "5k",
+            "--warmup",
+            "0",
+            "--tlb",
+            "64",
+            "--threads",
+            "4",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&metrics).unwrap();
+        // One atp_cost_total row per h in 1..=1024 plus the Z row.
+        let rows = body
+            .lines()
+            .filter(|l| l.starts_with("atp_cost_total,"))
+            .count();
+        assert_eq!(rows, 12);
+        assert!(body.contains("h=1024"));
+        assert!(body.contains("manager=decoupled"));
+        std::fs::remove_file(&metrics).ok();
     }
 
     #[test]

@@ -3,8 +3,12 @@
 //! Subcommands (see `atp help`):
 //!
 //! * `simulate` — run one workload against one memory manager and print the
-//!   address-translation cost breakdown;
-//! * `sweep` — the Figure-1 huge-page-size sweep on any workload;
+//!   address-translation cost breakdown; `--metrics`, `--trace-events`, and
+//!   `--window` export machine-readable artifacts;
+//! * `sweep` — the Figure-1 huge-page-size sweep on any workload, fanned
+//!   out over worker threads;
+//! * `multicore` — per-core TLBs over a shared page cache with
+//!   TLB-shootdown accounting;
 //! * `trace record|stats|mrc` — capture workloads to the binary trace
 //!   format, summarize them, and compute LRU miss-ratio curves;
 //! * `calibrate` — derive ε from device/walk latency assumptions.
@@ -31,6 +35,7 @@ pub fn run(argv: &[String]) -> i32 {
     let result = match cmd {
         "simulate" => commands::simulate(rest),
         "sweep" => commands::sweep_cmd(rest),
+        "multicore" => commands::multicore_cmd(rest),
         "trace" => commands::trace_cmd(rest),
         "calibrate" => commands::calibrate(rest),
         "help" | "--help" | "-h" => {

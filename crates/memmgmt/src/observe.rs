@@ -151,7 +151,7 @@ impl LatencyClass {
 
 /// Recording observer: per-stage counters plus reuse and latency
 /// histograms.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Recorder {
     counters: StageCounters,
     /// log₂-bucketed reuse distances (accesses since the same base page
@@ -161,17 +161,50 @@ pub struct Recorder {
     cold_accesses: u64,
     /// Per-access latency-class counts, indexed by [`LatencyClass`].
     latency_hist: [u64; 4],
+    /// Whether `last_touch` is maintained (see
+    /// [`Recorder::without_reuse_tracking`]).
+    track_reuse: bool,
     last_touch: FxHashMap<u64, u64>,
     clock: u64,
 }
 
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
 impl Recorder {
-    /// Creates an empty recorder.
-    pub fn new() -> Self {
-        Self {
+    fn empty(track_reuse: bool) -> Self {
+        Recorder {
+            counters: StageCounters::default(),
             reuse_hist: vec![0; HIST_BUCKETS],
-            ..Self::default()
+            cold_accesses: 0,
+            latency_hist: [0; 4],
+            track_reuse,
+            last_touch: FxHashMap::default(),
+            clock: 0,
         }
+    }
+
+    /// Creates an empty recorder with reuse-distance tracking.
+    pub fn new() -> Self {
+        Recorder::empty(true)
+    }
+
+    /// Creates a recorder that skips the reuse-distance map entirely. The
+    /// per-page `last_touch` map otherwise grows with the trace footprint
+    /// (unbounded on large virtual spaces); without it the recorder is
+    /// constant-size, which is what sweeps and multicore runs want — they
+    /// only read the stage counters.
+    pub fn without_reuse_tracking() -> Self {
+        Recorder::empty(false)
+    }
+
+    /// Whether reuse distances are being tracked (and the reuse histogram
+    /// and cold-access count are meaningful).
+    pub fn tracks_reuse(&self) -> bool {
+        self.track_reuse
     }
 
     /// Per-stage counters so far.
@@ -260,12 +293,14 @@ impl SimObserver for Recorder {
         if report.paging_failure {
             self.counters.paging_failures += 1;
         }
-        match self.last_touch.insert(v.0, self.clock) {
-            None => self.cold_accesses += 1,
-            Some(prev) => {
-                let dist = self.clock - prev;
-                let bucket = (64 - dist.leading_zeros()).saturating_sub(1) as usize;
-                self.reuse_hist[bucket.min(HIST_BUCKETS - 1)] += 1;
+        if self.track_reuse {
+            match self.last_touch.insert(v.0, self.clock) {
+                None => self.cold_accesses += 1,
+                Some(prev) => {
+                    let dist = self.clock - prev;
+                    let bucket = (64 - dist.leading_zeros()).saturating_sub(1) as usize;
+                    self.reuse_hist[bucket.min(HIST_BUCKETS - 1)] += 1;
+                }
             }
         }
         self.clock += 1;
@@ -343,6 +378,36 @@ impl SimObserver for SharedRecorder {
 /// and reports; exact when no access mixes classes unexpectedly).
 pub fn latency_classes() -> [LatencyClass; 4] {
     LatencyClass::ALL
+}
+
+/// Observer composition: a pair forwards every event to both halves, so a
+/// run can capture, say, counters *and* a structured event trace without a
+/// bespoke combined observer. Nest pairs for more: `(a, (b, c))`.
+impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
+    fn on_access(&mut self, v: VirtPage, report: AccessReport) {
+        self.0.on_access(v, report);
+        self.1.on_access(v, report);
+    }
+
+    fn on_tlb_event(&mut self, event: TlbEvent) {
+        self.0.on_tlb_event(event);
+        self.1.on_tlb_event(event);
+    }
+
+    fn on_eviction(&mut self, event: EvictionEvent) {
+        self.0.on_eviction(event);
+        self.1.on_eviction(event);
+    }
+
+    fn on_decode_miss(&mut self, v: VirtPage) {
+        self.0.on_decode_miss(v);
+        self.1.on_decode_miss(v);
+    }
+
+    fn on_batch_boundary(&mut self, len: usize) {
+        self.0.on_batch_boundary(len);
+        self.1.on_batch_boundary(len);
+    }
 }
 
 #[cfg(test)]
@@ -424,6 +489,55 @@ mod tests {
         handle.on_access(VirtPage(1), report(true, 0, false));
         assert_eq!(shared.with(|r| r.accesses()), 1);
         assert_eq!(shared.snapshot().latency_class(LatencyClass::Epsilon), 1);
+    }
+
+    #[test]
+    fn without_reuse_tracking_skips_the_map() {
+        let mut r = Recorder::without_reuse_tracking();
+        assert!(!r.tracks_reuse());
+        for p in [5u64, 1, 2, 3, 5, 5, 5] {
+            r.on_access(VirtPage(p), report(false, 0, false));
+        }
+        assert_eq!(r.accesses(), 7, "clock still advances");
+        assert_eq!(r.cold_accesses(), 0, "no first-touch tracking");
+        assert!(r.reuse_histogram().iter().all(|&c| c == 0));
+        assert_eq!(r.last_touch.len(), 0, "map never populated");
+        assert_eq!(
+            r.latency_class(LatencyClass::Free),
+            7,
+            "latency histogram still captured"
+        );
+    }
+
+    #[test]
+    fn default_recorder_tracks_reuse() {
+        let mut r = Recorder::default();
+        r.on_access(VirtPage(9), report(false, 0, false));
+        r.on_access(VirtPage(9), report(false, 0, false));
+        assert!(r.tracks_reuse());
+        assert_eq!(r.cold_accesses(), 1);
+        assert_eq!(r.reuse_histogram()[0], 1);
+    }
+
+    #[test]
+    fn pair_observer_feeds_both_halves() {
+        let mut pair = (Recorder::new(), Recorder::without_reuse_tracking());
+        pair.on_tlb_event(TlbEvent::Miss);
+        pair.on_eviction(EvictionEvent { unit: 1, pages: 4 });
+        pair.on_decode_miss(VirtPage(2));
+        pair.on_access(VirtPage(0), report(true, 1, false));
+        pair.on_batch_boundary(1);
+        for r in [&pair.0, &pair.1] {
+            let c = r.counters();
+            assert_eq!(c.tlb_misses, 1);
+            assert_eq!(c.evictions, 1);
+            assert_eq!(c.decode_misses, 1);
+            assert_eq!(c.faults, 1);
+            assert_eq!(c.batches, 1);
+            assert_eq!(r.accesses(), 1);
+        }
+        assert_eq!(pair.0.cold_accesses(), 1);
+        assert_eq!(pair.1.cold_accesses(), 0);
     }
 
     #[test]

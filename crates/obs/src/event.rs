@@ -1,0 +1,357 @@
+//! Structured event tracing.
+//!
+//! [`EventLog`] is a [`SimObserver`] that captures every pipeline event —
+//! TLB hit/miss/fill/shootdown, eviction, decode miss, fault, batch
+//! boundary — as a logical-clock-stamped [`Event`] in a bounded ring
+//! buffer. The clock is the number of *completed* accesses, so all events
+//! raised while servicing access `i` carry clock `i`; no wall time is ever
+//! recorded and same-seed runs export byte-identical traces.
+//!
+//! Two exporters: [`EventLog::to_jsonl`] (one JSON object per line, meta
+//! header first) and [`EventLog::to_chrome_trace`] (Chrome trace-event
+//! JSON, loadable in `chrome://tracing` and Perfetto).
+
+use crate::json::quote;
+use atp_memmgmt::{AccessReport, EvictionEvent, SimObserver, TlbEvent};
+use atp_types::VirtPage;
+use std::collections::VecDeque;
+
+/// One structured pipeline event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// TLB probe hit.
+    TlbHit,
+    /// TLB probe miss.
+    TlbMiss,
+    /// Translation installed after a miss.
+    TlbFill,
+    /// Translation invalidated by residency loss.
+    TlbShootdown,
+    /// Residency eviction of a replacement unit.
+    Eviction {
+        /// Raw key of the evicted unit.
+        unit: u64,
+        /// Base pages dropped.
+        pages: u64,
+    },
+    /// Decode miss on a resident page.
+    DecodeMiss {
+        /// The undecodable page.
+        page: u64,
+    },
+    /// An access that performed at least one IO.
+    Fault {
+        /// The faulting page.
+        page: u64,
+        /// IOs performed (> 1 under huge-page amplification).
+        ios: u64,
+    },
+    /// A streaming driver finished a chunk.
+    BatchBoundary {
+        /// Accesses in the chunk.
+        len: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable, machine-readable event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TlbHit => "tlb_hit",
+            EventKind::TlbMiss => "tlb_miss",
+            EventKind::TlbFill => "tlb_fill",
+            EventKind::TlbShootdown => "tlb_shootdown",
+            EventKind::Eviction { .. } => "eviction",
+            EventKind::DecodeMiss { .. } => "decode_miss",
+            EventKind::Fault { .. } => "fault",
+            EventKind::BatchBoundary { .. } => "batch_boundary",
+        }
+    }
+
+    /// Writes the kind-specific payload fields (`,"k":v` pairs) to `out`.
+    fn payload_into(&self, out: &mut String) {
+        match *self {
+            EventKind::Eviction { unit, pages } => {
+                out.push_str(&format!(",\"unit\":{unit},\"pages\":{pages}"));
+            }
+            EventKind::DecodeMiss { page } => out.push_str(&format!(",\"page\":{page}")),
+            EventKind::Fault { page, ios } => {
+                out.push_str(&format!(",\"page\":{page},\"ios\":{ios}"));
+            }
+            EventKind::BatchBoundary { len } => out.push_str(&format!(",\"len\":{len}")),
+            _ => {}
+        }
+    }
+}
+
+/// A logical-clock-stamped [`EventKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Completed accesses when the event was raised (all events of access
+    /// `i` carry clock `i`).
+    pub clock: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Bounded structured-event capture.
+///
+/// Keeps the *most recent* `capacity` events; older ones are dropped and
+/// counted in [`EventLog::dropped`], so long runs degrade to a tail window
+/// instead of growing without bound.
+#[derive(Clone, Debug)]
+pub struct EventLog {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    clock: u64,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Default ring capacity (events, not accesses).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a log keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be positive");
+        EventLog {
+            buf: VecDeque::with_capacity(capacity.min(Self::DEFAULT_CAPACITY)),
+            capacity,
+            clock: 0,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, kind: EventKind) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(Event {
+            clock: self.clock,
+            kind,
+        });
+        self.recorded += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Retained event count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events dropped by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Completed accesses observed (the logical clock).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Exports as JSON Lines: a meta header object, then one object per
+    /// event. Deterministic (logical clocks only).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.buf.len() + 1));
+        out.push_str(&format!(
+            "{{\"schema\":\"atp-events-v1\",\"clock\":{},\"recorded\":{},\"dropped\":{}}}\n",
+            self.clock, self.recorded, self.dropped
+        ));
+        for e in &self.buf {
+            out.push_str(&format!(
+                "{{\"clock\":{},\"event\":{}",
+                e.clock,
+                quote(e.kind.name())
+            ));
+            e.kind.payload_into(&mut out);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Exports as Chrome trace-event JSON (the `traceEvents` object form):
+    /// each event becomes a thread-scoped instant (`"ph":"i"`) whose `ts`
+    /// is the logical clock in microseconds. Loadable in `chrome://tracing`
+    /// and Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(96 * (self.buf.len() + 1));
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{");
+        out.push_str(&format!(
+            "\"schema\":\"atp-trace-events-v1\",\"clock\":{},\"recorded\":{},\"dropped\":{}",
+            self.clock, self.recorded, self.dropped
+        ));
+        out.push_str("},\"traceEvents\":[");
+        for (i, e) in self.buf.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"name\":{},\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":0,\"s\":\"t\"",
+                quote(e.kind.name()),
+                e.clock
+            ));
+            let mut args = String::new();
+            e.kind.payload_into(&mut args);
+            if !args.is_empty() {
+                // payload_into writes `,"k":v,...`; re-wrap as an args map.
+                out.push_str(",\"args\":{");
+                out.push_str(&args[1..]);
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl SimObserver for EventLog {
+    fn on_access(&mut self, v: VirtPage, report: AccessReport) {
+        if report.ios > 0 {
+            self.push(EventKind::Fault {
+                page: v.0,
+                ios: report.ios,
+            });
+        }
+        self.clock += 1;
+    }
+
+    fn on_tlb_event(&mut self, event: TlbEvent) {
+        self.push(match event {
+            TlbEvent::Hit => EventKind::TlbHit,
+            TlbEvent::Miss => EventKind::TlbMiss,
+            TlbEvent::Fill => EventKind::TlbFill,
+            TlbEvent::Shootdown => EventKind::TlbShootdown,
+        });
+    }
+
+    fn on_eviction(&mut self, event: EvictionEvent) {
+        self.push(EventKind::Eviction {
+            unit: event.unit,
+            pages: event.pages,
+        });
+    }
+
+    fn on_decode_miss(&mut self, v: VirtPage) {
+        self.push(EventKind::DecodeMiss { page: v.0 });
+    }
+
+    fn on_batch_boundary(&mut self, len: usize) {
+        self.push(EventKind::BatchBoundary { len: len as u64 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn fault(ios: u64) -> AccessReport {
+        AccessReport {
+            tlb_miss: true,
+            ios,
+            decode_miss: false,
+            paging_failure: false,
+        }
+    }
+
+    #[test]
+    fn events_carry_the_access_clock() {
+        let mut log = EventLog::new(16);
+        log.on_tlb_event(TlbEvent::Miss);
+        log.on_access(VirtPage(7), fault(1));
+        log.on_tlb_event(TlbEvent::Hit);
+        log.on_access(VirtPage(7), fault(0));
+        let events: Vec<Event> = log.events().copied().collect();
+        assert_eq!(events[0].clock, 0, "first access's miss at clock 0");
+        assert_eq!(events[1].kind.name(), "fault");
+        assert_eq!(events[1].clock, 0);
+        assert_eq!(events[2].clock, 1, "second access's hit at clock 1");
+        assert_eq!(log.clock(), 2);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut log = EventLog::new(3);
+        for _ in 0..5 {
+            log.on_tlb_event(TlbEvent::Hit);
+            log.on_access(VirtPage(0), fault(0));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.events().next().unwrap().clock, 2, "oldest two dropped");
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let mut log = EventLog::new(16);
+        log.on_tlb_event(TlbEvent::Miss);
+        log.on_eviction(EvictionEvent { unit: 9, pages: 64 });
+        log.on_decode_miss(VirtPage(3));
+        log.on_access(VirtPage(5), fault(2));
+        log.on_batch_boundary(4);
+        let text = log.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6, "meta + 5 events");
+        for line in &lines {
+            parse(line).unwrap_or_else(|e| panic!("line {line:?}: {e}"));
+        }
+        let meta = parse(lines[0]).unwrap();
+        assert_eq!(meta.get("schema").unwrap().as_str(), Some("atp-events-v1"));
+        let ev = parse(lines[2]).unwrap();
+        assert_eq!(ev.get("event").unwrap().as_str(), Some("eviction"));
+        assert_eq!(ev.get("pages").unwrap().as_f64(), Some(64.0));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_structured() {
+        let mut log = EventLog::new(16);
+        log.on_tlb_event(TlbEvent::Miss);
+        log.on_access(VirtPage(5), fault(3));
+        log.on_tlb_event(TlbEvent::Hit);
+        log.on_access(VirtPage(5), fault(0));
+        let doc = parse(&log.to_chrome_trace()).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("i"));
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("name").unwrap().as_str().is_some());
+        }
+        let fault_args = events[1].get("args").unwrap();
+        assert_eq!(fault_args.get("ios").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        EventLog::new(0);
+    }
+}

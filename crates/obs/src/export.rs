@@ -1,0 +1,273 @@
+//! One metrics schema for every producer.
+//!
+//! [`run_registry`] converts a finished run — the [`Costs`] tally plus an
+//! optional [`Recorder`] — into a [`MetricsRegistry`] under stable
+//! `atp_*` metric names, so the CLI, the sweep driver, the multicore
+//! extension, and the bench harness all export the same vocabulary and a
+//! single downstream consumer (CI artifact checks, figure scripts) can
+//! read any of them.
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use atp_memmgmt::{latency_classes, LatencyClass, Recorder};
+use atp_types::{CostModel, Costs};
+
+/// Stable label names for a latency class.
+fn class_label(class: LatencyClass) -> &'static str {
+    match class {
+        LatencyClass::Free => "free",
+        LatencyClass::Epsilon => "epsilon",
+        LatencyClass::OneIo => "one_io",
+        LatencyClass::AmplifiedIo => "amplified_io",
+    }
+}
+
+/// Appends the core cost metrics for one run to `reg` under `labels`.
+pub fn costs_into(
+    reg: &mut MetricsRegistry,
+    labels: &[(&str, &str)],
+    costs: &Costs,
+    model: CostModel,
+) {
+    reg.counter("atp_accesses", "requests serviced", labels, costs.accesses);
+    reg.counter("atp_ios", "page fetches from storage", labels, costs.ios);
+    reg.counter("atp_tlb_hits", "TLB probe hits", labels, costs.tlb_hits);
+    reg.counter(
+        "atp_tlb_misses",
+        "TLB probe misses",
+        labels,
+        costs.tlb_misses,
+    );
+    reg.counter(
+        "atp_decode_misses",
+        "decoding misses",
+        labels,
+        costs.decode_misses,
+    );
+    reg.counter(
+        "atp_paging_failures",
+        "requests hitting the failure set F",
+        labels,
+        costs.paging_failures,
+    );
+    reg.gauge(
+        "atp_tlb_miss_rate",
+        "TLB misses per access",
+        labels,
+        costs.tlb_miss_rate(),
+    );
+    reg.gauge(
+        "atp_cost_total",
+        "model cost C = C_IO + C_TLB + C_D",
+        labels,
+        costs.total(model),
+    );
+    reg.gauge("atp_cost_io", "C_IO component", labels, costs.io_cost());
+    reg.gauge(
+        "atp_cost_tlb",
+        "C_TLB component",
+        labels,
+        costs.tlb_cost(model),
+    );
+    reg.gauge(
+        "atp_cost_decode",
+        "C_D component",
+        labels,
+        costs.decode_cost(model),
+    );
+}
+
+/// Appends the recorder's stage counters and histograms to `reg`.
+pub fn recorder_into(reg: &mut MetricsRegistry, labels: &[(&str, &str)], rec: &Recorder) {
+    let c = rec.counters();
+    reg.counter(
+        "atp_stage_tlb_fills",
+        "translations installed",
+        labels,
+        c.tlb_fills,
+    );
+    reg.counter(
+        "atp_stage_tlb_shootdowns",
+        "translations invalidated by residency loss",
+        labels,
+        c.tlb_shootdowns,
+    );
+    reg.counter(
+        "atp_stage_residency_hits",
+        "accesses serviced without IO",
+        labels,
+        c.residency_hits,
+    );
+    reg.counter(
+        "atp_stage_faults",
+        "accesses that performed IO",
+        labels,
+        c.faults,
+    );
+    reg.counter(
+        "atp_stage_evictions",
+        "residency evictions",
+        labels,
+        c.evictions,
+    );
+    reg.counter(
+        "atp_stage_evicted_pages",
+        "base pages dropped by evictions",
+        labels,
+        c.evicted_pages,
+    );
+    reg.counter(
+        "atp_stage_batches",
+        "batch boundaries seen",
+        labels,
+        c.batches,
+    );
+    for class in latency_classes() {
+        let mut with_class: Vec<(&str, &str)> = labels.to_vec();
+        with_class.push(("class", class_label(class)));
+        reg.counter(
+            "atp_latency_class",
+            "accesses per latency class (free/epsilon/one_io/amplified_io)",
+            &with_class,
+            rec.latency_class(class),
+        );
+    }
+    reg.counter(
+        "atp_reuse_cold",
+        "first-ever page touches",
+        labels,
+        rec.cold_accesses(),
+    );
+    if rec.tracks_reuse() {
+        reg.histogram(
+            "atp_reuse_distance",
+            "log2-bucketed reuse distances (sum is midpoint-estimated)",
+            labels,
+            Histogram::from_log2_buckets(rec.reuse_histogram()),
+        );
+    }
+}
+
+/// Builds the full registry for one run: meta context, cost metrics, and —
+/// when a recorder was attached — stage counters and histograms.
+pub fn run_registry(
+    manager: &str,
+    workload: &str,
+    costs: &Costs,
+    model: CostModel,
+    recorder: Option<&Recorder>,
+) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    reg.set_meta("manager", manager);
+    reg.set_meta("workload", workload);
+    reg.set_meta("epsilon", &format!("{}", model.epsilon));
+    let labels = [("manager", manager), ("workload", workload)];
+    costs_into(&mut reg, &labels, costs, model);
+    if let Some(rec) = recorder {
+        recorder_into(&mut reg, &labels, rec);
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use atp_memmgmt::{AccessReport, SimObserver, TlbEvent};
+    use atp_types::VirtPage;
+
+    fn sample_costs() -> Costs {
+        Costs {
+            ios: 10,
+            tlb_misses: 5,
+            decode_misses: 1,
+            paging_failures: 0,
+            accesses: 100,
+            tlb_hits: 95,
+        }
+    }
+
+    #[test]
+    fn registry_covers_costs_and_recorder() {
+        let mut rec = Recorder::new();
+        rec.on_tlb_event(TlbEvent::Fill);
+        rec.on_access(
+            VirtPage(1),
+            AccessReport {
+                tlb_miss: true,
+                ios: 2,
+                decode_miss: false,
+                paging_failure: false,
+            },
+        );
+        rec.on_access(
+            VirtPage(1),
+            AccessReport {
+                tlb_miss: false,
+                ios: 0,
+                decode_miss: false,
+                paging_failure: false,
+            },
+        );
+        let reg = run_registry(
+            "classic h=64",
+            "zipf",
+            &sample_costs(),
+            CostModel::new(0.01),
+            Some(&rec),
+        );
+        let doc = parse(&reg.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("meta").unwrap().get("workload").unwrap().as_str(),
+            Some("zipf")
+        );
+        let metrics = doc.get("metrics").unwrap().as_arr().unwrap();
+        let find = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.get("name").unwrap().as_str() == Some(name))
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+        };
+        assert_eq!(find("atp_ios").get("value").unwrap().as_f64(), Some(10.0));
+        assert_eq!(
+            find("atp_tlb_miss_rate").get("value").unwrap().as_f64(),
+            Some(0.05)
+        );
+        assert_eq!(
+            find("atp_stage_tlb_fills").get("value").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            find("atp_reuse_distance").get("count").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            find("atp_latency_class")
+                .get("labels")
+                .unwrap()
+                .get("class")
+                .unwrap()
+                .as_str(),
+            Some("free")
+        );
+    }
+
+    #[test]
+    fn reuse_histogram_skipped_without_tracking() {
+        let rec = Recorder::without_reuse_tracking();
+        let reg = run_registry("m", "w", &sample_costs(), CostModel::new(0.01), Some(&rec));
+        assert!(!reg.to_json().contains("atp_reuse_distance"));
+        assert!(reg.to_json().contains("atp_reuse_cold"));
+    }
+
+    #[test]
+    fn costs_only_registry_renders_everywhere() {
+        let reg = run_registry("m", "w", &sample_costs(), CostModel::new(0.5), None);
+        parse(&reg.to_json()).unwrap();
+        assert!(reg.to_csv().contains("atp_cost_total,gauge,"));
+        assert!(reg.to_prometheus().contains("atp_cost_total{"));
+        // cost = 10 + 0.5*(5+1)
+        assert!(reg
+            .to_csv()
+            .contains("atp_cost_total,gauge,manager=m;workload=w,value,13"));
+    }
+}

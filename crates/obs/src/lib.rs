@@ -1,0 +1,45 @@
+//! Observability for the simulation stack.
+//!
+//! The paper's headline artifacts are *trajectories* — how cost, TLB
+//! reach, and IO amplification evolve across sweeps and trace phases —
+//! so end-of-run totals are not enough. This crate provides the
+//! machine-readable layer on top of the memmgmt pipeline's
+//! [`SimObserver`](atp_memmgmt::SimObserver) seam:
+//!
+//! * [`EventLog`] — logical-clock-stamped structured events (TLB
+//!   hit/miss/fill/shootdown, eviction, decode miss, fault, batch
+//!   boundary) in a bounded ring buffer, exported as JSONL or Chrome
+//!   trace-event JSON (Perfetto-loadable);
+//! * [`MetricsRegistry`] — named counters / gauges / log₂ histograms
+//!   rendered as JSON, CSV, or Prometheus text exposition format;
+//! * [`Windowed`] — per-window miss rate, ε-cost, IO and
+//!   fault-amplification rows (CSV) for Figure-1-style phase plots;
+//! * [`SyncRecorder`] — a `Mutex`-backed recorder whose clones can be
+//!   handed to `run_multicore` / `atp_sim::sweep` worker threads;
+//! * [`Shared`] / [`RunObserver`] — composition so one run can capture
+//!   counters, events, and windows at once;
+//! * [`json`] — the hand-rolled JSON writer/parser behind all of the
+//!   above (no serde: the workspace is dependency-free by construction).
+//!
+//! Everything is stamped with logical clocks and seeded state only, so
+//! same-seed runs export **byte-identical** artifacts — pinned by golden
+//! tests and relied on by CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod stack;
+pub mod sync;
+pub mod window;
+
+pub use event::{Event, EventKind, EventLog};
+pub use export::{costs_into, recorder_into, run_registry};
+pub use json::Json;
+pub use metrics::{ExportFormat, Histogram, Metric, MetricValue, MetricsRegistry};
+pub use stack::{RunObserver, Shared};
+pub use sync::SyncRecorder;
+pub use window::{WindowRow, Windowed};

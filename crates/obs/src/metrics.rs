@@ -1,0 +1,557 @@
+//! A registry of named metrics rendered to JSON, CSV, and Prometheus text
+//! exposition format.
+//!
+//! Metrics are appended in a deterministic order (insertion order, never
+//! sorted by hash) and rendered with logical values only, so a registry
+//! built from a fixed-seed run exports byte-identical text. Three kinds:
+//!
+//! * **counter** — a monotonically accumulated `u64` (IOs, misses…);
+//! * **gauge** — a point-in-time `f64` (miss rate, ε-cost, acc/s…);
+//! * **histogram** — log₂-bucketed `u64` samples (reuse distances,
+//!   per-access IO counts), the same shape [`atp_memmgmt::Recorder`] uses.
+
+use crate::json::{fmt_f64, quote};
+
+/// Number of log₂ buckets (covers values up to 2⁶³).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram: bucket `i` counts samples in `[2^i, 2^{i+1})`
+/// (bucket 0 also holds zeros).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        let bucket = (63 - (v | 1).leading_zeros()) as usize;
+        self.buckets[bucket.min(HIST_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Imports pre-bucketed counts (e.g. a recorder's reuse histogram).
+    /// The per-sample sum is unrecoverable from buckets, so it is estimated
+    /// at bucket midpoints (`1.5 × 2^i`) — exported as-is and documented as
+    /// an estimate.
+    pub fn from_log2_buckets(buckets: &[u64]) -> Self {
+        let mut h = Histogram::new();
+        for (i, &c) in buckets.iter().take(HIST_BUCKETS).enumerate() {
+            h.buckets[i] = c;
+            h.count += c;
+            let mid = (1u64 << i) + (1u64 << i) / 2;
+            h.sum = h.sum.saturating_add(mid.saturating_mul(c));
+        }
+        h
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (exact when built via [`Histogram::observe`],
+    /// midpoint-estimated when imported from buckets).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Index of the last non-empty bucket plus one (0 if empty).
+    fn occupied(&self) -> usize {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+    /// Log₂ histogram.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One named metric with labels.
+#[derive(Clone, Debug)]
+pub struct Metric {
+    /// Metric name (`[a-zA-Z_][a-zA-Z0-9_]*` — used verbatim in all three
+    /// export formats).
+    pub name: String,
+    /// One-line description (Prometheus `# HELP`).
+    pub help: String,
+    /// Label pairs, in insertion order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// Output format selector for [`MetricsRegistry::render`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// Machine-readable JSON (`atp-metrics-v1`).
+    Json,
+    /// Flat CSV (`name,kind,labels,field,value`).
+    Csv,
+    /// Prometheus text exposition format.
+    Prometheus,
+}
+
+impl ExportFormat {
+    /// Parses `json` / `csv` / `prom` (or `prometheus`).
+    pub fn parse(s: &str) -> Option<ExportFormat> {
+        match s {
+            "json" => Some(ExportFormat::Json),
+            "csv" => Some(ExportFormat::Csv),
+            "prom" | "prometheus" => Some(ExportFormat::Prometheus),
+            _ => None,
+        }
+    }
+}
+
+/// An append-only, deterministically ordered collection of metrics plus
+/// free-form `meta` key/value context (run parameters, schema tags…).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    meta: Vec<(String, String)>,
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a meta key/value (exported under `"meta"` in JSON and as
+    /// `# meta` comments in Prometheus).
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Appends a counter.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.push(name, help, labels, MetricValue::Counter(value));
+    }
+
+    /// Appends a gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push(name, help, labels, MetricValue::Gauge(value));
+    }
+
+    /// Appends a histogram.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: Histogram) {
+        self.push(name, help, labels, MetricValue::Histogram(h));
+    }
+
+    fn push(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: MetricValue) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+    }
+
+    /// The metrics, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// The meta pairs, in insertion order.
+    pub fn meta(&self) -> &[(String, String)] {
+        &self.meta
+    }
+
+    /// Renders in the chosen format.
+    pub fn render(&self, format: ExportFormat) -> String {
+        match format {
+            ExportFormat::Json => self.to_json(),
+            ExportFormat::Csv => self.to_csv(),
+            ExportFormat::Prometheus => self.to_prometheus(),
+        }
+    }
+
+    /// JSON rendering (`atp-metrics-v1`): one metric object per line so the
+    /// output greps and diffs cleanly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n\"schema\": \"atp-metrics-v1\",\n\"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", quote(k), quote(v)));
+        }
+        out.push_str("},\n\"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"name\": {}, \"kind\": \"{}\", \"labels\": {{",
+                quote(&m.name),
+                m.value.kind()
+            ));
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", quote(k), quote(v)));
+            }
+            out.push_str("}, ");
+            match &m.value {
+                MetricValue::Counter(v) => out.push_str(&format!("\"value\": {v}")),
+                MetricValue::Gauge(v) => out.push_str(&format!("\"value\": {}", fmt_f64(*v))),
+                MetricValue::Histogram(h) => {
+                    out.push_str("\"buckets\": [");
+                    for (j, &c) in h.buckets[..h.occupied()].iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&c.to_string());
+                    }
+                    out.push_str(&format!("], \"count\": {}, \"sum\": {}", h.count, h.sum));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.metrics.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// CSV rendering: `name,kind,labels,field,value`, labels as `k=v`
+    /// joined with `;`. Counters and gauges emit one `value` row;
+    /// histograms emit one row per non-empty bucket plus `count` and `sum`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,kind,labels,field,value\n");
+        for m in &self.metrics {
+            let labels = m
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(";");
+            let labels = csv_field(&labels);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{},counter,{labels},value,{v}\n", m.name));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{},gauge,{labels},value,{}\n",
+                        m.name,
+                        fmt_f64(*v)
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    for (i, &c) in h.buckets[..h.occupied()].iter().enumerate() {
+                        if c > 0 {
+                            out.push_str(&format!(
+                                "{},histogram,{labels},bucket_2^{i},{c}\n",
+                                m.name
+                            ));
+                        }
+                    }
+                    out.push_str(&format!(
+                        "{},histogram,{labels},count,{}\n",
+                        m.name, h.count
+                    ));
+                    out.push_str(&format!("{},histogram,{labels},sum,{}\n", m.name, h.sum));
+                }
+            }
+        }
+        out
+    }
+
+    /// Prometheus text exposition rendering. Histograms emit cumulative
+    /// `_bucket{le=…}` series with power-of-two upper bounds, `_sum`, and
+    /// `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.meta {
+            out.push_str(&format!("# meta {k}={v}\n"));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !seen.contains(&m.name.as_str()) {
+                seen.push(&m.name);
+                if !m.help.is_empty() {
+                    out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+                }
+                let kind = match m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {}\n", m.name, kind));
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.name, prom_labels(&m.labels, None)));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        prom_f64(*v)
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, &c) in h.buckets[..h.occupied()].iter().enumerate() {
+                        cum += c;
+                        if c > 0 || i + 1 == h.occupied() {
+                            let le = prom_f64(2f64.powi(i as i32 + 1));
+                            out.push_str(&format!(
+                                "{}_bucket{} {cum}\n",
+                                m.name,
+                                prom_labels(&m.labels, Some(&le))
+                            ));
+                        }
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        m.name,
+                        prom_labels(&m.labels, Some("+Inf")),
+                        h.count
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Quotes a CSV field if it contains separators or quotes.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Formats an f64 for Prometheus (which accepts Go-syntax floats; our
+/// deterministic Rust `Display` output is a subset of that).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders `{k="v",…}` with Prometheus label escaping; `le` appended last.
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let v = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        out.push_str(&format!("{k}=\"{v}\""));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.set_meta("manager", "classic h=64");
+        r.counter("atp_ios", "total IOs", &[("workload", "zipf")], 123);
+        r.gauge(
+            "atp_miss_rate",
+            "TLB miss rate",
+            &[("workload", "zipf")],
+            0.25,
+        );
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(5);
+        h.observe(100);
+        r.histogram("atp_reuse", "reuse distances", &[], h);
+        r
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::new();
+        h.observe(0); // bucket 0
+        h.observe(1); // bucket 0
+        h.observe(2); // bucket 1
+        h.observe(3); // bucket 1
+        h.observe(4); // bucket 2
+        assert_eq!(&h.buckets()[..3], &[2, 2, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 10);
+    }
+
+    #[test]
+    fn import_from_buckets_estimates_sum() {
+        let h = Histogram::from_log2_buckets(&[2, 0, 1]);
+        assert_eq!(h.count(), 3);
+        // 2 samples at midpoint 1 (bucket 0: 1+0) + 1 at midpoint 6.
+        assert_eq!(h.sum(), 8);
+    }
+
+    #[test]
+    fn json_parses_and_has_all_metrics() {
+        let doc = parse(&sample().to_json()).expect("valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("atp-metrics-v1"));
+        assert_eq!(
+            doc.get("meta").unwrap().get("manager").unwrap().as_str(),
+            Some("classic h=64")
+        );
+        let metrics = doc.get("metrics").unwrap().as_arr().unwrap();
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(metrics[0].get("value").unwrap().as_f64(), Some(123.0));
+        assert_eq!(
+            metrics[0]
+                .get("labels")
+                .unwrap()
+                .get("workload")
+                .unwrap()
+                .as_str(),
+            Some("zipf")
+        );
+        assert_eq!(metrics[2].get("count").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,kind,labels,field,value");
+        assert!(lines.contains(&"atp_ios,counter,workload=zipf,value,123"));
+        assert!(lines.contains(&"atp_miss_rate,gauge,workload=zipf,value,0.25"));
+        assert!(lines.contains(&"atp_reuse,histogram,,count,4"));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("atp_reuse,histogram,,bucket_2^0,")));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE atp_ios counter"));
+        assert!(text.contains("atp_ios{workload=\"zipf\"} 123"));
+        assert!(text.contains("# TYPE atp_reuse histogram"));
+        assert!(text.contains("atp_reuse_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("atp_reuse_count 4"));
+        // Cumulative buckets never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("atp_reuse_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "buckets must be cumulative: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        for f in [
+            ExportFormat::Json,
+            ExportFormat::Csv,
+            ExportFormat::Prometheus,
+        ] {
+            assert_eq!(sample().render(f), sample().render(f));
+        }
+    }
+
+    #[test]
+    fn format_parses() {
+        assert_eq!(ExportFormat::parse("json"), Some(ExportFormat::Json));
+        assert_eq!(ExportFormat::parse("csv"), Some(ExportFormat::Csv));
+        assert_eq!(ExportFormat::parse("prom"), Some(ExportFormat::Prometheus));
+        assert_eq!(
+            ExportFormat::parse("prometheus"),
+            Some(ExportFormat::Prometheus)
+        );
+        assert_eq!(ExportFormat::parse("xml"), None);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = MetricsRegistry::new();
+        r.counter("m", "", &[("k", "a\"b\\c")], 1);
+        assert!(r.to_prometheus().contains("m{k=\"a\\\"b\\\\c\"} 1"));
+        parse(&r.to_json()).expect("escaped JSON still parses");
+    }
+}

@@ -1,0 +1,234 @@
+//! Windowed time series: per-window miss rates, ε-cost, IO counts, and
+//! fault amplification, so Figure-1-style *phase* plots fall out of a
+//! single run instead of end-of-run totals.
+//!
+//! [`Windowed`] is a [`SimObserver`] that slices the access stream into
+//! fixed-size windows of `N` accesses and accumulates one [`WindowRow`]
+//! per slice. Export with [`Windowed::to_csv`]; all values derive from
+//! logical counts only, so fixed-seed runs emit byte-identical CSV.
+
+use atp_memmgmt::{AccessReport, EvictionEvent, SimObserver};
+use atp_types::VirtPage;
+
+/// Aggregates for one window of accesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowRow {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Logical clock (completed accesses) at window start.
+    pub start: u64,
+    /// Accesses in this window (equals the window size except possibly for
+    /// the final partial window).
+    pub accesses: u64,
+    /// TLB misses.
+    pub tlb_misses: u64,
+    /// Decoding misses.
+    pub decode_misses: u64,
+    /// IOs performed.
+    pub ios: u64,
+    /// Accesses that performed ≥ 1 IO.
+    pub faults: u64,
+    /// Residency evictions.
+    pub evictions: u64,
+}
+
+impl WindowRow {
+    /// TLB miss rate within the window (0 for an empty window).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.tlb_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// IOs per fault (the huge-page amplification signal; 0 if no faults).
+    pub fn amplification(&self) -> f64 {
+        if self.faults == 0 {
+            0.0
+        } else {
+            self.ios as f64 / self.faults as f64
+        }
+    }
+
+    /// Model cost of the window: `ios + ε·(tlb_misses + decode_misses)`.
+    pub fn cost(&self, epsilon: f64) -> f64 {
+        self.ios as f64 + epsilon * (self.tlb_misses + self.decode_misses) as f64
+    }
+}
+
+/// The windowed time-series observer.
+#[derive(Clone, Debug)]
+pub struct Windowed {
+    window: u64,
+    epsilon: f64,
+    rows: Vec<WindowRow>,
+    cur: WindowRow,
+    clock: u64,
+}
+
+impl Windowed {
+    /// Creates an observer slicing every `window` accesses; `epsilon` is
+    /// used for the per-window ε-cost column.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: u64, epsilon: f64) -> Self {
+        assert!(window > 0, "window size must be positive");
+        Windowed {
+            window,
+            epsilon,
+            rows: Vec::new(),
+            cur: WindowRow::default(),
+            clock: 0,
+        }
+    }
+
+    /// The window size in accesses.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Completed windows (excludes the in-progress one).
+    pub fn rows(&self) -> &[WindowRow] {
+        &self.rows
+    }
+
+    /// The in-progress window, if it has seen any accesses.
+    pub fn partial(&self) -> Option<WindowRow> {
+        (self.cur.accesses > 0).then_some(self.cur)
+    }
+
+    /// Completed rows plus the trailing partial window (if non-empty).
+    pub fn all_rows(&self) -> Vec<WindowRow> {
+        let mut out = self.rows.clone();
+        out.extend(self.partial());
+        out
+    }
+
+    /// CSV export: header plus one row per window (including a trailing
+    /// partial window). Rates are fixed to six decimals so the bytes are
+    /// stable and diffable.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "window,start,accesses,tlb_misses,tlb_miss_rate,decode_misses,\
+             ios,faults,fault_amplification,evictions,cost\n",
+        );
+        for r in self.all_rows() {
+            out.push_str(&format!(
+                "{},{},{},{},{:.6},{},{},{},{:.4},{},{:.4}\n",
+                r.index,
+                r.start,
+                r.accesses,
+                r.tlb_misses,
+                r.miss_rate(),
+                r.decode_misses,
+                r.ios,
+                r.faults,
+                r.amplification(),
+                r.evictions,
+                r.cost(self.epsilon)
+            ));
+        }
+        out
+    }
+}
+
+impl SimObserver for Windowed {
+    fn on_access(&mut self, _v: VirtPage, report: AccessReport) {
+        self.cur.accesses += 1;
+        if report.tlb_miss {
+            self.cur.tlb_misses += 1;
+        }
+        if report.decode_miss {
+            self.cur.decode_misses += 1;
+        }
+        if report.ios > 0 {
+            self.cur.faults += 1;
+            self.cur.ios += report.ios;
+        }
+        self.clock += 1;
+        if self.cur.accesses == self.window {
+            let done = self.cur;
+            self.rows.push(done);
+            self.cur = WindowRow {
+                index: done.index + 1,
+                start: self.clock,
+                ..WindowRow::default()
+            };
+        }
+    }
+
+    fn on_eviction(&mut self, _event: EvictionEvent) {
+        self.cur.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(tlb_miss: bool, ios: u64) -> AccessReport {
+        AccessReport {
+            tlb_miss,
+            ios,
+            decode_miss: false,
+            paging_failure: false,
+        }
+    }
+
+    #[test]
+    fn windows_close_at_the_boundary() {
+        let mut w = Windowed::new(4, 0.01);
+        for i in 0..10u64 {
+            w.on_access(VirtPage(i), report(i % 2 == 0, u64::from(i == 3)));
+        }
+        assert_eq!(w.rows().len(), 2, "two full windows of 4");
+        assert_eq!(w.partial().unwrap().accesses, 2, "trailing partial of 2");
+        let r0 = w.rows()[0];
+        assert_eq!((r0.index, r0.start, r0.accesses), (0, 0, 4));
+        assert_eq!(r0.tlb_misses, 2);
+        assert_eq!((r0.faults, r0.ios), (1, 1));
+        let r1 = w.rows()[1];
+        assert_eq!((r1.index, r1.start), (1, 4));
+    }
+
+    #[test]
+    fn rates_and_cost() {
+        let r = WindowRow {
+            accesses: 8,
+            tlb_misses: 2,
+            decode_misses: 1,
+            ios: 6,
+            faults: 2,
+            ..WindowRow::default()
+        };
+        assert_eq!(r.miss_rate(), 0.25);
+        assert_eq!(r.amplification(), 3.0);
+        assert_eq!(r.cost(0.5), 6.0 + 0.5 * 3.0);
+        assert_eq!(WindowRow::default().miss_rate(), 0.0);
+        assert_eq!(WindowRow::default().amplification(), 0.0);
+    }
+
+    #[test]
+    fn csv_includes_partial_window() {
+        let mut w = Windowed::new(2, 0.01);
+        for i in 0..3u64 {
+            w.on_access(VirtPage(i), report(true, 0));
+        }
+        w.on_eviction(EvictionEvent { unit: 1, pages: 2 });
+        let csv = w.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + full + partial");
+        assert!(lines[0].starts_with("window,start,accesses"));
+        assert!(lines[1].starts_with("0,0,2,2,1.000000,"));
+        assert!(lines[2].starts_with("1,2,1,1,1.000000,"));
+        assert!(lines[2].contains(",1,"), "eviction lands in current window");
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_rejected() {
+        Windowed::new(0, 0.01);
+    }
+}

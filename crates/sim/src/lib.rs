@@ -18,7 +18,10 @@ pub mod runner;
 pub mod sweep;
 
 pub use epsilon::LatencyModel;
-pub use multicore::{run_multicore, CoreStats, MulticoreConfig, MulticoreResult, ShootdownTally};
+pub use multicore::{
+    run_multicore, run_multicore_observed, CoreStats, MulticoreConfig, MulticoreResult,
+    ShootdownTally,
+};
 pub use replicate::{replicate, Summary};
 pub use runner::{run, run_batched, SimStats, DEFAULT_BATCH};
-pub use sweep::sweep;
+pub use sweep::{sweep, sweep_with_progress};

@@ -12,7 +12,7 @@
 //! lock, and the RAM lock may be held while briefly taking any TLB lock —
 //! a strict two-level hierarchy, so the system is deadlock-free.
 
-use atp_memmgmt::{EvictionEvent, SimObserver, TlbEvent};
+use atp_memmgmt::{AccessReport, EvictionEvent, NoopObserver, SimObserver, TlbEvent};
 use atp_replacement::{AccessResult, AnyPolicy, CacheSim, PolicyKind};
 use atp_tlb::Tlb;
 use atp_types::{Costs, HugePageGeometry, VirtHugePage, VirtPage};
@@ -105,6 +105,26 @@ impl MulticoreResult {
 /// # Panics
 /// Panics if `traces.len() != cfg.cores` or any parameter is degenerate.
 pub fn run_multicore(cfg: &MulticoreConfig, traces: &[Vec<VirtPage>]) -> MulticoreResult {
+    run_multicore_observed(cfg, traces, |_| NoopObserver).0
+}
+
+/// [`run_multicore`] with an observer per core: `make_obs(core)` builds
+/// core `i`'s observer before its thread starts, and the observers are
+/// returned in core order after the join. Each core reports through the
+/// same [`SimObserver`] vocabulary the pipelines use — TLB hit/miss/fill
+/// per access, `on_access` with the access's [`AccessReport`], and the
+/// evictions/shootdowns *this core caused* — so a per-core
+/// `Recorder::without_reuse_tracking()` yields per-core TLB stats, while
+/// clones of one `Mutex`-backed recorder (`atp_obs::SyncRecorder`) yield a
+/// machine-wide tally.
+///
+/// # Panics
+/// Panics if `traces.len() != cfg.cores` or any parameter is degenerate.
+pub fn run_multicore_observed<O: SimObserver + Send>(
+    cfg: &MulticoreConfig,
+    traces: &[Vec<VirtPage>],
+    make_obs: impl Fn(usize) -> O,
+) -> (MulticoreResult, Vec<O>) {
     assert_eq!(traces.len(), cfg.cores, "one trace per core required");
     assert!(cfg.cores > 0, "at least one core");
     let geom = HugePageGeometry::new(cfg.huge_pages).expect("h power of two");
@@ -118,6 +138,7 @@ pub fn run_multicore(cfg: &MulticoreConfig, traces: &[Vec<VirtPage>]) -> Multico
         .map(|i| Mutex::new(Tlb::new(cfg.tlb_entries, cfg.policy, cfg.seed + i as u64)))
         .collect();
     let mut per_core = vec![CoreStats::default(); cfg.cores];
+    let mut observers: Vec<Option<O>> = Vec::new();
     let mut shootdown_events = 0;
     let mut shootdown_invalidations = 0;
 
@@ -126,6 +147,7 @@ pub fn run_multicore(cfg: &MulticoreConfig, traces: &[Vec<VirtPage>]) -> Multico
         for (core, trace) in traces.iter().enumerate() {
             let ram = &ram;
             let tlbs = &tlbs;
+            let mut obs = make_obs(core);
             handles.push(s.spawn(move || {
                 let mut costs = Costs::default();
                 // Shootdowns this core *caused*, routed through the same
@@ -139,25 +161,33 @@ pub fn run_multicore(cfg: &MulticoreConfig, traces: &[Vec<VirtPage>]) -> Multico
                     let tlb_hit = { tlbs[core].lock().expect("tlb lock").lookup(u).is_some() };
 
                     // 2. Shared RAM access; evictions broadcast shootdowns.
+                    let mut report = AccessReport {
+                        tlb_miss: !tlb_hit,
+                        ..AccessReport::default()
+                    };
                     let evicted = {
                         let mut ram = ram.lock().expect("ram lock");
                         match ram.access(u.id()) {
                             AccessResult::Hit => None,
                             AccessResult::Miss { evicted } => {
                                 costs.ios += cfg.huge_pages;
+                                report.ios = cfg.huge_pages;
                                 evicted
                             }
                         }
                     };
                     if let Some(victim) = evicted {
-                        tally.on_eviction(EvictionEvent {
+                        let ev = EvictionEvent {
                             unit: victim,
                             pages: cfg.huge_pages,
-                        });
+                        };
+                        tally.on_eviction(ev);
+                        obs.on_eviction(ev);
                         for t in tlbs.iter() {
                             let mut t = t.lock().expect("tlb lock");
                             if t.invalidate(VirtHugePage(victim)).is_some() {
                                 tally.on_tlb_event(TlbEvent::Shootdown);
+                                obs.on_tlb_event(TlbEvent::Shootdown);
                             }
                         }
                     }
@@ -165,30 +195,42 @@ pub fn run_multicore(cfg: &MulticoreConfig, traces: &[Vec<VirtPage>]) -> Multico
                     // 3. Fill own TLB on miss.
                     if tlb_hit {
                         costs.tlb_hits += 1;
+                        obs.on_tlb_event(TlbEvent::Hit);
                     } else {
                         costs.tlb_misses += 1;
+                        obs.on_tlb_event(TlbEvent::Miss);
                         let mut t = tlbs[core].lock().expect("tlb lock");
                         if !t.contains(u) {
                             t.insert(u, ());
+                            obs.on_tlb_event(TlbEvent::Fill);
                         }
                     }
+                    obs.on_access(p, report);
                 }
-                (core, costs, tally)
+                (core, costs, tally, obs)
             }));
         }
+        observers = (0..cfg.cores).map(|_| None).collect();
         for h in handles {
-            let (core, costs, tally) = h.join().expect("core thread panicked");
+            let (core, costs, tally, obs) = h.join().expect("core thread panicked");
             per_core[core] = CoreStats { costs };
+            observers[core] = Some(obs);
             shootdown_events += tally.events();
             shootdown_invalidations += tally.invalidations();
         }
     });
 
-    MulticoreResult {
-        per_core,
-        shootdown_events,
-        shootdown_invalidations,
-    }
+    (
+        MulticoreResult {
+            per_core,
+            shootdown_events,
+            shootdown_invalidations,
+        },
+        observers
+            .into_iter()
+            .map(|o| o.expect("every core joined"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -260,6 +302,46 @@ mod tests {
         let r = run_multicore(&cfg(2, 1, 256, 32), &traces);
         assert_eq!(r.shootdown_events, 0);
         assert_eq!(r.shootdown_invalidations, 0);
+    }
+
+    #[test]
+    fn observed_recorders_match_core_costs() {
+        use atp_memmgmt::Recorder;
+        let traces: Vec<Vec<VirtPage>> = (0..3)
+            .map(|i| UniformRandom::new(i + 5, 1024).take(4_000).collect())
+            .collect();
+        let (r, recs) = run_multicore_observed(&cfg(3, 4, 256, 16), &traces, |_| {
+            Recorder::without_reuse_tracking()
+        });
+        assert_eq!(recs.len(), 3);
+        let mut shootdowns_seen = 0;
+        for (core, rec) in recs.iter().enumerate() {
+            let c = r.per_core[core].costs;
+            let sc = rec.counters();
+            assert_eq!(rec.accesses(), c.accesses);
+            assert_eq!(sc.tlb_hits, c.tlb_hits);
+            assert_eq!(sc.tlb_misses, c.tlb_misses);
+            assert_eq!(sc.ios, c.ios);
+            assert!(!rec.tracks_reuse());
+            shootdowns_seen += sc.tlb_shootdowns;
+        }
+        // The per-core observers see exactly the shootdowns their core
+        // caused, which sum to the machine-wide tally.
+        assert_eq!(shootdowns_seen, r.shootdown_invalidations);
+    }
+
+    #[test]
+    fn observed_wrapper_matches_plain_run() {
+        // `run_multicore` is the NoopObserver special case; on one core the
+        // access stream is deterministic, so both paths agree exactly.
+        let trace: Vec<VirtPage> = UniformRandom::new(11, 512).take(10_000).collect();
+        let plain = run_multicore(&cfg(1, 2, 128, 8), std::slice::from_ref(&trace));
+        let (obs, _) =
+            run_multicore_observed(&cfg(1, 2, 128, 8), std::slice::from_ref(&trace), |_| {
+                NoopObserver
+            });
+        assert_eq!(plain.total_costs().ios, obs.total_costs().ios);
+        assert_eq!(plain.shootdown_events, obs.shootdown_events);
     }
 
     #[test]

@@ -38,6 +38,24 @@ pub fn sweep<C: Sync, R: Send>(
     threads: usize,
     f: impl Fn(&C) -> R + Sync,
 ) -> Vec<R> {
+    sweep_with_progress(configs, threads, f, |_, _| {})
+}
+
+/// [`sweep`] with a completion callback: `progress(done, total)` fires once
+/// per finished config (from the worker thread that finished it), with
+/// `done` counting completions globally across all workers. `done` is
+/// strictly increasing over the calls a single worker observes and reaches
+/// `total` exactly once, so a CLI can render `done/total` without tracking
+/// state of its own.
+///
+/// # Panics
+/// Re-raises the panic if `f` panics on any config.
+pub fn sweep_with_progress<C: Sync, R: Send>(
+    configs: &[C],
+    threads: usize,
+    f: impl Fn(&C) -> R + Sync,
+    progress: impl Fn(usize, usize) + Sync,
+) -> Vec<R> {
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -48,7 +66,9 @@ pub fn sweep<C: Sync, R: Send>(
     .min(configs.len().max(1));
 
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let f = &f;
+    let progress = &progress;
     let chunk = chunk_size(configs.len(), threads);
 
     let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
@@ -64,6 +84,8 @@ pub fn sweep<C: Sync, R: Send>(
                         let end = (start + chunk).min(configs.len());
                         for (i, cfg) in configs[start..end].iter().enumerate() {
                             mine.push((start + i, f(cfg)));
+                            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            progress(n, configs.len());
                         }
                     }
                     mine
@@ -189,6 +211,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn progress_reports_every_completion_once() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        let configs: Vec<u64> = (0..97).collect();
+        let out = sweep_with_progress(
+            &configs,
+            4,
+            |&c| c,
+            |done, total| {
+                assert_eq!(total, 97);
+                seen.lock().unwrap().push(done);
+            },
+        );
+        assert_eq!(out, configs);
+        let mut seen = seen.lock().unwrap().clone();
+        seen.sort_unstable();
+        // Each completion count 1..=97 is reported exactly once.
+        assert_eq!(seen, (1..=97).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn progress_on_empty_sweep_never_fires() {
+        let fired = AtomicUsize::new(0);
+        let out: Vec<u64> = sweep_with_progress(
+            &[],
+            4,
+            |c: &u64| *c,
+            |_, _| {
+                fired.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(out.is_empty());
+        assert_eq!(fired.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -62,6 +62,7 @@
 //! | [`workloads`] | Figure-1 workloads + extras |
 //! | [`trace`] | binary trace format |
 //! | [`sim`] | drivers, parallel sweeps, multicore extension |
+//! | [`obs`] | event tracing, metrics registry, windowed exports |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +71,7 @@ pub use atp_ballsbins as ballsbins;
 pub use atp_core as core;
 pub use atp_hash as hash;
 pub use atp_memmgmt as memmgmt;
+pub use atp_obs as obs;
 pub use atp_pagetable as pagetable;
 pub use atp_replacement as replacement;
 pub use atp_sim as sim;

@@ -1,0 +1,195 @@
+//! Golden tests pinning the observability export formats byte-for-byte.
+//!
+//! Exports are consumed by scripts and CI artifact checks outside this
+//! repository, so their bytes are a public interface: a hand-traced event
+//! sequence pins each format exactly, and a real pipeline run on a fixed
+//! seed pins determinism (two identical runs must export identical bytes).
+//! If an *intentional* schema change breaks a golden, update the expected
+//! string here and bump the schema version in `atp::obs`.
+
+use atp::memmgmt::classic::{ClassicConfig, ClassicStages};
+use atp::memmgmt::{
+    AccessReport, EvictionEvent, MemoryManager, Pipeline, Recorder, SimObserver, TlbEvent,
+};
+use atp::obs::json::parse;
+use atp::obs::{run_registry, EventLog, ExportFormat, RunObserver, Shared, Windowed};
+use atp::replacement::PolicyKind;
+use atp::types::{CostModel, VirtPage};
+use atp::workloads::Zipfian;
+
+fn report(tlb_miss: bool, decode_miss: bool, ios: u64) -> AccessReport {
+    AccessReport {
+        tlb_miss,
+        ios,
+        decode_miss,
+        paging_failure: false,
+    }
+}
+
+/// A tiny hand-traceable event sequence: two accesses (one faulting), an
+/// eviction, and a batch boundary.
+fn tiny_log() -> EventLog {
+    let mut log = EventLog::new(8);
+    log.on_tlb_event(TlbEvent::Miss);
+    log.on_tlb_event(TlbEvent::Fill);
+    log.on_access(VirtPage(5), report(true, false, 2));
+    log.on_tlb_event(TlbEvent::Hit);
+    log.on_access(VirtPage(5), report(false, false, 0));
+    log.on_eviction(EvictionEvent { unit: 9, pages: 64 });
+    log.on_batch_boundary(2);
+    log
+}
+
+#[test]
+fn jsonl_golden() {
+    assert_eq!(
+        tiny_log().to_jsonl(),
+        "{\"schema\":\"atp-events-v1\",\"clock\":2,\"recorded\":6,\"dropped\":0}\n\
+         {\"clock\":0,\"event\":\"tlb_miss\"}\n\
+         {\"clock\":0,\"event\":\"tlb_fill\"}\n\
+         {\"clock\":0,\"event\":\"fault\",\"page\":5,\"ios\":2}\n\
+         {\"clock\":1,\"event\":\"tlb_hit\"}\n\
+         {\"clock\":2,\"event\":\"eviction\",\"unit\":9,\"pages\":64}\n\
+         {\"clock\":2,\"event\":\"batch_boundary\",\"len\":2}\n"
+    );
+}
+
+#[test]
+fn chrome_trace_golden() {
+    assert_eq!(
+        tiny_log().to_chrome_trace(),
+        "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":\"atp-trace-events-v1\",\
+         \"clock\":2,\"recorded\":6,\"dropped\":0},\"traceEvents\":[\n\
+         {\"name\":\"tlb_miss\",\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0,\"s\":\"t\"},\n\
+         {\"name\":\"tlb_fill\",\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0,\"s\":\"t\"},\n\
+         {\"name\":\"fault\",\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0,\"s\":\"t\",\
+         \"args\":{\"page\":5,\"ios\":2}},\n\
+         {\"name\":\"tlb_hit\",\"ph\":\"i\",\"ts\":1,\"pid\":0,\"tid\":0,\"s\":\"t\"},\n\
+         {\"name\":\"eviction\",\"ph\":\"i\",\"ts\":2,\"pid\":0,\"tid\":0,\"s\":\"t\",\
+         \"args\":{\"unit\":9,\"pages\":64}},\n\
+         {\"name\":\"batch_boundary\",\"ph\":\"i\",\"ts\":2,\"pid\":0,\"tid\":0,\"s\":\"t\",\
+         \"args\":{\"len\":2}}\n\
+         ]}\n"
+    );
+}
+
+#[test]
+fn window_csv_golden() {
+    let mut w = Windowed::new(2, 0.5);
+    w.on_access(VirtPage(1), report(true, false, 2));
+    w.on_access(VirtPage(2), report(false, false, 0));
+    w.on_eviction(EvictionEvent { unit: 3, pages: 8 });
+    w.on_access(VirtPage(3), report(true, true, 0));
+    assert_eq!(
+        w.to_csv(),
+        "window,start,accesses,tlb_misses,tlb_miss_rate,decode_misses,\
+         ios,faults,fault_amplification,evictions,cost\n\
+         0,0,2,1,0.500000,0,2,1,2.0000,0,2.5000\n\
+         1,2,1,1,1.000000,1,0,0,0.0000,1,1.0000\n"
+    );
+}
+
+/// Runs the classic pipeline on a fixed-seed zipf trace with the full
+/// observer stack attached and returns every export artifact.
+fn observed_run() -> (String, String, String, [String; 3]) {
+    let obs = Shared::new(
+        RunObserver::new(Recorder::new())
+            .with_events(1 << 12)
+            .with_window(1 << 10, 0.01),
+    );
+    let mut pipeline = Pipeline::with_observer(
+        ClassicStages::new(ClassicConfig {
+            huge_pages: 8,
+            phys_pages: 1 << 12,
+            tlb_entries: 128,
+            tlb_policy: PolicyKind::Lru,
+            ram_policy: PolicyKind::Lru,
+            seed: 11,
+        }),
+        obs.clone(),
+    );
+    for p in Zipfian::new(42, 1 << 14, 1.1).take(20_000) {
+        pipeline.access(p);
+    }
+    let costs = pipeline.costs();
+    obs.with(|o| {
+        let reg = run_registry(
+            "classic",
+            "zipf",
+            &costs,
+            CostModel::new(0.01),
+            Some(&o.recorder),
+        );
+        (
+            o.events.as_ref().unwrap().to_jsonl(),
+            o.events.as_ref().unwrap().to_chrome_trace(),
+            o.windowed.as_ref().unwrap().to_csv(),
+            [
+                reg.render(ExportFormat::Json),
+                reg.render(ExportFormat::Csv),
+                reg.render(ExportFormat::Prometheus),
+            ],
+        )
+    })
+}
+
+#[test]
+fn same_seed_runs_export_identical_bytes() {
+    let (jsonl_a, chrome_a, csv_a, metrics_a) = observed_run();
+    let (jsonl_b, chrome_b, csv_b, metrics_b) = observed_run();
+    assert_eq!(jsonl_a, jsonl_b, "JSONL must be byte-deterministic");
+    assert_eq!(
+        chrome_a, chrome_b,
+        "Chrome trace must be byte-deterministic"
+    );
+    assert_eq!(csv_a, csv_b, "window CSV must be byte-deterministic");
+    assert_eq!(metrics_a, metrics_b, "metrics must be byte-deterministic");
+}
+
+#[test]
+fn real_run_chrome_trace_is_structurally_valid() {
+    let (_, chrome, _, _) = observed_run();
+    let doc = parse(&chrome).expect("Chrome trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array present");
+    assert!(!events.is_empty(), "a 20k-access run emits events");
+    for e in events {
+        assert_eq!(e.get("ph").and_then(|p| p.as_str()), Some("i"));
+        assert!(e.get("ts").and_then(|t| t.as_f64()).is_some());
+        assert!(e.get("name").and_then(|n| n.as_str()).is_some());
+        assert!(e.get("pid").is_some() && e.get("tid").is_some());
+    }
+    // Clocks are non-decreasing: the ring keeps the most recent tail.
+    let ts: Vec<f64> = events
+        .iter()
+        .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+        .collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn real_run_jsonl_lines_all_parse() {
+    let (jsonl, _, csv, _) = observed_run();
+    let mut lines = jsonl.lines();
+    let meta = parse(lines.next().expect("meta header")).unwrap();
+    assert_eq!(
+        meta.get("schema").and_then(|s| s.as_str()),
+        Some("atp-events-v1")
+    );
+    assert_eq!(meta.get("clock").and_then(|c| c.as_f64()), Some(20_000.0));
+    for line in lines {
+        let ev = parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        assert!(ev.get("event").and_then(|n| n.as_str()).is_some());
+    }
+    // The window CSV covers every access: 1k-sized windows over 20k
+    // accesses, with the access counts summing back to the total.
+    let rows: Vec<&str> = csv.lines().skip(1).collect();
+    assert_eq!(rows.len(), 20_000 / (1 << 10) + 1);
+    let total: u64 = rows
+        .iter()
+        .map(|r| r.split(',').nth(2).unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(total, 20_000);
+}
