@@ -92,6 +92,7 @@ impl SlidingWindowAdversary {
             self.window.push_back(id);
             Op::Insert(id)
         } else {
+            // atp-lint: allow(unwrap-policy, reason = "invariant: the window is refilled before each pop, so it cannot be empty here")
             let victim = self.window.pop_front().expect("window nonempty");
             Op::Delete(victim)
         }
@@ -149,6 +150,7 @@ pub fn drive(game: &mut Game, ops: u64, mut next: impl FnMut() -> Op) {
                 game.insert(id);
             }
             Op::Delete(id) => {
+                // atp-lint: allow(unwrap-policy, reason = "invariant: the adversary only removes ids it previously inserted")
                 game.remove(id).expect("adversary deleted an absent ball");
             }
         }

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// Top-level harness handle passed to every bench function.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Criterion {
     filter: Option<String>,
 }
@@ -86,6 +86,7 @@ impl From<String> for BenchmarkId {
 }
 
 /// A group of related benchmarks sharing sample/throughput settings.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'c> {
     criterion: &'c mut Criterion,
     name: String,
@@ -164,12 +165,14 @@ impl BenchmarkGroup<'_> {
             "{full:<48} {:>10} [{} .. {}]{rate}",
             fmt_time(median),
             fmt_time(samples[0]),
+            // atp-lint: allow(unwrap-policy, reason = "invariant: the measurement loop always records at least one sample")
             fmt_time(*samples.last().expect("nonempty")),
         );
     }
 }
 
 /// Timing handle: call [`Bencher::iter`] with the routine to measure.
+#[derive(Debug)]
 pub struct Bencher {
     elapsed: Duration,
     iters: u64,

@@ -198,6 +198,13 @@ pub struct FnGen<T, G, S> {
     _marker: PhantomData<fn() -> T>,
 }
 
+impl<T, G, S> std::fmt::Debug for FnGen<T, G, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The closures are opaque; there is nothing more to show.
+        f.debug_struct("FnGen").finish_non_exhaustive()
+    }
+}
+
 /// Builds a generator from a `generate` closure and a `shrink` closure —
 /// the escape hatch for domain enums (placement rules, op codes) that the
 /// stock combinators don't cover.

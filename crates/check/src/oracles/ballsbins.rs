@@ -105,6 +105,7 @@ impl NaiveGame {
                 let (best_idx, best_bin) = (0..d)
                     .map(|i| (i, self.hasher.bin(v, i)))
                     .min_by_key(|&(i, b)| (self.load(b), i))
+                    // atp-lint: allow(unwrap-policy, reason = "oracle contract: games are constructed with d >= 2")
                     .expect("d >= 2");
                 Slot {
                     bin: best_bin,
@@ -159,6 +160,7 @@ impl NaiveGame {
         let pos = bin
             .iter()
             .position(|&(id, _)| id == ball)
+            // atp-lint: allow(unwrap-policy, reason = "invariant: slot_of located this ball in the table just above")
             .expect("slot_of found it");
         bin.remove(pos);
         Some(slot)

@@ -38,6 +38,7 @@ pub fn opt_misses_naive(trace: &[u64], capacity: usize) -> u64 {
                 .iter()
                 .enumerate()
                 .max_by_key(|&(_, &r)| next_use(r))
+                // atp-lint: allow(unwrap-policy, reason = "invariant: eviction is only reached when the cache is full")
                 .expect("cache is full");
             resident.swap_remove(victim_idx);
         }

@@ -72,6 +72,7 @@ impl RamAllocator for GreedyAlloc {
         }
         match best {
             Some((bin, idx, _)) => {
+                // atp-lint: allow(unwrap-policy, reason = "invariant: the chosen bin was just checked to have load below capacity, so a free slot exists")
                 let slot = self.free_slots[bin as usize].pop().expect("free slot");
                 self.placed.insert(v, (bin, slot, idx));
                 Ok(Placement {

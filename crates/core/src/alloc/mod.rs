@@ -105,7 +105,12 @@ pub(crate) mod contract {
 
     /// Drives random place/free churn, checking injectivity, stability, and
     /// decode correctness throughout.
-    pub fn churn_contract<A: RamAllocator>(mut alloc: A, universe: u64, target: usize, ops: u64) {
+    pub(crate) fn churn_contract<A: RamAllocator>(
+        mut alloc: A,
+        universe: u64,
+        target: usize,
+        ops: u64,
+    ) {
         let mut rng = CounterRng::new(0xC0FFEE, 0);
         let mut placed: FxHashMap<u64, PhysPage> = FxHashMap::default();
         let mut frames_in_use: std::collections::HashSet<u64> = Default::default();

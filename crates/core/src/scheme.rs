@@ -84,6 +84,7 @@ impl<A: RamAllocator> DecouplingScheme<A> {
         );
         Self {
             alloc,
+            // atp-lint: allow(unwrap-policy, reason = "constructor contract: documented # Panics on invalid (non-power-of-two) huge-page config")
             geom: HugePageGeometry::new(hmax).expect("power of two"),
             bits,
             hmax,

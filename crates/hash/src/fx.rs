@@ -7,6 +7,7 @@
 //! itself uses). HashDoS is not a concern for offline simulations.
 
 use core::hash::{BuildHasherDefault, Hasher};
+// atp-lint: allow(no-random-state, reason = "this is the definition site of FxHashMap/FxHashSet; the aliases below pin the deterministic hasher")
 use std::collections::{HashMap, HashSet};
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -34,6 +35,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
+            // atp-lint: allow(unwrap-policy, reason = "chunks_exact(8) yields exactly 8-byte slices")
             self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
         let rem = chunks.remainder();

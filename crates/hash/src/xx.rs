@@ -63,6 +63,7 @@ impl XxHash64 {
     fn consume_stripe(&mut self, stripe: &[u8]) {
         debug_assert_eq!(stripe.len(), 32);
         let w =
+            // atp-lint: allow(unwrap-policy, reason = "consume_stripe receives exactly 32-byte stripes (debug_assert above); each i*8 slice is 8 bytes")
             |i: usize| u64::from_le_bytes(stripe[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
         self.v1 = Self::round(self.v1, w(0));
         self.v2 = Self::round(self.v2, w(1));
@@ -126,12 +127,14 @@ impl XxHash64 {
 
         let mut tail = &self.buf[..self.buf_len];
         while tail.len() >= 8 {
+            // atp-lint: allow(unwrap-policy, reason = "tail length was checked >= 8 on this branch")
             let k = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
             h ^= Self::round(0, k);
             h = h.rotate_left(27).wrapping_mul(PRIME1).wrapping_add(PRIME4);
             tail = &tail[8..];
         }
         if tail.len() >= 4 {
+            // atp-lint: allow(unwrap-policy, reason = "tail length was checked >= 4 on this branch")
             let k = u32::from_le_bytes(tail[..4].try_into().expect("4 bytes")) as u64;
             h ^= k.wrapping_mul(PRIME1);
             h = h.rotate_left(23).wrapping_mul(PRIME2).wrapping_add(PRIME3);

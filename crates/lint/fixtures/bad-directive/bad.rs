@@ -1,0 +1,12 @@
+// atp-lint: pretend(crate = "sim", class = "lib")
+// Minimal violations: an allow without the mandatory reason, an unknown
+// rule name, and an unknown directive verb.
+
+// atp-lint: allow(no-wall-clock)
+pub(crate) fn a() {}
+
+// atp-lint: allow(no-such-rule, reason = "the rule does not exist")
+pub(crate) fn b() {}
+
+// atp-lint: permit(no-wall-clock, reason = "wrong verb")
+pub(crate) fn c() {}

@@ -1,0 +1,8 @@
+// atp-lint: pretend(crate = "sim", class = "lib")
+// Fixed twin: the one well-formed suppression, attached to the violation
+// it suppresses, with a non-empty reason.
+
+// atp-lint: allow(no-wall-clock, reason = "fixture: demonstrates a well-formed, used suppression")
+pub(crate) fn deadline() -> std::time::Instant {
+    unimplemented!()
+}

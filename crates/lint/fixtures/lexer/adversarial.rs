@@ -1,0 +1,51 @@
+// atp-lint: pretend(crate = "sim", class = "lib")
+// Lexer torture corpus, part 1: every banned name below sits inside a
+// comment or a literal, so a correct lexer reports ZERO findings here.
+// A substring-matcher would drown in false positives.
+
+// line comment decoys: Instant::now() SystemTime thread_rng .unwrap() HashMap
+//// degenerate four-slash comment: rand::thread_rng() from_entropy OsRng
+
+/* block comment decoy: let t = std::time::Instant::now(); */
+/* nested /* one level: SystemTime */ and /* two: /* thread_rng() */ */ still one comment: HashMap::new() */
+
+/// Doc-comment prose may quote banned names (Instant, rand::) and even a
+/// directive — `// atp-lint: allow(no-wall-clock, reason = "quoted")` —
+/// without either firing or being parsed as a real suppression.
+pub(crate) fn decoys() -> usize {
+    let plain = "Instant::now() and x.unwrap() and HashMap::new()";
+    let escaped = "a \"quoted\" Instant and a backslash \\ then SystemTime";
+    let raw = r"raw with no hashes: thread_rng()";
+    let raw_hash = r#"raw: "quotes" and // not a comment and Instant"#;
+    let raw_two = r##"two hashes: "# inner hash-quote and rand::Rng and "## ;
+    let byte = b"byte string: from_entropy() OsRng";
+    let byte_raw = br#"raw byte: SystemTime::now() and .expect("boom")"#;
+    let c_str = c"c string: thread_rng";
+    let quote_char = '"';
+    let escaped_quote = '\'';
+    let backslash_char = '\\';
+    let byte_char = b'\'';
+    let newline = '\n';
+    plain.len()
+        + escaped.len()
+        + raw.len()
+        + raw_hash.len()
+        + raw_two.len()
+        + byte.len()
+        + byte_raw.len()
+        + (quote_char as usize)
+        + (escaped_quote as usize)
+        + (backslash_char as usize)
+        + (byte_char as usize)
+        + (newline as usize)
+        + core::mem::size_of_val(c_str)
+}
+
+/// Lifetimes must not be mistaken for unterminated char literals: the
+/// `'a` below must not swallow the rest of the file (which would hide
+/// real code from the rules).
+pub(crate) fn lifetimes<'a>(x: &'a u64, r#type: &'a u64) -> u64 {
+    // Numbers next to ranges and method calls: `1..5`, `1.max(2)`.
+    let sum: u64 = (1..5).sum::<u64>() + 1u64.max(2) + 0xFF + 1_000 + 2e3 as u64;
+    x + r#type + sum
+}

@@ -1,0 +1,16 @@
+// atp-lint: pretend(crate = "sim", class = "lib")
+// Lexer torture corpus, part 2: real violations surrounded by literal
+// decoys. A lexer that over-eats a raw string or comment would hide
+// them; the meta-test pins each expected (rule, line) exactly.
+
+pub(crate) fn hidden() -> u64 {
+    let _decoy = "Instant::now() inside a string";
+    let t = std::time::Instant::now(); // line 8: no-wall-clock
+    let _raw = r#"thread_rng() inside a raw string"#;
+    let r = thread_rng(); // line 10: no-ambient-randomness
+    /* .unwrap() inside a block comment */
+    let v = maybe().unwrap(); // line 12: unwrap-policy
+    let _chars = ('"', '\'');
+    let m: HashMap<u64, u64> = HashMap::new(); // line 14: no-random-state, twice
+    t.elapsed().as_nanos() as u64 + r + v + m.len() as u64
+}

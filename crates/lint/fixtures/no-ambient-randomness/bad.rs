@@ -1,0 +1,8 @@
+// atp-lint: pretend(crate = "workloads", class = "lib")
+// Minimal violation: entropy drawn from the environment. A trace built
+// from thread_rng can never be replayed from a seed.
+
+pub(crate) fn shuffle_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

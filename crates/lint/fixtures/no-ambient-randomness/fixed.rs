@@ -1,0 +1,8 @@
+// atp-lint: pretend(crate = "workloads", class = "lib")
+// Fixed twin: all randomness flows from an explicit seed through the
+// in-tree CounterRng, so every run replays bit-for-bit.
+
+pub(crate) fn shuffle_seed(seed: u64) -> u64 {
+    let mut rng = atp_hash::CounterRng::new(seed, 0);
+    rng.next_u64()
+}

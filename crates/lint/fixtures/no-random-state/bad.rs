@@ -1,0 +1,12 @@
+// atp-lint: pretend(crate = "trace", class = "lib")
+// Minimal violation: std HashMap defaults to RandomState, whose
+// per-process seed makes iteration order — and any statistic summed in
+// that order — differ across runs.
+
+pub(crate) fn page_counts(pages: &[u64]) -> HashMap<u64, u64> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &p in pages {
+        *counts.entry(p).or_insert(0) += 1;
+    }
+    counts
+}

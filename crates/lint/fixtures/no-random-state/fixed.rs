@@ -1,0 +1,11 @@
+// atp-lint: pretend(crate = "trace", class = "lib")
+// Fixed twin: the in-tree deterministic hasher pins iteration order, so
+// downstream statistics are a pure function of the input.
+
+pub(crate) fn page_counts(pages: &[u64]) -> FxHashMap<u64, u64> {
+    let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
+    for &p in pages {
+        *counts.entry(p).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,8 @@
+// atp-lint: pretend(crate = "sim", class = "lib")
+// Minimal violation: a deterministic crate reading the wall clock. The
+// elapsed time would leak into SimStats and break golden parity.
+
+pub(crate) fn timed_run() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,8 @@
+// atp-lint: pretend(crate = "sim", class = "lib")
+// Fixed twin: the sim reports logical cost only; callers that want wall
+// time measure around the call at the CLI/bench boundary.
+
+pub(crate) fn timed_run() -> u64 {
+    let logical_cost = 0u64;
+    logical_cost
+}

@@ -1,0 +1,7 @@
+// atp-lint: pretend(crate = "types", class = "lib")
+// Minimal violation: undocumented public API in a paper-facing crate —
+// an item, and a named public field.
+
+pub struct CostVector {
+    pub io_cost: u64,
+}

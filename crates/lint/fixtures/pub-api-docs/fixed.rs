@@ -1,0 +1,9 @@
+// atp-lint: pretend(crate = "types", class = "lib")
+// Fixed twin: every public item and named public field carries a doc
+// comment.
+
+/// Accumulated costs of one simulated run, in the paper's unit model.
+pub struct CostVector {
+    /// Number of IOs (each costs exactly 1).
+    pub io_cost: u64,
+}

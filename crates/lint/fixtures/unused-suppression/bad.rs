@@ -1,0 +1,8 @@
+// atp-lint: pretend(crate = "sim", class = "lib")
+// Minimal violation: a well-formed allow that suppresses nothing — the
+// code below it is already clean, so the suppression is stale.
+
+// atp-lint: allow(no-wall-clock, reason = "stale: the Instant call was removed in a refactor")
+pub(crate) fn logical_now(clock: u64) -> u64 {
+    clock
+}

@@ -1,0 +1,9 @@
+// atp-lint: pretend(crate = "replacement", class = "lib")
+// Minimal violation: library code panicking on a recoverable condition,
+// in both the method-call and the path (fn-value) form.
+
+pub(crate) fn first_victim(victims: &[u64]) -> u64 {
+    let head = victims.first().unwrap();
+    let doubled = victims.iter().map(Option::Some).map(Option::unwrap);
+    head + doubled.count() as u64
+}

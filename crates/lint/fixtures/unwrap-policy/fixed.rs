@@ -1,0 +1,9 @@
+// atp-lint: pretend(crate = "replacement", class = "lib")
+// Fixed twin: the recoverable case is propagated (or defaulted), never
+// panicked on.
+
+pub(crate) fn first_victim(victims: &[u64]) -> Option<u64> {
+    let head = victims.first()?;
+    let doubled = victims.iter().map(|v| v.wrapping_mul(2));
+    Some(head + doubled.count() as u64)
+}

@@ -1,0 +1,173 @@
+//! `no-external-deps`: the Cargo manifest audit.
+//!
+//! PR 1 made the build hermetic: every dependency in this workspace is an
+//! in-tree path dependency, so the build needs no network, no registry,
+//! and no lockfile trust. This rule keeps it that way by rejecting any
+//! `[dependencies]`-family entry that is not a `path` dep or a
+//! `workspace = true` reference.
+//!
+//! The parser is a deliberately small line-oriented TOML subset — enough
+//! for the manifests this workspace actually writes (inline tables,
+//! `key.workspace = true`, and `[dependencies.<name>]` subtables).
+
+use crate::{Finding, Severity};
+
+/// True if `section` is one of the dependency tables we audit.
+fn is_dep_section(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section == "workspace.dependencies"
+        || (section.starts_with("target.") && section.ends_with(".dependencies"))
+}
+
+/// Strips a trailing `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// True if a dependency spec (the right-hand side of `name = …`, or the
+/// body of a `[dependencies.name]` subtable line) pins the dep in-tree.
+fn spec_is_hermetic(spec: &str) -> bool {
+    spec.contains("path =")
+        || spec.contains("path=")
+        || spec.contains("workspace = true")
+        || spec.contains("workspace=true")
+}
+
+/// Audits one `Cargo.toml`. `path` is the display path for findings.
+pub fn analyze_cargo_toml(src: &str, path: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    // For `[dependencies.<name>]` subtables: (header line, dep name,
+    // hermetic-key-seen).
+    let mut subtable: Option<(u32, String, bool)> = None;
+
+    let flush_subtable = |sub: &mut Option<(u32, String, bool)>, out: &mut Vec<Finding>| {
+        if let Some((line, name, ok)) = sub.take() {
+            if !ok {
+                out.push(external_dep(path, line, &name));
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            flush_subtable(&mut subtable, &mut out);
+            let header = header.trim_end_matches(']').trim();
+            // `[dependencies.foo]` opens a per-dep subtable.
+            if let Some((table, dep)) = header.rsplit_once('.') {
+                if is_dep_section(table) {
+                    section = String::new();
+                    subtable = Some((line_no, dep.to_string(), false));
+                    continue;
+                }
+            }
+            section = header.to_string();
+            continue;
+        }
+        if let Some((_, _, ok)) = subtable.as_mut() {
+            *ok |= line.starts_with("path") && line.contains('=') || spec_is_hermetic(line);
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        // `name.workspace = true` or a spec containing path/workspace.
+        if key.ends_with(".workspace") && value == "true" {
+            continue;
+        }
+        if spec_is_hermetic(value) {
+            continue;
+        }
+        out.push(external_dep(path, line_no, key));
+    }
+    flush_subtable(&mut subtable, &mut out);
+    out
+}
+
+fn external_dep(path: &str, line: u32, name: &str) -> Finding {
+    Finding {
+        rule: "no-external-deps",
+        severity: Severity::Warning,
+        path: path.to_string(),
+        line,
+        col: 1,
+        message: format!(
+            "dependency `{name}` is not an in-tree path/workspace dep — the \
+             build is hermetic by decision (PR 1); vendor the code or stub it"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = r#"
+[package]
+name = "x"
+
+[dependencies]
+atp-types = { path = "../types" }
+atp-hash.workspace = true
+atp-sim = { workspace = true }
+"#;
+        assert!(analyze_cargo_toml(toml, "Cargo.toml").is_empty());
+    }
+
+    #[test]
+    fn registry_deps_flagged() {
+        let toml = "[dependencies]\nserde = \"1.0\"\nrand = { version = \"0.8\" }\n";
+        let f = analyze_cargo_toml(toml, "Cargo.toml");
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("serde"));
+        assert!(f[1].message.contains("rand"));
+    }
+
+    #[test]
+    fn dev_and_build_sections_audited() {
+        let toml = "[dev-dependencies]\nproptest = \"1\"\n[build-dependencies]\ncc = \"1\"\n";
+        assert_eq!(analyze_cargo_toml(toml, "Cargo.toml").len(), 2);
+    }
+
+    #[test]
+    fn subtable_form() {
+        let bad = "[dependencies.serde]\nversion = \"1\"\n";
+        assert_eq!(analyze_cargo_toml(bad, "Cargo.toml").len(), 1);
+        let good = "[dependencies.atp-types]\npath = \"../types\"\n";
+        assert!(analyze_cargo_toml(good, "Cargo.toml").is_empty());
+    }
+
+    #[test]
+    fn non_dep_sections_ignored() {
+        let toml = "[package]\nname = \"atp\"\nversion = \"0.1.0\"\n[features]\nfoo = []\n";
+        assert!(analyze_cargo_toml(toml, "Cargo.toml").is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_confuse() {
+        let toml = "[dependencies] # the deps\natp-x = { path = \"crates/x\" } # in-tree\n";
+        assert!(analyze_cargo_toml(toml, "Cargo.toml").is_empty());
+    }
+}

@@ -1,0 +1,442 @@
+//! A small, dependency-free Rust lexer — just enough fidelity for static
+//! analysis over this workspace.
+//!
+//! The point of lexing (rather than substring search) is that rule matches
+//! must never fire inside comments or string/char/byte literals, and must
+//! never be *hidden* by text that merely looks like one. The tricky cases
+//! are all here: nested block comments, raw strings (`r#"…"#` with any
+//! number of hashes, possibly containing `//` or `"#`), byte and C string
+//! prefixes, char literals that contain quotes (`'"'`, `'\''`), and the
+//! char-literal/lifetime ambiguity (`'a'` vs `'a`).
+//!
+//! The lexer is lossless over *code* tokens (identifiers, numbers,
+//! punctuation) and keeps comments as tokens too, because the rule engine
+//! reads suppression directives and doc comments out of them. It never
+//! fails: malformed input (unterminated literals, stray bytes) degrades to
+//! best-effort tokens so the analyzer can still report on the rest of the
+//! file.
+
+/// Whether a comment is a doc comment, and which flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Doc {
+    /// Plain comment (`//`, `/* */`, or `////`+ / `/***`+ degenerates).
+    No,
+    /// Outer doc (`///` or `/** */`) — documents the following item.
+    Outer,
+    /// Inner doc (`//!` or `/*! */`) — documents the enclosing item.
+    Inner,
+}
+
+/// Lexical class of one token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `pub`, `fn`, …).
+    Ident,
+    /// Raw identifier (`r#type`).
+    RawIdent,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"`, `b'x'`, `'x'` — anything whose contents must be opaque to
+    /// the rules.
+    Literal,
+    /// Line comment, with doc flavor.
+    LineComment(Doc),
+    /// Block comment (nesting handled), with doc flavor.
+    BlockComment(Doc),
+    /// Single punctuation byte (`.`, `<`, `:`, …). Multi-char operators
+    /// arrive as adjacent single-byte tokens.
+    Punct(u8),
+}
+
+/// One token with its byte span and 1-based position.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Cursor<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    /// Advances while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if !pred(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `src` into tokens. Never fails; unterminated literals and
+/// comments extend to end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    // A shebang line (`#!/usr/bin/env …`) is not Rust tokens.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        cur.eat_while(|b| b != b'\n');
+    }
+    while let Some(b) = cur.peek(0) {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' => match cur.peek(1) {
+                Some(b'/') => lex_line_comment(&mut cur),
+                Some(b'*') => lex_block_comment(&mut cur),
+                _ => {
+                    cur.bump();
+                    TokenKind::Punct(b'/')
+                }
+            },
+            b'"' => {
+                lex_string(&mut cur);
+                TokenKind::Literal
+            }
+            b'\'' => lex_quote(&mut cur),
+            b'r' | b'b' | b'c' => lex_prefixed(&mut cur),
+            b'0'..=b'9' => {
+                lex_number(&mut cur);
+                TokenKind::Number
+            }
+            _ if is_ident_start(b) => {
+                cur.eat_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ => {
+                cur.bump();
+                TokenKind::Punct(b)
+            }
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// At `//`: consumes to end of line, classifying the doc flavor.
+fn lex_line_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    // `//` already peeked; classify by the third and fourth bytes:
+    // `///x` is outer doc, `////` is plain, `//!` is inner doc.
+    let doc = match (cur.peek(2), cur.peek(3)) {
+        (Some(b'/'), Some(b'/')) => Doc::No,
+        (Some(b'/'), _) => Doc::Outer,
+        (Some(b'!'), _) => Doc::Inner,
+        _ => Doc::No,
+    };
+    cur.eat_while(|b| b != b'\n');
+    TokenKind::LineComment(doc)
+}
+
+/// At `/*`: consumes the comment, honoring nesting.
+fn lex_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    // `/**x` (not `/***` or the empty `/**/`) is outer doc; `/*!` is inner.
+    let doc = match (cur.peek(2), cur.peek(3)) {
+        (Some(b'*'), Some(b'*')) | (Some(b'*'), Some(b'/')) => Doc::No,
+        (Some(b'*'), _) => Doc::Outer,
+        (Some(b'!'), _) => Doc::Inner,
+        _ => Doc::No,
+    };
+    cur.bump(); // /
+    cur.bump(); // *
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: extend to EOF
+        }
+    }
+    TokenKind::BlockComment(doc)
+}
+
+/// At `"`: consumes a (possibly escaped) string literal.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump(); // skip the escaped byte (covers \" and \\)
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// At `r"`/`r#…#"` (already past any prefix letters): consumes a raw
+/// string. `hashes` were counted by the caller; the cursor sits on `r`.
+fn lex_raw_string(cur: &mut Cursor<'_>, prefix_len: usize, hashes: usize) {
+    for _ in 0..prefix_len + hashes + 1 {
+        cur.bump(); // prefix letters, hashes, opening quote
+    }
+    'scan: while let Some(b) = cur.bump() {
+        if b == b'"' {
+            for i in 0..hashes {
+                if cur.peek(i) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// At `'`: disambiguates char literal vs lifetime.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    match (cur.peek(1), cur.peek(2)) {
+        // '\…' is always a char literal.
+        (Some(b'\\'), _) => {
+            lex_char(cur);
+            TokenKind::Literal
+        }
+        // 'x' (ident-ish byte then closing quote) is a char literal;
+        // 'xy… without a closing quote right there is a lifetime.
+        (Some(b), Some(b'\'')) if b != b'\'' => {
+            lex_char(cur);
+            TokenKind::Literal
+        }
+        (Some(b), _) if is_ident_start(b) => {
+            cur.bump(); // '
+            cur.eat_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        // Non-ident char like '"': char literal.
+        (Some(_), _) => {
+            lex_char(cur);
+            TokenKind::Literal
+        }
+        (None, _) => {
+            cur.bump();
+            TokenKind::Punct(b'\'')
+        }
+    }
+}
+
+/// At `'` of a char (or byte-char) literal: consumes through the closing
+/// quote, honoring escapes (`'\''`, `'\u{1F600}'`).
+fn lex_char(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// At `r`, `b`, or `c`: dispatches between literal prefixes (`r"`, `r#"`,
+/// `b"`, `b'`, `br"`, `c"`, `cr#"`, …), raw identifiers (`r#name`), and
+/// plain identifiers that merely start with those letters.
+fn lex_prefixed(cur: &mut Cursor<'_>) -> TokenKind {
+    let b0 = cur.peek(0).unwrap_or(0);
+    // Longest prefix first: two-letter raw forms.
+    let (prefix_len, raw) = match (b0, cur.peek(1)) {
+        (b'b', Some(b'r')) | (b'c', Some(b'r')) => (2, true),
+        (b'r', _) => (1, true),
+        (b'b', _) | (b'c', _) => (1, false),
+        _ => (1, false),
+    };
+    if raw {
+        // Count hashes after the prefix.
+        let mut hashes = 0usize;
+        while cur.peek(prefix_len + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if cur.peek(prefix_len + hashes) == Some(b'"') {
+            lex_raw_string(cur, prefix_len, hashes);
+            return TokenKind::Literal;
+        }
+        // `r#ident` (exactly one hash, then ident) is a raw identifier.
+        if prefix_len == 1 && hashes == 1 && cur.peek(2).is_some_and(is_ident_start) {
+            cur.bump(); // r
+            cur.bump(); // #
+            cur.eat_while(is_ident_continue);
+            return TokenKind::RawIdent;
+        }
+    } else {
+        match cur.peek(prefix_len) {
+            Some(b'"') => {
+                for _ in 0..prefix_len {
+                    cur.bump();
+                }
+                lex_string(cur);
+                return TokenKind::Literal;
+            }
+            Some(b'\'') if b0 == b'b' => {
+                cur.bump(); // b
+                lex_char(cur);
+                return TokenKind::Literal;
+            }
+            _ => {}
+        }
+    }
+    // Plain identifier starting with r/b/c.
+    cur.eat_while(is_ident_continue);
+    TokenKind::Ident
+}
+
+/// At a digit: consumes a numeric literal (covers hex/octal/binary,
+/// underscores, floats with exponents, and type suffixes) without eating
+/// range operators (`1..5`) or method calls on literals (`1.min(2)`).
+fn lex_number(cur: &mut Cursor<'_>) {
+    cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    // Fractional part: only if `.` is followed by a digit (so `1..5` and
+    // `1.min(2)` stop at the dot).
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    // Signed exponent (`1e-9`): the `e` was eaten above; a trailing sign
+    // plus digits continues the same literal.
+    if matches!(cur.peek(0), Some(b'+') | Some(b'-'))
+        && cur
+            .src
+            .get(cur.pos - 1)
+            .is_some_and(|&b| b == b'e' || b == b'E')
+        && cur.peek(1).is_some_and(|b| b.is_ascii_digit())
+    {
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| &src[t.start..t.end])
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_code() {
+        assert_eq!(idents("// Instant\nfoo"), vec!["foo"]);
+        assert_eq!(idents("/* Instant */ foo"), vec!["foo"]);
+        assert_eq!(idents("/* a /* b */ Instant */ foo"), vec!["foo"]);
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        assert_eq!(idents(r#"let s = "Instant"; foo"#), vec!["let", "s", "foo"]);
+        assert_eq!(
+            idents(r##"let s = r#"Instant"#; foo"##),
+            vec!["let", "s", "foo"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("'a 'x' '\\'' '\"'");
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Lifetime,
+                TokenKind::Literal,
+                TokenKind::Literal,
+                TokenKind::Literal
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "1..5 1.5 1e-9 0xFFu64 1.min(2)";
+        let nums: Vec<&str> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| &src[t.start..t.end])
+            .collect();
+        assert_eq!(nums, vec!["1", "5", "1.5", "1e-9", "0xFFu64", "1", "2"]);
+    }
+}

@@ -1,0 +1,84 @@
+//! `atp-lint` CLI.
+//!
+//! ```text
+//! cargo run -p atp-lint -- [--format text|json] [--deny-warnings] [--rules] [paths…]
+//! ```
+//!
+//! With no paths, lints the enclosing workspace. Exit codes: `0` clean
+//! (or warnings without `--deny-warnings`), `1` findings gate, `2` usage
+//! or I/O error.
+
+use atp_lint::{analyze_paths, find_workspace_root, render_json, render_text, Severity, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: atp-lint [--format text|json] [--deny-warnings] [--rules] [paths…]";
+
+fn main() -> ExitCode {
+    let mut format_json = false;
+    let mut deny_warnings = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => {
+                    eprintln!("atp-lint: --format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-warnings" => deny_warnings = true,
+            "--rules" => {
+                for r in RULES {
+                    println!("{:<22} {}", r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("atp-lint: unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("atp-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = find_workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+    if paths.is_empty() {
+        paths.push(root.clone());
+    }
+
+    let (findings, stats) = match analyze_paths(&root, &paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("atp-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format_json {
+        print!("{}", render_json(&findings, &stats));
+    } else {
+        print!("{}", render_text(&findings, &stats));
+    }
+
+    let errors = findings.iter().any(|f| f.severity == Severity::Error);
+    let warnings = !findings.is_empty();
+    if errors || (deny_warnings && warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

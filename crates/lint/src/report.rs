@@ -1,0 +1,137 @@
+//! Report rendering: human diagnostics and the `atp-lint-v1` JSON schema.
+//!
+//! JSON is hand-rolled (the workspace is dependency-free); output is
+//! byte-deterministic for a given finding set — findings are pre-sorted
+//! by the engine and all maps are emitted in fixed key order.
+
+use crate::{Finding, ScanStats, Severity};
+
+/// Renders findings as `file:line:col`-style human diagnostics.
+pub fn render_text(findings: &[Finding], stats: &ScanStats) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}[{}]: {}\n  --> {}:{}:{}\n",
+            f.severity.name(),
+            f.rule,
+            f.message,
+            f.path,
+            f.line,
+            f.col
+        ));
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    out.push_str(&format!(
+        "atp-lint: {} file(s), {} manifest(s) scanned — {errors} error(s), {warnings} warning(s)\n",
+        stats.rust_files, stats.manifests
+    ));
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders findings as the machine-readable `atp-lint-v1` document.
+pub fn render_json(findings: &[Finding], stats: &ScanStats) -> String {
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"atp-lint-v1\",\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"rust_files\": {}, \"manifests\": {}, \"errors\": {errors}, \"warnings\": {warnings}}},\n",
+        stats.rust_files, stats.manifests
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(f.severity.name()),
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "no-wall-clock",
+            severity: Severity::Warning,
+            path: "crates/sim/src/runner.rs".to_string(),
+            line: 56,
+            col: 17,
+            message: "a \"quoted\" message\nwith newline".to_string(),
+        }]
+    }
+
+    #[test]
+    fn text_contains_span() {
+        let t = render_text(
+            &sample(),
+            &ScanStats {
+                rust_files: 1,
+                manifests: 0,
+            },
+        );
+        assert!(t.contains("crates/sim/src/runner.rs:56:17"), "{t}");
+        assert!(t.contains("warning[no-wall-clock]"), "{t}");
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = render_json(
+            &sample(),
+            &ScanStats {
+                rust_files: 1,
+                manifests: 0,
+            },
+        );
+        assert!(j.contains("\"schema\": \"atp-lint-v1\""), "{j}");
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+        assert!(j.contains("\\n"), "{j}");
+        assert!(j.contains("\"warnings\": 1"), "{j}");
+    }
+
+    #[test]
+    fn empty_findings_is_valid() {
+        let j = render_json(&[], &ScanStats::default());
+        assert!(j.contains("\"findings\": []"), "{j}");
+    }
+}

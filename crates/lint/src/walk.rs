@@ -1,0 +1,51 @@
+//! File discovery: a deterministic recursive walk.
+//!
+//! Skipped during traversal: `target/`, `.git/`, hidden directories, and
+//! `fixtures/` directories (lint test corpora deliberately contain
+//! violations — they are linted by passing them explicitly). Collected:
+//! `*.rs` and `Cargo.toml`. Results are sorted so reports are stable.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+/// Recursively collects lintable files under `root`.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") || name == "Cargo.toml" {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_target_git_fixtures_hidden() {
+        assert!(skip_dir("target"));
+        assert!(skip_dir(".git"));
+        assert!(skip_dir("fixtures"));
+        assert!(skip_dir(".hidden"));
+        assert!(!skip_dir("src"));
+        assert!(!skip_dir("crates"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Fixture-corpus meta-tests: every rule fires on its minimal bad
+//! fixture and stays quiet on the fixed twin; the lexer survives
+//! adversarial Rust with zero false positives or negatives; and the
+//! `atp-lint` binary's exit codes gate exactly when they should.
+
+use atp_lint::{analyze_paths, find_workspace_root, Finding, RULES};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// `(rule, bad fixture, fixed twin)` — one pair per rule in [`RULES`].
+/// The coverage test fails if a rule is added without a pair here.
+const PAIRS: &[(&str, &str, &str)] = &[
+    (
+        "no-wall-clock",
+        "no-wall-clock/bad.rs",
+        "no-wall-clock/fixed.rs",
+    ),
+    (
+        "no-ambient-randomness",
+        "no-ambient-randomness/bad.rs",
+        "no-ambient-randomness/fixed.rs",
+    ),
+    (
+        "no-random-state",
+        "no-random-state/bad.rs",
+        "no-random-state/fixed.rs",
+    ),
+    (
+        "no-external-deps",
+        "no-external-deps/bad/Cargo.toml",
+        "no-external-deps/fixed/Cargo.toml",
+    ),
+    (
+        "unwrap-policy",
+        "unwrap-policy/bad.rs",
+        "unwrap-policy/fixed.rs",
+    ),
+    (
+        "pub-api-docs",
+        "pub-api-docs/bad.rs",
+        "pub-api-docs/fixed.rs",
+    ),
+    (
+        "bad-directive",
+        "bad-directive/bad.rs",
+        "bad-directive/fixed.rs",
+    ),
+    (
+        "unused-suppression",
+        "unused-suppression/bad.rs",
+        "unused-suppression/fixed.rs",
+    ),
+];
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint")
+}
+
+fn analyze_fixture(rel: &str) -> Vec<Finding> {
+    let path = fixtures_dir().join(rel);
+    assert!(path.exists(), "fixture missing: {}", path.display());
+    let (findings, _) = analyze_paths(&workspace_root(), &[path]).expect("fixture scan");
+    findings
+}
+
+#[test]
+fn every_rule_has_a_fixture_pair() {
+    for rule in RULES {
+        assert!(
+            PAIRS.iter().any(|(r, _, _)| *r == rule.name),
+            "rule `{}` has no fixture pair — add bad/fixed twins under crates/lint/fixtures/",
+            rule.name
+        );
+    }
+    assert_eq!(
+        PAIRS.len(),
+        RULES.len(),
+        "stale fixture pair for a removed rule"
+    );
+}
+
+#[test]
+fn every_rule_fires_on_its_bad_fixture() {
+    for (rule, bad, _) in PAIRS {
+        let findings = analyze_fixture(bad);
+        assert!(
+            findings.iter().any(|f| f.rule == *rule),
+            "`{rule}` did not fire on {bad}: {findings:?}"
+        );
+        // Minimality: a bad fixture demonstrates its own rule, nothing else.
+        for f in &findings {
+            assert_eq!(
+                f.rule, *rule,
+                "{bad} is not minimal — unrelated `{}` fired: {findings:?}",
+                f.rule
+            );
+        }
+    }
+}
+
+#[test]
+fn every_fixed_twin_is_silent() {
+    for (rule, _, fixed) in PAIRS {
+        let findings = analyze_fixture(fixed);
+        assert!(
+            findings.is_empty(),
+            "fixed twin for `{rule}` still fires: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn lexer_adversarial_corpus_has_zero_false_positives() {
+    let findings = analyze_fixture("lexer/adversarial.rs");
+    assert!(
+        findings.is_empty(),
+        "banned names inside comments/literals leaked through: {findings:?}"
+    );
+}
+
+#[test]
+fn lexer_finds_violations_hidden_among_literals() {
+    let findings = analyze_fixture("lexer/hidden_violations.rs");
+    let mut got: Vec<(&str, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    got.sort_unstable();
+    let mut want = vec![
+        ("no-wall-clock", 8),
+        ("no-ambient-randomness", 10),
+        ("unwrap-policy", 12),
+        ("no-random-state", 14),
+        ("no-random-state", 14),
+    ];
+    want.sort_unstable();
+    assert_eq!(got, want, "false negative or spurious span: {findings:?}");
+}
+
+fn run_lint(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_atp-lint"))
+        .args(args)
+        .current_dir(workspace_root())
+        .output()
+        .expect("spawn atp-lint");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn binary_gates_on_each_bad_fixture_and_passes_each_fixed_twin() {
+    for (rule, bad, fixed) in PAIRS {
+        let bad = fixtures_dir().join(bad);
+        let fixed = fixtures_dir().join(fixed);
+        let (ok, _) = run_lint(&["--deny-warnings", bad.to_str().expect("utf-8 path")]);
+        assert!(!ok, "atp-lint exited 0 on bad fixture for `{rule}`");
+        let (ok, out) = run_lint(&["--deny-warnings", fixed.to_str().expect("utf-8 path")]);
+        assert!(ok, "atp-lint gated on fixed twin for `{rule}`:\n{out}");
+    }
+}
+
+#[test]
+fn binary_emits_the_json_schema() {
+    let bad = fixtures_dir().join("no-wall-clock/bad.rs");
+    let (ok, out) = run_lint(&[
+        "--format",
+        "json",
+        "--deny-warnings",
+        bad.to_str().expect("utf-8 path"),
+    ]);
+    assert!(!ok, "no-wall-clock is a finding; json mode must still gate");
+    assert!(out.contains("\"schema\": \"atp-lint-v1\""), "{out}");
+    assert!(out.contains("\"rule\": \"no-wall-clock\""), "{out}");
+    assert!(out.contains("no-wall-clock/bad.rs"), "{out}");
+}
+
+#[test]
+fn binary_self_hosts_clean_on_the_workspace() {
+    let (ok, out) = run_lint(&["--deny-warnings"]);
+    assert!(
+        ok,
+        "the workspace must lint clean (self-hosting included):\n{out}"
+    );
+}

@@ -50,6 +50,7 @@ impl ClassicConfig {
 }
 
 /// Stage state of the classic physical-huge-page manager.
+#[derive(Debug)]
 pub struct ClassicStages {
     geom: HugePageGeometry,
     tlb: Tlb<(), AnyPolicy>,
@@ -63,6 +64,7 @@ impl ClassicStages {
     /// # Panics
     /// Panics if `huge_pages` is not a power of two or exceeds `phys_pages`.
     pub fn new(cfg: ClassicConfig) -> Self {
+        // atp-lint: allow(unwrap-policy, reason = "constructor contract: documented # Panics on invalid (non-power-of-two) huge-page config")
         let geom = HugePageGeometry::new(cfg.huge_pages).expect("h must be a power of two");
         let ram_units = (cfg.phys_pages / cfg.huge_pages).max(1) as usize;
         assert!(

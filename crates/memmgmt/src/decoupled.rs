@@ -48,6 +48,7 @@ pub struct DecoupledConfig {
 }
 
 /// Stage state of the decoupled manager `Z`.
+#[derive(Debug)]
 pub struct DecoupledStages<A: RamAllocator> {
     pub(crate) scheme: DecouplingScheme<A>,
     pub(crate) tlb: Tlb<TlbValue, AnyPolicy>,

@@ -23,6 +23,7 @@ use atp_core::RamAllocator;
 use atp_types::VirtPage;
 
 /// Stage state of the hybrid manager: decoupled stages over chunk ids.
+#[derive(Debug)]
 pub struct HybridStages<A: RamAllocator> {
     pub(crate) inner: DecoupledStages<A>,
     chunk: u64,

@@ -18,6 +18,7 @@ use atp_replacement::{AccessResult, AnyPolicy, CacheSim, PolicyKind};
 use atp_types::{HugePageGeometry, VirtPage};
 
 /// Stage state of `X`: a TLB over size-`hmax` huge pages, nothing else.
+#[derive(Debug)]
 pub struct VirtualOnlyStages {
     geom: HugePageGeometry,
     tlb: CacheSim<u64, AnyPolicy>,
@@ -28,6 +29,7 @@ impl VirtualOnlyStages {
     pub fn new(hmax: u64, tlb_entries: u64, policy: PolicyKind, seed: u64) -> Self {
         let cap = tlb_entries as usize;
         Self {
+            // atp-lint: allow(unwrap-policy, reason = "constructor contract: documented # Panics on invalid (non-power-of-two) huge-page config")
             geom: HugePageGeometry::new(hmax).expect("hmax power of two"),
             tlb: CacheSim::new(cap, AnyPolicy::new(policy, cap, seed)),
         }
@@ -82,6 +84,7 @@ impl VirtualOnlyMm {
 }
 
 /// Stage state of `Y`: classic paging on base pages, no TLB.
+#[derive(Debug)]
 pub struct PagingOnlyStages {
     ram: CacheSim<u64, AnyPolicy>,
 }

@@ -87,6 +87,7 @@ pub trait Stages {
 
 /// A staged, observable memory manager: [`Stages`] + [`SimObserver`] +
 /// the shared cost tally.
+#[derive(Debug)]
 pub struct Pipeline<S: Stages, O: SimObserver = NoopObserver> {
     stages: S,
     observer: O,

@@ -50,6 +50,7 @@ pub struct SparseConfig {
 }
 
 /// Stage state of the sparse-encoding decoupled manager.
+#[derive(Debug)]
 pub struct SparseStages<A: RamAllocator> {
     scheme: DecouplingScheme<A>,
     tlb: Tlb<SparseValue, AnyPolicy>,

@@ -148,6 +148,7 @@ impl FramePool {
 const HUGE_TAG: u64 = 1 << 63;
 
 /// Stage state of the THP-style manager.
+#[derive(Debug)]
 pub struct ThpStages {
     geom: HugePageGeometry,
     pool: FramePool,
@@ -170,6 +171,7 @@ impl ThpStages {
     /// Panics if `huge_pages` is not a power of two or doesn't divide
     /// `phys_pages`.
     pub fn new(cfg: ThpConfig) -> Self {
+        // atp-lint: allow(unwrap-policy, reason = "constructor contract: documented # Panics on invalid (non-power-of-two) huge-page config")
         let geom = HugePageGeometry::new(cfg.huge_pages).expect("h power of two");
         assert!(
             cfg.phys_pages.is_multiple_of(cfg.huge_pages),
@@ -216,6 +218,7 @@ impl ThpStages {
     fn evict_unit<O: SimObserver>(&mut self, unit: u64, obs: &mut O) {
         if unit & HUGE_TAG != 0 {
             let u = VirtHugePage(unit & !HUGE_TAG);
+            // atp-lint: allow(unwrap-policy, reason = "invariant: promotion only rewrites units recorded in huge_frames")
             let base = self.huge_frames.remove(&u).expect("promoted unit mapped");
             self.pool.release(base, self.h);
             if self.tlb.invalidate(u).is_some() {
@@ -228,6 +231,7 @@ impl ThpStages {
             });
         } else {
             let v = VirtPage(unit);
+            // atp-lint: allow(unwrap-policy, reason = "invariant: demotion only rewrites units recorded in base_frames")
             let frame = self.base_frames.remove(&v).expect("base unit mapped");
             self.pool.release(frame, 1);
             let u = self.geom.huge_of(v);
@@ -255,6 +259,7 @@ impl ThpStages {
             if let Some(frame) = self.pool.take_any() {
                 break frame;
             }
+            // atp-lint: allow(unwrap-policy, reason = "invariant: eviction is only reached while a resident unit exists")
             let victim = self.units.evict_one().expect("resident unit exists");
             self.evict_unit(victim, obs);
         };
@@ -285,6 +290,7 @@ impl ThpStages {
                 self.stats.promotions += 1;
                 // Migrate: free old scattered frames, drop base units.
                 for v in self.geom.constituents(u) {
+                    // atp-lint: allow(unwrap-policy, reason = "invariant: every page of a resident run has a base frame")
                     let old = self.base_frames.remove(&v).expect("run resident");
                     self.pool.release(old, 1);
                     self.units.remove(&v.0);

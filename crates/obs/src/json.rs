@@ -311,6 +311,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
+        // atp-lint: allow(unwrap-policy, reason = "the scanner only accepts ASCII bytes on this path, so the span is valid UTF-8")
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
         text.parse::<f64>()
             .map(Json::Num)

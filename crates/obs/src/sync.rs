@@ -35,11 +35,13 @@ impl SyncRecorder {
 
     /// Runs `f` on the inner recorder.
     pub fn with<R>(&self, f: impl FnOnce(&Recorder) -> R) -> R {
+        // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
         f(&self.0.lock().expect("sync recorder poisoned"))
     }
 
     /// Clones out the inner recorder's current state.
     pub fn snapshot(&self) -> Recorder {
+        // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
         self.0.lock().expect("sync recorder poisoned").clone()
     }
 }
@@ -48,6 +50,7 @@ impl SimObserver for SyncRecorder {
     fn on_access(&mut self, v: VirtPage, report: AccessReport) {
         self.0
             .lock()
+            // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
             .expect("sync recorder poisoned")
             .on_access(v, report);
     }
@@ -55,6 +58,7 @@ impl SimObserver for SyncRecorder {
     fn on_tlb_event(&mut self, event: TlbEvent) {
         self.0
             .lock()
+            // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
             .expect("sync recorder poisoned")
             .on_tlb_event(event);
     }
@@ -62,6 +66,7 @@ impl SimObserver for SyncRecorder {
     fn on_eviction(&mut self, event: EvictionEvent) {
         self.0
             .lock()
+            // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
             .expect("sync recorder poisoned")
             .on_eviction(event);
     }
@@ -69,6 +74,7 @@ impl SimObserver for SyncRecorder {
     fn on_decode_miss(&mut self, v: VirtPage) {
         self.0
             .lock()
+            // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
             .expect("sync recorder poisoned")
             .on_decode_miss(v);
     }
@@ -76,6 +82,7 @@ impl SimObserver for SyncRecorder {
     fn on_batch_boundary(&mut self, len: usize) {
         self.0
             .lock()
+            // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
             .expect("sync recorder poisoned")
             .on_batch_boundary(len);
     }

@@ -261,10 +261,9 @@ mod tests {
 
     #[test]
     fn matches_reference_map_under_random_ops() {
-        use atp_hash::CounterRng;
-        use std::collections::HashMap;
+        use atp_hash::{CounterRng, FxHashMap};
         let mut pt = HashPageTable::new(7, 32);
-        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut reference: FxHashMap<u64, u64> = FxHashMap::default();
         let mut rng = CounterRng::new(77, 0);
         for _ in 0..20_000 {
             let v = rng.next_below(500);

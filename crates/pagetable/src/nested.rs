@@ -21,6 +21,7 @@ use atp_types::{PhysPage, VirtPage};
 /// guest-physical → host-physical. Guest table nodes are addressed in
 /// guest-physical space, so each guest walk step costs one host walk plus
 /// the node touch itself.
+#[derive(Debug)]
 pub struct NestedTranslation<G, H> {
     guest: G,
     host: H,

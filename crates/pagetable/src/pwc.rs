@@ -20,6 +20,7 @@ const BITS_PER_LEVEL: u32 = 9;
 const LEVELS: u32 = 4;
 
 /// A page table wrapped with per-level walk caches.
+#[derive(Debug)]
 pub struct CachedWalker<T> {
     table: T,
     /// One cache per interior level (levels 0..=2): keyed by the virtual

@@ -37,6 +37,19 @@ pub enum AnyPolicy {
     Other(Box<dyn Policy>),
 }
 
+impl std::fmt::Debug for AnyPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnyPolicy::Lru(p) => f.debug_tuple("Lru").field(p).finish(),
+            AnyPolicy::Fifo(p) => f.debug_tuple("Fifo").field(p).finish(),
+            AnyPolicy::Clock(p) => f.debug_tuple("Clock").field(p).finish(),
+            AnyPolicy::Sieve(p) => f.debug_tuple("Sieve").field(p).finish(),
+            // `dyn Policy` has no Debug bound; its kind identifies it.
+            AnyPolicy::Other(p) => f.debug_tuple("Other").field(&p.kind().name()).finish(),
+        }
+    }
+}
+
 impl AnyPolicy {
     /// Builds the policy of `kind` for a cache of `capacity` slots.
     /// Deterministic kinds ignore `seed`.

@@ -53,6 +53,7 @@ impl<K> AccessResult<K> {
 ///     _ => unreachable!(),
 /// }
 /// ```
+#[derive(Debug)]
 pub struct CacheSim<K, P: Policy, V = ()> {
     capacity: usize,
     map: FxHashMap<K, u32>,
@@ -175,6 +176,7 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
             evicted = self.evict_one_entry();
             debug_assert!(evicted.is_some(), "full cache must yield a victim");
         }
+        // atp-lint: allow(unwrap-policy, reason = "invariant: insert_new is only called after an eviction or under capacity, so a free slot exists")
         let slot = self.free.pop().expect("free slot available");
         self.slots[slot as usize] = Some((k, v));
         self.map.insert(k, slot);
@@ -193,6 +195,7 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
         let victim_slot = self.policy.choose_victim();
         let (k, v) = self.slots[victim_slot]
             .take()
+            // atp-lint: allow(unwrap-policy, reason = "invariant: the policy's victim is always an occupied slot")
             .expect("victim slot occupied");
         self.policy.on_remove(victim_slot);
         self.map.remove(&k);
@@ -204,6 +207,7 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
     /// resident. One hash probe.
     pub fn remove_entry(&mut self, k: &K) -> Option<V> {
         let slot = self.map.remove(k)?;
+        // atp-lint: allow(unwrap-policy, reason = "invariant: remove receives an occupied slot resolved through the map")
         let (_, v) = self.slots[slot as usize].take().expect("slot occupied");
         self.policy.on_remove(slot as SlotId);
         self.free.push(slot);

@@ -45,6 +45,7 @@ impl Policy for Lfu {
     }
 
     fn on_hit(&mut self, s: SlotId) {
+        // atp-lint: allow(unwrap-policy, reason = "invariant: slots are tracked from on_insert until remove, so metadata lookups cannot miss")
         let freq = self.key_of[s].expect("hit on untracked slot").0;
         self.bump(s, freq + 1);
     }
@@ -54,6 +55,7 @@ impl Policy for Lfu {
             .order
             .values()
             .next()
+            // atp-lint: allow(unwrap-policy, reason = "policy contract: choose_victim is never called on an empty cache (CacheSim only evicts when full)")
             .expect("choose_victim on empty cache")
     }
 

@@ -35,6 +35,7 @@ impl Policy for Lru {
 
     #[inline]
     fn choose_victim(&mut self) -> SlotId {
+        // atp-lint: allow(unwrap-policy, reason = "policy contract: choose_victim is never called on an empty cache (CacheSim only evicts when full)")
         self.recency.back().expect("choose_victim on empty cache")
     }
 

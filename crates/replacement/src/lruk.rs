@@ -54,6 +54,7 @@ impl LruK {
             (1u8, h[self.k - 1], self.clock)
         } else {
             // Cold band: ordered by most recent reference (plain LRU).
+            // atp-lint: allow(unwrap-policy, reason = "invariant: histories are created non-empty on first touch")
             (0u8, *h.last().expect("nonempty history"), self.clock)
         };
         self.clock += 1;
@@ -86,6 +87,7 @@ impl Policy for LruK {
             .order
             .values()
             .next()
+            // atp-lint: allow(unwrap-policy, reason = "policy contract: choose_victim is never called on an empty cache (CacheSim only evicts when full)")
             .expect("choose_victim on empty cache")
     }
 

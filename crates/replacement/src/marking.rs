@@ -51,6 +51,7 @@ impl Marking {
         if i == NONE {
             return;
         }
+        // atp-lint: allow(unwrap-policy, reason = "the early return above guarantees s is in the pool, so the pool is non-empty")
         let last = self.unmarked_pool.pop().expect("pool nonempty");
         if last != s {
             self.unmarked_pool[i] = last;
@@ -110,6 +111,7 @@ impl Policy for Marking {
         self.marked[s] = false;
         let i = self.resident_pos[s];
         debug_assert_ne!(i, NONE);
+        // atp-lint: allow(unwrap-policy, reason = "invariant: remove is only called while residents exist")
         let last = self.resident.pop().expect("resident nonempty");
         if last != s {
             self.resident[i] = last;

@@ -32,6 +32,7 @@ impl Policy for Mru {
     }
 
     fn choose_victim(&mut self) -> SlotId {
+        // atp-lint: allow(unwrap-policy, reason = "policy contract: choose_victim is never called on an empty cache (CacheSim only evicts when full)")
         self.recency.front().expect("choose_victim on empty cache")
     }
 

@@ -57,6 +57,7 @@ pub fn opt_misses(trace: &[u64], capacity: usize) -> OptStats {
         if resident.len() == capacity {
             // Pop until a live entry (matching the resident's current next-use).
             loop {
+                // atp-lint: allow(unwrap-policy, reason = "invariant: the heap holds every resident key, so a live victim exists")
                 let (cand_nu, cand_k) = heap.pop().expect("heap has a live victim");
                 if resident.get(&cand_k) == Some(&cand_nu) {
                     resident.remove(&cand_k);

@@ -131,8 +131,8 @@ mod tests {
 
     #[test]
     fn all_kinds_have_unique_names() {
-        use std::collections::HashSet;
-        let names: HashSet<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+        use atp_hash::FxHashSet;
+        let names: FxHashSet<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), PolicyKind::ALL.len());
     }
 

@@ -43,6 +43,7 @@ impl Policy for RandomPolicy {
     fn on_remove(&mut self, s: SlotId) {
         let idx = self.pos[s];
         debug_assert_ne!(idx, usize::MAX, "removing untracked slot");
+        // atp-lint: allow(unwrap-policy, reason = "invariant: remove is only called while occupied slots exist")
         let last = self.occupied.pop().expect("occupied nonempty");
         if last != s {
             self.occupied[idx] = last;
@@ -102,8 +103,8 @@ mod tests {
     fn victims_spread_over_residents() {
         // Over many evictions every resident should be hit at least once.
         let mut c = CacheSim::new(4, RandomPolicy::new(4, 5));
-        use std::collections::HashSet;
-        let mut victims = HashSet::new();
+        use atp_hash::FxHashSet;
+        let mut victims = FxHashSet::default();
         for k in 0..400u64 {
             if let crate::cache::AccessResult::Miss { evicted: Some(v) } = c.access(k) {
                 victims.insert(v % 4);

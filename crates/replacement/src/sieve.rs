@@ -56,6 +56,7 @@ impl Policy for Sieve {
         // visited bits; wrap to the tail if the head is passed.
         let mut cur = match self.hand {
             Some(h) if self.list.contains(h) => h,
+            // atp-lint: allow(unwrap-policy, reason = "policy contract: choose_victim is never called on an empty cache (CacheSim only evicts when full)")
             _ => self.list.back().expect("choose_victim on empty cache"),
         };
         loop {
@@ -67,6 +68,7 @@ impl Policy for Sieve {
             self.visited[cur] = false;
             cur = match self.prev_toward_head(cur) {
                 Some(p) => p,
+                // atp-lint: allow(unwrap-policy, reason = "invariant: the list was non-empty when the hand scan started")
                 None => self.list.back().expect("nonempty"),
             };
         }

@@ -52,6 +52,7 @@ impl Policy for Slru {
     }
 
     fn on_hit(&mut self, s: SlotId) {
+        // atp-lint: allow(unwrap-policy, reason = "invariant: slots are tracked from on_insert until remove, so metadata lookups cannot miss")
         match self.seg_of[s].expect("hit on untracked slot") {
             Segment::Protected => self.protected.move_to_front(s),
             Segment::Probation => {
@@ -73,10 +74,12 @@ impl Policy for Slru {
         self.probation
             .back()
             .or_else(|| self.protected.back())
+            // atp-lint: allow(unwrap-policy, reason = "policy contract: choose_victim is never called on an empty cache (CacheSim only evicts when full)")
             .expect("choose_victim on empty cache")
     }
 
     fn on_remove(&mut self, s: SlotId) {
+        // atp-lint: allow(unwrap-policy, reason = "invariant: slots are tracked from on_insert until remove, so metadata lookups cannot miss")
         match self.seg_of[s].take().expect("remove on untracked slot") {
             Segment::Probation => self.probation.remove(s),
             Segment::Protected => self.protected.remove(s),

@@ -51,6 +51,7 @@ impl Policy for TwoQ {
     }
 
     fn on_hit(&mut self, s: SlotId) {
+        // atp-lint: allow(unwrap-policy, reason = "invariant: slots are tracked from on_insert until remove, so metadata lookups cannot miss")
         match self.queue_of[s].expect("hit on untracked slot") {
             Queue::Am => self.am.move_to_front(s),
             Queue::A1in => {
@@ -63,13 +64,16 @@ impl Policy for TwoQ {
 
     fn choose_victim(&mut self) -> SlotId {
         if self.a1in.len() > self.a1in_cap || self.am.is_empty() {
+            // atp-lint: allow(unwrap-policy, reason = "a1in is non-empty here: it either exceeds its cap or am is empty while the cache is not")
             self.a1in.back().expect("a1in nonempty")
         } else {
+            // atp-lint: allow(unwrap-policy, reason = "invariant: a non-empty cache has a non-empty am whenever a1in is empty")
             self.am.back().expect("am nonempty")
         }
     }
 
     fn on_remove(&mut self, s: SlotId) {
+        // atp-lint: allow(unwrap-policy, reason = "invariant: slots are tracked from on_insert until remove, so metadata lookups cannot miss")
         match self.queue_of[s].take().expect("remove on untracked slot") {
             Queue::A1in => self.a1in.remove(s),
             Queue::Am => self.am.remove(s),

@@ -127,6 +127,7 @@ pub fn run_multicore_observed<O: SimObserver + Send>(
 ) -> (MulticoreResult, Vec<O>) {
     assert_eq!(traces.len(), cfg.cores, "one trace per core required");
     assert!(cfg.cores > 0, "at least one core");
+    // atp-lint: allow(unwrap-policy, reason = "constructor contract: documented # Panics on invalid (non-power-of-two) huge-page config")
     let geom = HugePageGeometry::new(cfg.huge_pages).expect("h power of two");
     let ram_units = (cfg.phys_pages / cfg.huge_pages).max(1) as usize;
 
@@ -158,6 +159,7 @@ pub fn run_multicore_observed<O: SimObserver + Send>(
                     costs.accesses += 1;
 
                     // 1. Private TLB lookup (lock released before RAM).
+                    // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
                     let tlb_hit = { tlbs[core].lock().expect("tlb lock").lookup(u).is_some() };
 
                     // 2. Shared RAM access; evictions broadcast shootdowns.
@@ -166,6 +168,7 @@ pub fn run_multicore_observed<O: SimObserver + Send>(
                         ..AccessReport::default()
                     };
                     let evicted = {
+                        // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
                         let mut ram = ram.lock().expect("ram lock");
                         match ram.access(u.id()) {
                             AccessResult::Hit => None,
@@ -184,6 +187,7 @@ pub fn run_multicore_observed<O: SimObserver + Send>(
                         tally.on_eviction(ev);
                         obs.on_eviction(ev);
                         for t in tlbs.iter() {
+                            // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
                             let mut t = t.lock().expect("tlb lock");
                             if t.invalidate(VirtHugePage(victim)).is_some() {
                                 tally.on_tlb_event(TlbEvent::Shootdown);
@@ -199,6 +203,7 @@ pub fn run_multicore_observed<O: SimObserver + Send>(
                     } else {
                         costs.tlb_misses += 1;
                         obs.on_tlb_event(TlbEvent::Miss);
+                        // atp-lint: allow(unwrap-policy, reason = "a poisoned lock means a sibling thread already panicked; propagating that panic is the intended behavior")
                         let mut t = tlbs[core].lock().expect("tlb lock");
                         if !t.contains(u) {
                             t.insert(u, ());
@@ -212,6 +217,7 @@ pub fn run_multicore_observed<O: SimObserver + Send>(
         }
         observers = (0..cfg.cores).map(|_| None).collect();
         for h in handles {
+            // atp-lint: allow(unwrap-policy, reason = "join fails only when a core thread panicked; propagate the panic")
             let (core, costs, tally, obs) = h.join().expect("core thread panicked");
             per_core[core] = CoreStats { costs };
             observers[core] = Some(obs);
@@ -228,6 +234,7 @@ pub fn run_multicore_observed<O: SimObserver + Send>(
         },
         observers
             .into_iter()
+            // atp-lint: allow(unwrap-policy, reason = "invariant: the join loop above filled every core's slot exactly once")
             .map(|o| o.expect("every core joined"))
             .collect(),
     )

@@ -10,12 +10,16 @@
 
 use atp_memmgmt::MemoryManager;
 use atp_types::{Costs, VirtPage};
-use std::time::{Duration, Instant};
 
 /// Default batch size for [`run`] (pages per chunk).
 pub const DEFAULT_BATCH: usize = 4096;
 
 /// Result of one simulation run.
+///
+/// Deliberately wall-clock-free: a `SimStats` is a pure function of
+/// (manager, trace, warmup, measure), so goldens and observability
+/// exports derived from it can be pinned byte-for-byte. Callers that
+/// want to report elapsed time (CLI, benches) time around the call.
 #[derive(Clone, Debug)]
 pub struct SimStats {
     /// Manager description.
@@ -24,8 +28,6 @@ pub struct SimStats {
     pub costs: Costs,
     /// Costs accumulated during warmup (informational).
     pub warmup_costs: Costs,
-    /// Wall-clock time of the whole run.
-    pub elapsed: Duration,
 }
 
 /// Drives `mgr` over `trace`: `warmup` accesses to fill caches (counters
@@ -53,7 +55,6 @@ pub fn run_batched<M: MemoryManager + ?Sized>(
     batch: usize,
 ) -> SimStats {
     assert!(batch > 0, "batch size must be positive");
-    let start = Instant::now();
     let mut iter = trace.into_iter();
     let mut buf = Vec::with_capacity(batch);
     drive(mgr, &mut iter, warmup, batch, &mut buf);
@@ -64,7 +65,6 @@ pub fn run_batched<M: MemoryManager + ?Sized>(
         name: mgr.name(),
         costs: mgr.costs(),
         warmup_costs,
-        elapsed: start.elapsed(),
     }
 }
 

@@ -94,6 +94,7 @@ pub fn sweep_with_progress<C: Sync, R: Send>(
             .collect();
         handles
             .into_iter()
+            // atp-lint: allow(unwrap-policy, reason = "join fails only when a sweep worker panicked; propagate the panic")
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     });
@@ -105,6 +106,7 @@ pub fn sweep_with_progress<C: Sync, R: Send>(
         }
     }
     out.into_iter()
+        // atp-lint: allow(unwrap-policy, reason = "invariant: chunked claiming assigns every index exactly once")
         .map(|slot| slot.expect("every index claimed exactly once"))
         .collect()
 }

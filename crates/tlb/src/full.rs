@@ -27,6 +27,7 @@ pub struct TlbStats {
 /// fully-associative LRU TLB with a statically dispatched policy, while
 /// [`Tlb::new`] returns `Tlb<V, AnyPolicy>` for [`PolicyKind`]-configured
 /// experiments.
+#[derive(Debug)]
 pub struct Tlb<V, P: Policy = Lru> {
     sim: CacheSim<VirtHugePage, P, V>,
     /// Insert/invalidation/eviction counters; hits and misses live in the

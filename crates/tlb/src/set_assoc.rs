@@ -14,6 +14,7 @@ use atp_types::VirtHugePage;
 use crate::full::TlbStats;
 
 /// A set-associative TLB with per-set LRU replacement.
+#[derive(Debug)]
 pub struct SetAssocTlb<V> {
     sets: Vec<CacheSim<VirtHugePage, Lru, V>>,
     ways: usize,

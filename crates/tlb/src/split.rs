@@ -12,6 +12,7 @@ use atp_replacement::{AnyPolicy, Policy, PolicyBuild, PolicyKind};
 use atp_types::VirtHugePage;
 
 /// One size class of a split TLB.
+#[derive(Debug)]
 struct SizeClass<V, P: Policy> {
     /// Huge-page sizes (in base pages) routed to this structure.
     sizes: Vec<u64>,
@@ -21,6 +22,7 @@ struct SizeClass<V, P: Policy> {
 /// A TLB composed of per-page-size structures. `P` is the per-class
 /// replacement policy: runtime-selected via [`SplitTlb::new`]
 /// ([`AnyPolicy`]) or statically dispatched via [`SplitTlb::monomorphic`].
+#[derive(Debug)]
 pub struct SplitTlb<V, P: Policy = AnyPolicy> {
     classes: Vec<SizeClass<V, P>>,
 }
@@ -71,7 +73,7 @@ impl<V, P: Policy> SplitTlb<V, P> {
         mut make_tlb: impl FnMut(u64, u64) -> Tlb<V, P>,
     ) -> Self {
         assert!(!classes.is_empty(), "at least one size class required");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = atp_hash::FxHashSet::default();
         let built = classes
             .iter()
             .enumerate()
@@ -103,6 +105,7 @@ impl<V, P: Policy> SplitTlb<V, P> {
             .sizes
             .iter()
             .position(|&s| s == size)
+            // atp-lint: allow(unwrap-policy, reason = "invariant: the routing table maps every size class, validated at construction")
             .expect("size present") as u64;
         debug_assert!(u.0 < 1 << 58, "huge-page id too large for size tagging");
         let key = VirtHugePage((size_idx << 58) | u.0);

@@ -40,6 +40,7 @@ pub struct TwoLevelStats {
 /// parameter `P` is monomorphized per level; [`TwoLevelTlb::new`] selects
 /// it at runtime via [`AnyPolicy`], [`TwoLevelTlb::monomorphic`] fixes it
 /// statically (e.g. `TwoLevelTlb::<u64, Lru>::monomorphic(..)`).
+#[derive(Debug)]
 pub struct TwoLevelTlb<V, P: Policy = AnyPolicy> {
     l1: Tlb<V, P>,
     l2: Tlb<V, P>,
@@ -121,6 +122,7 @@ impl<V, P: Policy> TwoLevelTlb<V, P> {
         }
         if self.l2.contains(u) {
             self.stats.l2_hits += 1;
+            // atp-lint: allow(unwrap-policy, reason = "invariant: the entry was just found resident in L2")
             let value = self.l2.invalidate(u).expect("resident in L2");
             self.promote(u, value);
             return Level::L2;

@@ -111,6 +111,7 @@ pub fn decode_trace(data: &[u8]) -> Result<Vec<VirtPage>, TraceError> {
     if version != VERSION {
         return Err(TraceError::BadVersion(version));
     }
+    // atp-lint: allow(unwrap-policy, reason = "slice bounds hold: the 13-byte header was length-checked above")
     let count = u64::from_le_bytes(data[5..13].try_into().expect("8-byte slice"));
     let mut buf = Reader(&data[13..]);
     // Every entry takes at least one payload byte, so a header claiming

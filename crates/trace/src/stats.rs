@@ -1,7 +1,7 @@
 //! Trace statistics: footprint, reuse, and locality summaries.
 
+use atp_hash::{FxHashMap, FxHashSet};
 use atp_types::VirtPage;
-use std::collections::HashMap;
 
 /// Summary statistics of a page trace.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,7 +48,10 @@ impl HugeUtilization {
     /// Panics if `h` is not a power of two.
     pub fn compute(trace: &[VirtPage], h: u64) -> Self {
         assert!(h.is_power_of_two(), "h must be a power of two");
-        let mut per_huge: HashMap<u64, std::collections::HashSet<u64>> = HashMap::new();
+        // Deterministic hasher: `values()` iteration order feeds the
+        // float summation below, so a RandomState map would make
+        // `mean_fraction` differ in the last bits across runs.
+        let mut per_huge: FxHashMap<u64, FxHashSet<u64>> = FxHashMap::default();
         for p in trace {
             per_huge.entry(p.0 / h).or_default().insert(p.0 % h);
         }
@@ -92,7 +95,7 @@ impl TraceStats {
                 mean_reuse: 0.0,
             };
         }
-        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
         let mut min_page = u64::MAX;
         let mut max_page = 0u64;
         let mut same = 0u64;

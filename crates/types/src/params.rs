@@ -48,6 +48,7 @@ impl SystemParams {
 
     /// Geometry for huge pages of the maximum size.
     pub fn hmax_geometry(&self) -> HugePageGeometry {
+        // atp-lint: allow(unwrap-policy, reason = "invariant: hmax was validated by the builder that produced self")
         HugePageGeometry::new(self.hmax).expect("hmax validated at build time")
     }
 

@@ -106,6 +106,7 @@ fn build_csr(n: u64, edges: &[(u32, u32)]) -> Csr {
 }
 
 /// A generated graph500 BFS page trace.
+#[derive(Debug)]
 pub struct Graph500Trace {
     trace: Vec<u64>,
     touched_pages: u64,
