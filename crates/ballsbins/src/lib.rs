@@ -34,7 +34,9 @@ pub mod adversary;
 pub mod game;
 pub mod rule;
 pub mod stats;
+pub mod tenancy;
 
 pub use game::{Game, Slot, Tier};
 pub use rule::Rule;
 pub use stats::{GameStats, LoadSnapshot};
+pub use tenancy::TenantGame;

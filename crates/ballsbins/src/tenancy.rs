@@ -1,0 +1,154 @@
+//! Per-tenant ball accounting over one shared game.
+//!
+//! In the multi-tenant regime every tenant throws balls (pages) into the
+//! *same* `n` bins — one physical pool — so the load bounds of Section 4
+//! apply to the aggregate stream, not to any one tenant. [`TenantGame`]
+//! qualifies ball ids by tenant (an injective `asid · span + ball`
+//! embedding, like the shared-pool allocator's) and tracks per-tenant
+//! ball counts, letting experiments ask how much of the max load a
+//! single aggressive tenant is responsible for.
+
+use crate::game::{Game, Slot};
+use atp_hash::{FxHashMap, FxHashSet};
+use atp_types::Asid;
+
+/// A multi-tenant wrapper over one [`Game`].
+#[derive(Debug)]
+pub struct TenantGame {
+    game: Game,
+    /// Ball-id span per tenant; per-tenant ball ids must stay below it.
+    span: u64,
+    /// Per-tenant live balls (per-tenant ids), for retirement.
+    balls: FxHashMap<u32, FxHashSet<u64>>,
+}
+
+impl TenantGame {
+    /// Wraps `game`, giving each tenant `span` ball ids.
+    ///
+    /// # Panics
+    /// Panics if `span == 0`.
+    pub fn new(game: Game, span: u64) -> Self {
+        assert!(span > 0, "tenant ball span must be nonzero");
+        Self {
+            game,
+            span,
+            balls: FxHashMap::default(),
+        }
+    }
+
+    /// The injective tenant embedding into the shared ball-id space.
+    ///
+    /// # Panics
+    /// Panics if `ball` is outside the tenant's span.
+    #[inline]
+    pub fn pool_ball(&self, asid: Asid, ball: u64) -> u64 {
+        assert!(
+            ball < self.span,
+            "ball {ball} outside tenant span {}",
+            self.span
+        );
+        (asid.0 as u64) * self.span + ball
+    }
+
+    /// Inserts tenant `asid`'s ball, returning its placement.
+    pub fn insert(&mut self, asid: Asid, ball: u64) -> Slot {
+        let b = self.pool_ball(asid, ball);
+        let slot = self.game.insert(b);
+        self.balls.entry(asid.0).or_default().insert(ball);
+        slot
+    }
+
+    /// Removes tenant `asid`'s ball, returning where it was.
+    pub fn remove(&mut self, asid: Asid, ball: u64) -> Option<Slot> {
+        let b = self.pool_ball(asid, ball);
+        let slot = self.game.remove(b);
+        if slot.is_some() {
+            if let Some(set) = self.balls.get_mut(&asid.0) {
+                set.remove(&ball);
+            }
+        }
+        slot
+    }
+
+    /// Removes every ball of `asid` (tenant churn), in ascending ball
+    /// order, returning how many were removed.
+    pub fn retire(&mut self, asid: Asid) -> u64 {
+        let Some(set) = self.balls.remove(&asid.0) else {
+            return 0;
+        };
+        let mut ids: Vec<u64> = set.into_iter().collect();
+        ids.sort_unstable();
+        let mut removed = 0u64;
+        for ball in ids {
+            if self
+                .game
+                .remove((asid.0 as u64) * self.span + ball)
+                .is_some()
+            {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Live balls of tenant `asid`.
+    pub fn tenant_balls(&self, asid: Asid) -> u64 {
+        self.balls.get(&asid.0).map_or(0, |s| s.len() as u64)
+    }
+
+    /// The shared game (aggregate loads, stats).
+    pub fn game(&self) -> &Game {
+        &self.game
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+
+    fn tg() -> TenantGame {
+        TenantGame::new(Game::new(7, 64, Rule::Iceberg { front_cap: 6 }), 1 << 20)
+    }
+
+    #[test]
+    fn tenants_share_bins() {
+        let mut g = tg();
+        for b in 0..32u64 {
+            g.insert(Asid(1), b);
+            g.insert(Asid(2), b);
+        }
+        assert_eq!(g.game().len(), 64, "both tenants' balls live in one game");
+        assert_eq!(g.tenant_balls(Asid(1)), 32);
+        assert_eq!(g.tenant_balls(Asid(2)), 32);
+    }
+
+    #[test]
+    fn same_ball_id_is_distinct_per_tenant() {
+        let mut g = tg();
+        g.insert(Asid(1), 5);
+        g.insert(Asid(2), 5);
+        assert!(g.remove(Asid(1), 5).is_some());
+        assert_eq!(g.tenant_balls(Asid(2)), 1, "tenant 2's ball survives");
+    }
+
+    #[test]
+    fn retire_clears_one_tenant() {
+        let mut g = tg();
+        for b in 0..16u64 {
+            g.insert(Asid(1), b);
+        }
+        g.insert(Asid(2), 0);
+        assert_eq!(g.retire(Asid(1)), 16);
+        assert_eq!(g.retire(Asid(1)), 0);
+        assert_eq!(g.game().len(), 1);
+        assert_eq!(g.tenant_balls(Asid(2)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tenant span")]
+    fn out_of_span_ball_rejected() {
+        let mut g = TenantGame::new(Game::new(7, 8, Rule::OneChoice), 4);
+        g.insert(Asid(1), 4);
+    }
+}

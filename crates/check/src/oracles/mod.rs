@@ -11,11 +11,13 @@
 //! |---------------|---------------------------------------------|---------------------------------------------|
 //! | balls-and-bins| [`NaiveGame`] (exhaustive bin scan)         | `Game` under `OneChoice`/`Greedy`/`Iceberg` |
 //! | TLB           | [`LinearTlb`] (linear-scan LRU)             | `Tlb`, `SetAssocTlb`, `TwoLevelTlb`, `SplitTlb` |
+//! | ASID TLB      | [`LinearAsidTlb`] (tagged linear-scan LRU)  | `AsidTlb` (private/global probe, ASID flush) |
 //! | TLB policies  | [`LinearPolicyTlb`] (linear scan per policy)| fused `Tlb<_, P>` for LRU/FIFO/CLOCK/SIEVE  |
 //! | page table    | [`MapPageTable`] (flat `HashMap`)           | `radix`, `hash_table`, `pwc`, `nested`      |
 //! | OPT           | [`opt_misses_naive`] (exhaustive lookahead) | `opt::opt_misses`                           |
 //! | batching      | [`run_single_step`] (unbatched driver)      | `run_batched` over all seven managers       |
 
+pub mod asid_tlb;
 pub mod ballsbins;
 pub mod batching;
 pub mod belady;
@@ -23,6 +25,7 @@ pub mod pagetable;
 pub mod policy_tlb;
 pub mod tlb;
 
+pub use asid_tlb::LinearAsidTlb;
 pub use ballsbins::NaiveGame;
 pub use batching::{counters_modulo_batches, run_single_step};
 pub use belady::opt_misses_naive;

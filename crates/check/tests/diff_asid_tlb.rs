@@ -1,0 +1,157 @@
+//! Differential tests: the ASID-tagged TLB against the tagged
+//! linear-scan LRU oracle [`LinearAsidTlb`].
+//!
+//! The equivalence under test: `AsidTlb` with the LRU policy is one
+//! fully-associative LRU cache over `(asid, huge)` keys with a
+//! private-then-global probe on lookup, so every hit/miss decision,
+//! eviction victim, invalidation result, and `flush_asid` count must
+//! match the oracle step for step — across context switches, global
+//! (kernel) entries shared by all tenants, and targeted ASID flushes.
+
+use atp_check::oracles::LinearAsidTlb;
+use atp_check::{check, differential, ensure_eq, u64s, usizes, vecs, Gen};
+use atp_replacement::{AnyPolicy, PolicyKind};
+use atp_tlb::AsidTlb;
+use atp_types::{Asid, TaggedHugePage, VirtHugePage};
+
+/// Adversary scripts: `(kind, asid, page)` ops over a small tenant pool
+/// and page universe so cross-tenant churn hammers tiny capacities.
+/// Kinds: 0 invalidate, 1 invalidate-global, 2 flush-asid, 3 fill a
+/// global entry (guarded), otherwise access-or-fill.
+fn scripts() -> impl Gen<Value = Vec<(u64, u64, u64)>> {
+    vecs((u64s(0..=15), u64s(0..=3), u64s(0..=16)), 0..=300)
+}
+
+/// One comparable step outcome: `(invalidated value, global-fill victim,
+/// hit?, flushed count)`.
+type Step = (
+    Option<u64>,
+    Option<(TaggedHugePage, u64)>,
+    Option<bool>,
+    u64,
+);
+
+#[test]
+fn asid_tlb_lru_matches_linear_oracle() {
+    let gen = (usizes(1..=8), scripts());
+    check("asid_tlb_lru_matches_linear_oracle", &gen, |(cap, ops)| {
+        let mut sut: AsidTlb<u64> = AsidTlb::lru(*cap as u64);
+        let mut oracle: LinearAsidTlb<u64> = LinearAsidTlb::new(*cap);
+        differential(
+            "AsidTlb::lru",
+            "LinearAsidTlb",
+            ops.iter().copied(),
+            |&(kind, a, p)| -> Step {
+                let (asid, u) = (Asid(a as u32), VirtHugePage(p));
+                match kind {
+                    0 => (sut.invalidate(asid, u), None, None, 0),
+                    1 => (sut.invalidate_global(u), None, None, 0),
+                    2 => (None, None, None, sut.flush_asid(asid)),
+                    3 if !sut.contains(Asid::GLOBAL, u) => {
+                        (None, sut.insert_global(u, p * 100), None, 0)
+                    }
+                    3 => (None, None, None, 0),
+                    _ => (None, None, Some(sut.access_or_fill(asid, u, || p * 10)), 0),
+                }
+            },
+            |&(kind, a, p)| -> Step {
+                let (asid, u) = (Asid(a as u32), VirtHugePage(p));
+                match kind {
+                    0 => (oracle.invalidate(asid, u), None, None, 0),
+                    1 => (oracle.invalidate_global(u), None, None, 0),
+                    2 => (None, None, None, oracle.flush_asid(asid)),
+                    3 if !oracle.contains(Asid::GLOBAL, u) => {
+                        (None, oracle.insert_global(u, p * 100), None, 0)
+                    }
+                    3 => (None, None, None, 0),
+                    _ => (
+                        None,
+                        None,
+                        Some(oracle.access_or_fill(asid, u, || p * 10)),
+                        0,
+                    ),
+                }
+            },
+        )?;
+        ensure_eq!(sut.len(), oracle.len(), "resident entry count");
+        Ok(())
+    });
+}
+
+#[test]
+fn asid_tlb_any_policy_lru_matches_linear_oracle() {
+    // The runtime-dispatched (`AnyPolicy`) construction the tenant
+    // manager uses must agree with the oracle too, not just the
+    // monomorphic `AsidTlb::lru`.
+    let gen = (usizes(1..=8), u64s(0..=u64::MAX), scripts());
+    check(
+        "asid_tlb_any_policy_lru_matches_linear_oracle",
+        &gen,
+        |(cap, seed, ops)| {
+            let mut sut = AsidTlb::<u64, AnyPolicy>::new(*cap as u64, PolicyKind::Lru, *seed);
+            let mut oracle: LinearAsidTlb<u64> = LinearAsidTlb::new(*cap);
+            differential(
+                "AsidTlb(AnyPolicy/Lru)",
+                "LinearAsidTlb",
+                ops.iter().copied(),
+                |&(kind, a, p)| {
+                    let (asid, u) = (Asid(a as u32), VirtHugePage(p));
+                    match kind {
+                        0..=1 => (sut.invalidate(asid, u), false, 0),
+                        2 => (None, false, sut.flush_asid(asid)),
+                        _ => (None, sut.access_or_fill(asid, u, || p), 0),
+                    }
+                },
+                |&(kind, a, p)| {
+                    let (asid, u) = (Asid(a as u32), VirtHugePage(p));
+                    match kind {
+                        0..=1 => (oracle.invalidate(asid, u), false, 0),
+                        2 => (None, false, oracle.flush_asid(asid)),
+                        _ => (None, oracle.access_or_fill(asid, u, || p), 0),
+                    }
+                },
+            )?;
+            ensure_eq!(sut.len(), oracle.len(), "resident entry count");
+            Ok(())
+        },
+    );
+}
+
+/// Long-trace, larger-capacity sweep for the dedicated `--ignored` CI step.
+#[test]
+#[ignore = "large oracle size; run via the dedicated CI step"]
+fn asid_tlb_matches_linear_oracle_at_scale() {
+    use atp_check::CounterRng;
+    let mut rng = CounterRng::new(0xA51D, 0);
+    let mut sut: AsidTlb<u64> = AsidTlb::lru(1024);
+    let mut oracle: LinearAsidTlb<u64> = LinearAsidTlb::new(1024);
+    for i in 0..200_000u64 {
+        let asid = Asid(rng.next_below(8) as u32);
+        let u = VirtHugePage(rng.next_below(3000));
+        match rng.next_below(64) {
+            0 => assert_eq!(
+                sut.flush_asid(asid),
+                oracle.flush_asid(asid),
+                "flush diverged at op {i}"
+            ),
+            1 => assert_eq!(
+                sut.invalidate(asid, u),
+                oracle.invalidate(asid, u),
+                "invalidate diverged at op {i}"
+            ),
+            2 if !sut.contains(Asid::GLOBAL, u) && !oracle.contains(Asid::GLOBAL, u) => {
+                assert_eq!(
+                    sut.insert_global(u, u.0),
+                    oracle.insert_global(u, u.0),
+                    "global fill diverged at op {i}"
+                );
+            }
+            _ => assert_eq!(
+                sut.access_or_fill(asid, u, || u.0),
+                oracle.access_or_fill(asid, u, || u.0),
+                "access diverged at op {i}"
+            ),
+        }
+    }
+    assert_eq!(sut.len(), oracle.len(), "final resident counts differ");
+}

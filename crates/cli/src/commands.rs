@@ -27,6 +27,7 @@ atp — Paging and the Address-Translation Problem (SPAA 2021) simulator
 USAGE:
   atp simulate  --workload W --manager M [options]   run one simulation
   atp sweep     --workload W [options]               Figure-1 h-sweep
+  atp tenants   [--tenants LIST --skew LIST …]       multi-tenant sweep
   atp multicore --workload W --cores N [options]     shootdown extension
   atp trace     record|stats|mrc …                   trace tools
   atp calibrate [--device nvme|disk] [--virtualized] derive ε
@@ -60,6 +61,18 @@ OBSERVABILITY (simulate; --metrics/--format also on sweep and multicore):
 SWEEP / MULTICORE:
   --threads N     sweep worker threads (0 = all CPUs)             [0]
   --cores N       multicore: cores (one trace per core)           [4]
+
+TENANTS (ASID-tagged translation over one shared physical pool):
+  --tenants LIST  comma-separated tenant counts to sweep    [1,16,256]
+  --skew LIST     comma-separated tenant-activity Zipf exponents [1.1]
+  --page-skew F   per-tenant page-stream Zipf exponent         [1.01]
+  --quantum N     accesses per scheduling slice                  [256]
+  --churn F       P(retire tenant at quantum end), 0 disables    [0.0]
+  --vspan N       private virtual pages per tenant          [virt]
+  --manager M     tagged (shared AsidTlb) | arena (interleaved classic)
+  --per-tenant-cap N  per-tenant metric rows kept (top by accesses) [16]
+  (--metrics/--format export one aggregate row per sweep point plus
+   per-tenant rows labelled asid=…)
 
 TRACE TOOLS:
   atp trace record --workload W --out FILE --accesses N [--phys N …]
@@ -470,6 +483,207 @@ pub fn sweep_cmd(raw: &[String]) -> Result<(), ArgError> {
                 &labels,
                 row.stages.evicted_pages,
             );
+        }
+        write_text(path, &reg.render(format))?;
+        eprintln!("metrics: {path}");
+    }
+    Ok(())
+}
+
+/// Parses a comma-separated list with [`parse_u64`] element syntax.
+fn u64_list(args: &Args, name: &str, default: &[u64]) -> Result<Vec<u64>, ArgError> {
+    match args.get(name) {
+        None => Ok(default.to_vec()),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| parse_u64(s).map_err(|_| ArgError(format!("--{name}: bad integer {s:?}"))))
+            .collect(),
+    }
+}
+
+/// Parses a comma-separated f64 list.
+fn f64_list(args: &Args, name: &str, default: &[f64]) -> Result<Vec<f64>, ArgError> {
+    match args.get(name) {
+        None => Ok(default.to_vec()),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{name}: bad float {s:?}")))
+            })
+            .collect(),
+    }
+}
+
+/// One finished tenants sweep point.
+struct TenantRow {
+    tenants: u64,
+    skew: f64,
+    stats: atp_sim::TenantStats,
+}
+
+/// `atp tenants` — the multi-tenant sweep: N tenants × activity skew over
+/// one shared physical pool, driven by [`TenantMix`] context-switch
+/// traces. `tagged` runs the dedicated ASID-tagged manager (shared
+/// `AsidTlb`, switches flush nothing); `arena` interleaves tenants into
+/// one classic manager's address space as the untagged baseline.
+pub fn tenants_cmd(raw: &[String]) -> Result<(), ArgError> {
+    let args = Args::parse(raw, &[])?;
+    check_opts(
+        &args,
+        &[
+            "manager",
+            "tenants",
+            "skew",
+            "page-skew",
+            "quantum",
+            "churn",
+            "vspan",
+            "per-tenant-cap",
+            "metrics",
+            "format",
+        ],
+    )?;
+    let c = common(&args)?;
+    let tenant_counts = u64_list(&args, "tenants", &[1, 16, 256])?;
+    let skews = f64_list(&args, "skew", &[1.1])?;
+    let page_skew = args.f64_or("page-skew", 1.01)?;
+    let quantum = args.u64_or("quantum", 256)?;
+    let churn = args.f64_or("churn", 0.0)?;
+    if !(0.0..=1.0).contains(&churn) {
+        return Err(ArgError(format!("--churn must be in [0,1], got {churn}")));
+    }
+    let vspan = args.u64_or("vspan", c.virt)?;
+    if vspan == 0 || quantum == 0 {
+        return Err(ArgError("--vspan and --quantum must be nonzero".into()));
+    }
+    for &n in &tenant_counts {
+        if n == 0 || n > u32::MAX as u64 {
+            return Err(ArgError(format!("--tenants: count {n} out of range")));
+        }
+    }
+    let mname = args.get_or("manager", "tagged");
+    let per_tenant_cap = args.u64_or("per-tenant-cap", 16)? as usize;
+    let format = export_format(&args)?;
+
+    let mut rows = Vec::new();
+    println!("tenants\tskew\taccesses\tios\ttlb_misses\tswitches\tretired\tshootdowns\tseen");
+    for &n in &tenant_counts {
+        for &skew in &skews {
+            let mix =
+                atp_workloads::TenantMix::new(c.seed, n, vspan, skew, page_skew, quantum, churn);
+            // Control records don't consume quota; 3× covers the worst case
+            // (quantum 1 with churn: switch + access + retire per slice).
+            let ops = mix.take((c.warmup + c.accesses) as usize * 3);
+            let stats = match mname {
+                "tagged" => {
+                    let mut mm = atp_memmgmt::TenantMm::new(atp_memmgmt::TenantMmConfig {
+                        huge_pages: c.h,
+                        phys_pages: c.phys,
+                        tlb_entries: c.tlb,
+                        tlb_policy: c.policy,
+                        ram_policy: c.policy,
+                        seed: c.seed,
+                    });
+                    atp_sim::run_tenants(&mut mm, ops, c.warmup, c.accesses)
+                }
+                "arena" => {
+                    let mut arena = atp_memmgmt::TenantArena::new(
+                        Pipeline::from_stages(ClassicStages::new(ClassicConfig {
+                            huge_pages: c.h,
+                            phys_pages: c.phys,
+                            tlb_entries: c.tlb,
+                            tlb_policy: c.policy,
+                            ram_policy: c.policy,
+                            seed: c.seed,
+                        })),
+                        vspan,
+                    );
+                    atp_sim::run_tenants(&mut arena, ops, c.warmup, c.accesses)
+                }
+                other => {
+                    return Err(ArgError(format!(
+                        "unknown tenants manager {other:?} (tagged|arena)"
+                    )))
+                }
+            };
+            println!(
+                "{n}\t{skew}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                stats.costs.accesses,
+                stats.costs.ios,
+                stats.costs.tlb_misses,
+                stats.switches,
+                stats.retirements,
+                stats.shootdowns,
+                stats.tenants_seen()
+            );
+            rows.push(TenantRow {
+                tenants: n,
+                skew,
+                stats,
+            });
+        }
+    }
+
+    if let Some(path) = args.get("metrics") {
+        let mut reg = atp_obs::MetricsRegistry::new();
+        reg.set_meta("command", "tenants");
+        reg.set_meta("manager", mname);
+        reg.set_meta("quantum", &quantum.to_string());
+        reg.set_meta("churn", &format!("{churn}"));
+        reg.set_meta("page_skew", &format!("{page_skew}"));
+        for row in &rows {
+            let n_s = row.tenants.to_string();
+            let skew_s = format!("{}", row.skew);
+            let labels = [
+                ("manager", mname),
+                ("tenants", n_s.as_str()),
+                ("skew", skew_s.as_str()),
+            ];
+            atp_obs::costs_into(&mut reg, &labels, &row.stats.costs, c.model);
+            reg.counter(
+                "atp_context_switches",
+                "measured context switches",
+                &labels,
+                row.stats.switches,
+            );
+            reg.counter(
+                "atp_tenant_retirements",
+                "tenants retired during measurement",
+                &labels,
+                row.stats.retirements,
+            );
+            reg.counter(
+                "atp_tlb_shootdowns",
+                "TLB entries shot down by switches and retirements",
+                &labels,
+                row.stats.shootdowns,
+            );
+            // Per-tenant breakdown, top `per_tenant_cap` by accesses so a
+            // million-tenant sweep cannot explode the artifact. The
+            // truncation is recorded, never silent.
+            let mut per = row.stats.per_tenant.clone();
+            per.sort_by_key(|(a, costs)| (core::cmp::Reverse(costs.accesses), a.0));
+            if per.len() > per_tenant_cap {
+                reg.counter(
+                    "atp_tenants_truncated",
+                    "tenants omitted from the per-tenant breakdown",
+                    &labels,
+                    (per.len() - per_tenant_cap) as u64,
+                );
+                per.truncate(per_tenant_cap);
+            }
+            for (asid, costs) in &per {
+                let asid_s = asid.id().to_string();
+                let tlabels = [
+                    ("manager", mname),
+                    ("tenants", n_s.as_str()),
+                    ("skew", skew_s.as_str()),
+                    ("asid", asid_s.as_str()),
+                ];
+                atp_obs::costs_into(&mut reg, &tlabels, costs, c.model);
+            }
         }
         write_text(path, &reg.render(format))?;
         eprintln!("metrics: {path}");
@@ -958,6 +1172,142 @@ mod tests {
         assert_eq!(crate::run(&argv(&["help"])), 0);
         assert_eq!(crate::run(&argv(&["bogus"])), 2);
         assert_eq!(crate::run(&[]), 2);
+    }
+
+    #[test]
+    fn tenants_runs_both_managers() {
+        for mgr in ["tagged", "arena"] {
+            tenants_cmd(&argv(&[
+                "--manager",
+                mgr,
+                "--tenants",
+                "1,8",
+                "--skew",
+                "1.1,1.3",
+                "--phys",
+                "2^10",
+                "--tlb",
+                "64",
+                "--vspan",
+                "2^10",
+                "--quantum",
+                "32",
+                "--accesses",
+                "4k",
+                "--warmup",
+                "1k",
+                "--h",
+                "4",
+            ]))
+            .unwrap_or_else(|e| panic!("{mgr}: {e}"));
+        }
+        assert!(tenants_cmd(&argv(&["--manager", "nope"])).is_err());
+    }
+
+    #[test]
+    fn tenants_exports_per_tenant_metrics() {
+        let dir = std::env::temp_dir().join("atp_cli_tenants_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("tenants.json");
+        tenants_cmd(&argv(&[
+            "--tenants",
+            "4",
+            "--skew",
+            "1.2",
+            "--churn",
+            "0.1",
+            "--phys",
+            "2^10",
+            "--tlb",
+            "64",
+            "--vspan",
+            "2^9",
+            "--quantum",
+            "32",
+            "--accesses",
+            "4k",
+            "--warmup",
+            "0",
+            "--h",
+            "4",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        let doc = atp_obs::json::parse(&m).expect("metrics must be valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("atp-metrics-v1")
+        );
+        // Aggregate rows labelled by sweep point, per-tenant rows by ASID.
+        assert!(
+            m.contains("\"tenants\": \"4\""),
+            "sweep-point label missing"
+        );
+        assert!(m.contains("\"asid\": \"0\""), "per-tenant label missing");
+        assert!(m.contains("atp_context_switches"));
+        assert!(m.contains("atp_tlb_shootdowns"));
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn tenants_rejects_unknown_duplicate_and_bad_options() {
+        // PR-4 convention: typos and repeats are hard errors everywhere.
+        let err = tenants_cmd(&argv(&["--tenatns", "4"])).unwrap_err();
+        assert!(err.0.contains("--tenatns"), "{err}");
+        let err = tenants_cmd(&argv(&["--skew", "1.1", "--skew", "1.2"])).unwrap_err();
+        assert!(err.0.contains("more than once"), "{err}");
+        assert!(tenants_cmd(&argv(&["--tenants", "0"])).is_err());
+        assert!(tenants_cmd(&argv(&["--tenants", "1,bogus"])).is_err());
+        assert!(tenants_cmd(&argv(&["--skew", "1.1,x"])).is_err());
+        assert!(tenants_cmd(&argv(&["--churn", "1.5"])).is_err());
+        assert!(tenants_cmd(&argv(&["--tenants", "2^33"])).is_err());
+    }
+
+    #[test]
+    fn tenants_deterministic_output_rows() {
+        // Two identical invocations must produce identical metric files —
+        // the sweep is a pure function of its arguments.
+        let dir = std::env::temp_dir().join("atp_cli_tenants_det_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        for path in [&a, &b] {
+            tenants_cmd(&argv(&[
+                "--tenants",
+                "16",
+                "--skew",
+                "1.1",
+                "--churn",
+                "0.05",
+                "--phys",
+                "2^10",
+                "--tlb",
+                "64",
+                "--vspan",
+                "2^9",
+                "--quantum",
+                "16",
+                "--accesses",
+                "8k",
+                "--warmup",
+                "1k",
+                "--h",
+                "4",
+                "--metrics",
+                path.to_str().unwrap(),
+                "--format",
+                "csv",
+            ]))
+            .unwrap();
+        }
+        let ba = std::fs::read_to_string(&a).unwrap();
+        let bb = std::fs::read_to_string(&b).unwrap();
+        assert_eq!(ba, bb, "tenants sweep must be deterministic");
+        for f in [&a, &b] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

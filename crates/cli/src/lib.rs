@@ -7,6 +7,9 @@
 //!   `--window` export machine-readable artifacts;
 //! * `sweep` — the Figure-1 huge-page-size sweep on any workload, fanned
 //!   out over worker threads;
+//! * `tenants` — the multi-tenant sweep: N ASID-tagged address spaces ×
+//!   activity skew over one shared physical pool, with per-tenant
+//!   metrics export;
 //! * `multicore` — per-core TLBs over a shared page cache with
 //!   TLB-shootdown accounting;
 //! * `trace record|stats|mrc` — capture workloads to the binary trace
@@ -35,6 +38,7 @@ pub fn run(argv: &[String]) -> i32 {
     let result = match cmd {
         "simulate" => commands::simulate(rest),
         "sweep" => commands::sweep_cmd(rest),
+        "tenants" => commands::tenants_cmd(rest),
         "multicore" => commands::multicore_cmd(rest),
         "trace" => commands::trace_cmd(rest),
         "calibrate" => commands::calibrate(rest),

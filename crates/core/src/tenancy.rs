@@ -1,0 +1,250 @@
+//! One shared physical pool serving many tenants.
+//!
+//! [`SharedPoolAlloc`] adapts any single-address-space [`RamAllocator`]
+//! into a multi-tenant allocator: tenant `a`'s page `v` is placed as the
+//! *pool page* `a · vspan + v` of the underlying allocator, an injective
+//! embedding, so the allocator's own injectivity/stability guarantees
+//! carry over tenant-by-tenant while every tenant competes for the same
+//! `P` frames and the same hashed bins. This is the regime the paper
+//! never measured: Iceberg's load bounds are per-pool, so one tenant
+//! with a hot, colliding working set inflates its *neighbours'* paging
+//! failure sets `F`. Per-tenant residency and failure counts are
+//! tracked here for exactly that measurement.
+
+use crate::alloc::{PagingFailure, Placement, RamAllocator};
+use atp_hash::{FxHashMap, FxHashSet};
+use atp_types::{Asid, PhysPage, VirtPage};
+
+/// A multi-tenant view over one [`RamAllocator`] pool.
+///
+/// All tenants share the pool's frames, bins, and hash functions; the
+/// embedding `pool_page = asid · vspan + v` keeps tenants' address
+/// spaces disjoint. `Asid(0)` maps to the identity embedding, so a
+/// single-tenant run is bit-for-bit the raw allocator.
+#[derive(Debug)]
+pub struct SharedPoolAlloc<A: RamAllocator> {
+    alloc: A,
+    /// Virtual-address-space span per tenant: `v < vspan` for every
+    /// placed page.
+    vspan: u64,
+    /// Per-tenant placed pages (per-tenant v ids), for retirement.
+    placed: FxHashMap<u32, FxHashSet<u64>>,
+    /// Per-tenant paging-failure counts (the size of each tenant's
+    /// stream of failed placements, not a deduplicated set).
+    failures: FxHashMap<u32, u64>,
+}
+
+impl<A: RamAllocator> SharedPoolAlloc<A> {
+    /// Wraps `alloc`, giving each tenant a virtual span of `vspan` pages.
+    ///
+    /// # Panics
+    /// Panics if `vspan == 0`.
+    pub fn new(alloc: A, vspan: u64) -> Self {
+        assert!(vspan > 0, "tenant virtual span must be nonzero");
+        Self {
+            alloc,
+            vspan,
+            placed: FxHashMap::default(),
+            failures: FxHashMap::default(),
+        }
+    }
+
+    /// The injective tenant embedding into the pool's address space.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the tenant's span.
+    #[inline]
+    pub fn pool_page(&self, asid: Asid, v: VirtPage) -> VirtPage {
+        assert!(
+            v.0 < self.vspan,
+            "page {v} outside tenant span {}",
+            self.vspan
+        );
+        VirtPage((asid.0 as u64) * self.vspan + v.0)
+    }
+
+    /// Places tenant `asid`'s page `v` in the shared pool. A failure is
+    /// charged to that tenant's failure count.
+    pub fn place(&mut self, asid: Asid, v: VirtPage) -> Result<Placement, PagingFailure> {
+        let pool = self.pool_page(asid, v);
+        match self.alloc.place(pool) {
+            Ok(p) => {
+                self.placed.entry(asid.0).or_default().insert(v.0);
+                Ok(p)
+            }
+            Err(f) => {
+                *self.failures.entry(asid.0).or_default() += 1;
+                Err(f)
+            }
+        }
+    }
+
+    /// Frees tenant `asid`'s page `v`, returning its frame if placed.
+    pub fn free(&mut self, asid: Asid, v: VirtPage) -> Option<PhysPage> {
+        let pool = self.pool_page(asid, v);
+        let frame = self.alloc.free(pool);
+        if frame.is_some() {
+            if let Some(set) = self.placed.get_mut(&asid.0) {
+                set.remove(&v.0);
+            }
+        }
+        frame
+    }
+
+    /// Current frame of tenant `asid`'s page `v`, if placed.
+    pub fn frame_of(&self, asid: Asid, v: VirtPage) -> Option<PhysPage> {
+        self.alloc.frame_of(self.pool_page(asid, v))
+    }
+
+    /// Frees every page of `asid` (tenant retirement), returning how many
+    /// frames were released. Pages are released in ascending page order
+    /// so the underlying allocator sees a deterministic sequence.
+    pub fn retire(&mut self, asid: Asid) -> u64 {
+        let Some(set) = self.placed.remove(&asid.0) else {
+            self.failures.remove(&asid.0);
+            return 0;
+        };
+        let mut pages: Vec<u64> = set.into_iter().collect();
+        pages.sort_unstable();
+        let mut freed = 0u64;
+        for v in pages {
+            if self
+                .alloc
+                .free(VirtPage((asid.0 as u64) * self.vspan + v))
+                .is_some()
+            {
+                freed += 1;
+            }
+        }
+        self.failures.remove(&asid.0);
+        freed
+    }
+
+    /// Number of pages tenant `asid` currently has placed.
+    pub fn tenant_resident(&self, asid: Asid) -> u64 {
+        self.placed.get(&asid.0).map_or(0, |s| s.len() as u64)
+    }
+
+    /// Paging failures charged to tenant `asid` so far.
+    pub fn tenant_failures(&self, asid: Asid) -> u64 {
+        self.failures.get(&asid.0).copied().unwrap_or(0)
+    }
+
+    /// ASIDs with at least one placed page, in ascending order.
+    pub fn active_tenants(&self) -> Vec<Asid> {
+        let mut ids: Vec<u32> = self
+            .placed
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&a, _)| a)
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(Asid).collect()
+    }
+
+    /// The per-tenant virtual span.
+    pub fn vspan(&self) -> u64 {
+        self.vspan
+    }
+
+    /// Total resident pages across all tenants.
+    pub fn resident(&self) -> u64 {
+        self.alloc.resident()
+    }
+
+    /// The shared pool's total physical pages `P`.
+    pub fn phys_pages(&self) -> u64 {
+        self.alloc.phys_pages()
+    }
+
+    /// Read access to the wrapped allocator.
+    pub fn inner(&self) -> &A {
+        &self.alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::IcebergAlloc;
+    use crate::params::IcebergParams;
+
+    fn pool() -> SharedPoolAlloc<IcebergAlloc> {
+        let params = IcebergParams::derive(1 << 10);
+        SharedPoolAlloc::new(IcebergAlloc::new(&params, 11), 1 << 20)
+    }
+
+    #[test]
+    fn embedding_is_injective_across_tenants() {
+        let p = pool();
+        let a = p.pool_page(Asid(1), VirtPage(5));
+        let b = p.pool_page(Asid(2), VirtPage(5));
+        assert_ne!(a, b);
+        // Asid(0) is the identity embedding: single-tenant parity.
+        assert_eq!(p.pool_page(Asid::SINGLE, VirtPage(5)), VirtPage(5));
+    }
+
+    #[test]
+    fn tenants_share_one_pool() {
+        let mut p = pool();
+        p.place(Asid(1), VirtPage(0)).unwrap();
+        p.place(Asid(2), VirtPage(0)).unwrap();
+        assert_eq!(p.resident(), 2);
+        assert_eq!(p.tenant_resident(Asid(1)), 1);
+        assert_eq!(p.tenant_resident(Asid(2)), 1);
+        let f1 = p.frame_of(Asid(1), VirtPage(0)).unwrap();
+        let f2 = p.frame_of(Asid(2), VirtPage(0)).unwrap();
+        assert_ne!(
+            f1, f2,
+            "injectivity: same v, different tenants, different frames"
+        );
+    }
+
+    #[test]
+    fn retire_releases_everything() {
+        let mut p = pool();
+        for v in 0..50u64 {
+            p.place(Asid(3), VirtPage(v)).unwrap();
+        }
+        p.place(Asid(4), VirtPage(0)).unwrap();
+        assert_eq!(p.retire(Asid(3)), 50);
+        assert_eq!(p.tenant_resident(Asid(3)), 0);
+        assert_eq!(p.resident(), 1, "other tenants unaffected");
+        assert_eq!(p.retire(Asid(3)), 0);
+        assert_eq!(p.active_tenants(), vec![Asid(4)]);
+    }
+
+    #[test]
+    fn free_updates_tenant_accounting() {
+        let mut p = pool();
+        p.place(Asid(1), VirtPage(7)).unwrap();
+        assert!(p.free(Asid(1), VirtPage(7)).is_some());
+        assert!(p.free(Asid(1), VirtPage(7)).is_none());
+        assert_eq!(p.tenant_resident(Asid(1)), 0);
+    }
+
+    #[test]
+    fn failures_are_charged_per_tenant() {
+        // Tiny pool: force failures by overfilling.
+        let params = IcebergParams::derive(64);
+        let mut p = SharedPoolAlloc::new(IcebergAlloc::new(&params, 5), 1 << 20);
+        let mut failed = 0u64;
+        for asid in 1..=4u32 {
+            for v in 0..64u64 {
+                if p.place(Asid(asid), VirtPage(v)).is_err() {
+                    failed += 1;
+                }
+            }
+        }
+        assert!(failed > 0, "overfilled pool must fail some placements");
+        let charged: u64 = (1..=4u32).map(|a| p.tenant_failures(Asid(a))).sum();
+        assert_eq!(charged, failed);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tenant span")]
+    fn out_of_span_page_rejected() {
+        let p = SharedPoolAlloc::new(IcebergAlloc::new(&IcebergParams::derive(64), 5), 16);
+        p.pool_page(Asid(1), VirtPage(16));
+    }
+}

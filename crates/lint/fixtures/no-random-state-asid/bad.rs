@@ -1,0 +1,13 @@
+// atp-lint: pretend(crate = "memmgmt", class = "lib")
+// Multi-tenant violation: per-tenant cost maps keyed by ASID on the std
+// HashMap inherit RandomState, so the order tenants are summed or
+// exported in — and therefore every per-tenant report — varies across
+// runs, breaking the N-tenant sweep's determinism contract.
+
+pub(crate) fn per_tenant_costs(events: &[(u32, u64)]) -> HashMap<u32, u64> {
+    let mut by_asid: HashMap<u32, u64> = HashMap::new();
+    for &(asid, ios) in events {
+        *by_asid.entry(asid).or_insert(0) += ios;
+    }
+    by_asid
+}

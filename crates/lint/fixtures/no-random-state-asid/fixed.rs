@@ -1,0 +1,12 @@
+// atp-lint: pretend(crate = "memmgmt", class = "lib")
+// Fixed twin: the deterministic hasher pins ASID iteration order, so
+// per-tenant breakdowns are a pure function of the event stream (the
+// exporters additionally sort by ASID before rendering).
+
+pub(crate) fn per_tenant_costs(events: &[(u32, u64)]) -> FxHashMap<u32, u64> {
+    let mut by_asid: FxHashMap<u32, u64> = FxHashMap::default();
+    for &(asid, ios) in events {
+        *by_asid.entry(asid).or_insert(0) += ios;
+    }
+    by_asid
+}

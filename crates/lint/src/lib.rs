@@ -133,7 +133,7 @@ pub struct RuleInfo {
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "no-wall-clock",
-        summary: "Instant/SystemTime banned in deterministic crates (sim, types, ballsbins, tlb, pagetable, replacement, memmgmt, obs)",
+        summary: "Instant/SystemTime banned in deterministic crates (sim, types, ballsbins, tlb, pagetable, replacement, memmgmt, obs, trace, workloads, core)",
     },
     RuleInfo {
         name: "no-ambient-randomness",

@@ -19,6 +19,9 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "replacement",
     "memmgmt",
     "obs",
+    "trace",
+    "workloads",
+    "core",
 ];
 
 /// Crates where a `HashMap` iteration order can reach a reported result

@@ -114,6 +114,38 @@ fn every_fixed_twin_is_silent() {
     }
 }
 
+/// Scenario fixtures beyond the one-pair-per-rule corpus: concrete
+/// violation shapes worth pinning that reuse an existing rule (so they
+/// cannot live in [`PAIRS`], whose length must equal `RULES.len()`).
+const SCENARIO_PAIRS: &[(&str, &str, &str)] = &[(
+    "no-random-state",
+    "no-random-state-asid/bad.rs",
+    "no-random-state-asid/fixed.rs",
+)];
+
+#[test]
+fn scenario_fixtures_fire_and_their_twins_are_silent() {
+    for (rule, bad, fixed) in SCENARIO_PAIRS {
+        let findings = analyze_fixture(bad);
+        assert!(
+            findings.iter().any(|f| f.rule == *rule),
+            "`{rule}` did not fire on {bad}: {findings:?}"
+        );
+        for f in &findings {
+            assert_eq!(
+                f.rule, *rule,
+                "{bad} is not minimal — unrelated `{}` fired: {findings:?}",
+                f.rule
+            );
+        }
+        let findings = analyze_fixture(fixed);
+        assert!(
+            findings.is_empty(),
+            "fixed twin for `{rule}` scenario still fires: {findings:?}"
+        );
+    }
+}
+
 #[test]
 fn lexer_adversarial_corpus_has_zero_false_positives() {
     let findings = analyze_fixture("lexer/adversarial.rs");

@@ -40,6 +40,7 @@ pub mod observe;
 pub mod only;
 pub mod pipeline;
 pub mod sparse;
+pub mod tenancy;
 pub mod thp;
 pub mod traits;
 
@@ -53,5 +54,6 @@ pub use observe::{
 pub use only::{PagingOnlyMm, VirtualOnlyMm};
 pub use pipeline::{Pipeline, Stages, TlbProbe};
 pub use sparse::{SparseConfig, SparseDecoupledMm};
+pub use tenancy::{TenantArena, TenantManager, TenantMm, TenantMmConfig};
 pub use thp::{ThpConfig, ThpMm, ThpStats};
 pub use traits::{AccessReport, MemoryManager};

@@ -37,6 +37,28 @@ pub trait MemoryManager {
     fn batch_boundary(&mut self, _len: usize) {}
 }
 
+impl<M: MemoryManager + ?Sized> MemoryManager for Box<M> {
+    fn access(&mut self, v: VirtPage) -> AccessReport {
+        (**self).access(v)
+    }
+
+    fn costs(&self) -> Costs {
+        (**self).costs()
+    }
+
+    fn reset_costs(&mut self) {
+        (**self).reset_costs()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn batch_boundary(&mut self, len: usize) {
+        (**self).batch_boundary(len)
+    }
+}
+
 /// Folds an [`AccessReport`] into a [`Costs`] tally.
 pub fn tally(costs: &mut Costs, r: AccessReport) {
     costs.accesses += 1;

@@ -1,0 +1,183 @@
+//! Per-tenant page tables over a shared frame budget.
+//!
+//! Each tenant owns a private [`PageTable`] (created on demand by a
+//! factory), but all tables draw structural pages from one shared
+//! budget — the multi-tenant analogue of the kernel's page-table frame
+//! pool. [`TenantTables`] accounts walk touches and table overhead
+//! across tenants so experiments can measure how table sprawl scales
+//! with tenant count.
+
+use crate::{PageTable, WalkStats};
+use atp_hash::FxHashMap;
+use atp_types::{Asid, PhysPage, VirtPage};
+
+/// A collection of per-tenant page tables behind one shared-frame
+/// interface.
+pub struct TenantTables<T, F>
+where
+    T: PageTable,
+    F: FnMut(Asid) -> T,
+{
+    tables: FxHashMap<u32, T>,
+    make: F,
+    /// Cumulative walk touches across all tenants.
+    touches: u64,
+}
+
+impl<T, F> std::fmt::Debug for TenantTables<T, F>
+where
+    T: PageTable,
+    F: FnMut(Asid) -> T,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantTables")
+            .field("tenants", &self.tables.len())
+            .field("touches", &self.touches)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T, F> TenantTables<T, F>
+where
+    T: PageTable,
+    F: FnMut(Asid) -> T,
+{
+    /// Creates the collection; `make` builds a fresh table the first
+    /// time an ASID is seen (seed it from the ASID for determinism).
+    pub fn new(make: F) -> Self {
+        Self {
+            tables: FxHashMap::default(),
+            make,
+            touches: 0,
+        }
+    }
+
+    /// The table of `asid`, created on first use.
+    pub fn table(&mut self, asid: Asid) -> &mut T {
+        self.tables
+            .entry(asid.0)
+            .or_insert_with(|| (self.make)(asid))
+    }
+
+    /// Maps `v → p` in tenant `asid`'s table.
+    pub fn map(&mut self, asid: Asid, v: VirtPage, p: PhysPage) -> WalkStats {
+        let s = self.table(asid).map(v, p);
+        self.touches += s.touches;
+        s
+    }
+
+    /// Removes tenant `asid`'s mapping for `v`.
+    pub fn unmap(&mut self, asid: Asid, v: VirtPage) -> (Option<PhysPage>, WalkStats) {
+        let (p, s) = self.table(asid).unmap(v);
+        self.touches += s.touches;
+        (p, s)
+    }
+
+    /// Translates `v` in tenant `asid`'s address space. Unknown tenants
+    /// translate to nothing at zero cost (their table does not exist yet).
+    pub fn translate(&mut self, asid: Asid, v: VirtPage) -> (Option<PhysPage>, WalkStats) {
+        match self.tables.get(&asid.0) {
+            Some(t) => {
+                let (p, s) = t.translate(v);
+                self.touches += s.touches;
+                (p, s)
+            }
+            None => (None, WalkStats::default()),
+        }
+    }
+
+    /// Drops tenant `asid`'s whole table (retirement), returning
+    /// `(mapped pages, table pages)` it was holding.
+    pub fn retire(&mut self, asid: Asid) -> (u64, u64) {
+        match self.tables.remove(&asid.0) {
+            Some(t) => (t.mapped(), t.table_pages()),
+            None => (0, 0),
+        }
+    }
+
+    /// Number of tenants with a table.
+    pub fn tenants(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total mapped base pages across all tenants.
+    pub fn mapped(&self) -> u64 {
+        self.tables.values().map(PageTable::mapped).sum()
+    }
+
+    /// Total structural overhead across all tenants, in 4 kB table
+    /// pages — the shared frame budget all tables draw from.
+    pub fn table_pages(&self) -> u64 {
+        self.tables.values().map(PageTable::table_pages).sum()
+    }
+
+    /// Cumulative walk touches across all tenants.
+    pub fn total_touches(&self) -> u64 {
+        self.touches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HashPageTable;
+
+    fn tables() -> TenantTables<HashPageTable, impl FnMut(Asid) -> HashPageTable> {
+        TenantTables::new(|asid| HashPageTable::new(0x5EED ^ asid.0 as u64, 64))
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut tt = tables();
+        tt.map(Asid(1), VirtPage(5), PhysPage(50));
+        tt.map(Asid(2), VirtPage(5), PhysPage(70));
+        assert_eq!(tt.translate(Asid(1), VirtPage(5)).0, Some(PhysPage(50)));
+        assert_eq!(tt.translate(Asid(2), VirtPage(5)).0, Some(PhysPage(70)));
+        assert_eq!(tt.translate(Asid(3), VirtPage(5)).0, None);
+        assert_eq!(tt.tenants(), 2);
+    }
+
+    #[test]
+    fn unknown_tenant_translates_free() {
+        let mut tt = tables();
+        let (p, s) = tt.translate(Asid(9), VirtPage(0));
+        assert_eq!(p, None);
+        assert_eq!(s.touches, 0);
+        assert_eq!(tt.tenants(), 0, "translate must not instantiate tables");
+    }
+
+    #[test]
+    fn retire_drops_only_that_tenant() {
+        let mut tt = tables();
+        for v in 0..10u64 {
+            tt.map(Asid(1), VirtPage(v), PhysPage(v));
+        }
+        tt.map(Asid(2), VirtPage(0), PhysPage(9));
+        let (mapped, table_pages) = tt.retire(Asid(1));
+        assert_eq!(mapped, 10);
+        assert!(table_pages > 0);
+        assert_eq!(tt.retire(Asid(1)), (0, 0));
+        assert_eq!(tt.mapped(), 1);
+        assert_eq!(tt.translate(Asid(1), VirtPage(0)).0, None);
+    }
+
+    #[test]
+    fn shared_budget_sums_tenants() {
+        let mut tt = tables();
+        tt.map(Asid(1), VirtPage(0), PhysPage(0));
+        tt.map(Asid(2), VirtPage(1), PhysPage(1));
+        assert_eq!(tt.mapped(), 2);
+        assert!(tt.table_pages() >= 2, "each tenant's table costs frames");
+        assert!(tt.total_touches() > 0);
+    }
+
+    #[test]
+    fn unmap_accounts_touches() {
+        let mut tt = tables();
+        tt.map(Asid(1), VirtPage(3), PhysPage(4));
+        let before = tt.total_touches();
+        let (p, _) = tt.unmap(Asid(1), VirtPage(3));
+        assert_eq!(p, Some(PhysPage(4)));
+        assert!(tt.total_touches() > before);
+    }
+}

@@ -220,6 +220,30 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
         self.remove_entry(k).is_some()
     }
 
+    /// Removes every resident entry whose key satisfies `pred`, returning
+    /// how many were removed. Scans the slot arena in slot order, so the
+    /// removal sequence is deterministic. Used for bulk invalidation —
+    /// tearing down one tenant's entries out of a shared structure
+    /// (`flush_asid`, tenant retirement) without disturbing the rest.
+    pub fn remove_matching(&mut self, mut pred: impl FnMut(&K) -> bool) -> u64 {
+        let mut removed = 0u64;
+        for slot in 0..self.capacity {
+            let matches = match &self.slots[slot] {
+                Some((k, _)) => pred(k),
+                None => false,
+            };
+            if matches {
+                // atp-lint: allow(unwrap-policy, reason = "invariant: the slot was just observed occupied")
+                let (k, _) = self.slots[slot].take().expect("slot occupied");
+                self.policy.on_remove(slot as SlotId);
+                self.map.remove(&k);
+                self.free.push(slot as u32);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Iterates over resident keys (arbitrary order).
     pub fn keys(&self) -> impl Iterator<Item = &K> {
         self.map.keys()
@@ -412,6 +436,26 @@ mod tests {
         assert_eq!(c.remove_entry(&7), Some(70));
         assert_eq!(c.remove_entry(&7), None);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn remove_matching_bulk_invalidates() {
+        let mut c = lru_cache(8);
+        for k in 0..8u64 {
+            c.access(k);
+        }
+        assert_eq!(c.remove_matching(|&k| k % 2 == 0), 4);
+        assert_eq!(c.len(), 4);
+        for k in 0..8u64 {
+            assert_eq!(c.contains(&k), k % 2 == 1);
+        }
+        // Freed capacity is reusable and survivors keep working.
+        assert!(c.access(1).is_hit());
+        match c.access(100) {
+            AccessResult::Miss { evicted } => assert_eq!(evicted, None),
+            _ => panic!("expected miss"),
+        }
+        assert_eq!(c.remove_matching(|_| false), 0);
     }
 
     #[test]

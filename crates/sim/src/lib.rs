@@ -16,6 +16,7 @@ pub mod multicore;
 pub mod replicate;
 pub mod runner;
 pub mod sweep;
+pub mod tenants;
 
 pub use epsilon::LatencyModel;
 pub use multicore::{
@@ -25,3 +26,4 @@ pub use multicore::{
 pub use replicate::{replicate, Summary};
 pub use runner::{run, run_batched, SimStats, DEFAULT_BATCH};
 pub use sweep::{sweep, sweep_with_progress};
+pub use tenants::{run_tenants, run_tenants_batched, TenantStats};

@@ -1,0 +1,248 @@
+//! Context-switch-aware driver for multi-tenant traces.
+//!
+//! Mirrors [`crate::runner`]'s warmup/measure protocol, but over
+//! [`TenantOp`] streams: `Access` records are replayed against the
+//! current tenant, `Switch` records change the current tenant (free for
+//! ASID-tagged managers, a shootdown storm for anything that must
+//! flush), and `Retire` records tear a tenant down so its ASID can be
+//! recycled. Only `Access` records count toward the warmup/measure
+//! quotas — control records ride along with whatever access they
+//! precede, so the same access sequence under different switch cadences
+//! stays length-comparable.
+//!
+//! The current tenant starts at [`Asid::SINGLE`], so a stream with no
+//! `Switch` records drives the manager exactly like the single-tenant
+//! runner drives a [`atp_memmgmt::MemoryManager`].
+
+use atp_memmgmt::TenantManager;
+use atp_types::{Asid, Costs, TenantOp};
+
+use crate::runner::DEFAULT_BATCH;
+
+/// Result of one multi-tenant run.
+///
+/// Wall-clock-free like [`crate::runner::SimStats`]: a pure function of
+/// (manager, ops, warmup, measure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Manager description.
+    pub name: String,
+    /// Aggregate costs accumulated during the measurement phase.
+    pub costs: Costs,
+    /// Aggregate costs accumulated during warmup (informational).
+    pub warmup_costs: Costs,
+    /// Per-tenant measurement-phase costs, ascending by ASID.
+    pub per_tenant: Vec<(Asid, Costs)>,
+    /// Context switches replayed during measurement.
+    pub switches: u64,
+    /// Tenants retired during measurement.
+    pub retirements: u64,
+    /// TLB entries shot down by measurement-phase switches and
+    /// retirements (the shootdown storm; 0 for tagged TLBs under pure
+    /// switching).
+    pub shootdowns: u64,
+}
+
+impl TenantStats {
+    /// Distinct tenants that made at least one measured access.
+    pub fn tenants_seen(&self) -> usize {
+        self.per_tenant.len()
+    }
+}
+
+/// Drives `mgr` over `ops` with the warmup/measure protocol and the
+/// default batch size.
+pub fn run_tenants<M: TenantManager + ?Sized>(
+    mgr: &mut M,
+    ops: impl IntoIterator<Item = TenantOp>,
+    warmup: u64,
+    measure: u64,
+) -> TenantStats {
+    run_tenants_batched(mgr, ops, warmup, measure, DEFAULT_BATCH)
+}
+
+/// [`run_tenants`] with an explicit batch size (accesses per
+/// [`TenantManager::batch_boundary`] announcement).
+///
+/// # Panics
+/// Panics if `batch` is zero.
+pub fn run_tenants_batched<M: TenantManager + ?Sized>(
+    mgr: &mut M,
+    ops: impl IntoIterator<Item = TenantOp>,
+    warmup: u64,
+    measure: u64,
+    batch: usize,
+) -> TenantStats {
+    assert!(batch > 0, "batch size must be positive");
+    let mut iter = ops.into_iter();
+    let mut current = Asid::SINGLE;
+
+    drive(mgr, &mut iter, &mut current, warmup, batch);
+    let warmup_costs = mgr.costs();
+    mgr.reset_costs();
+    let measured = drive(mgr, &mut iter, &mut current, measure, batch);
+
+    TenantStats {
+        name: mgr.name(),
+        costs: mgr.costs(),
+        warmup_costs,
+        per_tenant: mgr.tenant_costs(),
+        switches: measured.switches,
+        retirements: measured.retirements,
+        shootdowns: measured.shootdowns,
+    }
+}
+
+#[derive(Default)]
+struct PhaseCounts {
+    switches: u64,
+    retirements: u64,
+    shootdowns: u64,
+}
+
+/// Replays ops until `quota` accesses have been made or the stream ends.
+/// Control records (`Switch`, `Retire`) do not consume quota.
+fn drive<M: TenantManager + ?Sized>(
+    mgr: &mut M,
+    iter: &mut impl Iterator<Item = TenantOp>,
+    current: &mut Asid,
+    quota: u64,
+    batch: usize,
+) -> PhaseCounts {
+    let mut counts = PhaseCounts::default();
+    let mut remaining = quota;
+    let mut chunk = 0usize;
+    while remaining > 0 {
+        let Some(op) = iter.next() else { break };
+        match op {
+            TenantOp::Access(v) => {
+                mgr.access(*current, v);
+                remaining -= 1;
+                chunk += 1;
+                if chunk == batch {
+                    mgr.batch_boundary(chunk);
+                    chunk = 0;
+                }
+            }
+            TenantOp::Switch(to) => {
+                if to != *current {
+                    counts.shootdowns += mgr.context_switch(*current, to);
+                    counts.switches += 1;
+                    *current = to;
+                }
+            }
+            TenantOp::Retire(asid) => {
+                counts.shootdowns += mgr.retire_tenant(asid);
+                counts.retirements += 1;
+            }
+        }
+    }
+    if chunk > 0 {
+        mgr.batch_boundary(chunk);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_memmgmt::classic::{ClassicConfig, ClassicMm};
+    use atp_memmgmt::{TenantArena, TenantMm, TenantMmConfig};
+    use atp_types::VirtPage;
+
+    fn access_ops(n: u64, span: u64) -> impl Iterator<Item = TenantOp> {
+        (0..n).map(move |i| TenantOp::Access(VirtPage((i * 13) % span)))
+    }
+
+    #[test]
+    fn switchless_stream_matches_single_tenant_runner() {
+        // No Switch records → TenantArena over ClassicMm must reproduce
+        // the plain runner bit-for-bit.
+        let trace: Vec<VirtPage> = (0..4000u64).map(|i| VirtPage((i * 13) % 700)).collect();
+        let mut bare = ClassicMm::new(ClassicConfig::paper(4, 256));
+        let bare_stats = crate::runner::run(&mut bare, trace.iter().copied(), 1000, 3000);
+
+        let mut arena = TenantArena::new(ClassicMm::new(ClassicConfig::paper(4, 256)), 1 << 16);
+        let stats = run_tenants(
+            &mut arena,
+            trace.iter().copied().map(TenantOp::Access),
+            1000,
+            3000,
+        );
+        assert_eq!(stats.costs, bare_stats.costs);
+        assert_eq!(stats.warmup_costs, bare_stats.warmup_costs);
+        assert_eq!(stats.per_tenant, vec![(Asid::SINGLE, bare_stats.costs)]);
+        assert_eq!(stats.switches, 0);
+        assert_eq!(stats.shootdowns, 0);
+    }
+
+    #[test]
+    fn control_records_do_not_consume_quota() {
+        let mut mm = TenantMm::new(TenantMmConfig::paper(4, 1 << 10));
+        // 100 accesses interleaved with a switch before each one: all
+        // 100 must land inside a 100-access measure phase.
+        let ops: Vec<TenantOp> = (0..100u64)
+            .flat_map(|i| {
+                [
+                    TenantOp::Switch(Asid((i % 4) as u32)),
+                    TenantOp::Access(VirtPage(i)),
+                ]
+            })
+            .collect();
+        let stats = run_tenants(&mut mm, ops, 0, 100);
+        assert_eq!(stats.costs.accesses, 100);
+        assert_eq!(stats.tenants_seen(), 4);
+        // First Switch(0) is a no-op (already current); the rest count.
+        assert!(stats.switches > 0);
+        assert_eq!(stats.shootdowns, 0, "tagged TLB: switches flush nothing");
+    }
+
+    #[test]
+    fn retirement_storms_are_counted() {
+        let mut mm = TenantMm::new(TenantMmConfig::paper(4, 1 << 10));
+        let mut ops: Vec<TenantOp> = vec![TenantOp::Switch(Asid(1))];
+        ops.extend(access_ops(64, 64));
+        ops.push(TenantOp::Retire(Asid(1)));
+        ops.push(TenantOp::Switch(Asid(2)));
+        ops.extend(access_ops(8, 64));
+        let stats = run_tenants(&mut mm, ops, 0, u64::MAX);
+        assert_eq!(stats.retirements, 1);
+        assert!(stats.shootdowns > 0, "retiring a warm tenant storms");
+    }
+
+    #[test]
+    fn warmup_counts_are_excluded() {
+        let mut mm = TenantMm::new(TenantMmConfig::paper(4, 1 << 10));
+        // Switch + retire storm entirely inside warmup: the retirement
+        // comes before warmup's access quota is exhausted.
+        let mut ops: Vec<TenantOp> = vec![TenantOp::Switch(Asid(1))];
+        ops.extend(access_ops(32, 64));
+        ops.push(TenantOp::Retire(Asid(1)));
+        ops.push(TenantOp::Switch(Asid(2)));
+        ops.extend(access_ops(64, 64));
+        let stats = run_tenants(&mut mm, ops, 64, 32);
+        assert_eq!(stats.costs.accesses, 32);
+        assert_eq!(stats.retirements, 0, "warmup retirement not reported");
+        assert_eq!(stats.per_tenant.len(), 1, "only tenant 2 measured");
+        assert_eq!(stats.per_tenant[0].0, Asid(2));
+    }
+
+    #[test]
+    fn batching_preserves_costs() {
+        let ops: Vec<TenantOp> = (0..3000u64)
+            .map(|i| {
+                if i % 97 == 0 {
+                    TenantOp::Switch(Asid((i % 5) as u32))
+                } else {
+                    TenantOp::Access(VirtPage(i % 400))
+                }
+            })
+            .collect();
+        let mut a = TenantMm::new(TenantMmConfig::paper(4, 1 << 9));
+        let mut b = TenantMm::new(TenantMmConfig::paper(4, 1 << 9));
+        let sa = run_tenants_batched(&mut a, ops.iter().copied(), 500, 2000, 7);
+        let sb = run_tenants_batched(&mut b, ops.iter().copied(), 500, 2000, 4096);
+        assert_eq!(sa.costs, sb.costs);
+        assert_eq!(sa.per_tenant, sb.per_tenant);
+    }
+}

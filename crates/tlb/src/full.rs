@@ -1,7 +1,8 @@
 //! A fully associative TLB with a pluggable replacement policy.
 
+use crate::key::TlbKey;
 use atp_replacement::{AnyPolicy, CacheSim, Lru, Policy, PolicyBuild, PolicyKind};
-use atp_types::VirtHugePage;
+use atp_types::{Asid, TaggedHugePage, VirtHugePage};
 
 /// TLB event counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -26,17 +27,20 @@ pub struct TlbStats {
 /// is monomorphized: `Tlb<V>` (= `Tlb<V, Lru>`) is the paper's default
 /// fully-associative LRU TLB with a statically dispatched policy, while
 /// [`Tlb::new`] returns `Tlb<V, AnyPolicy>` for [`PolicyKind`]-configured
-/// experiments.
+/// experiments. The key parameter `K` defaults to [`VirtHugePage`]
+/// (single address space); multi-tenant simulations use
+/// [`TaggedHugePage`] keys, which additionally unlock
+/// [`Tlb::flush_asid`].
 #[derive(Debug)]
-pub struct Tlb<V, P: Policy = Lru> {
-    sim: CacheSim<VirtHugePage, P, V>,
+pub struct Tlb<V, P: Policy = Lru, K: TlbKey = VirtHugePage> {
+    sim: CacheSim<K, P, V>,
     /// Insert/invalidation/eviction counters; hits and misses live in the
     /// sim (counted by `access_if_present`) so the hit path pays for them
     /// exactly once. [`Tlb::stats`] assembles the full view.
     stats: TlbStats,
 }
 
-impl<V> Tlb<V, AnyPolicy> {
+impl<V, K: TlbKey> Tlb<V, AnyPolicy, K> {
     /// Creates a TLB with `entries` slots and the given replacement policy,
     /// selected at runtime.
     pub fn new(entries: u64, policy: PolicyKind, seed: u64) -> Self {
@@ -45,14 +49,14 @@ impl<V> Tlb<V, AnyPolicy> {
     }
 }
 
-impl<V> Tlb<V, Lru> {
+impl<V, K: TlbKey> Tlb<V, Lru, K> {
     /// Creates an LRU TLB (the paper's default), fully monomorphized.
     pub fn lru(entries: u64) -> Self {
         Self::with_policy(entries, Lru::new(entries as usize))
     }
 }
 
-impl<V, P: Policy> Tlb<V, P> {
+impl<V, P: Policy, K: TlbKey> Tlb<V, P, K> {
     /// Creates a TLB with `entries` slots driven by a concrete policy value.
     pub fn with_policy(entries: u64, policy: P) -> Self {
         Self {
@@ -95,13 +99,13 @@ impl<V, P: Policy> Tlb<V, P> {
     }
 
     /// Whether `u` is cached, without touching recency or counters.
-    pub fn contains(&self, u: VirtHugePage) -> bool {
+    pub fn contains(&self, u: K) -> bool {
         self.sim.contains(&u)
     }
 
     /// Looks up `u`, updating recency and hit/miss counters. One probe.
     #[inline]
-    pub fn lookup(&mut self, u: VirtHugePage) -> Option<&V> {
+    pub fn lookup(&mut self, u: K) -> Option<&V> {
         self.sim.access_if_present(&u)
     }
 
@@ -110,7 +114,7 @@ impl<V, P: Policy> Tlb<V, P> {
     /// # Panics
     /// Panics if `u` is already resident (use [`Tlb::update`] to change a
     /// resident value).
-    pub fn insert(&mut self, u: VirtHugePage, value: V) -> Option<(VirtHugePage, V)> {
+    pub fn insert(&mut self, u: K, value: V) -> Option<(K, V)> {
         assert!(!self.sim.contains(&u), "insert of resident TLB entry");
         self.stats.inserts += 1;
         let evicted = self.sim.insert_cold_with(u, value);
@@ -123,7 +127,7 @@ impl<V, P: Policy> Tlb<V, P> {
     /// Updates the value of a resident entry in place (free in the cost
     /// model — ψ updates do not count as TLB traffic). Returns whether the
     /// entry was resident.
-    pub fn update(&mut self, u: VirtHugePage, f: impl FnOnce(&mut V)) -> bool {
+    pub fn update(&mut self, u: K, f: impl FnOnce(&mut V)) -> bool {
         match self.sim.get_mut(&u) {
             Some(v) => {
                 f(v);
@@ -134,12 +138,12 @@ impl<V, P: Policy> Tlb<V, P> {
     }
 
     /// Reads a resident value without touching recency or counters.
-    pub fn peek(&self, u: VirtHugePage) -> Option<&V> {
+    pub fn peek(&self, u: K) -> Option<&V> {
         self.sim.get(&u)
     }
 
     /// Invalidates `u`, returning its value if it was resident.
-    pub fn invalidate(&mut self, u: VirtHugePage) -> Option<V> {
+    pub fn invalidate(&mut self, u: K) -> Option<V> {
         let v = self.sim.remove_entry(&u);
         if v.is_some() {
             self.stats.invalidations += 1;
@@ -149,7 +153,7 @@ impl<V, P: Policy> Tlb<V, P> {
 
     /// Accesses `u` like a hardware lookup-and-fill driven by `fill`:
     /// on a miss, `fill(u)` supplies the new value. Returns whether it hit.
-    pub fn access_or_fill(&mut self, u: VirtHugePage, fill: impl FnOnce() -> V) -> bool {
+    pub fn access_or_fill(&mut self, u: K, fill: impl FnOnce() -> V) -> bool {
         if self.lookup(u).is_some() {
             return true;
         }
@@ -158,8 +162,26 @@ impl<V, P: Policy> Tlb<V, P> {
     }
 
     /// Iterates resident (huge page, value) pairs in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (&VirtHugePage, &V)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
         self.sim.entries()
+    }
+}
+
+/// ASID-aware operations, available when entries carry an address-space
+/// tag.
+impl<V, P: Policy> Tlb<V, P, TaggedHugePage> {
+    /// Invalidates every entry of address space `asid` — the hardware
+    /// `invpcid`-style targeted flush used on tenant retirement and ASID
+    /// recycling. Entries tagged [`Asid::GLOBAL`] survive (flushing the
+    /// global tag itself is a no-op). Returns how many entries were
+    /// removed; each one counts as an invalidation in [`Tlb::stats`].
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        if asid.is_global() {
+            return 0;
+        }
+        let removed = self.sim.remove_matching(|k| k.asid == asid);
+        self.stats.invalidations += removed;
+        removed
     }
 }
 
@@ -274,6 +296,24 @@ mod tests {
         let mut tlb: Tlb<u64> = Tlb::lru(2);
         tlb.insert(VirtHugePage(1), 1);
         tlb.insert(VirtHugePage(1), 2);
+    }
+
+    #[test]
+    fn flush_asid_removes_only_that_tenant() {
+        let mut tlb: Tlb<u64, Lru, TaggedHugePage> = Tlb::lru(8);
+        for i in 0..3u64 {
+            tlb.insert(TaggedHugePage::new(Asid(1), VirtHugePage(i)), i);
+            tlb.insert(TaggedHugePage::new(Asid(2), VirtHugePage(i)), i);
+        }
+        tlb.insert(TaggedHugePage::global(VirtHugePage(9)), 99);
+        assert_eq!(tlb.flush_asid(Asid(1)), 3);
+        assert_eq!(tlb.len(), 4);
+        assert!(!tlb.contains(TaggedHugePage::new(Asid(1), VirtHugePage(0))));
+        assert!(tlb.contains(TaggedHugePage::new(Asid(2), VirtHugePage(0))));
+        assert!(tlb.contains(TaggedHugePage::global(VirtHugePage(9))));
+        assert_eq!(tlb.flush_asid(Asid(1)), 0);
+        assert_eq!(tlb.flush_asid(Asid::GLOBAL), 0, "global flush is a no-op");
+        assert_eq!(tlb.stats().invalidations, 3);
     }
 
     #[test]

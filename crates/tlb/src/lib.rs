@@ -17,16 +17,27 @@
 //!
 //! All models support explicit invalidation, needed for TLB shootdowns in
 //! the multicore extension and for decoupling-driven value updates.
+//!
+//! Every variant is generic over its key type ([`TlbKey`]), defaulting to
+//! a plain `VirtHugePage` (one address space). Keying by
+//! `atp_types::TaggedHugePage` turns any variant into an ASID-tagged TLB
+//! with targeted `flush_asid` invalidation, and [`AsidTlb`] adds the
+//! global-entry (kernel-bit) matching rule on top — the substrate of the
+//! multi-tenant simulations, where context switches flush nothing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod asid;
 pub mod full;
+pub mod key;
 pub mod set_assoc;
 pub mod split;
 pub mod twolevel;
 
+pub use asid::{AsidTlb, AsidTlbStats};
 pub use full::{Tlb, TlbStats};
+pub use key::TlbKey;
 pub use set_assoc::SetAssocTlb;
 pub use split::SplitTlb;
 pub use twolevel::{Level, TwoLevelStats, TwoLevelTlb};

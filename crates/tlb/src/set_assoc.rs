@@ -9,20 +9,24 @@
 
 use atp_hash::mix::{mix2, reduce};
 use atp_replacement::{CacheSim, Lru};
-use atp_types::VirtHugePage;
+use atp_types::{Asid, TaggedHugePage, VirtHugePage};
 
 use crate::full::TlbStats;
+use crate::key::TlbKey;
 
-/// A set-associative TLB with per-set LRU replacement.
+/// A set-associative TLB with per-set LRU replacement. Keys default to
+/// [`VirtHugePage`]; [`TaggedHugePage`] keys mix the ASID into set
+/// selection (via [`TlbKey::route_bits`]) and unlock
+/// [`SetAssocTlb::flush_asid`].
 #[derive(Debug)]
-pub struct SetAssocTlb<V> {
-    sets: Vec<CacheSim<VirtHugePage, Lru, V>>,
+pub struct SetAssocTlb<V, K: TlbKey = VirtHugePage> {
+    sets: Vec<CacheSim<K, Lru, V>>,
     ways: usize,
     seed: u64,
     stats: TlbStats,
 }
 
-impl<V> SetAssocTlb<V> {
+impl<V, K: TlbKey> SetAssocTlb<V, K> {
     /// Creates a TLB with `sets × ways` entries.
     ///
     /// # Panics
@@ -60,14 +64,14 @@ impl<V> SetAssocTlb<V> {
     }
 
     #[inline]
-    fn set_of(&self, u: VirtHugePage) -> usize {
-        reduce(mix2(self.seed, u.0), self.sets.len() as u64) as usize
+    fn set_of(&self, u: K) -> usize {
+        reduce(mix2(self.seed, u.route_bits()), self.sets.len() as u64) as usize
     }
 
     /// Looks up `u`, updating per-set recency and counters. One probe into
     /// the selected set's arena.
     #[inline]
-    pub fn lookup(&mut self, u: VirtHugePage) -> Option<&V> {
+    pub fn lookup(&mut self, u: K) -> Option<&V> {
         let si = self.set_of(u);
         match self.sets[si].access_if_present(&u) {
             Some(v) => {
@@ -86,7 +90,7 @@ impl<V> SetAssocTlb<V> {
     ///
     /// # Panics
     /// Panics if `u` is already resident.
-    pub fn insert(&mut self, u: VirtHugePage, value: V) -> Option<(VirtHugePage, V)> {
+    pub fn insert(&mut self, u: K, value: V) -> Option<(K, V)> {
         let si = self.set_of(u);
         let set = &mut self.sets[si];
         assert!(!set.contains(&u), "insert of resident TLB entry");
@@ -99,7 +103,7 @@ impl<V> SetAssocTlb<V> {
     }
 
     /// Invalidates `u`, returning its value if resident.
-    pub fn invalidate(&mut self, u: VirtHugePage) -> Option<V> {
+    pub fn invalidate(&mut self, u: K) -> Option<V> {
         let si = self.set_of(u);
         let v = self.sets[si].remove_entry(&u);
         if v.is_some() {
@@ -109,9 +113,27 @@ impl<V> SetAssocTlb<V> {
     }
 
     /// Whether `u` is resident (no counter/recency effects).
-    pub fn contains(&self, u: VirtHugePage) -> bool {
+    pub fn contains(&self, u: K) -> bool {
         let si = self.set_of(u);
         self.sets[si].contains(&u)
+    }
+}
+
+/// ASID-aware operations for tagged keys.
+impl<V> SetAssocTlb<V, TaggedHugePage> {
+    /// Invalidates every entry of `asid` across all sets (global entries
+    /// survive). Returns how many entries were removed; each counts as an
+    /// invalidation in [`SetAssocTlb::stats`].
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        if asid.is_global() {
+            return 0;
+        }
+        let mut removed = 0u64;
+        for set in &mut self.sets {
+            removed += set.remove_matching(|k| k.asid == asid);
+        }
+        self.stats.invalidations += removed;
+        removed
     }
 }
 
@@ -176,6 +198,22 @@ mod tests {
             }
         }
         assert!(t.len() <= 40);
+    }
+
+    #[test]
+    fn flush_asid_sweeps_all_sets() {
+        let mut t: SetAssocTlb<u64, TaggedHugePage> = SetAssocTlb::new(4, 2, 3);
+        for i in 0..6u64 {
+            t.insert(TaggedHugePage::new(Asid(1), VirtHugePage(i)), i);
+        }
+        t.insert(TaggedHugePage::new(Asid(2), VirtHugePage(0)), 77);
+        t.insert(TaggedHugePage::global(VirtHugePage(1)), 88);
+        let before = t.len() as u64;
+        let flushed = t.flush_asid(Asid(1));
+        assert_eq!(t.len() as u64, before - flushed);
+        assert!(t.contains(TaggedHugePage::new(Asid(2), VirtHugePage(0))));
+        assert!(t.contains(TaggedHugePage::global(VirtHugePage(1))));
+        assert_eq!(t.flush_asid(Asid(1)), 0);
     }
 
     #[test]

@@ -8,26 +8,27 @@
 //! TLB can lose more to capacity misses than it gains in coverage.
 
 use crate::full::{Tlb, TlbStats};
+use crate::key::TlbKey;
 use atp_replacement::{AnyPolicy, Policy, PolicyBuild, PolicyKind};
-use atp_types::VirtHugePage;
+use atp_types::{Asid, TaggedHugePage, VirtHugePage};
 
 /// One size class of a split TLB.
 #[derive(Debug)]
-struct SizeClass<V, P: Policy> {
+struct SizeClass<V, P: Policy, K: TlbKey> {
     /// Huge-page sizes (in base pages) routed to this structure.
     sizes: Vec<u64>,
-    tlb: Tlb<V, P>,
+    tlb: Tlb<V, P, K>,
 }
 
 /// A TLB composed of per-page-size structures. `P` is the per-class
 /// replacement policy: runtime-selected via [`SplitTlb::new`]
 /// ([`AnyPolicy`]) or statically dispatched via [`SplitTlb::monomorphic`].
 #[derive(Debug)]
-pub struct SplitTlb<V, P: Policy = AnyPolicy> {
-    classes: Vec<SizeClass<V, P>>,
+pub struct SplitTlb<V, P: Policy = AnyPolicy, K: TlbKey = VirtHugePage> {
+    classes: Vec<SizeClass<V, P, K>>,
 }
 
-impl<V> SplitTlb<V, AnyPolicy> {
+impl<V, K: TlbKey> SplitTlb<V, AnyPolicy, K> {
     /// Creates a split TLB from `(sizes, entries)` class descriptions.
     ///
     /// # Panics
@@ -53,7 +54,7 @@ impl<V> SplitTlb<V, AnyPolicy> {
     }
 }
 
-impl<V, P: Policy> SplitTlb<V, P> {
+impl<V, P: Policy, K: TlbKey> SplitTlb<V, P, K> {
     /// Creates a split TLB with a statically chosen policy, seeding each
     /// class exactly as [`SplitTlb::new`] does.
     pub fn monomorphic(classes: &[(&[u64], u64)], seed: u64) -> Self
@@ -70,7 +71,7 @@ impl<V, P: Policy> SplitTlb<V, P> {
     fn build_with(
         classes: &[(&[u64], u64)],
         seed: u64,
-        mut make_tlb: impl FnMut(u64, u64) -> Tlb<V, P>,
+        mut make_tlb: impl FnMut(u64, u64) -> Tlb<V, P, K>,
     ) -> Self {
         assert!(!classes.is_empty(), "at least one size class required");
         let mut seen = atp_hash::FxHashSet::default();
@@ -94,7 +95,7 @@ impl<V, P: Policy> SplitTlb<V, P> {
     /// Resolves `size` to its class and a size-tagged key. Entries of
     /// different page sizes sharing one physical structure are distinguished
     /// by their size tag (hardware keys entries by (tag, page size)).
-    fn resolve(&mut self, u: VirtHugePage, size: u64) -> (&mut Tlb<V, P>, VirtHugePage) {
+    fn resolve(&mut self, u: K, size: u64) -> (&mut Tlb<V, P, K>, K) {
         let idx = self
             .classes
             .iter()
@@ -107,26 +108,24 @@ impl<V, P: Policy> SplitTlb<V, P> {
             .position(|&s| s == size)
             // atp-lint: allow(unwrap-policy, reason = "invariant: the routing table maps every size class, validated at construction")
             .expect("size present") as u64;
-        debug_assert!(u.0 < 1 << 58, "huge-page id too large for size tagging");
-        let key = VirtHugePage((size_idx << 58) | u.0);
+        let key = u.with_class_tag(size_idx);
         (&mut class.tlb, key)
     }
 
     /// Looks up huge page `u` of the given size class.
-    pub fn lookup(&mut self, u: VirtHugePage, size: u64) -> Option<&V> {
+    pub fn lookup(&mut self, u: K, size: u64) -> Option<&V> {
         let (tlb, key) = self.resolve(u, size);
         tlb.lookup(key)
     }
 
     /// Inserts into the TLB class for `size`.
-    pub fn insert(&mut self, u: VirtHugePage, size: u64, value: V) -> Option<(VirtHugePage, V)> {
+    pub fn insert(&mut self, u: K, size: u64, value: V) -> Option<(K, V)> {
         let (tlb, key) = self.resolve(u, size);
-        tlb.insert(key, value)
-            .map(|(k, v)| (VirtHugePage(k.0 & ((1 << 58) - 1)), v))
+        tlb.insert(key, value).map(|(k, v)| (k.class_untag(), v))
     }
 
     /// Invalidates `u` in the class for `size`.
-    pub fn invalidate(&mut self, u: VirtHugePage, size: u64) -> Option<V> {
+    pub fn invalidate(&mut self, u: K, size: u64) -> Option<V> {
         let (tlb, key) = self.resolve(u, size);
         tlb.invalidate(key)
     }
@@ -151,6 +150,18 @@ impl<V, P: Policy> SplitTlb<V, P> {
             .iter()
             .map(|c| (c.sizes.clone(), c.tlb.stats()))
             .collect()
+    }
+}
+
+/// ASID-aware operations for tagged keys.
+impl<V, P: Policy> SplitTlb<V, P, TaggedHugePage> {
+    /// Invalidates every entry of `asid` across all size classes (global
+    /// entries survive). Returns how many entries were removed.
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        self.classes
+            .iter_mut()
+            .map(|c| c.tlb.flush_asid(asid))
+            .sum()
     }
 }
 

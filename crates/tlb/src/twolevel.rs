@@ -11,8 +11,9 @@
 //! go straight to L1 with the same demotion path.
 
 use crate::full::Tlb;
+use crate::key::TlbKey;
 use atp_replacement::{AnyPolicy, Lru, Policy, PolicyBuild, PolicyKind};
-use atp_types::VirtHugePage;
+use atp_types::{Asid, TaggedHugePage, VirtHugePage};
 
 /// Outcome of a two-level lookup.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,13 +42,13 @@ pub struct TwoLevelStats {
 /// it at runtime via [`AnyPolicy`], [`TwoLevelTlb::monomorphic`] fixes it
 /// statically (e.g. `TwoLevelTlb::<u64, Lru>::monomorphic(..)`).
 #[derive(Debug)]
-pub struct TwoLevelTlb<V, P: Policy = AnyPolicy> {
-    l1: Tlb<V, P>,
-    l2: Tlb<V, P>,
+pub struct TwoLevelTlb<V, P: Policy = AnyPolicy, K: TlbKey = VirtHugePage> {
+    l1: Tlb<V, P, K>,
+    l2: Tlb<V, P, K>,
     stats: TwoLevelStats,
 }
 
-impl<V> TwoLevelTlb<V, AnyPolicy> {
+impl<V, K: TlbKey> TwoLevelTlb<V, AnyPolicy, K> {
     /// Creates the hierarchy with the given per-level entry counts.
     pub fn new(l1_entries: u64, l2_entries: u64, policy: PolicyKind, seed: u64) -> Self {
         Self {
@@ -63,14 +64,14 @@ impl<V> TwoLevelTlb<V, AnyPolicy> {
     }
 }
 
-impl<V> TwoLevelTlb<V, Lru> {
+impl<V, K: TlbKey> TwoLevelTlb<V, Lru, K> {
     /// Cascade-Lake-like defaults with a statically dispatched LRU policy.
     pub fn cascade_lake_lru(seed: u64) -> Self {
         Self::monomorphic(64, 1536, seed)
     }
 }
 
-impl<V, P: Policy> TwoLevelTlb<V, P> {
+impl<V, P: Policy, K: TlbKey> TwoLevelTlb<V, P, K> {
     /// Creates the hierarchy with a statically chosen policy, seeding each
     /// level exactly as [`TwoLevelTlb::new`] does.
     pub fn monomorphic(l1_entries: u64, l2_entries: u64, seed: u64) -> Self
@@ -100,11 +101,11 @@ impl<V, P: Policy> TwoLevelTlb<V, P> {
     }
 
     /// Whether `u` is resident at either level.
-    pub fn contains(&self, u: VirtHugePage) -> bool {
+    pub fn contains(&self, u: K) -> bool {
         self.l1.contains(u) || self.l2.contains(u)
     }
 
-    fn promote(&mut self, u: VirtHugePage, value: V) {
+    fn promote(&mut self, u: K, value: V) {
         if let Some((victim, vval)) = self.l1.insert(u, value) {
             // Demote the L1 victim to L2 (if L2 already holds it — possible
             // only transiently — drop the stale copy first).
@@ -115,7 +116,7 @@ impl<V, P: Policy> TwoLevelTlb<V, P> {
 
     /// Looks up `u`; on an L2 hit the entry is promoted. `fill` supplies the
     /// value on a full miss. Returns which level serviced the access.
-    pub fn access(&mut self, u: VirtHugePage, fill: impl FnOnce() -> V) -> Level {
+    pub fn access(&mut self, u: K, fill: impl FnOnce() -> V) -> Level {
         if self.l1.lookup(u).is_some() {
             self.stats.l1_hits += 1;
             return Level::L1;
@@ -133,10 +134,19 @@ impl<V, P: Policy> TwoLevelTlb<V, P> {
     }
 
     /// Invalidates `u` everywhere (shootdown).
-    pub fn invalidate(&mut self, u: VirtHugePage) -> bool {
+    pub fn invalidate(&mut self, u: K) -> bool {
         let a = self.l1.invalidate(u).is_some();
         let b = self.l2.invalidate(u).is_some();
         a || b
+    }
+}
+
+/// ASID-aware operations for tagged keys.
+impl<V, P: Policy> TwoLevelTlb<V, P, TaggedHugePage> {
+    /// Invalidates every entry of `asid` at both levels (global entries
+    /// survive). Returns how many entries were removed.
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        self.l1.flush_asid(asid) + self.l2.flush_asid(asid)
     }
 }
 

@@ -1,11 +1,36 @@
 //! Trace encoding/decoding.
+//!
+//! Two wire versions share the `ATPT` magic:
+//!
+//! * **v1** — a flat page trace: u64 LE count, then one zigzag-varint
+//!   page delta per access ([`encode_trace`]/[`decode_trace`]).
+//! * **v2** — a multi-tenant op trace: u64 LE count, then one record per
+//!   [`TenantOp`]. Each record leads with a varint whose low 2 bits are
+//!   the kind (`0` access, `1` switch, `2` retire, `3` escaped access)
+//!   and whose high bits carry the payload — the zigzag page delta for
+//!   accesses (delta chain runs across control records), the ASID for
+//!   switch/retire. Kind `3` escapes the rare access whose zigzag delta
+//!   needs more than 62 bits: the full delta follows as its own varint.
+//!
+//! [`decode_ops`] accepts both: a v1 payload decodes as an all-access
+//! stream (implicitly tenant [`atp_types::Asid::SINGLE`]), so every
+//! pre-multi-tenant trace on disk keeps working. [`decode_trace`] stays
+//! v1-strict — a flat page list cannot represent context switches, and
+//! silently dropping them would corrupt an experiment.
 
-use atp_types::VirtPage;
+use atp_types::{Asid, TenantOp, VirtPage};
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"ATPT";
 const VERSION: u8 = 1;
+const VERSION_V2: u8 = 2;
+
+/// v2 record kinds, in the low 2 bits of each record's leading varint.
+const KIND_ACCESS: u64 = 0;
+const KIND_SWITCH: u64 = 1;
+const KIND_RETIRE: u64 = 2;
+const KIND_ACCESS_ESCAPE: u64 = 3;
 
 /// Errors from trace IO.
 #[derive(Debug)]
@@ -18,6 +43,9 @@ pub enum TraceError {
     BadVersion(u8),
     /// The payload ended before `count` entries were decoded.
     Truncated,
+    /// A v2 record carries an out-of-range field (e.g. an ASID wider
+    /// than 32 bits).
+    BadRecord,
 }
 
 impl From<std::io::Error> for TraceError {
@@ -33,6 +61,7 @@ impl core::fmt::Display for TraceError {
             TraceError::BadMagic => write!(f, "not an ATPT trace (bad magic)"),
             TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceError::Truncated => write!(f, "trace payload truncated"),
+            TraceError::BadRecord => write!(f, "trace record field out of range"),
         }
     }
 }
@@ -129,6 +158,102 @@ pub fn decode_trace(data: &[u8]) -> Result<Vec<VirtPage>, TraceError> {
     Ok(out)
 }
 
+/// Encodes a multi-tenant op trace to bytes (wire version 2).
+pub fn encode_ops(ops: &[TenantOp]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + ops.len() * 2);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION_V2);
+    buf.extend_from_slice(&(ops.len() as u64).to_le_bytes());
+    let mut prev = 0i64;
+    for op in ops {
+        match *op {
+            TenantOp::Access(p) => {
+                let cur = p.0 as i64;
+                let z = zigzag(cur.wrapping_sub(prev));
+                prev = cur;
+                if z < (1 << 62) {
+                    put_varint(&mut buf, (z << 2) | KIND_ACCESS);
+                } else {
+                    put_varint(&mut buf, KIND_ACCESS_ESCAPE);
+                    put_varint(&mut buf, z);
+                }
+            }
+            TenantOp::Switch(a) => put_varint(&mut buf, ((a.0 as u64) << 2) | KIND_SWITCH),
+            TenantOp::Retire(a) => put_varint(&mut buf, ((a.0 as u64) << 2) | KIND_RETIRE),
+        }
+    }
+    buf
+}
+
+/// Decodes a multi-tenant op trace from bytes.
+///
+/// Accepts v2 natively and v1 as an all-access stream, so single-tenant
+/// traces written before the multi-tenant format keep decoding.
+pub fn decode_ops(data: &[u8]) -> Result<Vec<TenantOp>, TraceError> {
+    if data.len() < 13 || &data[..4] != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = data[4];
+    if version == VERSION {
+        return Ok(decode_trace(data)?
+            .into_iter()
+            .map(TenantOp::Access)
+            .collect());
+    }
+    if version != VERSION_V2 {
+        return Err(TraceError::BadVersion(version));
+    }
+    // atp-lint: allow(unwrap-policy, reason = "slice bounds hold: the 13-byte header was length-checked above")
+    let count = u64::from_le_bytes(data[5..13].try_into().expect("8-byte slice"));
+    let mut buf = Reader(&data[13..]);
+    // Same hostile-header guard as v1: every record costs ≥ 1 byte.
+    let payload_len = data.len() - 13;
+    let mut out = Vec::with_capacity(count.min(payload_len as u64) as usize);
+    let mut prev = 0i64;
+    for _ in 0..count {
+        let tagged = buf.get_varint().ok_or(TraceError::Truncated)?;
+        let kind = tagged & 0b11;
+        let op = match kind {
+            KIND_ACCESS | KIND_ACCESS_ESCAPE => {
+                let z = if kind == KIND_ACCESS_ESCAPE {
+                    if tagged != KIND_ACCESS_ESCAPE {
+                        // High bits of an escape record are reserved.
+                        return Err(TraceError::BadRecord);
+                    }
+                    buf.get_varint().ok_or(TraceError::Truncated)?
+                } else {
+                    tagged >> 2
+                };
+                prev = prev.wrapping_add(unzigzag(z));
+                TenantOp::Access(VirtPage(prev as u64))
+            }
+            KIND_SWITCH => TenantOp::Switch(Asid(
+                u32::try_from(tagged >> 2).map_err(|_| TraceError::BadRecord)?,
+            )),
+            _ => TenantOp::Retire(Asid(
+                u32::try_from(tagged >> 2).map_err(|_| TraceError::BadRecord)?,
+            )),
+        };
+        out.push(op);
+    }
+    Ok(out)
+}
+
+/// Writes a multi-tenant op trace to a file (wire version 2).
+pub fn write_ops(path: &Path, ops: &[TenantOp]) -> Result<(), TraceError> {
+    let bytes = encode_ops(ops);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads a multi-tenant op trace (v1 or v2) from a file.
+pub fn read_ops(path: &Path) -> Result<Vec<TenantOp>, TraceError> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    decode_ops(&data)
+}
+
 /// Writes a trace to a file.
 pub fn write_trace(path: &Path, pages: &[VirtPage]) -> Result<(), TraceError> {
     let bytes = encode_trace(pages);
@@ -207,6 +332,99 @@ mod tests {
         let enc = encode_trace(&pages(&[1, 2, 3, 4, 5]));
         let cut = &enc[..enc.len() - 2];
         assert!(matches!(decode_trace(cut), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn ops_roundtrip_mixed() {
+        let ops = vec![
+            TenantOp::Switch(Asid(3)),
+            TenantOp::Access(VirtPage(100)),
+            TenantOp::Access(VirtPage(101)),
+            TenantOp::Switch(Asid(u32::MAX)),
+            TenantOp::Access(VirtPage(5)),
+            TenantOp::Retire(Asid(3)),
+            TenantOp::Access(VirtPage(1 << 50)),
+        ];
+        assert_eq!(decode_ops(&encode_ops(&ops)).unwrap(), ops);
+    }
+
+    #[test]
+    fn ops_escape_path_roundtrips_extreme_deltas() {
+        // Deltas whose zigzag needs ≥ 62 bits force the kind-3 escape.
+        let ops = vec![
+            TenantOp::Access(VirtPage(0)),
+            TenantOp::Access(VirtPage(u64::MAX)),
+            TenantOp::Access(VirtPage(1)),
+            TenantOp::Access(VirtPage(u64::MAX / 2)),
+        ];
+        assert_eq!(decode_ops(&encode_ops(&ops)).unwrap(), ops);
+    }
+
+    #[test]
+    fn ops_decode_accepts_v1_as_all_access() {
+        let t = pages(&[7, 9, 9, 2]);
+        let v1 = encode_trace(&t);
+        let ops = decode_ops(&v1).unwrap();
+        assert_eq!(ops, t.into_iter().map(TenantOp::Access).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trace_decode_stays_v1_strict() {
+        // decode_trace cannot represent switches → must refuse v2.
+        let enc = encode_ops(&[TenantOp::Access(VirtPage(1))]);
+        assert!(matches!(decode_trace(&enc), Err(TraceError::BadVersion(2))));
+    }
+
+    #[test]
+    fn ops_rejects_truncated() {
+        let enc = encode_ops(&[
+            TenantOp::Access(VirtPage(1)),
+            TenantOp::Switch(Asid(1)),
+            TenantOp::Access(VirtPage(2)),
+        ]);
+        assert!(matches!(
+            decode_ops(&enc[..enc.len() - 1]),
+            Err(TraceError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn ops_delta_chain_spans_control_records() {
+        // Access deltas chain across an interleaved Switch: encoding the
+        // second access as a delta from the first keeps sequential
+        // multi-tenant traces ~1 byte per record.
+        let ops: Vec<TenantOp> = (0..1000u64)
+            .flat_map(|i| {
+                [
+                    TenantOp::Switch(Asid((i % 3) as u32)),
+                    TenantOp::Access(VirtPage(i)),
+                ]
+            })
+            .collect();
+        let enc = encode_ops(&ops);
+        assert!(enc.len() < 13 + 2 * 1000 + 100, "size {}", enc.len());
+        assert_eq!(decode_ops(&enc).unwrap(), ops);
+    }
+
+    #[test]
+    fn ops_file_roundtrip() {
+        let dir = std::env::temp_dir().join("atp_trace_test_ops");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.atpt");
+        let ops = vec![
+            TenantOp::Switch(Asid(1)),
+            TenantOp::Access(VirtPage(4)),
+            TenantOp::Retire(Asid(1)),
+        ];
+        write_ops(&path, &ops).unwrap();
+        assert_eq!(read_ops(&path).unwrap(), ops);
+        // And a v1 file read through the ops door:
+        write_trace(&path, &pages(&[4])).unwrap();
+        assert_eq!(
+            read_ops(&path).unwrap(),
+            vec![TenantOp::Access(VirtPage(4))]
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

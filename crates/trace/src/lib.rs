@@ -20,6 +20,9 @@ pub mod codec;
 pub mod reuse;
 pub mod stats;
 
-pub use codec::{decode_trace, encode_trace, read_trace, write_trace, TraceError};
+pub use codec::{
+    decode_ops, decode_trace, encode_ops, encode_trace, read_ops, read_trace, write_ops,
+    write_trace, TraceError,
+};
 pub use reuse::ReuseProfile;
 pub use stats::{HugeUtilization, TraceStats};

@@ -1,0 +1,141 @@
+//! Property tests for the v2 (multi-tenant op) trace codec, on the
+//! `atp-check` harness: encode→decode is the identity on arbitrary op
+//! sequences, every v1 trace decodes through the ops door as the same
+//! access stream (backward compatibility), and no truncated or fuzzed
+//! input may panic the decoder.
+
+use atp_check::{check, check_config, ensure, ensure_eq, u64s, vecs, Config};
+use atp_trace::{decode_ops, encode_ops, encode_trace};
+use atp_types::{Asid, TenantOp, VirtPage};
+
+/// Decodes three u64 lanes into an op: 0..=7 → control records (switch
+/// or retire on a small ASID pool so retirements can hit live tenants),
+/// otherwise an access with a full-width page id.
+fn op_from(kind: u64, asid: u64, page: u64) -> TenantOp {
+    match kind {
+        0..=3 => TenantOp::Switch(Asid((asid % 6) as u32)),
+        4..=7 => TenantOp::Retire(Asid((asid % 6) as u32)),
+        _ => TenantOp::Access(VirtPage(page)),
+    }
+}
+
+fn ops_from(raw: &[(u64, u64, u64)]) -> Vec<TenantOp> {
+    raw.iter().map(|&(k, a, p)| op_from(k, a, p)).collect()
+}
+
+#[test]
+fn ops_roundtrip_identity_on_arbitrary_sequences() {
+    // Full-width page ids exercise the zigzag chain *and* the kind-3
+    // escape path (deltas whose zigzag needs more than 62 bits).
+    let gen = vecs(
+        (u64s(0..=31), u64s(0..=u64::MAX), u64s(0..=u64::MAX)),
+        0..=300,
+    );
+    check(
+        "ops_roundtrip_identity_on_arbitrary_sequences",
+        &gen,
+        |raw| {
+            let ops = ops_from(raw);
+            match decode_ops(&encode_ops(&ops)) {
+                Ok(d) => ensure_eq!(d, ops, "v2 codec round-trip"),
+                Err(e) => return Err(format!("decode of valid v2 encoding failed: {e}")),
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn v1_traces_decode_as_the_same_access_stream() {
+    // Backward compatibility: any v1 page trace, read through
+    // decode_ops, is the identical sequence wrapped in TenantOp::Access.
+    let gen = vecs(u64s(0..=u64::MAX), 0..=300);
+    check("v1_traces_decode_as_the_same_access_stream", &gen, |ids| {
+        let pages: Vec<VirtPage> = ids.iter().map(|&i| VirtPage(i)).collect();
+        let v1 = encode_trace(&pages);
+        let ops = match decode_ops(&v1) {
+            Ok(o) => o,
+            Err(e) => return Err(format!("v1 decode through ops door failed: {e}")),
+        };
+        let want: Vec<TenantOp> = pages.into_iter().map(TenantOp::Access).collect();
+        ensure_eq!(ops, want, "v1 compatibility");
+        Ok(())
+    });
+}
+
+#[test]
+fn every_strict_v2_prefix_errors_without_panicking() {
+    let gen = vecs(
+        (u64s(0..=31), u64s(0..=u64::MAX), u64s(0..=u64::MAX)),
+        1..=50,
+    );
+    check(
+        "every_strict_v2_prefix_errors_without_panicking",
+        &gen,
+        |raw| {
+            let enc = encode_ops(&ops_from(raw));
+            for cut in 0..enc.len() {
+                let r = std::panic::catch_unwind(|| decode_ops(&enc[..cut]));
+                let decoded = match r {
+                    Ok(d) => d,
+                    Err(_) => return Err(format!("decoder panicked on prefix of {cut} bytes")),
+                };
+                ensure!(
+                    decoded.is_err(),
+                    "strict prefix of {cut}/{} bytes decoded successfully",
+                    enc.len()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_the_ops_decoder() {
+    let gen = vecs(u64s(0..=255), 0..=200);
+    let cfg = Config::for_property("arbitrary_bytes_never_panic_the_ops_decoder").with_cases(128);
+    check_config(
+        "arbitrary_bytes_never_panic_the_ops_decoder",
+        &gen,
+        &cfg,
+        |bytes| {
+            let data: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+            let r = std::panic::catch_unwind(|| decode_ops(&data));
+            ensure!(
+                r.is_ok(),
+                "ops decoder panicked on {} fuzz bytes",
+                data.len()
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn corrupted_v2_bytes_never_panic() {
+    // Flip every position of a valid v2 encoding through fuzzed (pos,
+    // val): decode may fail or drift, but must not panic.
+    let gen = (
+        vecs(
+            (u64s(0..=31), u64s(0..=u64::MAX), u64s(0..=u64::MAX)),
+            0..=40,
+        ),
+        u64s(0..=u64::MAX),
+        u64s(0..=255),
+    );
+    check("corrupted_v2_bytes_never_panic", &gen, |(raw, pos, val)| {
+        let mut enc = encode_ops(&ops_from(raw));
+        if enc.is_empty() {
+            return Ok(());
+        }
+        let pos = (*pos % enc.len() as u64) as usize;
+        enc[pos] = *val as u8;
+        let r = std::panic::catch_unwind(|| decode_ops(&enc));
+        ensure!(
+            r.is_ok(),
+            "ops decoder panicked after corrupting byte {pos}"
+        );
+        Ok(())
+    });
+}

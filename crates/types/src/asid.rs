@@ -1,0 +1,201 @@
+//! Address-space identifiers for multi-tenant simulation.
+//!
+//! The paper's model simulates one address space; the multi-tenant
+//! extension runs N lightweight tenants over a single shared physical
+//! pool. Each tenant is named by an [`Asid`] (address-space identifier),
+//! and translation structures key their entries by [`TaggedHugePage`] —
+//! an ASID-qualified huge-page address — so a context switch needs no
+//! TLB flush: entries of the outgoing tenant simply stop matching.
+//!
+//! Two ASID values are special by convention:
+//!
+//! * [`Asid::SINGLE`] (`Asid(0)`) — the implicit tenant of every
+//!   single-tenant simulation. Driving a manager with only `Asid(0)`
+//!   must reproduce the pre-multi-tenant behaviour bit-for-bit.
+//! * [`Asid::GLOBAL`] (`Asid(u32::MAX)`) — the shared/kernel tag.
+//!   TLB entries inserted under it match lookups from *every* tenant
+//!   and survive `flush_asid`, mirroring the global bit in hardware
+//!   TLB entries.
+//!
+//! Multi-tenant request streams are sequences of [`TenantOp`]s: page
+//! accesses interleaved with context-switch and tenant-retirement
+//! records.
+
+use core::fmt;
+
+use crate::page::{VirtHugePage, VirtPage};
+
+/// An address-space identifier naming one tenant (process).
+///
+/// ASIDs are dense small integers assigned by the driver; `u32` bounds
+/// the model at ~4 billion concurrently-named tenants ("millions of
+/// users" with room to spare) while keeping [`TaggedHugePage`] at 16
+/// bytes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asid(pub u32);
+
+impl Asid {
+    /// The implicit tenant of single-tenant simulations.
+    ///
+    /// Runs that only ever use this ASID must behave bit-for-bit like
+    /// the single-tenant code path.
+    pub const SINGLE: Asid = Asid(0);
+
+    /// The shared/kernel tag: entries tagged global match every
+    /// tenant's lookups and survive [`flush_asid`] storms.
+    ///
+    /// The driver never assigns this value to a tenant.
+    ///
+    /// [`flush_asid`]: TaggedHugePage#global-entries
+    pub const GLOBAL: Asid = Asid(u32::MAX);
+
+    /// Returns the raw identifier.
+    #[inline]
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the shared/kernel tag.
+    #[inline]
+    pub const fn is_global(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl From<u32> for Asid {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Asid(v)
+    }
+}
+
+impl fmt::Debug for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_global() {
+            write!(f, "asid(global)")
+        } else {
+            write!(f, "asid{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An ASID-qualified virtual huge-page address: the key type of
+/// ASID-tagged translation structures.
+///
+/// # Global entries
+///
+/// A key whose `asid` is [`Asid::GLOBAL`] denotes a shared mapping
+/// visible to all tenants; tagged TLBs probe the private key first and
+/// fall back to the global key, and `flush_asid` never removes global
+/// entries.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaggedHugePage {
+    /// The owning address space.
+    pub asid: Asid,
+    /// The huge-page address within that space.
+    pub huge: VirtHugePage,
+}
+
+impl TaggedHugePage {
+    /// Builds a key for `huge` in address space `asid`.
+    #[inline]
+    pub const fn new(asid: Asid, huge: VirtHugePage) -> Self {
+        Self { asid, huge }
+    }
+
+    /// Builds the shared/kernel key for `huge`.
+    #[inline]
+    pub const fn global(huge: VirtHugePage) -> Self {
+        Self {
+            asid: Asid::GLOBAL,
+            huge,
+        }
+    }
+}
+
+impl fmt::Debug for TaggedHugePage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}:{:?}", self.asid, self.huge)
+    }
+}
+
+/// One record of a multi-tenant request stream.
+///
+/// Accesses are implicitly attributed to the *current* tenant — the
+/// target of the most recent [`TenantOp::Switch`] (initially
+/// [`Asid::SINGLE`]) — so single-tenant traces embed as pure `Access`
+/// streams with zero overhead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TenantOp {
+    /// The current tenant accesses a virtual page.
+    Access(VirtPage),
+    /// Context switch: subsequent accesses belong to this tenant.
+    Switch(Asid),
+    /// The tenant exits; its mappings must be torn down (and its TLB
+    /// entries shot down) before the ASID can be recycled.
+    Retire(Asid),
+}
+
+impl TenantOp {
+    /// The page accessed, if this is an access record.
+    #[inline]
+    pub fn page(self) -> Option<VirtPage> {
+        match self {
+            TenantOp::Access(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_are_distinct() {
+        assert_ne!(Asid::SINGLE, Asid::GLOBAL);
+        assert!(Asid::GLOBAL.is_global());
+        assert!(!Asid::SINGLE.is_global());
+        assert_eq!(Asid::default(), Asid::SINGLE);
+    }
+
+    #[test]
+    fn key_equality_requires_both_fields() {
+        let a = TaggedHugePage::new(Asid(1), VirtHugePage(7));
+        let b = TaggedHugePage::new(Asid(2), VirtHugePage(7));
+        let c = TaggedHugePage::new(Asid(1), VirtHugePage(8));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, TaggedHugePage::new(Asid(1), VirtHugePage(7)));
+    }
+
+    #[test]
+    fn global_ctor_tags_global() {
+        let g = TaggedHugePage::global(VirtHugePage(3));
+        assert!(g.asid.is_global());
+        assert_eq!(g.huge, VirtHugePage(3));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Asid(5)), "asid5");
+        assert_eq!(format!("{:?}", Asid::GLOBAL), "asid(global)");
+        assert_eq!(
+            format!("{:?}", TaggedHugePage::new(Asid(1), VirtHugePage(255))),
+            "asid1:h0xff"
+        );
+    }
+
+    #[test]
+    fn tenant_op_page_accessor() {
+        assert_eq!(TenantOp::Access(VirtPage(9)).page(), Some(VirtPage(9)));
+        assert_eq!(TenantOp::Switch(Asid(1)).page(), None);
+        assert_eq!(TenantOp::Retire(Asid(1)).page(), None);
+    }
+}

@@ -4,6 +4,7 @@
 //! workspace:
 //!
 //! * newtyped page identifiers ([`VirtPage`], [`PhysPage`], [`VirtHugePage`]),
+//! * multi-tenant vocabulary ([`Asid`], [`TaggedHugePage`], [`TenantOp`]),
 //! * page-geometry arithmetic ([`HugePageGeometry`]),
 //! * the system parameters of the paper's model ([`SystemParams`]):
 //!   `V` virtual pages, `P` physical pages, `ℓ` TLB entries, `w` bits per TLB
@@ -18,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod asid;
 pub mod cost;
 pub mod error;
 pub mod geometry;
@@ -25,6 +27,7 @@ pub mod page;
 pub mod params;
 pub mod scale;
 
+pub use asid::{Asid, TaggedHugePage, TenantOp};
 pub use cost::{CostModel, Costs};
 pub use error::{ParamError, Result};
 pub use geometry::HugePageGeometry;

@@ -26,6 +26,7 @@ pub mod bimodal;
 pub mod compose;
 pub mod graph500;
 pub mod hpc;
+pub mod tenants;
 pub mod walk;
 pub mod zipf;
 
@@ -34,5 +35,6 @@ pub use bimodal::Bimodal;
 pub use compose::{Mix, Offset, Replay};
 pub use graph500::{Graph500Config, Graph500Trace};
 pub use hpc::{Gups, Stencil2d};
+pub use tenants::TenantMix;
 pub use walk::ParetoWalk;
 pub use zipf::Zipf;

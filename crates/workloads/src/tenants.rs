@@ -1,0 +1,221 @@
+//! Multi-tenant workload generation.
+//!
+//! [`TenantMix`] turns the single-tenant generators' recipe inside out:
+//! instead of one page stream, it schedules N tenants in quanta. Each
+//! quantum picks a tenant by a Zipf draw over tenant ranks (a few
+//! tenants dominate, a long tail barely runs — the "tenant-activity
+//! skew"), emits a [`TenantOp::Switch`], then `quantum` Zipf-distributed
+//! accesses into that tenant's private page range, and finally — with
+//! probability `churn` — retires the tenant so its ASID recycles cold.
+//!
+//! Memory is O(1) in the tenant count: a tenant's page stream for
+//! quantum *q* is a pure function of `(seed, asid, q)` (a fresh
+//! [`CounterRng`] keyed by both), so driving millions of lightweight
+//! tenants needs no per-tenant state. The cost of that purity is that a
+//! tenant restarts its Zipf stream each quantum — which is exactly the
+//! hot-set re-touch behaviour a rescheduled process shows anyway.
+
+use crate::zipf::Zipf;
+use atp_hash::CounterRng;
+use atp_types::{Asid, TenantOp, VirtPage};
+
+/// Key stream for the scheduler's RNG (tenant draws + churn coin).
+const STREAM_SCHED: u64 = 0x7E4A;
+
+/// Key stream for per-(tenant, quantum) page RNGs.
+const STREAM_PAGES: u64 = 0x7E4B;
+
+/// A context-switch-aware multi-tenant workload: an infinite
+/// `Iterator<Item = TenantOp>`.
+#[derive(Clone, Debug)]
+pub struct TenantMix {
+    seed: u64,
+    sched: CounterRng,
+    tenant_zipf: Zipf,
+    page_zipf: Zipf,
+    quantum: u64,
+    churn: f64,
+    /// Quantum counter; keys the per-quantum page RNG.
+    q: u64,
+    current: Asid,
+    page_rng: CounterRng,
+    /// Accesses left in the current quantum.
+    remaining: u64,
+    /// Retire `current` before scheduling the next quantum.
+    pending_retire: bool,
+}
+
+impl TenantMix {
+    /// Creates the generator.
+    ///
+    /// * `tenants` — number of address spaces N (ASIDs `0..N`);
+    /// * `vspan` — private virtual pages per tenant;
+    /// * `tenant_skew` — Zipf exponent over tenant ranks (rank 1 =
+    ///   ASID 0 is the hottest tenant);
+    /// * `page_skew` — Zipf exponent of each tenant's page stream;
+    /// * `quantum` — accesses per scheduling slice;
+    /// * `churn` — probability a tenant is retired at the end of its
+    ///   quantum (ASIDs recycle; `0.0` disables churn).
+    ///
+    /// # Panics
+    /// Panics if `tenants`, `vspan`, or `quantum` is zero, or `churn`
+    /// is outside `[0, 1]`.
+    pub fn new(
+        seed: u64,
+        tenants: u64,
+        vspan: u64,
+        tenant_skew: f64,
+        page_skew: f64,
+        quantum: u64,
+        churn: f64,
+    ) -> Self {
+        assert!(tenants > 0, "need at least one tenant");
+        assert!(vspan > 0, "tenant page span must be nonzero");
+        assert!(quantum > 0, "quantum must be nonzero");
+        assert!((0.0..=1.0).contains(&churn), "churn is a probability");
+        Self {
+            seed,
+            sched: CounterRng::new(seed, STREAM_SCHED),
+            tenant_zipf: Zipf::new(tenants, tenant_skew),
+            page_zipf: Zipf::new(vspan, page_skew),
+            quantum,
+            churn,
+            q: 0,
+            current: Asid::SINGLE,
+            page_rng: CounterRng::new(seed, STREAM_PAGES),
+            remaining: 0,
+            pending_retire: false,
+        }
+    }
+}
+
+impl Iterator for TenantMix {
+    type Item = TenantOp;
+
+    fn next(&mut self) -> Option<TenantOp> {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            if self.remaining == 0 && self.churn > 0.0 && self.sched.next_bool(self.churn) {
+                self.pending_retire = true;
+            }
+            let page = self.page_zipf.sample(&mut self.page_rng) - 1;
+            return Some(TenantOp::Access(VirtPage(page)));
+        }
+        if self.pending_retire {
+            self.pending_retire = false;
+            return Some(TenantOp::Retire(self.current));
+        }
+        // New quantum: draw the tenant, restart its pure page stream.
+        self.q += 1;
+        let rank = self.tenant_zipf.sample(&mut self.sched);
+        self.current = Asid((rank - 1) as u32);
+        self.page_rng = CounterRng::new2(self.seed ^ STREAM_PAGES, self.current.0 as u64, self.q);
+        self.remaining = self.quantum;
+        Some(TenantOp::Switch(self.current))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_hash::FxHashSet;
+
+    fn mix() -> TenantMix {
+        TenantMix::new(42, 100, 1 << 12, 1.1, 1.01, 64, 0.05)
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let a: Vec<TenantOp> = mix().take(10_000).collect();
+        let b: Vec<TenantOp> = mix().take(10_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structure_is_switch_then_quantum_accesses() {
+        let ops: Vec<TenantOp> = TenantMix::new(7, 4, 256, 1.2, 1.1, 8, 0.0)
+            .take(45)
+            .collect();
+        // With churn 0: strictly [Switch, 8 × Access] repeating.
+        for (i, op) in ops.iter().enumerate() {
+            if i % 9 == 0 {
+                assert!(matches!(op, TenantOp::Switch(_)), "op {i} should switch");
+            } else {
+                assert!(matches!(op, TenantOp::Access(_)), "op {i} should access");
+            }
+        }
+    }
+
+    #[test]
+    fn pages_stay_in_span_and_asids_in_range() {
+        for op in mix().take(50_000) {
+            match op {
+                TenantOp::Access(v) => assert!(v.0 < 1 << 12),
+                TenantOp::Switch(a) | TenantOp::Retire(a) => assert!(a.0 < 100),
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_skew_concentrates_activity() {
+        let mut switches_to_rank1 = 0u64;
+        let mut total = 0u64;
+        for op in TenantMix::new(3, 1000, 64, 1.2, 1.1, 4, 0.0).take(100_000) {
+            if let TenantOp::Switch(a) = op {
+                total += 1;
+                if a.0 == 0 {
+                    switches_to_rank1 += 1;
+                }
+            }
+        }
+        assert!(
+            switches_to_rank1 * 5 > total,
+            "rank-1 tenant got {switches_to_rank1}/{total} quanta; zipf(1.2) should give it ≳ 20%"
+        );
+    }
+
+    #[test]
+    fn churn_retires_and_recycles() {
+        let ops: Vec<TenantOp> = TenantMix::new(11, 8, 64, 1.1, 1.1, 4, 0.5)
+            .take(20_000)
+            .collect();
+        let mut retired: FxHashSet<u32> = FxHashSet::default();
+        let mut recycled = false;
+        for op in &ops {
+            match op {
+                TenantOp::Retire(a) => {
+                    retired.insert(a.0);
+                }
+                TenantOp::Switch(a) if retired.contains(&a.0) => {
+                    recycled = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(!retired.is_empty(), "churn 0.5 must retire someone");
+        assert!(recycled, "retired ASIDs must come back (recycling)");
+        // A retirement always follows the retiree's own quantum.
+        for w in ops.windows(2) {
+            if let TenantOp::Retire(a) = w[1] {
+                assert!(matches!(w[0], TenantOp::Access(_)), "retire ends a quantum");
+                let _ = a;
+            }
+        }
+    }
+
+    #[test]
+    fn millions_of_tenants_run_in_constant_memory() {
+        // 2^21 tenants; generation must not allocate per tenant.
+        let mut mix = TenantMix::new(1, 1 << 21, 1 << 10, 1.05, 1.1, 16, 0.01);
+        let mut distinct: FxHashSet<u32> = FxHashSet::default();
+        for op in mix.by_ref().take(100_000) {
+            if let TenantOp::Switch(a) = op {
+                distinct.insert(a.0);
+            }
+        }
+        assert!(
+            distinct.len() > 100,
+            "long tail should surface many tenants"
+        );
+    }
+}
