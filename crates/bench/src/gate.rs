@@ -1,0 +1,258 @@
+//! Paired-ratio regression gate for the `hotpath` bench.
+//!
+//! The batched translation engine is only worth its complexity while it
+//! stays measurably faster than the fused single-step path, so `hotpath`
+//! records `hotpath_paired_ratio` gauges — the median of per-repetition
+//! slow/fast time ratios, where pairing per rep round cancels the
+//! machine-throughput drift a ratio of independent medians would soak up
+//! — and this module turns a set of those rows into a pass/fail verdict:
+//! every batched/fused ratio must clear a floor.
+//!
+//! `hotpath --gate <floor>` gates the run it just measured;
+//! `hotpath --gate-file <path>` re-gates a stored JSON without measuring
+//! anything, which is what the meta-test in `tests/gate.rs` pins against
+//! synthetic baseline files.
+
+use atp_obs::json;
+
+/// One paired-ratio row from a hotpath metrics file: engine `fast`
+/// against reference `slow` on `trace`, as the median of per-rep time
+/// ratios (`> 1` means `fast` won).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RatioRow {
+    /// Row id, `"<fast>_vs_<slow>/<trace>"`.
+    pub id: String,
+    /// Variant name of the engine under test.
+    pub fast: String,
+    /// Variant name of the paired reference engine.
+    pub slow: String,
+    /// Trace name.
+    pub trace: String,
+    /// Median paired speedup of `fast` over `slow`.
+    pub ratio: f64,
+    /// Whether the row is enforced by the gate. Non-gated rows are
+    /// recorded for the trajectory but carry no pass/fail weight — the
+    /// batched engine trades its O(ℓ) eviction scan for the list-free
+    /// hit path, so miss-dominated cells document the trade-off instead
+    /// of gating on it.
+    pub gated: bool,
+}
+
+/// Speedup of `fast` over `slow` as the *median of per-repetition
+/// ratios*. Entry `i` of each slice must come from the same measurement
+/// round, so each ratio compares timings from the same machine phase;
+/// the median of those paired ratios is robust to frequency scaling and
+/// noisy neighbours in a way a ratio of medians is not.
+///
+/// # Panics
+/// Panics if the slices are empty, have different lengths, or produce a
+/// non-finite ratio.
+pub fn median_paired_ratio(fast_times: &[f64], slow_times: &[f64]) -> f64 {
+    assert_eq!(fast_times.len(), slow_times.len(), "unpaired repetitions");
+    assert!(!fast_times.is_empty(), "no repetitions to compare");
+    let mut ratios: Vec<f64> = slow_times
+        .iter()
+        .zip(fast_times)
+        .map(|(s, f)| s / f)
+        .collect();
+    ratios.sort_by(|a, b| {
+        // atp-lint: allow(unwrap-policy, reason = "documented panic: ratios of positive timings are finite")
+        a.partial_cmp(b).expect("finite ratios")
+    });
+    ratios[ratios.len() / 2]
+}
+
+/// Extracts every `hotpath_paired_ratio` gauge from an `atp-metrics-v1`
+/// document. Returns an error (never panics) on malformed input so the
+/// gate can distinguish "no ratio rows" from "not a metrics file".
+pub fn read_ratio_rows(text: &str) -> Result<Vec<RatioRow>, String> {
+    let doc = json::parse(text).map_err(|e| format!("parsing metrics JSON: {e}"))?;
+    let schema = doc.get("schema").and_then(|s| s.as_str()).unwrap_or("");
+    if schema != "atp-metrics-v1" {
+        return Err(format!("expected atp-metrics-v1 schema, found {schema:?}"));
+    }
+    let mut out = Vec::new();
+    for m in doc
+        .get("metrics")
+        .and_then(|m| m.as_arr())
+        .into_iter()
+        .flatten()
+    {
+        if m.get("name").and_then(|n| n.as_str()) != Some("hotpath_paired_ratio") {
+            continue;
+        }
+        let label = |key: &str| {
+            m.get("labels")
+                .and_then(|l| l.get(key))
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+        };
+        let (Some(id), Some(fast), Some(slow), Some(trace)) =
+            (label("id"), label("fast"), label("slow"), label("trace"))
+        else {
+            return Err(format!(
+                "hotpath_paired_ratio row {} is missing id/fast/slow/trace labels",
+                out.len()
+            ));
+        };
+        let Some(ratio) = m.get("value").and_then(|v| v.as_f64()) else {
+            return Err(format!(
+                "hotpath_paired_ratio row {id} has no numeric value"
+            ));
+        };
+        // Absent label means gated: a baseline that forgot to scope its
+        // rows gets the strict reading, not a free pass.
+        let gated = label("gated").is_none_or(|g| g != "false");
+        out.push(RatioRow {
+            id,
+            fast,
+            slow,
+            trace,
+            ratio,
+            gated,
+        });
+    }
+    Ok(out)
+}
+
+/// Gated rows whose ratio fails to clear `floor`, in file order; empty
+/// means the gate passes. Non-gated rows are informational and never
+/// fail. Non-finite ratios always fail (a NaN speedup is a broken
+/// measurement, not a pass).
+pub fn gate_failures(rows: &[RatioRow], floor: f64) -> Vec<&RatioRow> {
+    rows.iter()
+        .filter(|r| r.gated && (r.ratio.is_nan() || r.ratio < floor))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_obs::MetricsRegistry;
+
+    fn row(id: &str, ratio: f64) -> RatioRow {
+        RatioRow {
+            id: id.to_string(),
+            fast: "batched_full_lru".to_string(),
+            slow: "full_lru_mono".to_string(),
+            trace: id.rsplit('/').next().unwrap_or("t").to_string(),
+            ratio,
+            gated: true,
+        }
+    }
+
+    #[test]
+    fn median_pairs_reps_before_taking_the_median() {
+        // Rep 2 is globally 10x slower (machine phase); paired ratios are
+        // unaffected, while a ratio of medians would wander.
+        let fast = [1.0, 2.0, 10.0];
+        let slow = [2.0, 4.0, 20.0];
+        assert_eq!(median_paired_ratio(&fast, &slow), 2.0);
+    }
+
+    #[test]
+    fn median_is_positional_for_odd_counts() {
+        let fast = [1.0, 1.0, 1.0, 1.0, 1.0];
+        let slow = [0.5, 1.0, 3.0, 2.0, 9.0];
+        assert_eq!(median_paired_ratio(&fast, &slow), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpaired repetitions")]
+    fn mismatched_rep_counts_panic() {
+        median_paired_ratio(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gate_passes_at_and_above_the_floor() {
+        let rows = [row("a/zipf", 1.5), row("b/seq", 1.51)];
+        assert!(gate_failures(&rows, 1.5).is_empty());
+    }
+
+    #[test]
+    fn gate_reports_every_row_below_the_floor() {
+        let rows = [row("a/zipf", 1.49), row("b/seq", 2.0), row("c/g", 0.4)];
+        let bad: Vec<&str> = gate_failures(&rows, 1.5)
+            .iter()
+            .map(|r| r.id.as_str())
+            .collect();
+        assert_eq!(bad, ["a/zipf", "c/g"]);
+    }
+
+    #[test]
+    fn non_gated_rows_never_fail() {
+        let mut slow = row("batched_full_lru_vs_full_lru_mono/zipf", 0.2);
+        slow.gated = false;
+        let rows = [slow, row("batched_full_lru_vs_full_lru_mono/zipf_hot", 1.9)];
+        assert!(
+            gate_failures(&rows, 1.5).is_empty(),
+            "informational rows carry no pass/fail weight"
+        );
+    }
+
+    #[test]
+    fn non_finite_ratios_fail_the_gate() {
+        let rows = [row("a/zipf", f64::NAN), row("b/seq", f64::INFINITY)];
+        let bad = gate_failures(&rows, 0.0);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].id, "a/zipf");
+    }
+
+    #[test]
+    fn ratio_rows_round_trip_through_the_metrics_schema() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_meta("bench", "hotpath");
+        reg.gauge(
+            "hotpath_accesses_per_sec",
+            "decoy: not a ratio row",
+            &[("id", "full_lru_mono/zipf")],
+            1e8,
+        );
+        reg.gauge(
+            "hotpath_paired_ratio",
+            "median paired speedup",
+            &[
+                ("id", "batched_full_lru_vs_full_lru_mono/graph500"),
+                ("fast", "batched_full_lru"),
+                ("slow", "full_lru_mono"),
+                ("trace", "graph500"),
+            ],
+            1.75,
+        );
+        reg.gauge(
+            "hotpath_paired_ratio",
+            "informational miss-heavy cell",
+            &[
+                ("id", "batched_full_lru_vs_full_lru_mono/zipf"),
+                ("fast", "batched_full_lru"),
+                ("slow", "full_lru_mono"),
+                ("trace", "zipf"),
+                ("gated", "false"),
+            ],
+            0.3,
+        );
+        let rows = read_ratio_rows(&reg.to_json()).expect("well-formed");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, "batched_full_lru_vs_full_lru_mono/graph500");
+        assert_eq!(rows[0].fast, "batched_full_lru");
+        assert_eq!(rows[0].slow, "full_lru_mono");
+        assert_eq!(rows[0].trace, "graph500");
+        assert_eq!(rows[0].ratio, 1.75);
+        assert!(rows[0].gated, "absent gated label means enforced");
+        assert!(!rows[1].gated, "explicit gated=false is informational");
+    }
+
+    #[test]
+    fn wrong_schema_is_an_error_not_a_pass() {
+        let err = read_ratio_rows(r#"{"schema":"atp-bench-hotpath-v1"}"#).unwrap_err();
+        assert!(err.contains("atp-metrics-v1"), "got: {err}");
+    }
+
+    #[test]
+    fn ratio_row_without_labels_is_an_error() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("hotpath_paired_ratio", "bad row", &[("id", "x")], 1.0);
+        let err = read_ratio_rows(&reg.to_json()).unwrap_err();
+        assert!(err.contains("missing"), "got: {err}");
+    }
+}

@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod gate;
 pub mod harness;
 
 use atp_memmgmt::classic::{ClassicConfig, ClassicMm};

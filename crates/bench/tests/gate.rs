@@ -1,0 +1,217 @@
+//! Meta-test for the hotpath paired-ratio regression gate: pins the
+//! `--gate <floor> --gate-file <path>` verdict of the *binary* on
+//! synthetic `atp-metrics-v1` baseline files, so the exit-code contract
+//! CI and developers rely on cannot drift from the library logic.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use atp_bench::gate::{gate_failures, read_ratio_rows, RatioRow};
+use atp_obs::MetricsRegistry;
+
+/// Writes a synthetic hotpath metrics file with the given
+/// `(fast, slow, trace, ratio)` rows and returns its path.
+fn write_baseline(name: &str, rows: &[(&str, &str, &str, f64)]) -> PathBuf {
+    let mut reg = MetricsRegistry::new();
+    reg.set_meta("bench", "hotpath");
+    // A plausible throughput row, to check the gate ignores non-ratio
+    // metrics instead of tripping on them.
+    reg.gauge(
+        "hotpath_accesses_per_sec",
+        "median throughput over reps",
+        &[("id", "full_lru_mono/graph500")],
+        1.5e8,
+    );
+    for &(fast, slow, trace, ratio) in rows {
+        reg.gauge(
+            "hotpath_paired_ratio",
+            "median of per-rep slow/fast time ratios",
+            &[
+                ("id", &format!("{fast}_vs_{slow}/{trace}")),
+                ("fast", fast),
+                ("slow", slow),
+                ("trace", trace),
+            ],
+            ratio,
+        );
+    }
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::write(&path, reg.to_json()).expect("write synthetic baseline");
+    path
+}
+
+/// Runs the hotpath binary with `args` and returns (success, stdout).
+fn run_hotpath(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hotpath"))
+        .args(args)
+        .output()
+        .expect("spawn hotpath");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn gate_passes_a_healthy_baseline() {
+    let path = write_baseline(
+        "gate_healthy.json",
+        &[
+            ("batched_full_lru", "full_lru_mono", "graph500", 1.8),
+            ("batched_full_lru", "full_lru_mono", "zipf_hot", 1.6),
+            ("batched_full_lru_l1", "full_lru_mono_l1", "graph500", 1.5),
+        ],
+    );
+    let (ok, out) = run_hotpath(&[
+        "--gate",
+        "1.5",
+        "--gate-file",
+        path.to_str().expect("utf-8"),
+    ]);
+    assert!(ok, "healthy baseline must pass the gate:\n{out}");
+    assert!(out.contains("gate OK"), "{out}");
+    assert!(
+        !out.contains("FAIL"),
+        "no row should be marked failing:\n{out}"
+    );
+}
+
+#[test]
+fn gate_fails_when_any_ratio_is_below_the_floor() {
+    let path = write_baseline(
+        "gate_regressed.json",
+        &[
+            ("batched_full_lru", "full_lru_mono", "graph500", 1.8),
+            ("batched_full_lru_l1", "full_lru_mono_l1", "seq", 1.2),
+        ],
+    );
+    let (ok, out) = run_hotpath(&[
+        "--gate",
+        "1.5",
+        "--gate-file",
+        path.to_str().expect("utf-8"),
+    ]);
+    assert!(!ok, "a regressed row must fail the gate:\n{out}");
+    assert!(
+        out.contains("batched_full_lru_l1_vs_full_lru_mono_l1/seq") && out.contains("FAIL"),
+        "verdict must name the regressed row:\n{out}"
+    );
+    assert!(
+        !out.contains("gate OK"),
+        "a failing gate must not print the pass banner:\n{out}"
+    );
+}
+
+#[test]
+fn gate_verdict_is_exact_at_the_floor() {
+    // >= floor passes: 1.5 at a 1.5 floor is not a regression.
+    let path = write_baseline(
+        "gate_boundary.json",
+        &[("batched_full_lru", "full_lru_mono", "graph500", 1.5)],
+    );
+    let (ok, out) = run_hotpath(&[
+        "--gate",
+        "1.5",
+        "--gate-file",
+        path.to_str().expect("utf-8"),
+    ]);
+    assert!(ok, "ratio equal to the floor must pass:\n{out}");
+}
+
+#[test]
+fn non_gated_rows_inform_but_never_fail_the_binary_gate() {
+    let mut reg = MetricsRegistry::new();
+    reg.gauge(
+        "hotpath_paired_ratio",
+        "enforced row",
+        &[
+            ("id", "batched_full_lru_vs_full_lru_mono/graph500"),
+            ("fast", "batched_full_lru"),
+            ("slow", "full_lru_mono"),
+            ("trace", "graph500"),
+            ("gated", "true"),
+        ],
+        1.8,
+    );
+    reg.gauge(
+        "hotpath_paired_ratio",
+        "informational miss-heavy row",
+        &[
+            ("id", "batched_full_lru_vs_full_lru_mono/zipf"),
+            ("fast", "batched_full_lru"),
+            ("slow", "full_lru_mono"),
+            ("trace", "zipf"),
+            ("gated", "false"),
+        ],
+        0.2,
+    );
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("gate_info_rows.json");
+    std::fs::write(&path, reg.to_json()).expect("write synthetic baseline");
+    let (ok, out) = run_hotpath(&[
+        "--gate",
+        "1.5",
+        "--gate-file",
+        path.to_str().expect("utf-8"),
+    ]);
+    assert!(
+        ok,
+        "an informational row below the floor must not fail:\n{out}"
+    );
+    assert!(
+        out.contains("info"),
+        "non-gated rows are labelled info:\n{out}"
+    );
+}
+
+#[test]
+fn gate_fails_on_a_file_with_no_ratio_rows() {
+    let path = write_baseline("gate_empty.json", &[]);
+    let (ok, out) = run_hotpath(&[
+        "--gate",
+        "1.5",
+        "--gate-file",
+        path.to_str().expect("utf-8"),
+    ]);
+    assert!(!ok, "nothing to check must not read as a pass:\n{out}");
+    assert!(out.contains("no hotpath_paired_ratio rows"), "{out}");
+}
+
+#[test]
+fn gate_file_without_a_floor_is_an_error() {
+    let path = write_baseline(
+        "gate_no_floor.json",
+        &[("batched_full_lru", "full_lru_mono", "graph500", 9.0)],
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_hotpath"))
+        .args(["--gate-file", path.to_str().expect("utf-8")])
+        .output()
+        .expect("spawn hotpath");
+    assert!(
+        !out.status.success(),
+        "--gate-file without --gate must be rejected"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("requires --gate"), "{err}");
+}
+
+#[test]
+fn binary_verdict_matches_the_library_on_the_same_file() {
+    let rows_spec: &[(&str, &str, &str, f64)] = &[
+        ("batched_full_lru", "full_lru_mono", "graph500", 1.44),
+        ("batched_full_lru", "full_lru_mono", "zipf", 1.62),
+    ];
+    let path = write_baseline("gate_crosscheck.json", rows_spec);
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let rows: Vec<RatioRow> = read_ratio_rows(&text).expect("well-formed");
+    assert_eq!(rows.len(), rows_spec.len());
+    let lib_fails = gate_failures(&rows, 1.5);
+    assert_eq!(lib_fails.len(), 1, "library says exactly one regression");
+    let (ok, out) = run_hotpath(&[
+        "--gate",
+        "1.5",
+        "--gate-file",
+        path.to_str().expect("utf-8"),
+    ]);
+    assert!(!ok, "binary must agree with the library verdict:\n{out}");
+    assert!(out.contains(lib_fails[0].id.as_str()), "{out}");
+}

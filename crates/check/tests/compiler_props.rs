@@ -1,0 +1,260 @@
+//! Property tests for the trace-compiler memo (`atp_sim::TraceCompiler`):
+//! under seeded churn scripts of accesses, maps, unmaps, shootdowns, and
+//! flushes, the memoized walk paths must (a) never serve a stale
+//! translation — every resolve agrees with a `MapPageTable` mirror of
+//! the true mapping state — and (b) track an exact FIFO-window model of
+//! which pages are memoized. A tenant-stream case (`TenantOp`) pins ASID
+//! isolation, `flush_asid`, and retirement.
+
+use std::collections::VecDeque;
+
+use atp_check::oracles::MapPageTable;
+use atp_check::{check, ensure, ensure_eq, from_fn, vecs, CounterRng, Gen};
+use atp_pagetable::{PageTable, RadixPageTable};
+use atp_sim::{TenantCompiler, TraceCompiler};
+use atp_types::{Asid, PhysPage, TenantOp, VirtPage};
+
+/// Small spaces keep collision pressure high: 32 virtual pages churned
+/// through an 8-entry memo window.
+const PAGES: u64 = 32;
+const WINDOW: usize = 8;
+
+/// One churn step against a compiled page table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    /// Resolve a translation (the hot path the memo accelerates).
+    Access(u64),
+    /// Map or remap `v → p` through the compiler.
+    Map(u64, u64),
+    /// Unmap `v` through the compiler.
+    Unmap(u64),
+    /// Out-of-band invalidation of `v` (remote shootdown).
+    Shootdown(u64),
+    /// Drop every memoized path.
+    Flush,
+}
+
+/// Access-heavy op mix; shrinks every op toward `Access(0)`.
+fn ops_gen() -> impl Gen<Value = Vec<Op>> {
+    let op = from_fn(
+        |rng: &mut CounterRng| {
+            let v = rng.next_below(PAGES);
+            match rng.next_below(16) {
+                0..=9 => Op::Access(v),
+                10 | 11 => Op::Map(v, rng.next_below(1 << 20)),
+                12 => Op::Unmap(v),
+                13 => Op::Shootdown(v),
+                _ => Op::Flush,
+            }
+        },
+        |op: &Op| match *op {
+            Op::Access(0) => Vec::new(),
+            Op::Access(v) => vec![Op::Access(0), Op::Access(v / 2)],
+            Op::Map(v, p) => vec![Op::Access(v), Op::Map(v / 2, p), Op::Map(v, p / 2)],
+            Op::Unmap(v) => vec![Op::Access(v), Op::Unmap(v / 2)],
+            Op::Shootdown(v) => vec![Op::Access(v), Op::Shootdown(v / 2)],
+            Op::Flush => vec![Op::Access(0)],
+        },
+    );
+    vecs(op, 0..=300)
+}
+
+#[test]
+fn memo_never_serves_a_stale_translation() {
+    check("memo_never_serves_a_stale_translation", &ops_gen(), |ops| {
+        let mut c = TraceCompiler::new(RadixPageTable::new(), WINDOW);
+        let mut truth = MapPageTable::new();
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                Op::Access(v) => {
+                    let got = c.resolve(VirtPage(v)).phys;
+                    let want = truth.translate(VirtPage(v)).0;
+                    ensure_eq!(got, want, "step {i}: resolve({v}) diverged");
+                }
+                Op::Map(v, p) => {
+                    c.map(VirtPage(v), PhysPage(p));
+                    truth.map(VirtPage(v), PhysPage(p));
+                    // A remap must be visible immediately, even if v was
+                    // memoized a moment ago.
+                    ensure_eq!(
+                        c.resolve(VirtPage(v)).phys,
+                        Some(PhysPage(p)),
+                        "step {i}: remap of {v} not visible"
+                    );
+                }
+                Op::Unmap(v) => {
+                    let (got, _) = c.unmap(VirtPage(v));
+                    let (want, _) = truth.unmap(VirtPage(v));
+                    ensure_eq!(got, want, "step {i}: unmap({v}) diverged");
+                    ensure_eq!(
+                        c.resolve(VirtPage(v)).phys,
+                        None,
+                        "step {i}: stale path survived unmap of {v}"
+                    );
+                }
+                Op::Shootdown(v) => c.shootdown(VirtPage(v)),
+                Op::Flush => c.flush(),
+            }
+            ensure_eq!(
+                c.table().mapped(),
+                truth.mapped(),
+                "step {i}: mapped-page counts diverged"
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn memo_membership_follows_the_fifo_window_model() {
+    // Mirror of the memo's residency discipline: resolves of absent
+    // pages enter a FIFO bounded to WINDOW (memo hits do not refresh
+    // position); map/unmap/shootdown evict the page; flush clears.
+    check(
+        "memo_membership_follows_the_fifo_window_model",
+        &ops_gen(),
+        |ops| {
+            let mut c = TraceCompiler::new(RadixPageTable::new(), WINDOW);
+            let mut fifo: VecDeque<u64> = VecDeque::new();
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    Op::Access(v) => {
+                        c.resolve(VirtPage(v));
+                        if !fifo.contains(&v) {
+                            if fifo.len() == WINDOW {
+                                fifo.pop_front();
+                            }
+                            fifo.push_back(v);
+                        }
+                    }
+                    Op::Map(v, p) => {
+                        c.map(VirtPage(v), PhysPage(p));
+                        fifo.retain(|&q| q != v);
+                    }
+                    Op::Unmap(v) => {
+                        c.unmap(VirtPage(v));
+                        fifo.retain(|&q| q != v);
+                    }
+                    Op::Shootdown(v) => {
+                        c.shootdown(VirtPage(v));
+                        fifo.retain(|&q| q != v);
+                    }
+                    Op::Flush => {
+                        c.flush();
+                        fifo.clear();
+                    }
+                }
+                ensure_eq!(c.memoized(), fifo.len(), "step {i}: memo size diverged");
+                ensure!(c.memoized() <= WINDOW, "step {i}: memo exceeded its window");
+                for &v in &fifo {
+                    ensure!(
+                        c.is_memoized(VirtPage(v)),
+                        "step {i}: model says {v} is memoized, compiler disagrees"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// One step of a multi-tenant churn script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TenantStep {
+    /// A v2 trace op: switch, access, or retire.
+    Trace(TenantOp),
+    /// Map `v → p` in the current tenant's space.
+    Map(u64, u64),
+    /// Drop the current tenant's memo, keeping its table.
+    FlushAsid,
+}
+
+const TENANTS: u32 = 3;
+
+fn tenant_gen() -> impl Gen<Value = Vec<TenantStep>> {
+    let step = from_fn(
+        |rng: &mut CounterRng| {
+            let v = rng.next_below(PAGES);
+            match rng.next_below(16) {
+                0..=8 => TenantStep::Trace(TenantOp::Access(VirtPage(v))),
+                9 | 10 => TenantStep::Trace(TenantOp::Switch(Asid(
+                    rng.next_below(TENANTS as u64) as u32
+                ))),
+                11 => TenantStep::Trace(TenantOp::Retire(Asid(
+                    rng.next_below(TENANTS as u64) as u32
+                ))),
+                12..=14 => TenantStep::Map(v, rng.next_below(1 << 20)),
+                _ => TenantStep::FlushAsid,
+            }
+        },
+        |s: &TenantStep| match *s {
+            TenantStep::Trace(TenantOp::Access(VirtPage(0))) => Vec::new(),
+            TenantStep::Trace(TenantOp::Access(VirtPage(v))) => vec![
+                TenantStep::Trace(TenantOp::Access(VirtPage(0))),
+                TenantStep::Trace(TenantOp::Access(VirtPage(v / 2))),
+            ],
+            _ => vec![TenantStep::Trace(TenantOp::Access(VirtPage(0)))],
+        },
+    );
+    vecs(step, 0..=300)
+}
+
+#[test]
+fn tenant_compilers_isolate_address_spaces() {
+    check(
+        "tenant_compilers_isolate_address_spaces",
+        &tenant_gen(),
+        |steps| {
+            let mut tc: TenantCompiler<RadixPageTable> = TenantCompiler::new(WINDOW);
+            let mut truth: Vec<MapPageTable> = (0..TENANTS).map(|_| MapPageTable::new()).collect();
+            let mut current = Asid(0);
+            for (i, &step) in steps.iter().enumerate() {
+                match step {
+                    TenantStep::Trace(TenantOp::Switch(a)) => current = a,
+                    TenantStep::Trace(TenantOp::Access(v)) => {
+                        let got = tc.resolve(current, v).phys;
+                        let want = truth[current.0 as usize].translate(v).0;
+                        ensure_eq!(
+                            got,
+                            want,
+                            "step {i}: asid {} resolve({}) diverged",
+                            current.0,
+                            v.0
+                        );
+                    }
+                    TenantStep::Trace(TenantOp::Retire(a)) => {
+                        tc.retire(a);
+                        truth[a.0 as usize] = MapPageTable::new();
+                    }
+                    TenantStep::Map(v, p) => {
+                        tc.space(current).map(VirtPage(v), PhysPage(p));
+                        truth[current.0 as usize].map(VirtPage(v), PhysPage(p));
+                    }
+                    TenantStep::FlushAsid => {
+                        tc.flush_asid(current);
+                        if let Some(space) = tc.peek(current) {
+                            ensure_eq!(
+                                space.memoized(),
+                                0,
+                                "step {i}: flush_asid left memo entries"
+                            );
+                        }
+                    }
+                }
+            }
+            // Final sweep: every tenant's every page agrees with its own
+            // mirror — no cross-tenant leakage through the shared window
+            // parameter.
+            for a in 0..TENANTS {
+                for v in 0..PAGES {
+                    ensure_eq!(
+                        tc.resolve(Asid(a), VirtPage(v)).phys,
+                        truth[a as usize].translate(VirtPage(v)).0,
+                        "final sweep: asid {a} page {v}"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}

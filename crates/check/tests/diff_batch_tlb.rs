@@ -1,0 +1,104 @@
+//! Differential for the raw batched engine: `BatchTlb` (timestamp LRU,
+//! software-pipelined `access_or_fill_batch`) against the fused
+//! `Tlb<u64, Lru>` golden, over generated churn scripts of accesses and
+//! invalidations flushed at batch sizes {1, 8, 13, 4096}. Hits, the full
+//! counter block, and the resident set must stay identical at every
+//! flush point; divergences shrink to a minimal script.
+
+use atp_check::{check_config, ensure_eq, from_fn, vecs, Config, CounterRng, Gen};
+use atp_tlb::{BatchTlb, Tlb};
+use atp_types::VirtHugePage;
+
+const ENTRIES: u64 = 16;
+/// Page span ~3× capacity: plenty of hits, steady evictions.
+const SPAN: u64 = 48;
+const BATCHES: [usize; 4] = [1, 8, 13, 4096];
+
+/// `(invalidate?, page)` scripts; shrinks toward plain accesses of 0.
+fn script_gen() -> impl Gen<Value = Vec<(bool, u64)>> {
+    let op = from_fn(
+        |rng: &mut CounterRng| (rng.next_below(10) == 0, rng.next_below(SPAN)),
+        |&(inv, v): &(bool, u64)| {
+            let mut out = Vec::new();
+            if inv {
+                out.push((false, v));
+            }
+            if v > 0 {
+                out.push((inv, 0));
+                out.push((inv, v / 2));
+            }
+            out
+        },
+    );
+    vecs(op, 0..=600)
+}
+
+fn diff_script(script: &[(bool, u64)], batch: usize) -> Result<(), String> {
+    let mut fast: BatchTlb<u64> = BatchTlb::lru(ENTRIES);
+    let mut gold: Tlb<u64> = Tlb::lru(ENTRIES);
+    let mut pending: Vec<VirtHugePage> = Vec::new();
+    let mut step = 0usize;
+    let flush = |fast: &mut BatchTlb<u64>,
+                 gold: &mut Tlb<u64>,
+                 pending: &mut Vec<VirtHugePage>,
+                 step: usize|
+     -> Result<(), String> {
+        let fast_hits = fast.access_or_fill_batch(pending, |u| u.0 * 3);
+        let mut gold_hits = 0u64;
+        for &u in pending.iter() {
+            if gold.access_or_fill(u, || u.0 * 3) {
+                gold_hits += 1;
+            }
+        }
+        pending.clear();
+        ensure_eq!(
+            fast_hits,
+            gold_hits,
+            "batch hits diverged before step {step}"
+        );
+        ensure_eq!(
+            fast.stats(),
+            gold.stats(),
+            "counters diverged before step {step}"
+        );
+        Ok(())
+    };
+    for &(invalidate, page) in script {
+        let u = VirtHugePage(page);
+        if invalidate {
+            // Invalidations are synchronous events: drain the batch
+            // first, exactly as a shootdown would interrupt a stream.
+            flush(&mut fast, &mut gold, &mut pending, step)?;
+            ensure_eq!(
+                fast.invalidate(u),
+                gold.invalidate(u),
+                "invalidate({page}) diverged at step {step}"
+            );
+        } else {
+            pending.push(u);
+            if pending.len() == batch {
+                flush(&mut fast, &mut gold, &mut pending, step)?;
+            }
+        }
+        step += 1;
+    }
+    flush(&mut fast, &mut gold, &mut pending, step)?;
+    ensure_eq!(fast.len(), gold.len(), "resident counts diverged at end");
+    let mut a: Vec<(u64, u64)> = fast.iter().map(|(k, v)| (k.0, *v)).collect();
+    let mut b: Vec<(u64, u64)> = gold.iter().map(|(k, v)| (k.0, *v)).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    ensure_eq!(a, b, "resident sets diverged at end");
+    Ok(())
+}
+
+#[test]
+fn batch_tlb_matches_fused_lru_at_every_batch_size() {
+    for batch in BATCHES {
+        let name = format!("diff_batch_tlb_{batch}");
+        let cfg = Config::for_property(&name).with_cases(8);
+        check_config(&name, &script_gen(), &cfg, |script| {
+            diff_script(script, batch)
+        });
+    }
+}

@@ -178,6 +178,65 @@ fn observer_counters_match_on_decoupled_pipeline() {
 }
 
 #[test]
+fn exhausted_trace_emits_no_trailing_empty_boundary() {
+    // Boundary emission must be exact: when the trace runs out on a
+    // chunk edge, the driver's final (empty) pull must not announce a
+    // phantom zero-length batch. Pinned here so the batched access_batch
+    // refactor — and any future one — keeps the emission contract.
+    let cfg = || ClassicConfig {
+        huge_pages: 1,
+        phys_pages: PHYS,
+        tlb_entries: TLB,
+        tlb_policy: PolicyKind::Lru,
+        ram_policy: PolicyKind::Lru,
+        seed: 11,
+    };
+    for (trace_len, batch, expected) in [
+        (12usize, 4usize, 3u64), // exact multiple: 4+4+4, no empty 4th pull
+        (12, 5, 3),              // ragged tail: 5+5+2
+        (12, 12, 1),             // single exact chunk
+        (12, 4096, 1),           // one partial chunk
+        (0, 4, 0),               // empty trace: no boundary at all
+    ] {
+        let mut m = Pipeline::with_observer(ClassicStages::new(cfg()), Recorder::new());
+        let trace: Vec<VirtPage> = Zipfian::new(7, 1 << 10, 1.1).take(trace_len).collect();
+        // measure >> trace so exhaustion, not the budget, ends the run.
+        run_batched(&mut m, trace, 0, 1 << 20, batch);
+        assert_eq!(
+            m.observer().counters().batches,
+            expected,
+            "boundary count for trace_len={trace_len} batch={batch}"
+        );
+    }
+}
+
+#[test]
+fn boundary_count_is_exact_when_the_budget_ends_the_run() {
+    // The dual case: the warmup/measure budget (not trace exhaustion)
+    // stops the driver, with the budget landing both on and off chunk
+    // edges.
+    let cfg = || ClassicConfig {
+        huge_pages: 1,
+        phys_pages: PHYS,
+        tlb_entries: TLB,
+        tlb_policy: PolicyKind::Lru,
+        ram_policy: PolicyKind::Lru,
+        seed: 11,
+    };
+    for (warmup, measure, batch) in [(8u64, 16u64, 4usize), (7, 9, 4), (0, 10, 3), (5, 0, 2)] {
+        let mut m = Pipeline::with_observer(ClassicStages::new(cfg()), Recorder::new());
+        let trace = Zipfian::new(9, 1 << 10, 1.1).take((warmup + measure) as usize * 2);
+        run_batched(&mut m, trace, warmup, measure, batch);
+        let expected = warmup.div_ceil(batch as u64) + measure.div_ceil(batch as u64);
+        assert_eq!(
+            m.observer().counters().batches,
+            expected,
+            "boundary count for warmup={warmup} measure={measure} batch={batch}"
+        );
+    }
+}
+
+#[test]
 fn short_trace_early_stop_is_batch_invariant() {
     // Traces shorter than warmup+measure stop early; the early-stop point
     // must not depend on chunking.

@@ -50,6 +50,10 @@ COMMON OPTIONS (sizes accept k/m/g suffixes and 2^n):
   --policy P      lru|fifo|clock|…          [lru]
   --seed N        RNG seed                  [42]
 
+SIMULATE:
+  --batch N       driver chunk size in pages (cost-invariant;
+                  batched engines pipeline each chunk)        [4096]
+
 OBSERVABILITY (simulate; --metrics/--format also on sweep and multicore):
   --observe            print per-stage counters + reuse/latency histograms
   --metrics FILE       write run metrics (--format json|csv|prom) [json]
@@ -280,6 +284,7 @@ pub fn simulate(raw: &[String]) -> Result<(), ArgError> {
         &args,
         &[
             "manager",
+            "batch",
             "observe",
             "metrics",
             "trace-events",
@@ -293,6 +298,10 @@ pub fn simulate(raw: &[String]) -> Result<(), ArgError> {
     let name = args.get_or("manager", "classic");
     let wname = args.get_or("workload", "bimodal");
     let format = export_format(&args)?;
+    let batch = args.u64_or("batch", atp_sim::DEFAULT_BATCH as u64)? as usize;
+    if batch == 0 {
+        return Err(ArgError("--batch must be positive".to_string()));
+    }
     let window = args.u64_or("window", 0)?;
     let events_cap = args.u64_or("events-cap", EventLog::DEFAULT_CAPACITY as u64)? as usize;
 
@@ -320,7 +329,7 @@ pub fn simulate(raw: &[String]) -> Result<(), ArgError> {
     // Timing lives here, at the CLI boundary: the sim crate is
     // logical-clock-only so its outputs stay bit-reproducible.
     let wall_start = std::time::Instant::now();
-    let stats = atp_sim::run(mgr.as_mut(), trace, c.warmup, c.accesses);
+    let stats = atp_sim::run_batched(mgr.as_mut(), trace, c.warmup, c.accesses, batch);
     let wall = wall_start.elapsed();
     let costs = stats.costs;
     println!("manager:        {}", stats.name);
@@ -956,6 +965,53 @@ mod tests {
         assert!(multicore_cmd(&argv(&["--coers", "2"])).is_err());
         assert!(calibrate(&argv(&["--devcie", "nvme"])).is_err());
         assert!(trace_cmd(&argv(&["mrc", "f", "--capacties", "1k"])).is_err());
+    }
+
+    #[test]
+    fn simulate_batch_is_cost_invariant() {
+        // --batch only changes driver chunking; every exported metric
+        // except the driver-owned batch-boundary count must be
+        // byte-identical across batch sizes.
+        let dir = std::env::temp_dir().join("atp_cli_batch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let export = |batch: &str| {
+            let path = dir.join(format!("m_{batch}.json"));
+            simulate(&argv(&[
+                "--manager",
+                "classic",
+                "--workload",
+                "zipf",
+                "--phys",
+                "2^12",
+                "--accesses",
+                "10k",
+                "--warmup",
+                "1k",
+                "--h",
+                "8",
+                "--batch",
+                batch,
+                "--metrics",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap_or_else(|e| panic!("--batch {batch}: {e}"));
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            // atp_stage_batches counts driver chunks, so it varies with
+            // --batch by design; everything else must not.
+            assert!(text.contains("atp_stage_batches"), "batches row missing");
+            text.lines()
+                .filter(|l| !l.contains("atp_stage_batches"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let golden = export("4096");
+        for batch in ["1", "13", "2^16"] {
+            assert_eq!(export(batch), golden, "--batch {batch} changed the metrics");
+        }
+        // Zero is rejected, not silently clamped.
+        let err = simulate(&argv(&["--batch", "0"])).unwrap_err();
+        assert!(err.0.contains("--batch"), "{err}");
     }
 
     #[test]

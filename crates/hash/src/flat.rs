@@ -1,0 +1,360 @@
+//! A flat, open-addressing slot index with a precomputed-hash API.
+//!
+//! [`SlotIndex`] is the probe structure under the batched translation
+//! engine: a linear-probing hash table mapping *full 64-bit hashes* to
+//! `u32` slot ids. It deliberately does **not** store keys — key equality
+//! is delegated to the caller through an `eq(slot)` callback, so the one
+//! copy of each key stays in the caller's slot arena (SoA: the index is
+//! two dense arrays, 12 bytes per bucket) and every entry point accepts a
+//! hash the caller computed earlier. That split is what makes software
+//! pipelining possible: a batch step can hash 8–16 keys up front (no
+//! dependency chains), touch their buckets to pull the probe lines into
+//! cache ([`SlotIndex::touch`]), and only then resolve the probes in
+//! access order.
+//!
+//! Properties relied on by callers:
+//!
+//! * **Fixed geometry** — capacity is chosen at construction for a known
+//!   maximum entry count (cache/TLB capacity); the table never rehashes,
+//!   so bucket positions are stable between a `touch` and the probe that
+//!   follows.
+//! * **Determinism** — bucket placement is a pure function of the inserted
+//!   hashes and the insertion/removal sequence. No `RandomState`, no
+//!   ambient randomness.
+//! * **Real deletion** — removal compacts displaced runs (backward-shift
+//!   deletion), so long-lived churn (TLB shootdowns, tenant retirement)
+//!   cannot accumulate tombstones and degrade probe lengths.
+//!
+//! Buckets are addressed by the *top* bits of the hash (Fibonacci-style),
+//! which is the well-mixed end of [`crate::fx`]'s multiply-based hashes.
+
+use core::hash::{BuildHasher, Hash};
+
+use crate::fx::FxBuildHasher;
+
+/// Sentinel marking a vacant bucket (slot ids must stay below it; the
+/// cache simulators already cap capacity below `u32::MAX`).
+const VACANT: u32 = u32::MAX;
+
+/// Hashes one key with the workspace's deterministic Fx hasher.
+///
+/// This is the hash every [`SlotIndex`] entry point expects; callers batch
+/// these up front and reuse one hash across probe, insert, and remove.
+#[inline]
+pub fn fx_hash<K: Hash + ?Sized>(k: &K) -> u64 {
+    FxBuildHasher::default().hash_one(k)
+}
+
+/// A fixed-geometry, open-addressing `hash → u32` index with caller-side
+/// key storage. See the module docs for the contract.
+#[derive(Clone, Debug)]
+pub struct SlotIndex {
+    /// Full 64-bit hash per bucket; garbage where `slots` is [`VACANT`].
+    hashes: Vec<u64>,
+    /// Slot id per bucket; [`VACANT`] marks an empty bucket.
+    slots: Vec<u32>,
+    /// `buckets = 1 << (64 - shift)`; bucket of `h` is `h >> shift`.
+    shift: u32,
+    mask: usize,
+    len: usize,
+    max_entries: usize,
+}
+
+impl SlotIndex {
+    /// Creates an index able to hold `max_entries` entries at a load
+    /// factor of at most ½ (bucket count is the next power of two of
+    /// `2 * max_entries`, minimum 8).
+    ///
+    /// # Panics
+    /// Panics if `max_entries` is zero or does not fit `u32` slot ids.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        assert!(max_entries > 0, "slot index capacity must be nonzero");
+        assert!(
+            max_entries < VACANT as usize,
+            "slot index capacity exceeds u32 slot ids"
+        );
+        let buckets = (max_entries * 2).next_power_of_two().max(8);
+        Self {
+            hashes: vec![0; buckets],
+            slots: vec![VACANT; buckets],
+            shift: 64 - buckets.trailing_zeros(),
+            mask: buckets - 1,
+            len: 0,
+            max_entries,
+        }
+    }
+
+    /// Number of resident entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum entry count fixed at construction.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Home bucket of hash `h`.
+    #[inline]
+    fn bucket(&self, h: u64) -> usize {
+        (h >> self.shift) as usize
+    }
+
+    /// Pulls the probe line for hash `h` into cache without resolving the
+    /// probe — the "explicit arena prefetch" stage of a batched pipeline.
+    /// A plain read forced to materialize; safe, side-effect-free, and a
+    /// no-op semantically.
+    #[inline]
+    pub fn touch(&self, h: u64) {
+        let b = self.bucket(h);
+        std::hint::black_box(self.slots[b]);
+        std::hint::black_box(self.hashes[b]);
+    }
+
+    /// Resolves hash `h` to its slot id, if present. `eq(slot)` must
+    /// report whether the caller's arena holds the probed key at `slot`;
+    /// it is only consulted on a full 64-bit hash match.
+    #[inline]
+    pub fn get(&self, h: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mut b = self.bucket(h);
+        loop {
+            let s = self.slots[b];
+            if s == VACANT {
+                return None;
+            }
+            if self.hashes[b] == h && eq(s) {
+                return Some(s);
+            }
+            b = (b + 1) & self.mask;
+        }
+    }
+
+    /// Inserts `h → slot`. The caller guarantees the key hashing to `h` is
+    /// absent (the cache simulators probe first and treat insert-of-resident
+    /// as a contract violation).
+    ///
+    /// # Panics
+    /// Panics if the index is already at its fixed capacity.
+    #[inline]
+    pub fn insert(&mut self, h: u64, slot: u32) {
+        assert!(self.len < self.max_entries, "slot index overfull");
+        debug_assert_ne!(slot, VACANT, "slot id collides with vacancy sentinel");
+        let mut b = self.bucket(h);
+        while self.slots[b] != VACANT {
+            b = (b + 1) & self.mask;
+        }
+        self.slots[b] = slot;
+        self.hashes[b] = h;
+        self.len += 1;
+    }
+
+    /// Removes the entry for hash `h` (with `eq` confirming the key),
+    /// returning its slot id. Displaced probe runs are compacted
+    /// (backward-shift deletion), so no tombstones accumulate.
+    pub fn remove(&mut self, h: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mut b = self.bucket(h);
+        loop {
+            let s = self.slots[b];
+            if s == VACANT {
+                return None;
+            }
+            if self.hashes[b] == h && eq(s) {
+                self.compact_from(b);
+                self.len -= 1;
+                return Some(s);
+            }
+            b = (b + 1) & self.mask;
+        }
+    }
+
+    /// Vacates bucket `i`, then shifts any entry whose probe path passed
+    /// through `i` backward so every surviving entry stays reachable from
+    /// its home bucket.
+    fn compact_from(&mut self, mut i: usize) {
+        self.slots[i] = VACANT;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            if self.slots[j] == VACANT {
+                return;
+            }
+            let home = self.bucket(self.hashes[j]);
+            // Entry `j` may move into the hole at `i` iff `i` lies on its
+            // probe path, i.e. the cyclic distance home→j covers i→j.
+            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
+                self.slots[i] = self.slots[j];
+                self.hashes[i] = self.hashes[j];
+                self.slots[j] = VACANT;
+                i = j;
+            }
+        }
+    }
+
+    /// Iterates resident `(hash, slot)` pairs in bucket order
+    /// (deterministic, but arbitrary from the caller's point of view).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.slots
+            .iter()
+            .zip(&self.hashes)
+            .filter(|(&s, _)| s != VACANT)
+            .map(|(&s, &h)| (h, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CounterRng;
+    use std::collections::HashMap;
+
+    /// A keyless harness: keys ARE the slot ids (stored nowhere), so `eq`
+    /// compares slot ids directly — exactly how the cache simulators use
+    /// removal, and a faithful stand-in for arena-side key checks.
+    fn get(ix: &SlotIndex, h: u64, slot: u32) -> bool {
+        ix.get(h, |s| s == slot) == Some(slot)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut ix = SlotIndex::with_capacity(8);
+        let h = fx_hash(&42u64);
+        assert_eq!(ix.get(h, |_| true), None);
+        ix.insert(h, 3);
+        assert_eq!(ix.get(h, |_| true), Some(3));
+        assert_eq!(ix.remove(h, |s| s == 3), Some(3));
+        assert_eq!(ix.get(h, |_| true), None);
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn eq_disambiguates_full_hash_collisions() {
+        let mut ix = SlotIndex::with_capacity(8);
+        // Same hash, two different "keys" (slots 1 and 2).
+        let h = fx_hash(&7u64);
+        ix.insert(h, 1);
+        ix.insert(h, 2);
+        assert_eq!(ix.get(h, |s| s == 2), Some(2));
+        assert_eq!(ix.remove(h, |s| s == 1), Some(1));
+        assert_eq!(ix.get(h, |s| s == 2), Some(2));
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn touch_is_semantically_inert() {
+        let mut ix = SlotIndex::with_capacity(8);
+        let h = fx_hash(&5u64);
+        ix.touch(h);
+        ix.insert(h, 0);
+        ix.touch(h);
+        ix.touch(fx_hash(&6u64));
+        assert_eq!(ix.len(), 1);
+        assert!(get(&ix, h, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overfull")]
+    fn overfull_insert_panics() {
+        let mut ix = SlotIndex::with_capacity(2);
+        ix.insert(fx_hash(&1u64), 0);
+        ix.insert(fx_hash(&2u64), 1);
+        ix.insert(fx_hash(&3u64), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        SlotIndex::with_capacity(0);
+    }
+
+    #[test]
+    fn backward_shift_keeps_displaced_entries_reachable() {
+        // Force a displaced run by filling a small table, then delete from
+        // the middle of runs repeatedly; everything left must stay findable.
+        let mut ix = SlotIndex::with_capacity(16);
+        let keys: Vec<u64> = (0..16).collect();
+        for (i, k) in keys.iter().enumerate() {
+            ix.insert(fx_hash(k), i as u32);
+        }
+        // Remove evens, then verify odds; re-insert evens, verify all.
+        for (i, k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(ix.remove(fx_hash(k), |s| s == i as u32), Some(i as u32));
+            }
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(get(&ix, fx_hash(k), i as u32), i % 2 == 1, "key {k}");
+        }
+        for (i, k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                ix.insert(fx_hash(k), i as u32);
+            }
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert!(get(&ix, fx_hash(k), i as u32));
+        }
+    }
+
+    #[test]
+    fn churn_matches_hashmap_oracle() {
+        // Deterministic churn against std's HashMap: same membership after
+        // every operation, across a range of occupancies.
+        let mut rng = CounterRng::new(0xF1A7, 0);
+        let mut ix = SlotIndex::with_capacity(64);
+        let mut oracle: HashMap<u64, u32> = HashMap::new();
+        let mut next_slot = 0u32;
+        for step in 0..20_000u64 {
+            let k = rng.next_below(96);
+            let h = fx_hash(&k);
+            let slot = oracle.get(&k).copied();
+            match rng.next_below(3) {
+                0 | 1 => {
+                    // access-or-insert, bounded by capacity
+                    match slot {
+                        Some(s) => assert_eq!(ix.get(h, |x| x == s), Some(s), "step {step}"),
+                        None if oracle.len() < 64 => {
+                            ix.insert(h, next_slot);
+                            oracle.insert(k, next_slot);
+                            next_slot += 1;
+                        }
+                        None => assert_eq!(
+                            ix.get(h, |x| oracle.values().any(|&v| v == x) && slot == Some(x)),
+                            None
+                        ),
+                    }
+                }
+                _ => {
+                    let removed = ix.remove(h, |x| slot == Some(x));
+                    assert_eq!(removed, slot, "step {step}");
+                    oracle.remove(&k);
+                }
+            }
+            assert_eq!(ix.len(), oracle.len(), "step {step}");
+        }
+        // Full final audit.
+        for (k, s) in &oracle {
+            assert_eq!(ix.get(fx_hash(k), |x| x == *s), Some(*s));
+        }
+        assert_eq!(ix.iter().count(), oracle.len());
+    }
+
+    #[test]
+    fn iter_lists_every_resident_pair() {
+        let mut ix = SlotIndex::with_capacity(8);
+        for k in 0..5u64 {
+            ix.insert(fx_hash(&k), k as u32);
+        }
+        let mut pairs: Vec<(u64, u32)> = ix.iter().collect();
+        pairs.sort_unstable();
+        let mut expect: Vec<(u64, u32)> = (0..5u64).map(|k| (fx_hash(&k), k as u32)).collect();
+        expect.sort_unstable();
+        assert_eq!(pairs, expect);
+    }
+}

@@ -13,18 +13,23 @@
 //! * [`pagehash::PageHasher`] — `k` independent page→bin choices via
 //!   seeded double hashing, the paper's `h_1, …, h_k`,
 //! * [`counter::CounterRng`] — a counter-based deterministic RNG stream so
-//!   that (e.g.) edge `j` of graph node `v` is a pure function of `(v, j)`.
+//!   that (e.g.) edge `j` of graph node `v` is a pure function of `(v, j)`,
+//! * [`flat::SlotIndex`] — a fixed-geometry open-addressing `hash → slot`
+//!   index with a precomputed-hash API and explicit bucket prefetch, the
+//!   probe structure under the batched translation engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod flat;
 pub mod fx;
 pub mod mix;
 pub mod pagehash;
 pub mod xx;
 
 pub use counter::CounterRng;
+pub use flat::{fx_hash, SlotIndex};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mix::{mix2, mix3, splitmix64};
 pub use pagehash::PageHasher;

@@ -145,6 +145,14 @@ impl Stages for ClassicStages {
     fn name(&self) -> String {
         format!("classic(h={})", self.h)
     }
+
+    fn prepare_batch(&self, addrs: &[VirtPage]) {
+        for &a in addrs {
+            let u = self.geom.huge_of(a);
+            self.ram.touch(&u.id());
+            self.tlb.touch(u);
+        }
+    }
 }
 
 /// The classic physical-huge-page memory manager.

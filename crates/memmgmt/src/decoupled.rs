@@ -180,6 +180,14 @@ impl<A: RamAllocator> Stages for DecoupledStages<A> {
             self.ram.capacity()
         )
     }
+
+    fn prepare_batch(&self, addrs: &[VirtPage]) {
+        let geom = self.scheme.geometry();
+        for &a in addrs {
+            self.tlb.touch(geom.huge_of(a));
+            self.ram.touch(&a.0);
+        }
+    }
 }
 
 /// The decoupled memory manager `Z`.

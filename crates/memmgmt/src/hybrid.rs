@@ -90,6 +90,11 @@ impl<A: RamAllocator> Stages for HybridStages<A> {
     fn name(&self) -> String {
         format!("hybrid(chunk={}, inner={})", self.chunk, self.inner.name())
     }
+
+    fn prepare_batch(&self, addrs: &[VirtPage]) {
+        // `addrs` are already chunk ids (the pipeline maps before preparing).
+        self.inner.prepare_batch(addrs);
+    }
 }
 
 /// Decoupled manager over physically contiguous chunks.

@@ -70,6 +70,12 @@ impl Stages for VirtualOnlyStages {
     fn name(&self) -> String {
         format!("X(hmax={})", self.geom.pages_per_huge())
     }
+
+    fn prepare_batch(&self, addrs: &[VirtPage]) {
+        for &a in addrs {
+            self.tlb.touch(&self.geom.huge_of(a).id());
+        }
+    }
 }
 
 /// `X`: cares only about TLB misses, using huge pages of size `hmax`
@@ -136,6 +142,12 @@ impl Stages for PagingOnlyStages {
 
     fn name(&self) -> String {
         format!("Y(m={})", self.ram.capacity())
+    }
+
+    fn prepare_batch(&self, addrs: &[VirtPage]) {
+        for &a in addrs {
+            self.ram.touch(&a.id());
+        }
     }
 }
 

@@ -83,7 +83,20 @@ pub trait Stages {
 
     /// Human-readable description for reports.
     fn name(&self) -> String;
+
+    /// Warms cache lines for a small window of *mapped* upcoming
+    /// addresses (the prefetch stage of [`Pipeline::access_batch`]).
+    /// Takes `&self` so implementations are structurally incapable of
+    /// changing outcomes: they may only touch probe lines
+    /// (`CacheSim::touch`, `Tlb::touch`), never policy state, counters,
+    /// or membership. Default: no-op.
+    fn prepare_batch(&self, _addrs: &[VirtPage]) {}
 }
+
+/// Width of the [`Pipeline::access_batch`] prefetch window: addresses are
+/// prepared this many ahead so the touched lines are still resident when
+/// their access retires.
+pub const PREPARE_LANES: usize = 16;
 
 /// A staged, observable memory manager: [`Stages`] + [`SimObserver`] +
 /// the shared cost tally.
@@ -180,6 +193,24 @@ impl<S: Stages, O: SimObserver> MemoryManager for Pipeline<S, O> {
 
     fn batch_boundary(&mut self, len: usize) {
         self.observer.on_batch_boundary(len);
+    }
+
+    /// Software-pipelined batch drive: for each [`PREPARE_LANES`]-wide
+    /// window, map the addresses, let the stages warm their probe lines
+    /// ([`Stages::prepare_batch`], a `&self` hook that cannot change
+    /// outcomes), then retire the accesses in order through the normal
+    /// staged path. Bit-for-bit equivalent to per-access [`Self::access`].
+    fn access_batch(&mut self, vs: &[VirtPage]) {
+        let mut mapped = [VirtPage(0); PREPARE_LANES];
+        for sub in vs.chunks(PREPARE_LANES) {
+            for (i, &v) in sub.iter().enumerate() {
+                mapped[i] = self.stages.map_addr(v);
+            }
+            self.stages.prepare_batch(&mapped[..sub.len()]);
+            for &v in sub {
+                self.access(v);
+            }
+        }
     }
 }
 

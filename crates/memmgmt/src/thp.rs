@@ -360,6 +360,23 @@ impl Stages for ThpStages {
     fn name(&self) -> String {
         format!("thp(h={})", self.h)
     }
+
+    fn prepare_batch(&self, addrs: &[VirtPage]) {
+        for &a in addrs {
+            // Pick the keys the stages will probe from the *current*
+            // promotion state (read-only; a fault in the window may still
+            // flip it — prefetch is best-effort, correctness lives in the
+            // stages).
+            let u = self.geom.huge_of(a);
+            if self.huge_frames.contains_key(&u) {
+                self.units.touch(&(HUGE_TAG | u.0));
+                self.tlb.touch(u);
+            } else {
+                self.units.touch(&a.0);
+                self.tlb.touch(VirtHugePage(a.0));
+            }
+        }
+    }
 }
 
 /// The THP-style memory manager.

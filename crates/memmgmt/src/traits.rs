@@ -35,6 +35,18 @@ pub trait MemoryManager {
     /// Hook called by batched drivers after each chunk of `_len` accesses.
     /// Default: no-op; pipelines forward it to their observer.
     fn batch_boundary(&mut self, _len: usize) {}
+
+    /// Services a batch of requests in order. Semantically identical to
+    /// calling [`MemoryManager::access`] once per page (the default does
+    /// exactly that); batched engines override it to run a software
+    /// pipeline — hash precompute and arena prefetch a few accesses ahead
+    /// — without changing any observable outcome. Callers that need the
+    /// per-access [`AccessReport`]s must use `access` directly.
+    fn access_batch(&mut self, vs: &[VirtPage]) {
+        for &v in vs {
+            self.access(v);
+        }
+    }
 }
 
 impl<M: MemoryManager + ?Sized> MemoryManager for Box<M> {
@@ -56,6 +68,10 @@ impl<M: MemoryManager + ?Sized> MemoryManager for Box<M> {
 
     fn batch_boundary(&mut self, len: usize) {
         (**self).batch_boundary(len)
+    }
+
+    fn access_batch(&mut self, vs: &[VirtPage]) {
+        (**self).access_batch(vs)
     }
 }
 

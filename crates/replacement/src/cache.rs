@@ -1,16 +1,24 @@
 //! The generic cache simulator driving a replacement policy.
 //!
 //! [`CacheSim`] is the single-probe slot arena at the bottom of every hot
-//! path in the workspace: one `FxHashMap<K, u32>` probe resolves to a slot
-//! index into a contiguous arena holding the key and an optional user value
-//! `V`, while the policy keeps its intrusive recency metadata (u32 links,
-//! reference bits, …) in its own slot-indexed arrays. A hit is therefore
-//! one hash probe plus O(1) index arithmetic — no second map for values, no
-//! membership pre-check. The policy type parameter `P` is monomorphized at
-//! the call site; pass [`crate::AnyPolicy`] for runtime-configured policies.
+//! path in the workspace: one [`SlotIndex`] probe (a flat open-addressing
+//! `hash → slot` table taking precomputed Fx hashes) resolves to a slot id
+//! into cache-line-conscious SoA arenas — keys, values, and the policy's
+//! intrusive recency metadata (u32 links, reference bits, …) each live in
+//! their own slot-indexed array, so a hit touches only the probe line, the
+//! key line it validates against, and the arena the caller actually needs.
+//! A hit is therefore one hash probe plus O(1) index arithmetic — no second
+//! map for values, no membership pre-check. The policy type parameter `P`
+//! is monomorphized at the call site; pass [`crate::AnyPolicy`] for
+//! runtime-configured policies.
+//!
+//! The split layout is what the batched translation engine pipelines over:
+//! [`CacheSim::touch`] warms the probe line for a key whose hash was
+//! precomputed a few accesses ahead, without touching policy state or
+//! counters.
 
 use crate::policy::{Policy, SlotId};
-use atp_hash::FxHashMap;
+use atp_hash::flat::{fx_hash, SlotIndex};
 use core::hash::Hash;
 
 /// Outcome of a cache access.
@@ -56,9 +64,12 @@ impl<K> AccessResult<K> {
 #[derive(Debug)]
 pub struct CacheSim<K, P: Policy, V = ()> {
     capacity: usize,
-    map: FxHashMap<K, u32>,
-    /// Slot arena: key and value co-located, `None` = free slot.
-    slots: Vec<Option<(K, V)>>,
+    index: SlotIndex,
+    /// SoA slot arenas: `keys[slot]`/`vals[slot]`, `None` = free slot. Keys
+    /// are the occupancy truth (slot-order scans read only this array);
+    /// values sit apart so key-validation probes never drag value lines in.
+    keys: Vec<Option<K>>,
+    vals: Vec<Option<V>>,
     free: Vec<u32>,
     policy: P,
     hits: u64,
@@ -79,8 +90,9 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
         );
         Self {
             capacity,
-            map: FxHashMap::default(),
-            slots: (0..capacity).map(|_| None).collect(),
+            index: SlotIndex::with_capacity(capacity),
+            keys: (0..capacity).map(|_| None).collect(),
+            vals: (0..capacity).map(|_| None).collect(),
             free: (0..capacity as u32).rev().collect(),
             policy,
             hits: 0,
@@ -97,19 +109,26 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
     /// Number of resident entries.
     #[inline]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.index.len()
     }
 
     /// Whether the cache is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.index.is_empty()
+    }
+
+    /// Resolves `k` to its slot id without touching policy or counters.
+    #[inline]
+    fn probe(&self, h: u64, k: &K) -> Option<u32> {
+        let keys = &self.keys;
+        self.index.get(h, |s| keys[s as usize].as_ref() == Some(k))
     }
 
     /// Whether `k` is resident (does not touch the policy).
     #[inline]
     pub fn contains(&self, k: &K) -> bool {
-        self.map.contains_key(k)
+        self.probe(fx_hash(k), k).is_some()
     }
 
     /// Hit count so far.
@@ -124,6 +143,14 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
         self.misses
     }
 
+    /// Warms the probe line for `k` without resolving the probe — the
+    /// prefetch stage of a batched pipeline. Semantically a no-op: no
+    /// policy update, no counters, no membership change.
+    #[inline]
+    pub fn touch(&self, k: &K) {
+        self.index.touch(fx_hash(k));
+    }
+
     /// Accesses `k` *only if resident*: one hash probe. A hit refreshes the
     /// policy, bumps the hit counter, and returns the value; a miss bumps
     /// the miss counter and returns `None` without inserting anything.
@@ -133,12 +160,12 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
     /// this method exists to remove).
     #[inline]
     pub fn access_if_present(&mut self, k: &K) -> Option<&V> {
-        match self.map.get(k) {
-            Some(&slot) => {
+        match self.probe(fx_hash(k), k) {
+            Some(slot) => {
                 self.policy.on_hit(slot as SlotId);
                 self.hits += 1;
-                match &self.slots[slot as usize] {
-                    Some((_, v)) => Some(v),
+                match &self.vals[slot as usize] {
+                    Some(v) => Some(v),
                     None => unreachable!("mapped slot occupied"),
                 }
             }
@@ -152,16 +179,16 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
     /// Reads the value of `k` without touching recency or counters.
     #[inline]
     pub fn get(&self, k: &K) -> Option<&V> {
-        let &slot = self.map.get(k)?;
-        self.slots[slot as usize].as_ref().map(|(_, v)| v)
+        let slot = self.probe(fx_hash(k), k)?;
+        self.vals[slot as usize].as_ref()
     }
 
     /// Mutable access to the value of `k` without touching recency or
     /// counters (free ψ-updates in the paper's cost model).
     #[inline]
     pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
-        let &slot = self.map.get(k)?;
-        self.slots[slot as usize].as_mut().map(|(_, v)| v)
+        let slot = self.probe(fx_hash(k), k)?;
+        self.vals[slot as usize].as_mut()
     }
 
     /// Inserts a key known to be absent with its value, returning the
@@ -170,18 +197,34 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
     /// # Panics
     /// Panics if `k` is already resident.
     pub fn insert_cold_with(&mut self, k: K, v: V) -> Option<(K, V)> {
-        assert!(!self.map.contains_key(&k), "insert_cold on resident key");
+        let h = fx_hash(&k);
+        assert!(self.probe(h, &k).is_none(), "insert_cold on resident key");
         let mut evicted = None;
-        if self.map.len() == self.capacity {
+        if self.index.len() == self.capacity {
             evicted = self.evict_one_entry();
             debug_assert!(evicted.is_some(), "full cache must yield a victim");
         }
         // atp-lint: allow(unwrap-policy, reason = "invariant: insert_new is only called after an eviction or under capacity, so a free slot exists")
         let slot = self.free.pop().expect("free slot available");
-        self.slots[slot as usize] = Some((k, v));
-        self.map.insert(k, slot);
+        self.keys[slot as usize] = Some(k);
+        self.vals[slot as usize] = Some(v);
+        self.index.insert(h, slot);
         self.policy.on_insert(slot as SlotId);
         evicted
+    }
+
+    /// Detaches `slot` from the arenas, the index, and the policy,
+    /// returning its entry. The caller guarantees the slot is occupied.
+    fn release_slot(&mut self, slot: u32) -> (K, V) {
+        // atp-lint: allow(unwrap-policy, reason = "invariant: callers resolve the slot through the index or observe it occupied first")
+        let k = self.keys[slot as usize].take().expect("slot key occupied");
+        let v = self.vals[slot as usize].take();
+        // atp-lint: allow(unwrap-policy, reason = "invariant: key and value arenas are occupied in lockstep")
+        let v = v.expect("slot value occupied");
+        self.policy.on_remove(slot as SlotId);
+        self.index.remove(fx_hash(&k), |s| s == slot);
+        self.free.push(slot);
+        (k, v)
     }
 
     /// Forces eviction of the policy's preferred victim, returning its
@@ -189,29 +232,18 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
     /// capacity constraint is external (e.g. physical frames rather than
     /// entries).
     pub fn evict_one_entry(&mut self) -> Option<(K, V)> {
-        if self.map.is_empty() {
+        if self.index.is_empty() {
             return None;
         }
         let victim_slot = self.policy.choose_victim();
-        let (k, v) = self.slots[victim_slot]
-            .take()
-            // atp-lint: allow(unwrap-policy, reason = "invariant: the policy's victim is always an occupied slot")
-            .expect("victim slot occupied");
-        self.policy.on_remove(victim_slot);
-        self.map.remove(&k);
-        self.free.push(victim_slot as u32);
-        Some((k, v))
+        Some(self.release_slot(victim_slot as u32))
     }
 
     /// Explicitly removes `k` (invalidation), returning its value if it was
     /// resident. One hash probe.
     pub fn remove_entry(&mut self, k: &K) -> Option<V> {
-        let slot = self.map.remove(k)?;
-        // atp-lint: allow(unwrap-policy, reason = "invariant: remove receives an occupied slot resolved through the map")
-        let (_, v) = self.slots[slot as usize].take().expect("slot occupied");
-        self.policy.on_remove(slot as SlotId);
-        self.free.push(slot);
-        Some(v)
+        let slot = self.probe(fx_hash(k), k)?;
+        Some(self.release_slot(slot).1)
     }
 
     /// Explicitly removes `k` (invalidation), returning whether it was
@@ -228,16 +260,12 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
     pub fn remove_matching(&mut self, mut pred: impl FnMut(&K) -> bool) -> u64 {
         let mut removed = 0u64;
         for slot in 0..self.capacity {
-            let matches = match &self.slots[slot] {
-                Some((k, _)) => pred(k),
+            let matches = match &self.keys[slot] {
+                Some(k) => pred(k),
                 None => false,
             };
             if matches {
-                // atp-lint: allow(unwrap-policy, reason = "invariant: the slot was just observed occupied")
-                let (k, _) = self.slots[slot].take().expect("slot occupied");
-                self.policy.on_remove(slot as SlotId);
-                self.map.remove(&k);
-                self.free.push(slot as u32);
+                self.release_slot(slot as u32);
                 removed += 1;
             }
         }
@@ -246,15 +274,16 @@ impl<K: Eq + Hash + Copy, P: Policy, V> CacheSim<K, P, V> {
 
     /// Iterates over resident keys (arbitrary order).
     pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.map.keys()
+        self.keys.iter().filter_map(|k| k.as_ref())
     }
 
     /// Iterates over resident `(key, value)` pairs in slot-arena order
     /// (arbitrary from the caller's point of view).
     pub fn entries(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.slots
+        self.keys
             .iter()
-            .filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+            .zip(&self.vals)
+            .filter_map(|(k, v)| Some((k.as_ref()?, v.as_ref()?)))
     }
 
     /// Access to the policy (for tests / instrumentation).
@@ -269,13 +298,24 @@ impl<K: Eq + Hash + Copy, P: Policy> CacheSim<K, P, ()> {
     /// Accesses `k`: on a miss, inserts it (possibly evicting).
     #[inline]
     pub fn access(&mut self, k: K) -> AccessResult<K> {
-        if let Some(&slot) = self.map.get(&k) {
+        let h = fx_hash(&k);
+        if let Some(slot) = self.probe(h, &k) {
             self.policy.on_hit(slot as SlotId);
             self.hits += 1;
             return AccessResult::Hit;
         }
         self.misses += 1;
-        let evicted = self.insert_cold(k);
+        let mut evicted = None;
+        if self.index.len() == self.capacity {
+            evicted = self.evict_one_entry().map(|(k, ())| k);
+            debug_assert!(evicted.is_some(), "full cache must yield a victim");
+        }
+        // atp-lint: allow(unwrap-policy, reason = "invariant: a free slot exists after an eviction or under capacity")
+        let slot = self.free.pop().expect("free slot available");
+        self.keys[slot as usize] = Some(k);
+        self.vals[slot as usize] = Some(());
+        self.index.insert(h, slot);
+        self.policy.on_insert(slot as SlotId);
         AccessResult::Miss { evicted }
     }
 
@@ -430,6 +470,19 @@ mod tests {
     }
 
     #[test]
+    fn touch_is_semantically_inert() {
+        let mut c: CacheSim<u64, Lru, u32> = CacheSim::new(2, Lru::new(2));
+        c.insert_cold_with(1, 10);
+        c.touch(&1);
+        c.touch(&99);
+        assert_eq!((c.hits(), c.misses()), (0, 0), "touch must not count");
+        assert_eq!(c.len(), 1);
+        // 1 was NOT refreshed: still the (only) LRU victim.
+        c.insert_cold_with(2, 20);
+        assert_eq!(c.insert_cold_with(3, 30), Some((1, 10)));
+    }
+
+    #[test]
     fn remove_entry_returns_value() {
         let mut c: CacheSim<u64, Lru, u32> = CacheSim::new(2, Lru::new(2));
         c.insert_cold_with(7, 70);
@@ -466,5 +519,43 @@ mod tests {
         let mut pairs: Vec<(u64, u32)> = c.entries().map(|(&k, &v)| (k, v)).collect();
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        // Interleave access / remove / evict over a small key space so the
+        // index's backward-shift deletion and slot reuse get exercised hard.
+        let mut c = lru_cache(16);
+        let mut model: Vec<u64> = Vec::new(); // recency order, LRU first
+        for step in 0u64..50_000 {
+            let k = (step.wrapping_mul(0x9E37_79B9)) % 48;
+            match step % 7 {
+                6 => {
+                    let was = model.iter().position(|&m| m == k);
+                    assert_eq!(c.remove(&k), was.is_some(), "step {step}");
+                    if let Some(i) = was {
+                        model.remove(i);
+                    }
+                }
+                5 => {
+                    assert_eq!(c.evict_one(), model.first().copied(), "step {step}");
+                    if !model.is_empty() {
+                        model.remove(0);
+                    }
+                }
+                _ => {
+                    let hit = c.access(k).is_hit();
+                    let was = model.iter().position(|&m| m == k);
+                    assert_eq!(hit, was.is_some(), "step {step}");
+                    if let Some(i) = was {
+                        model.remove(i);
+                    } else if model.len() == 16 {
+                        model.remove(0);
+                    }
+                    model.push(k);
+                }
+            }
+            assert_eq!(c.len(), model.len(), "step {step}");
+        }
     }
 }

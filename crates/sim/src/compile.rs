@@ -1,0 +1,411 @@
+//! The trace "compiler": walk-path memoization for batched replay.
+//!
+//! A radix page-table walk touches up to four table pages per
+//! translation, and real traces re-translate the same few pages over and
+//! over inside any reasonable window. [`TraceCompiler`] wraps a
+//! [`PageTable`] and *pre-resolves* repeated translations: the first
+//! resolve of a page does the real walk and memoizes the result; further
+//! resolves inside the window are served from the memo with **zero table
+//! touches** — the batched engine's amortization of the walk stage.
+//!
+//! Correctness is an invalidation discipline, property-tested in
+//! `atp-check` against linear-scan oracles:
+//!
+//! * **remap** ([`TraceCompiler::map`]) and **unmap**
+//!   ([`TraceCompiler::unmap`]) invalidate the page's memo entry before
+//!   mutating the table. An unmap that tears out more than one base page
+//!   (a huge leaf) conservatively flushes the whole memo — the span is
+//!   not observable through the [`PageTable`] trait.
+//! * **shootdown** ([`TraceCompiler::shootdown`]) invalidates one page on
+//!   external notice (another core remapped it) without touching the
+//!   table.
+//! * **flush** ([`TraceCompiler::flush`]) drops every memoized path; any
+//!   table mutation done behind the compiler's back
+//!   ([`TraceCompiler::mutate_table`]) flushes conservatively.
+//!
+//! The memo is bounded: at most `window` entries, evicted FIFO — the
+//! "window" in which repeats are pre-resolved. [`TenantCompiler`] layers
+//! per-ASID compilers for multi-tenant (v2 `TenantOp`) traces, where
+//! `flush_asid` and tenant retirement invalidate exactly one space.
+
+use std::collections::VecDeque;
+
+use atp_hash::FxHashMap;
+use atp_pagetable::{PageTable, WalkStats};
+use atp_types::{Asid, PhysPage, VirtPage};
+
+/// Outcome of one [`TraceCompiler::resolve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resolved {
+    /// The translation (`None` = unmapped), identical to what
+    /// [`PageTable::translate`] would return right now.
+    pub phys: Option<PhysPage>,
+    /// Table memory locations touched by *this* resolve: the real walk's
+    /// touches on a memo miss, 0 on a memo hit.
+    pub touches: u64,
+    /// Whether the walk was skipped (served from the memo).
+    pub memoized: bool,
+}
+
+/// Counters for one compiler (monotonic, never reset by flushes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Resolves served from the memo (walk skipped).
+    pub memo_hits: u64,
+    /// Resolves that performed a real walk.
+    pub walks: u64,
+    /// Table touches actually paid by real walks.
+    pub walk_touches: u64,
+    /// Table touches avoided by memo hits (what the walks they replaced
+    /// cost the first time).
+    pub touches_saved: u64,
+    /// Memo entries dropped by targeted invalidation (unmap/remap/
+    /// shootdown) or FIFO window eviction.
+    pub invalidations: u64,
+    /// Whole-memo flushes (huge-leaf unmaps, explicit flush,
+    /// out-of-band table mutation).
+    pub flushes: u64,
+}
+
+/// A [`PageTable`] wrapper memoizing resolved walk paths within a bounded
+/// window. See the module docs for the invalidation rules.
+#[derive(Debug)]
+pub struct TraceCompiler<T: PageTable> {
+    table: T,
+    /// page id → (translation, touches the original walk cost).
+    memo: FxHashMap<u64, (Option<PhysPage>, u64)>,
+    /// FIFO of memoized page ids bounding the memo to `window` entries.
+    order: VecDeque<u64>,
+    window: usize,
+    stats: CompileStats,
+}
+
+impl<T: PageTable> TraceCompiler<T> {
+    /// Wraps `table`, memoizing at most `window` pre-resolved pages.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(table: T, window: usize) -> Self {
+        assert!(window > 0, "compiler window must be nonzero");
+        Self {
+            table,
+            memo: FxHashMap::default(),
+            order: VecDeque::new(),
+            window,
+            stats: CompileStats::default(),
+        }
+    }
+
+    /// The wrapped table (read-only; mutate via the compiler's methods or
+    /// [`TraceCompiler::mutate_table`]).
+    pub fn table(&self) -> &T {
+        &self.table
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+
+    /// Number of currently memoized pages.
+    pub fn memoized(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Whether `v`'s walk path is currently pre-resolved.
+    pub fn is_memoized(&self, v: VirtPage) -> bool {
+        self.memo.contains_key(&v.0)
+    }
+
+    /// Translates `v`: a real walk on the first resolve in the window,
+    /// the memoized path (0 touches) on repeats.
+    pub fn resolve(&mut self, v: VirtPage) -> Resolved {
+        if let Some(&(phys, cost)) = self.memo.get(&v.0) {
+            self.stats.memo_hits += 1;
+            self.stats.touches_saved += cost;
+            return Resolved {
+                phys,
+                touches: 0,
+                memoized: true,
+            };
+        }
+        let (phys, walk) = self.table.translate(v);
+        self.stats.walks += 1;
+        self.stats.walk_touches += walk.touches;
+        if self.memo.len() == self.window {
+            // atp-lint: allow(unwrap-policy, reason = "invariant: memo and its FIFO order queue grow and shrink in lockstep, so a full memo has a front")
+            let oldest = self.order.pop_front().expect("window order nonempty");
+            self.memo.remove(&oldest);
+            self.stats.invalidations += 1;
+        }
+        self.memo.insert(v.0, (phys, walk.touches));
+        self.order.push_back(v.0);
+        Resolved {
+            phys,
+            touches: walk.touches,
+            memoized: false,
+        }
+    }
+
+    /// Resolves a window of accesses in order (the batched driver's
+    /// "compile" pass), returning how many were served from the memo.
+    pub fn resolve_window(&mut self, pages: &[VirtPage], out: &mut Vec<Resolved>) -> u64 {
+        out.clear();
+        out.reserve(pages.len());
+        let mut memoized = 0;
+        for &v in pages {
+            let r = self.resolve(v);
+            memoized += u64::from(r.memoized);
+            out.push(r);
+        }
+        memoized
+    }
+
+    /// Drops `v` from the memo (if present), keeping the FIFO queue lazy:
+    /// stale queue entries are skipped when they surface. Counts one
+    /// invalidation when something was actually dropped.
+    fn invalidate(&mut self, v: VirtPage) {
+        if self.memo.remove(&v.0).is_some() {
+            self.stats.invalidations += 1;
+            self.order.retain(|&p| p != v.0);
+        }
+    }
+
+    /// Maps (or remaps) `v → p` through the compiler: the memoized path
+    /// for `v` is invalidated first, then the table is updated.
+    pub fn map(&mut self, v: VirtPage, p: PhysPage) -> WalkStats {
+        self.invalidate(v);
+        self.table.map(v, p)
+    }
+
+    /// Unmaps `v` through the compiler. A single-page unmap invalidates
+    /// only `v`'s memo entry; an unmap that removed more than one base
+    /// page (a huge leaf — unobservable through the trait) flushes the
+    /// whole memo.
+    pub fn unmap(&mut self, v: VirtPage) -> (Option<PhysPage>, WalkStats) {
+        self.invalidate(v);
+        let before = self.table.mapped();
+        let out = self.table.unmap(v);
+        if before.saturating_sub(self.table.mapped()) > 1 {
+            self.flush();
+        }
+        out
+    }
+
+    /// External invalidation of `v` (another core's remap / a TLB
+    /// shootdown): drops the memoized path without touching the table.
+    pub fn shootdown(&mut self, v: VirtPage) {
+        self.invalidate(v);
+    }
+
+    /// Drops every memoized walk path.
+    pub fn flush(&mut self) {
+        self.memo.clear();
+        self.order.clear();
+        self.stats.flushes += 1;
+    }
+
+    /// Runs an arbitrary mutation against the wrapped table, conservatively
+    /// flushing the memo first (the compiler cannot see what changed).
+    /// This is the escape hatch for operations outside the [`PageTable`]
+    /// trait — e.g. `RadixPageTable::map_huge`.
+    pub fn mutate_table<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.flush();
+        f(&mut self.table)
+    }
+}
+
+/// Per-tenant trace compilation: one [`TraceCompiler`] per address space,
+/// created on first use from `T::default()`. `flush_asid` and retirement
+/// invalidate exactly one tenant's memo, mirroring the ASID-tagged TLB's
+/// targeted invalidation.
+#[derive(Debug, Default)]
+pub struct TenantCompiler<T: PageTable + Default> {
+    spaces: FxHashMap<u32, TraceCompiler<T>>,
+    window: usize,
+}
+
+impl<T: PageTable + Default> TenantCompiler<T> {
+    /// Creates an empty tenant compiler; each tenant's memo is bounded by
+    /// `window` entries.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "compiler window must be nonzero");
+        Self {
+            spaces: FxHashMap::default(),
+            window,
+        }
+    }
+
+    /// The compiler for `asid`, created on first use.
+    pub fn space(&mut self, asid: Asid) -> &mut TraceCompiler<T> {
+        let window = self.window;
+        self.spaces
+            .entry(asid.0)
+            .or_insert_with(|| TraceCompiler::new(T::default(), window))
+    }
+
+    /// Read-only view of an existing tenant's compiler.
+    pub fn peek(&self, asid: Asid) -> Option<&TraceCompiler<T>> {
+        self.spaces.get(&asid.0)
+    }
+
+    /// Number of live address spaces.
+    pub fn tenants(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// Resolves `v` in `asid`'s space.
+    pub fn resolve(&mut self, asid: Asid, v: VirtPage) -> Resolved {
+        self.space(asid).resolve(v)
+    }
+
+    /// Drops `asid`'s memoized paths (its table is untouched) — the
+    /// context-switch-storm analog for untagged setups. No-op for unknown
+    /// tenants.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        if let Some(c) = self.spaces.get_mut(&asid.0) {
+            c.flush();
+        }
+    }
+
+    /// Tears down `asid` entirely: memo *and* table are dropped, so a
+    /// recycled ASID starts from an empty space.
+    pub fn retire(&mut self, asid: Asid) {
+        self.spaces.remove(&asid.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atp_pagetable::RadixPageTable;
+
+    fn compiler(window: usize) -> TraceCompiler<RadixPageTable> {
+        TraceCompiler::new(RadixPageTable::new(), window)
+    }
+
+    #[test]
+    fn repeat_resolves_skip_the_walk() {
+        let mut c = compiler(16);
+        c.map(VirtPage(5), PhysPage(50));
+        let first = c.resolve(VirtPage(5));
+        assert!(!first.memoized);
+        assert_eq!(first.phys, Some(PhysPage(50)));
+        assert!(first.touches > 0, "real walk touches table pages");
+        let again = c.resolve(VirtPage(5));
+        assert_eq!(
+            again,
+            Resolved {
+                phys: Some(PhysPage(50)),
+                touches: 0,
+                memoized: true
+            }
+        );
+        let s = c.stats();
+        assert_eq!((s.walks, s.memo_hits), (1, 1));
+        assert_eq!(s.touches_saved, first.touches);
+    }
+
+    #[test]
+    fn unmapped_pages_memoize_their_miss() {
+        let mut c = compiler(16);
+        assert_eq!(c.resolve(VirtPage(9)).phys, None);
+        let again = c.resolve(VirtPage(9));
+        assert!(again.memoized);
+        assert_eq!(again.phys, None);
+        // …and a later map must invalidate that memoized miss.
+        c.map(VirtPage(9), PhysPage(90));
+        let after = c.resolve(VirtPage(9));
+        assert!(!after.memoized);
+        assert_eq!(after.phys, Some(PhysPage(90)));
+    }
+
+    #[test]
+    fn remap_and_unmap_invalidate() {
+        let mut c = compiler(16);
+        c.map(VirtPage(1), PhysPage(10));
+        c.resolve(VirtPage(1));
+        c.map(VirtPage(1), PhysPage(11)); // remap
+        assert!(!c.is_memoized(VirtPage(1)));
+        assert_eq!(c.resolve(VirtPage(1)).phys, Some(PhysPage(11)));
+        assert_eq!(c.unmap(VirtPage(1)).0, Some(PhysPage(11)));
+        assert_eq!(c.resolve(VirtPage(1)).phys, None);
+    }
+
+    #[test]
+    fn shootdown_invalidates_without_table_change() {
+        let mut c = compiler(16);
+        c.map(VirtPage(2), PhysPage(20));
+        c.resolve(VirtPage(2));
+        c.shootdown(VirtPage(2));
+        assert!(!c.is_memoized(VirtPage(2)));
+        let r = c.resolve(VirtPage(2));
+        assert!(!r.memoized, "shootdown forces a re-walk");
+        assert_eq!(r.phys, Some(PhysPage(20)));
+    }
+
+    #[test]
+    fn window_evicts_fifo() {
+        let mut c = compiler(2);
+        for v in 0..3u64 {
+            c.resolve(VirtPage(v));
+        }
+        assert!(!c.is_memoized(VirtPage(0)), "FIFO evicted the oldest");
+        assert!(c.is_memoized(VirtPage(1)));
+        assert!(c.is_memoized(VirtPage(2)));
+        assert_eq!(c.memoized(), 2);
+    }
+
+    #[test]
+    fn huge_leaf_unmap_flushes_conservatively() {
+        let mut c = compiler(64);
+        c.mutate_table(|t| t.map_huge(VirtPage(0), 1, PhysPage(0)));
+        c.map(VirtPage(4096), PhysPage(1));
+        c.resolve(VirtPage(3)); // inside the huge leaf
+        c.resolve(VirtPage(4096));
+        // Unmapping any page of the huge leaf removes 512 mappings.
+        c.unmap(VirtPage(7));
+        assert_eq!(c.memoized(), 0, "span unmap must flush the whole memo");
+        assert_eq!(c.resolve(VirtPage(3)).phys, None);
+        assert_eq!(c.resolve(VirtPage(4096)).phys, Some(PhysPage(1)));
+    }
+
+    #[test]
+    fn resolve_window_counts_memo_hits() {
+        let mut c = compiler(16);
+        c.map(VirtPage(1), PhysPage(10));
+        let mut out = Vec::new();
+        let pages = [VirtPage(1), VirtPage(2), VirtPage(1), VirtPage(2)];
+        let memoized = c.resolve_window(&pages, &mut out);
+        assert_eq!(memoized, 2, "second lap over both pages is pre-resolved");
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[2].phys, Some(PhysPage(10)));
+        assert!(out[2].memoized && out[3].memoized);
+    }
+
+    #[test]
+    fn tenant_spaces_are_isolated() {
+        let mut tc: TenantCompiler<RadixPageTable> = TenantCompiler::new(16);
+        tc.space(Asid(1)).map(VirtPage(5), PhysPage(50));
+        tc.space(Asid(2)).map(VirtPage(5), PhysPage(99));
+        assert_eq!(tc.resolve(Asid(1), VirtPage(5)).phys, Some(PhysPage(50)));
+        assert_eq!(tc.resolve(Asid(2), VirtPage(5)).phys, Some(PhysPage(99)));
+        // flush_asid drops only tenant 1's memo.
+        tc.flush_asid(Asid(1));
+        assert!(tc.resolve(Asid(2), VirtPage(5)).memoized);
+        assert!(!tc.resolve(Asid(1), VirtPage(5)).memoized);
+        // Retirement drops the table too: a recycled ASID sees nothing.
+        tc.retire(Asid(1));
+        assert_eq!(tc.resolve(Asid(1), VirtPage(5)).phys, None);
+        assert_eq!(tc.tenants(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be nonzero")]
+    fn zero_window_rejected() {
+        compiler(0);
+    }
+}

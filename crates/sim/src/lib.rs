@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod epsilon;
 pub mod multicore;
 pub mod replicate;
@@ -18,6 +19,7 @@ pub mod runner;
 pub mod sweep;
 pub mod tenants;
 
+pub use compile::{CompileStats, Resolved, TenantCompiler, TraceCompiler};
 pub use epsilon::LatencyModel;
 pub use multicore::{
     run_multicore, run_multicore_observed, CoreStats, MulticoreConfig, MulticoreResult,

@@ -85,9 +85,12 @@ fn drive<M: MemoryManager + ?Sized>(
         if buf.is_empty() {
             break;
         }
-        for &p in buf.iter() {
-            mgr.access(p);
-        }
+        // Batched engines software-pipeline the chunk; the default is a
+        // plain per-access loop. Either way the access sequence, and the
+        // boundary emission below, are bit-for-bit the same — in
+        // particular, an empty final chunk broke out above and announces
+        // no boundary.
+        mgr.access_batch(buf);
         mgr.batch_boundary(buf.len());
         remaining -= buf.len() as u64;
     }

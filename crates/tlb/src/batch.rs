@@ -1,0 +1,426 @@
+//! A batched, software-pipelined fully-associative LRU TLB.
+//!
+//! [`BatchTlb`] is the raw-speed translation engine behind the batched
+//! drivers: semantically it is exactly `Tlb<V, Lru>` (exact LRU, same
+//! counters, same eviction choices — pinned differentially in
+//! `atp-check`), but its hot path is built to translate [`LANES`]
+//! accesses per pipeline step instead of one:
+//!
+//! 1. **hash precompute** — all lane keys are Fx-hashed up front, a pure
+//!    data-parallel loop with no memory dependencies;
+//! 2. **probe** — each lane's hash is resolved through the flat
+//!    [`SlotIndex`]; the probe chains are independent, so the CPU can
+//!    overlap their cache misses (memory-level parallelism) instead of
+//!    serializing one hash→probe→list-update chain per access;
+//! 3. **arena prefetch** — the stamp line of every resolved slot is
+//!    touched before any lane is applied, pulling the metadata the apply
+//!    loop will write into cache;
+//! 4. **in-order apply** — lanes are retired in access order. Hits only
+//!    update recency, so the precomputed probes stay valid until the
+//!    first miss; from that point the remaining lanes **replay
+//!    sequentially** through the fused path (an insert may evict any
+//!    slot, invalidating later precomputed probes).
+//!
+//! The replay rule is what keeps batching bit-for-bit equal to the fused
+//! single-step engine on every trace, while hit-dominated workloads (the
+//! regime the paper's sweeps spend almost all their time in) run the
+//! wide path essentially always.
+//!
+//! Recency is kept as one u64 timestamp per slot from a strictly
+//! increasing logical clock — the same LRU order as an intrusive list,
+//! without the pointer chase on every hit; eviction pays an O(ℓ) argmin
+//! scan instead, which amortizes to noise at TLB hit rates.
+
+use crate::key::TlbKey;
+use crate::TlbStats;
+use atp_hash::flat::{fx_hash, SlotIndex};
+use atp_types::VirtHugePage;
+
+/// Accesses translated per pipeline step.
+pub const LANES: usize = 16;
+
+/// Stamp value marking a freed slot (live stamps come from a strictly
+/// increasing clock that starts at 0, so they are always below it).
+const FREE: u64 = u64::MAX;
+
+/// Probe sentinel for "not resident" (slot ids are below capacity, which
+/// is capped below `u32::MAX`).
+const MISS: u32 = u32::MAX;
+
+/// A batched software-pipelined LRU TLB of ℓ entries mapping keys to a
+/// `Copy` payload `V`. See the module docs for the pipeline; see
+/// [`crate::Tlb`] for the single-step engine it is equivalent to.
+#[derive(Clone, Debug)]
+pub struct BatchTlb<V, K: TlbKey = VirtHugePage> {
+    index: SlotIndex,
+    /// SoA slot arenas, grown on first use of each slot: the key arena
+    /// validates probes, the stamp arena carries recency, and the value
+    /// arena is only touched by hits that need the payload.
+    keys: Vec<K>,
+    vals: Vec<V>,
+    stamps: Vec<u64>,
+    free: Vec<u32>,
+    clock: u64,
+    capacity: usize,
+    stats: TlbStats,
+}
+
+impl<V: Copy, K: TlbKey> BatchTlb<V, K> {
+    /// Creates a batched LRU TLB with `entries` slots.
+    ///
+    /// # Panics
+    /// Panics if `entries` is zero or does not fit u32 slot ids.
+    pub fn lru(entries: u64) -> Self {
+        let capacity = entries as usize;
+        Self {
+            index: SlotIndex::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            vals: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            clock: 0,
+            capacity,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Capacity ℓ.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Event counters (same meaning as [`crate::Tlb::stats`]).
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Resolves `u` to its slot without touching recency or counters.
+    #[inline]
+    fn probe(&self, h: u64, u: K) -> Option<u32> {
+        let keys = &self.keys;
+        self.index.get(h, |s| keys[s as usize] == u)
+    }
+
+    /// Whether `u` is cached, without touching recency or counters.
+    pub fn contains(&self, u: K) -> bool {
+        self.probe(fx_hash(&u), u).is_some()
+    }
+
+    /// Reads a resident value without touching recency or counters.
+    pub fn peek(&self, u: K) -> Option<&V> {
+        let slot = self.probe(fx_hash(&u), u)?;
+        Some(&self.vals[slot as usize])
+    }
+
+    /// Looks up `u`, updating recency and hit/miss counters. One probe,
+    /// one stamp store — no list maintenance.
+    #[inline]
+    pub fn lookup(&mut self, u: K) -> Option<&V> {
+        match self.probe(fx_hash(&u), u) {
+            Some(slot) => {
+                self.stamps[slot as usize] = self.clock;
+                self.clock += 1;
+                self.stats.hits += 1;
+                Some(&self.vals[slot as usize])
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `u → value`, returning the evicted entry if the TLB was
+    /// full.
+    ///
+    /// # Panics
+    /// Panics if `u` is already resident.
+    pub fn insert(&mut self, u: K, value: V) -> Option<(K, V)> {
+        let h = fx_hash(&u);
+        assert!(self.probe(h, u).is_none(), "insert of resident TLB entry");
+        self.stats.inserts += 1;
+        let mut evicted = None;
+        if self.index.len() == self.capacity {
+            evicted = Some(self.evict_lru());
+            self.stats.evictions += 1;
+        }
+        let slot = self.free.pop().unwrap_or(self.keys.len() as u32);
+        if slot as usize == self.keys.len() {
+            self.keys.push(u);
+            self.vals.push(value);
+            self.stamps.push(self.clock);
+        } else {
+            self.keys[slot as usize] = u;
+            self.vals[slot as usize] = value;
+            self.stamps[slot as usize] = self.clock;
+        }
+        self.clock += 1;
+        self.index.insert(h, slot);
+        evicted
+    }
+
+    /// Evicts the least-recently-stamped entry. Only called on a full
+    /// TLB, so every allocated slot is live and the scan covers exactly ℓ
+    /// stamps (freed slots are parked at [`FREE`], above any live stamp).
+    fn evict_lru(&mut self) -> (K, V) {
+        debug_assert_eq!(self.index.len(), self.capacity);
+        let mut victim = 0usize;
+        let mut oldest = FREE;
+        for (slot, &stamp) in self.stamps.iter().enumerate() {
+            if stamp < oldest {
+                oldest = stamp;
+                victim = slot;
+            }
+        }
+        let k = self.keys[victim];
+        let v = self.vals[victim];
+        self.stamps[victim] = FREE;
+        self.index.remove(fx_hash(&k), |s| s as usize == victim);
+        self.free.push(victim as u32);
+        (k, v)
+    }
+
+    /// Invalidates `u`, returning its value if it was resident.
+    pub fn invalidate(&mut self, u: K) -> Option<V> {
+        let h = fx_hash(&u);
+        let keys = &self.keys;
+        let slot = self.index.remove(h, |s| keys[s as usize] == u)?;
+        self.stats.invalidations += 1;
+        self.stamps[slot as usize] = FREE;
+        self.free.push(slot);
+        Some(self.vals[slot as usize])
+    }
+
+    /// Accesses `u` like a hardware lookup-and-fill driven by `fill`:
+    /// on a miss, `fill(u)` supplies the new value. Returns whether it
+    /// hit. The fused (single-step) path; also the replay path of
+    /// [`BatchTlb::access_or_fill_batch`].
+    #[inline]
+    pub fn access_or_fill(&mut self, u: K, fill: impl FnOnce(K) -> V) -> bool {
+        if self.lookup(u).is_some() {
+            return true;
+        }
+        let v = fill(u);
+        self.insert(u, v);
+        false
+    }
+
+    /// Accesses every key in `us` in order, filling misses from `fill`,
+    /// and returns how many hit. Bit-for-bit equivalent to calling
+    /// [`BatchTlb::access_or_fill`] per key; internally runs the
+    /// hash-precompute → probe → prefetch → in-order-apply pipeline over
+    /// [`LANES`]-wide steps, replaying sequentially from the first miss
+    /// in each step (an insert invalidates later precomputed probes).
+    pub fn access_or_fill_batch(&mut self, us: &[K], fill: impl FnMut(K) -> V) -> u64 {
+        self.access_or_fill_batch_map(us, |k| k, fill)
+    }
+
+    /// [`BatchTlb::access_or_fill_batch`] over a raw stream: each element
+    /// of `us` becomes a key through `key` inside the pipeline, so a
+    /// driver holding `&[u64]` pages feeds the engine with no staging
+    /// copy into a key buffer. `key` must be pure (it is re-applied on
+    /// the replay path) and is expected to be a newtype wrap the
+    /// optimizer erases.
+    pub fn access_or_fill_batch_map<U: Copy>(
+        &mut self,
+        us: &[U],
+        key: impl Fn(U) -> K,
+        mut fill: impl FnMut(K) -> V,
+    ) -> u64 {
+        let mut hits = 0u64;
+        for chunk in us.chunks(LANES) {
+            // Stage 1: hash precompute (no memory dependencies).
+            let mut hs = [0u64; LANES];
+            for (i, &u) in chunk.iter().enumerate() {
+                hs[i] = fx_hash(&key(u));
+            }
+            // Stage 2: probe all lanes — independent chains, so the
+            // misses overlap instead of serializing.
+            let mut slots = [MISS; LANES];
+            let keys = &self.keys;
+            for (i, &u) in chunk.iter().enumerate() {
+                let k = key(u);
+                slots[i] = self
+                    .index
+                    .get(hs[i], |s| keys[s as usize] == k)
+                    .unwrap_or(MISS);
+            }
+            // Stage 3: arena prefetch — touch the stamp metadata every
+            // resolved lane will write before any lane retires.
+            for &s in &slots[..chunk.len()] {
+                if s != MISS {
+                    std::hint::black_box(self.stamps[s as usize]);
+                }
+            }
+            // Stage 4: in-order apply. Hits only move recency, so the
+            // precomputed probes stay valid until the first miss; the
+            // clock and counters advance once per step, not per lane.
+            let mut done = 0usize;
+            while done < chunk.len() && slots[done] != MISS {
+                self.stamps[slots[done] as usize] = self.clock + done as u64;
+                done += 1;
+            }
+            self.clock += done as u64;
+            self.stats.hits += done as u64;
+            hits += done as u64;
+            // Sequential replay from the first miss: the insert below may
+            // evict any slot, so later lanes re-probe through the fused
+            // path.
+            for &u in &chunk[done..] {
+                if self.access_or_fill(key(u), &mut fill) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    }
+
+    /// Iterates resident (key, value) pairs in slot order (deterministic,
+    /// arbitrary from the caller's point of view).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .zip(&self.stamps)
+            .filter(|(_, &st)| st != FREE)
+            .map(|((k, v), _)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tlb;
+    use atp_hash::CounterRng;
+
+    /// Drives a BatchTlb and a fused `Tlb<u64, Lru>` with the same ops
+    /// and asserts identical observable behaviour at every step.
+    fn assert_matches_fused(ops: &[(u8, u64)], entries: u64, batch: usize) {
+        let mut fast: BatchTlb<u64> = BatchTlb::lru(entries);
+        let mut gold: Tlb<u64> = Tlb::lru(entries);
+        let mut pending: Vec<VirtHugePage> = Vec::new();
+        let flush =
+            |fast: &mut BatchTlb<u64>, gold: &mut Tlb<u64>, pending: &mut Vec<VirtHugePage>| {
+                let fast_hits = fast.access_or_fill_batch(pending, |u| u.0 * 10);
+                let mut gold_hits = 0;
+                for &u in pending.iter() {
+                    if gold.access_or_fill(u, || u.0 * 10) {
+                        gold_hits += 1;
+                    }
+                }
+                assert_eq!(fast_hits, gold_hits);
+                pending.clear();
+            };
+        for &(kind, page) in ops {
+            let u = VirtHugePage(page);
+            match kind {
+                0 => {
+                    pending.push(u);
+                    if pending.len() == batch {
+                        flush(&mut fast, &mut gold, &mut pending);
+                    }
+                }
+                _ => {
+                    flush(&mut fast, &mut gold, &mut pending);
+                    assert_eq!(fast.invalidate(u), gold.invalidate(u));
+                }
+            }
+        }
+        flush(&mut fast, &mut gold, &mut pending);
+        assert_eq!(fast.stats(), gold.stats());
+        assert_eq!(fast.len(), gold.len());
+        let mut a: Vec<(u64, u64)> = fast.iter().map(|(k, v)| (k.0, *v)).collect();
+        let mut b: Vec<(u64, u64)> = gold.iter().map(|(k, v)| (k.0, *v)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "resident sets diverged");
+    }
+
+    #[test]
+    fn equivalent_to_fused_lru_under_churn() {
+        for (seed, span, entries, batch) in [
+            (1u64, 40u64, 16u64, 16usize),
+            (2, 8, 4, 7),
+            (3, 200, 16, 16),
+            (4, 13, 8, 1),
+            (5, 64, 32, 13),
+        ] {
+            let mut rng = CounterRng::new(0xBA7C, seed);
+            let ops: Vec<(u8, u64)> = (0..4000)
+                .map(|_| {
+                    let kind = u8::from(rng.next_below(12) == 0);
+                    (kind, rng.next_below(span))
+                })
+                .collect();
+            assert_matches_fused(&ops, entries, batch);
+        }
+    }
+
+    #[test]
+    fn duplicate_misses_in_one_step_fill_then_hit() {
+        // Same absent page twice in one batch: the first lane misses and
+        // fills, the second must hit — exactly like the fused engine.
+        let mut t: BatchTlb<u64> = BatchTlb::lru(4);
+        let us = [VirtHugePage(9), VirtHugePage(9), VirtHugePage(9)];
+        let hits = t.access_or_fill_batch(&us, |u| u.0);
+        assert_eq!(hits, 2);
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (2, 1, 1));
+    }
+
+    #[test]
+    fn batch_wider_than_lanes_splits_into_steps() {
+        let mut t: BatchTlb<u64> = BatchTlb::lru(64);
+        let us: Vec<VirtHugePage> = (0..50).map(|i| VirtHugePage(i % 25)).collect();
+        let hits = t.access_or_fill_batch(&us, |u| u.0);
+        assert_eq!(hits, 25, "second lap over 25 pages all hit");
+        assert_eq!(t.len(), 25);
+    }
+
+    #[test]
+    fn eviction_is_exact_lru() {
+        let mut t: BatchTlb<u64> = BatchTlb::lru(2);
+        t.insert(VirtHugePage(1), 10);
+        t.insert(VirtHugePage(2), 20);
+        t.lookup(VirtHugePage(1)); // refresh 1 → victim is 2
+        assert_eq!(t.insert(VirtHugePage(3), 30), Some((VirtHugePage(2), 20)));
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_frees_capacity_and_counts() {
+        let mut t: BatchTlb<u64> = BatchTlb::lru(2);
+        t.insert(VirtHugePage(1), 10);
+        t.insert(VirtHugePage(2), 20);
+        assert_eq!(t.invalidate(VirtHugePage(1)), Some(10));
+        assert_eq!(t.invalidate(VirtHugePage(1)), None);
+        assert_eq!(t.insert(VirtHugePage(3), 30), None, "no eviction needed");
+        assert_eq!(t.stats().invalidations, 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert of resident TLB entry")]
+    fn double_insert_panics() {
+        let mut t: BatchTlb<u64> = BatchTlb::lru(2);
+        t.insert(VirtHugePage(1), 1);
+        t.insert(VirtHugePage(1), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut t: BatchTlb<u64> = BatchTlb::lru(2);
+        assert_eq!(t.access_or_fill_batch(&[], |u| u.0), 0);
+        assert_eq!(t.stats(), TlbStats::default());
+    }
+}

@@ -103,6 +103,13 @@ impl<V, P: Policy, K: TlbKey> Tlb<V, P, K> {
         self.sim.contains(&u)
     }
 
+    /// Warms the probe line for `u` without resolving the probe — the
+    /// prefetch stage of a batched pipeline. Semantically a no-op.
+    #[inline]
+    pub fn touch(&self, u: K) {
+        self.sim.touch(&u);
+    }
+
     /// Looks up `u`, updating recency and hit/miss counters. One probe.
     #[inline]
     pub fn lookup(&mut self, u: K) -> Option<&V> {

@@ -13,7 +13,11 @@
 //! * [`SplitTlb`] — separate structures per page-size class, as real CPUs
 //!   provide ("most systems that implement huge pages use different TLBs for
 //!   each size", footnote 1; e.g. Cascade Lake's 1536-entry 4k/2M L2 dTLB
-//!   plus a 16-entry 1G TLB).
+//!   plus a 16-entry 1G TLB);
+//! * [`BatchTlb`] — a batched, software-pipelined LRU engine translating
+//!   [`batch::LANES`] accesses per step (hash precompute, flat-index probe,
+//!   arena prefetch, in-order apply with sequential replay from the first
+//!   miss), bit-for-bit equivalent to `Tlb<V, Lru>`.
 //!
 //! All models support explicit invalidation, needed for TLB shootdowns in
 //! the multicore extension and for decoupling-driven value updates.
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod asid;
+pub mod batch;
 pub mod full;
 pub mod key;
 pub mod set_assoc;
@@ -36,6 +41,7 @@ pub mod split;
 pub mod twolevel;
 
 pub use asid::{AsidTlb, AsidTlbStats};
+pub use batch::BatchTlb;
 pub use full::{Tlb, TlbStats};
 pub use key::TlbKey;
 pub use set_assoc::SetAssocTlb;
